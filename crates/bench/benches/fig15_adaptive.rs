@@ -1,0 +1,73 @@
+//! Fig. 15 — minimal (MIN) vs. load-balanced (UGAL) routing on the
+//! distributor-based dragonfly and flattened butterfly.
+//!
+//! Paper: adaptive routing gains only ~1–2 % for balanced workloads
+//! (KMN, CP) because random traffic self-balances; CG.S gains **9.5 %** on
+//! dFBFLY because its traffic is imbalanced (Fig. 10(b)).
+
+use memnet_core::{Organization, SimReport};
+use memnet_noc::topo::TopologyKind;
+use memnet_noc::RoutingPolicy;
+use memnet_workloads::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    topology: &'static str,
+    min_kernel_ns: f64,
+    ugal_kernel_ns: f64,
+    ugal_gain_pct: f64,
+    nonminimal_packets: u64,
+}
+
+fn run(w: Workload, topo: TopologyKind, routing: RoutingPolicy) -> SimReport {
+    memnet_bench::eval_builder(Organization::Gmn, w).topology(topo).routing(routing).run()
+}
+
+fn main() {
+    memnet_bench::header("Fig. 15: MIN vs UGAL on dDFLY and dFBFLY (GMN kernel time)");
+    let topos = [TopologyKind::DistributorDfly, TopologyKind::DistributorFbfly];
+    let workloads = [Workload::Kmn, Workload::Cp, Workload::CgS];
+    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
+        .iter()
+        .flat_map(|&w| {
+            topos.iter().flat_map(move |&t| {
+                [RoutingPolicy::Minimal, RoutingPolicy::Ugal].into_iter().map(move |r| (w, t, r))
+            })
+        })
+        .map(|(w, t, r)| Box::new(move || run(w, t, r)) as Box<dyn FnOnce() -> SimReport + Send>)
+        .collect();
+    let reports = memnet_bench::run_parallel(jobs);
+
+    let mut rows = Vec::new();
+    let mut i = 0;
+    for w in workloads {
+        for topo in topos {
+            let min = &reports[i];
+            let ugal = &reports[i + 1];
+            i += 2;
+            assert!(!min.timed_out && !ugal.timed_out, "{} timed out", w.abbr());
+            let gain = 100.0 * (min.kernel_ns / ugal.kernel_ns - 1.0);
+            println!(
+                "  {:<5} {:<7} MIN {:>11.0} ns   UGAL {:>11.0} ns   gain {:>6.1}%   (nonmin pkts {})",
+                w.abbr(),
+                topo.name(),
+                min.kernel_ns,
+                ugal.kernel_ns,
+                gain,
+                ugal.nonminimal
+            );
+            rows.push(Row {
+                workload: min.workload,
+                topology: topo.name(),
+                min_kernel_ns: min.kernel_ns,
+                ugal_kernel_ns: ugal.kernel_ns,
+                ugal_gain_pct: gain,
+                nonminimal_packets: ugal.nonminimal,
+            });
+        }
+    }
+    println!("  paper: ~1-2% for KMN/CP; +9.5% for CG.S on dFBFLY");
+    memnet_bench::write_json("fig15_adaptive", &rows);
+}

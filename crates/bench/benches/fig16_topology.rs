@@ -1,0 +1,74 @@
+//! Fig. 16 — performance of sliced memory-network topologies.
+//!
+//! GMN kernel time on sMESH, sTORUS, sMESH-2x, sTORUS-2x and sFBFLY across
+//! all workloads. Paper: the `-2x` variants beat their single-channel
+//! versions by adding bandwidth; sFBFLY is best or comparable everywhere —
+//! equal bisection bandwidth to sTORUS-2x but lower hop count.
+
+use memnet_core::{Organization, SimReport};
+use memnet_noc::topo::{SlicedKind, TopologyKind};
+use memnet_workloads::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    topology: &'static str,
+    kernel_ns: f64,
+    avg_hops: f64,
+    energy_mj: f64,
+}
+
+pub fn topologies() -> [TopologyKind; 5] {
+    [
+        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
+        TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
+        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
+        TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
+        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+    ]
+}
+
+fn main() {
+    memnet_bench::header("Fig. 16: kernel time of sliced topologies (GMN)");
+    let topos = topologies();
+    let workloads = Workload::table2();
+    let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
+        .iter()
+        .flat_map(|&w| topos.iter().map(move |&t| (w, t)))
+        .map(|(w, t)| {
+            Box::new(move || memnet_bench::eval_builder(Organization::Gmn, w).topology(t).run())
+                as Box<dyn FnOnce() -> SimReport + Send>
+        })
+        .collect();
+    let reports = memnet_bench::run_parallel(jobs);
+
+    let mut rows = Vec::new();
+    println!("  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}   (kernel ns)", "", "sMESH", "sTORUS", "sMESH-2x", "sTORUS-2x", "sFBFLY");
+    let mut wins = 0;
+    for (wi, w) in workloads.iter().enumerate() {
+        let per: Vec<&SimReport> = (0..topos.len()).map(|ti| &reports[wi * topos.len() + ti]).collect();
+        print!("  {:<6}", w.abbr());
+        for r in &per {
+            print!(" {:>10.0}", r.kernel_ns);
+        }
+        let best = per.iter().map(|r| r.kernel_ns).fold(f64::INFINITY, f64::min);
+        let sfbfly = per[4].kernel_ns;
+        if sfbfly <= best * 1.05 {
+            wins += 1;
+        }
+        println!();
+        for (t, r) in topos.iter().zip(per) {
+            rows.push(Row {
+                workload: r.workload,
+                topology: t.name(),
+                kernel_ns: r.kernel_ns,
+                avg_hops: r.avg_hops,
+                energy_mj: r.energy_mj,
+            });
+        }
+    }
+    println!("\n  sFBFLY best-or-within-5% on {wins}/{} workloads", workloads.len());
+    println!("  paper: sFBFLY better or comparable to sMESH-2x/sTORUS-2x on most workloads");
+    memnet_bench::write_json("fig16_topology", &rows);
+}

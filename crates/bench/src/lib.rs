@@ -1,0 +1,144 @@
+//! Experiment harness shared by the per-figure bench targets.
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `crates/bench/benches/` (run with `cargo bench`, or a single one with
+//! `cargo bench --bench fig14_orgs`). Each target:
+//!
+//! 1. runs the simulations (in parallel across workloads/configurations),
+//! 2. prints the figure's rows with the paper's reference values next to
+//!    the measured ones,
+//! 3. writes machine-readable JSON to `target/experiments/<name>.json`
+//!    (consumed when updating `EXPERIMENTS.md`).
+//!
+//! Setting `MEMNET_FAST=1` shrinks every experiment (tiny workloads, fewer
+//! points) for a quick smoke pass.
+
+use memnet_core::{Organization, SimBuilder, SimReport};
+use memnet_workloads::{Workload, WorkloadSpec};
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// True when `MEMNET_FAST=1`: use tiny workloads for a smoke run.
+pub fn fast_mode() -> bool {
+    std::env::var("MEMNET_FAST").is_ok_and(|v| v == "1")
+}
+
+/// True when `MEMNET_FULL=1`: run on the exact Table I machine
+/// (64 SMs/GPU) instead of the scaled one. Slower by roughly the SM ratio.
+pub fn full_mode() -> bool {
+    std::env::var("MEMNET_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The workload spec to simulate: scaled by default, tiny in fast mode.
+pub fn spec_for(w: Workload) -> WorkloadSpec {
+    if fast_mode() {
+        w.spec_small()
+    } else {
+        w.spec()
+    }
+}
+
+/// A builder preconfigured for the evaluation machine (4 GPUs, 16 HMCs,
+/// scaled SM count — see `SystemConfig::scaled`).
+pub fn eval_builder(org: Organization, w: Workload) -> SimBuilder {
+    let mut b = SimBuilder::new(org).workload(spec_for(w)).phase_budget_ns(20_000_000.0);
+    if full_mode() {
+        b = b.config(memnet_common::SystemConfig::paper());
+    }
+    b
+}
+
+/// Runs `jobs` in parallel (bounded by available cores) and returns the
+/// results in submission order.
+pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
+    let jobs: Vec<_> = jobs.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let n = queue.lock().expect("fresh mutex").len();
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    let results = std::sync::Mutex::new(slots);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((i, f)) = job else { break };
+                let out = f();
+                results.lock().expect("results lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Runs one (organization, workload) pair on the evaluation machine.
+pub fn run_org(org: Organization, w: Workload) -> SimReport {
+    eval_builder(org, w).run()
+}
+
+/// Prints a rule-and-title header for a figure.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Writes an experiment's JSON artifact under `target/experiments/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness should fail loudly.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("target/experiments");
+    std::fs::create_dir_all(&path).expect("create experiments dir");
+    path.push(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create json");
+    let s = serde_json::to_string_pretty(value).expect("serialize");
+    f.write_all(s.as_bytes()).expect("write json");
+    println!("[wrote {}]", path.display());
+}
+
+/// Geometric mean re-export for harness binaries.
+pub use memnet_common::stats::geomean;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_keep_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..32usize).map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn empty_parallel_run() {
+        let out: Vec<u32> = run_parallel(Vec::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Strongly-typed identifiers for the agents and resources in the system.
+//!
+//! Newtypes keep GPU indices, HMC indices, network node ids, etc. from being
+//! mixed up (C-NEWTYPE). All ids are small dense integers assigned at system
+//! construction time.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident($inner:ty)) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A discrete GPU device in the multi-GPU system.
+    GpuId(u16)
+);
+id_type!(
+    /// The host CPU (the paper's systems have one).
+    CpuId(u16)
+);
+id_type!(
+    /// A hybrid memory cube, numbered globally across all clusters.
+    HmcId(u16)
+);
+id_type!(
+    /// A vault (vertical slice) within one HMC.
+    VaultId(u16)
+);
+id_type!(
+    /// A streaming multiprocessor (core) within one GPU.
+    SmId(u16)
+);
+id_type!(
+    /// A node in the interconnection-network graph (router or endpoint).
+    NodeId(u16)
+);
+id_type!(
+    /// A unique in-flight memory-request identifier.
+    ReqId(u64)
+);
+
+/// The originator of a memory request.
+///
+/// Responses are routed back to the agent's network endpoint, and statistics
+/// (e.g. the Fig. 10 traffic matrix) are keyed by agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agent {
+    /// A GPU; requests carry the issuing GPU so the response returns to its
+    /// memory port.
+    Gpu(GpuId),
+    /// The host CPU core.
+    Cpu(CpuId),
+    /// The DMA (memcpy) engine owned by the host.
+    Dma(CpuId),
+}
+
+impl Agent {
+    /// True if this agent is latency-sensitive (the CPU side of the system).
+    ///
+    /// Overlay pass-through paths (Section V-C) are reserved for these
+    /// agents' packets.
+    #[inline]
+    pub fn is_cpu_side(self) -> bool {
+        matches!(self, Agent::Cpu(_))
+    }
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Gpu(g) => write!(f, "{g}"),
+            Agent::Cpu(c) => write!(f, "{c}"),
+            Agent::Dma(c) => write!(f, "Dma({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_indices() {
+        let g = GpuId(3);
+        assert_eq!(g.index(), 3);
+        assert_eq!(g.to_string(), "GpuId3");
+        let h: HmcId = 7u16.into();
+        assert_eq!(h.index(), 7);
+    }
+
+    #[test]
+    fn agent_cpu_side() {
+        assert!(Agent::Cpu(CpuId(0)).is_cpu_side());
+        assert!(!Agent::Gpu(GpuId(0)).is_cpu_side());
+        assert!(!Agent::Dma(CpuId(0)).is_cpu_side());
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        assert_eq!(s.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

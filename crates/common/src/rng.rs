@@ -1,0 +1,142 @@
+//! A small, fast, deterministic RNG for simulation-internal randomness.
+//!
+//! Workload address streams, page placement, and allocation tie-breaks all
+//! need *reproducible* randomness; `SplitMix64` gives a fixed sequence for a
+//! fixed seed with no allocation and a trivially copyable state. For
+//! statistically heavier lifting (property tests, workload generation with
+//! distributions) the `rand` crate is used instead.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood).
+///
+/// # Example
+///
+/// ```
+/// use memnet_common::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply technique; `bound` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a float uniformly distributed in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent generator; useful for giving each CTA or page
+    /// its own stream that does not depend on simulation interleaving.
+    #[inline]
+    pub fn fork(&mut self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequences() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let v = r.next_below(17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn bounded_values_cover_range() {
+        let mut r = SplitMix64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_order() {
+        let mut p1 = SplitMix64::new(11);
+        let f1 = p1.fork(1).next_u64();
+        let mut p2 = SplitMix64::new(11);
+        let f2 = p2.fork(1).next_u64();
+        assert_eq!(f1, f2);
+        assert_ne!(f1, SplitMix64::new(11).fork(2).next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

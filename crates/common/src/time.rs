@@ -1,0 +1,159 @@
+//! Simulation time and multi-rate clock domains.
+//!
+//! The simulator is cycle-stepped with heterogeneous clocks (Table I: GPU
+//! core 1400 MHz, crossbar 1250 MHz, L2 700 MHz, CPU 4 GHz, network
+//! 1.25 GHz, DRAM tCK = 1.25 ns). Time is kept in femtoseconds so every
+//! period in the paper is an exact integer.
+
+/// Simulation time in femtoseconds.
+pub type Fs = u64;
+
+/// Femtoseconds per nanosecond.
+pub const FS_PER_NS: Fs = 1_000_000;
+
+/// Converts nanoseconds (possibly fractional) to femtoseconds.
+#[inline]
+pub fn ns_to_fs(ns: f64) -> Fs {
+    (ns * FS_PER_NS as f64).round() as Fs
+}
+
+/// Converts femtoseconds to (fractional) nanoseconds.
+#[inline]
+pub fn fs_to_ns(fs: Fs) -> f64 {
+    fs as f64 / FS_PER_NS as f64
+}
+
+/// A periodic clock domain.
+///
+/// Components owned by a domain are ticked whenever `due(now)` holds; the
+/// engine then calls [`Clock::advance`]. The first tick is at time 0.
+///
+/// # Example
+///
+/// ```
+/// use memnet_common::time::Clock;
+/// let mut c = Clock::from_freq_mhz(4000.0); // 4 GHz CPU
+/// assert_eq!(c.period_fs(), 250_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clock {
+    period_fs: Fs,
+    next_fs: Fs,
+    cycles: u64,
+}
+
+impl Clock {
+    /// Creates a clock with the given period in femtoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_fs` is zero.
+    pub fn new(period_fs: Fs) -> Self {
+        assert!(period_fs > 0, "clock period must be nonzero");
+        Clock { period_fs, next_fs: 0, cycles: 0 }
+    }
+
+    /// Creates a clock from a frequency in MHz.
+    pub fn from_freq_mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        Clock::new((1e9 / mhz).round() as Fs)
+    }
+
+    /// The clock period in femtoseconds.
+    #[inline]
+    pub fn period_fs(&self) -> Fs {
+        self.period_fs
+    }
+
+    /// The time of the next (not yet executed) tick.
+    #[inline]
+    pub fn next_fs(&self) -> Fs {
+        self.next_fs
+    }
+
+    /// Number of ticks executed so far.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// True if the domain should tick at or before `now`.
+    #[inline]
+    pub fn due(&self, now: Fs) -> bool {
+        self.next_fs <= now
+    }
+
+    /// Consumes one tick, moving `next_fs` one period forward.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.next_fs += self.period_fs;
+        self.cycles += 1;
+    }
+
+    /// Converts a cycle count in this domain to femtoseconds.
+    #[inline]
+    pub fn cycles_to_fs(&self, cycles: u64) -> Fs {
+        cycles * self.period_fs
+    }
+}
+
+impl Default for Clock {
+    /// A 1 GHz clock.
+    fn default() -> Self {
+        Clock::new(FS_PER_NS)
+    }
+}
+
+/// Finds the time of the earliest pending tick across several clocks.
+///
+/// Returns `u64::MAX` when `clocks` is empty.
+pub fn earliest_tick<'a, I: IntoIterator<Item = &'a Clock>>(clocks: I) -> Fs {
+    clocks.into_iter().map(|c| c.next_fs()).min().unwrap_or(Fs::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_clocks_are_exact() {
+        assert_eq!(Clock::from_freq_mhz(1400.0).period_fs(), 714_286);
+        assert_eq!(Clock::from_freq_mhz(1250.0).period_fs(), 800_000);
+        assert_eq!(Clock::from_freq_mhz(700.0).period_fs(), 1_428_571);
+        assert_eq!(Clock::from_freq_mhz(4000.0).period_fs(), 250_000);
+        // DRAM tCK = 1.25 ns.
+        assert_eq!(ns_to_fs(1.25), 1_250_000);
+    }
+
+    #[test]
+    fn clock_tick_sequence() {
+        let mut c = Clock::new(10);
+        assert!(c.due(0));
+        c.advance();
+        assert_eq!(c.cycles(), 1);
+        assert!(!c.due(9));
+        assert!(c.due(10));
+        c.advance();
+        assert_eq!(c.next_fs(), 20);
+    }
+
+    #[test]
+    fn earliest_across_domains() {
+        let mut a = Clock::new(10);
+        let b = Clock::new(7);
+        a.advance();
+        assert_eq!(earliest_tick([&a, &b]), 0);
+        assert_eq!(earliest_tick(std::iter::empty()), Fs::MAX);
+    }
+
+    #[test]
+    fn ns_round_trip() {
+        assert_eq!(fs_to_ns(ns_to_fs(3.2)), 3.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        let _ = Clock::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's contribution: Scalable Kernel Execution (SKE) and
+//! memory-network system organizations for multi-GPU systems.
+//!
+//! This crate composes the substrates — `memnet-noc` (the interconnect),
+//! `memnet-hmc` (memory cubes), `memnet-gpu` / `memnet-cpu` (devices) and
+//! `memnet-workloads` (Table II) — into runnable full systems:
+//!
+//! * [`ske`] — the virtual-GPU runtime: CTA partitioning policies
+//!   (static chunked / round-robin / stealing, Section III-B);
+//! * [`memory`] — the shared virtual address space, page table and random
+//!   page placement (Section III-C);
+//! * [`system`] — the Table III organizations (PCIe, PCIe-ZC, CMN, CMN-ZC,
+//!   GMN, GMN-ZC, UMN), the multi-clock engine, and [`SimReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use memnet_core::{Organization, SimBuilder};
+//! use memnet_workloads::Workload;
+//!
+//! let report = SimBuilder::new(Organization::Umn)
+//!     .gpus(2)
+//!     .sms_per_gpu(2)
+//!     .workload(Workload::VecAdd.spec_small())
+//!     .run();
+//! assert!(report.kernel_ns > 0.0);
+//! assert_eq!(report.memcpy_ns, 0.0); // UMN shares memory — no copies
+//! ```
+
+pub mod memory;
+pub mod ske;
+pub mod system;
+
+pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
+pub use ske::CtaPolicy;
+pub use system::{GpuSummary, Organization, SimBuilder, SimReport};

@@ -1,0 +1,253 @@
+//! Virtual address space organization (Section III-C).
+//!
+//! All GPUs and the CPU share one virtual address space (unified virtual
+//! addressing); the SKE runtime keeps the shared page table and performs
+//! translation at the device boundary. Pages are placed at 4 KB granularity
+//! on *clusters* (a device's local HMC group) with a random page placement
+//! policy over each region's allowed cluster set, and cache lines
+//! interleave across the cluster's local HMCs via the
+//! `RW:CLH:BK:CT:VL:LC:CLL:BY` mapping.
+//!
+//! Regions let the system organizations express data residency:
+//!
+//! * memcpy organizations: the device region lives on GPU clusters, the
+//!   host staging region on the CPU cluster;
+//! * zero-copy: the whole footprint lives on the CPU cluster;
+//! * UMN: the footprint is spread over *all* clusters (no copies);
+//! * Fig. 7: the device region is restricted to 1, 2 or 4 GPU clusters.
+
+use memnet_common::{SplitMix64, SystemConfig};
+use memnet_hmc::mapping::{AddressMap, Location};
+use std::collections::HashMap;
+
+/// How fresh pages pick a cluster from their region's allowed set.
+///
+/// The paper assumes random placement (Section VI-A); the alternatives are
+/// the ablation of `ablation_placement`: round-robin is equally balanced,
+/// while a naive contiguous (first-fit) allocator concentrates small
+/// footprints on one cluster and recreates the Fig. 10(b) hotspotting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Uniform random over the region's clusters (paper default).
+    #[default]
+    Random,
+    /// Rotate through the region's clusters.
+    RoundRobin,
+    /// Always the first cluster of the region (naive first-fit arena).
+    Contiguous,
+}
+
+/// Virtual base of the host staging copy of the footprint.
+pub const HOST_BASE: u64 = 1 << 40;
+
+/// A virtual region and the clusters its pages may land on.
+#[derive(Debug, Clone)]
+struct Region {
+    base: u64,
+    bytes: u64,
+    clusters: Vec<u32>,
+}
+
+/// The shared page table plus placement policy.
+#[derive(Debug)]
+pub struct MemoryLayout {
+    map: AddressMap,
+    regions: Vec<Region>,
+    page_table: HashMap<u64, u64>,
+    next_seq: Vec<u64>,
+    page_bytes: u64,
+    rng: SplitMix64,
+    policy: PlacementPolicy,
+    rr_next: usize,
+}
+
+impl MemoryLayout {
+    /// Creates an empty layout for `n_clusters` clusters.
+    pub fn new(cfg: &SystemConfig, n_clusters: u32) -> Self {
+        MemoryLayout {
+            map: AddressMap::with_clusters(cfg, n_clusters),
+            regions: Vec::new(),
+            page_table: HashMap::new(),
+            next_seq: vec![0; n_clusters as usize],
+            page_bytes: cfg.page_bytes,
+            rng: SplitMix64::new(cfg.seed ^ 0x9A6E),
+            policy: PlacementPolicy::Random,
+            rr_next: 0,
+        }
+    }
+
+    /// Sets the page placement policy (default: random, Section VI-A).
+    pub fn set_policy(&mut self, policy: PlacementPolicy) {
+        self.policy = policy;
+    }
+
+    /// The underlying address map.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Declares that virtual `[base, base+bytes)` may be placed on
+    /// `clusters`. Later regions take precedence for overlapping ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or names a cluster beyond the layout.
+    pub fn add_region(&mut self, base: u64, bytes: u64, clusters: &[u32]) {
+        assert!(!clusters.is_empty(), "region needs at least one cluster");
+        assert!(
+            clusters.iter().all(|&c| (c as usize) < self.next_seq.len()),
+            "cluster out of range"
+        );
+        self.regions.push(Region { base, bytes, clusters: clusters.to_vec() });
+    }
+
+    /// Translates a virtual address, allocating the page on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address belongs to no declared region.
+    pub fn translate(&mut self, vaddr: u64) -> u64 {
+        let vpage = vaddr / self.page_bytes;
+        let offset = vaddr % self.page_bytes;
+        if let Some(&ppage) = self.page_table.get(&vpage) {
+            return ppage * self.page_bytes + offset;
+        }
+        let region = self
+            .regions
+            .iter()
+            .rev()
+            .find(|r| vaddr >= r.base && vaddr < r.base + r.bytes)
+            .unwrap_or_else(|| panic!("virtual address {vaddr:#x} outside all regions"));
+        let cluster = match self.policy {
+            // Random page placement (Section VI-A).
+            PlacementPolicy::Random => {
+                region.clusters[self.rng.next_below(region.clusters.len() as u64) as usize]
+            }
+            PlacementPolicy::RoundRobin => {
+                let c = region.clusters[self.rr_next % region.clusters.len()];
+                self.rr_next += 1;
+                c
+            }
+            PlacementPolicy::Contiguous => region.clusters[0],
+        };
+        let seq = self.next_seq[cluster as usize];
+        self.next_seq[cluster as usize] += 1;
+        let ppage = self.map.page_for_cluster(seq, cluster);
+        self.page_table.insert(vpage, ppage);
+        ppage * self.page_bytes + offset
+    }
+
+    /// Translates and decodes in one step.
+    pub fn locate(&mut self, vaddr: u64) -> (u64, Location) {
+        let paddr = self.translate(vaddr);
+        (paddr, self.map.decode(paddr))
+    }
+
+    /// Number of distinct pages allocated.
+    pub fn pages_allocated(&self) -> usize {
+        self.page_table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n_clusters: u32) -> MemoryLayout {
+        MemoryLayout::new(&SystemConfig::paper(), n_clusters)
+    }
+
+    #[test]
+    fn same_page_translates_consistently() {
+        let mut l = layout(4);
+        l.add_region(0, 1 << 20, &[0, 1, 2, 3]);
+        let a = l.translate(0x1234);
+        let b = l.translate(0x1238);
+        assert_eq!(a + 4, b, "offsets within a page are preserved");
+        assert_eq!(l.pages_allocated(), 1);
+    }
+
+    #[test]
+    fn restricted_region_stays_on_its_clusters() {
+        let mut l = layout(4);
+        l.add_region(0, 1 << 22, &[2]);
+        for off in (0..(1u64 << 22)).step_by(4096) {
+            let (_, loc) = l.locate(off);
+            assert_eq!(loc.cluster, 2);
+        }
+    }
+
+    #[test]
+    fn random_placement_spreads_pages() {
+        let mut l = layout(4);
+        l.add_region(0, 4 << 20, &[0, 1, 2, 3]);
+        let mut counts = [0u32; 4];
+        for off in (0..(4u64 << 20)).step_by(4096) {
+            let (_, loc) = l.locate(off);
+            counts[loc.cluster as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 128, "each cluster should get a fair share: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn lines_within_a_page_interleave_local_hmcs() {
+        let mut l = layout(4);
+        l.add_region(0, 1 << 20, &[1]);
+        let mut seen = [false; 4];
+        for off in (0..4096u64).step_by(128) {
+            let (_, loc) = l.locate(off);
+            seen[loc.local_hmc as usize] = true;
+            assert_eq!(loc.cluster, 1);
+        }
+        assert!(seen.iter().all(|&s| s), "cache lines must cover all local HMCs");
+    }
+
+    #[test]
+    fn later_regions_take_precedence() {
+        let mut l = layout(4);
+        l.add_region(0, 1 << 20, &[0]);
+        l.add_region(0, 4096, &[3]);
+        let (_, loc) = l.locate(100);
+        assert_eq!(loc.cluster, 3);
+        let (_, loc2) = l.locate(8192);
+        assert_eq!(loc2.cluster, 0);
+    }
+
+    #[test]
+    fn host_region_is_disjoint_from_device() {
+        let mut l = layout(5);
+        l.add_region(0, 1 << 20, &[0, 1, 2, 3]);
+        l.add_region(HOST_BASE, 1 << 20, &[4]);
+        let a = l.translate(0x1000);
+        let b = l.translate(HOST_BASE + 0x1000);
+        assert_ne!(a, b);
+        assert_eq!(l.map().decode(b).cluster, 4);
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let run = || {
+            let mut l = layout(4);
+            l.add_region(0, 1 << 22, &[0, 1, 2, 3]);
+            (0..256u64).map(|i| l.translate(i * 4096)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside all regions")]
+    fn unmapped_address_panics() {
+        let mut l = layout(4);
+        l.add_region(0, 4096, &[0]);
+        let _ = l.translate(1 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster out of range")]
+    fn bad_cluster_panics() {
+        let mut l = layout(2);
+        l.add_region(0, 4096, &[5]);
+    }
+}

@@ -1,0 +1,521 @@
+//! One discrete GPU: SMs, the shared write-through L2, the SM↔L2 crossbar,
+//! and the memory port feeding the HMC channels.
+//!
+//! The GPU runs in *virtual* addresses; the SKE runtime translates at the
+//! memory-port boundary (Section III-C). Clock domains (Table I: core
+//! 1400 MHz, L2 700 MHz) are driven externally: the engine calls
+//! [`Gpu::tick_core`] at core frequency and [`Gpu::tick_l2`] at L2
+//! frequency.
+
+use crate::cache::{Cache, CacheStats, MshrResult, MshrTable};
+use crate::kernel::KernelModel;
+use crate::sm::{L2Req, Sm, SmStats};
+use memnet_common::config::GpuConfig;
+use memnet_common::{AccessKind, Agent, GpuId, MemReq, MemResp, ReqId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Where a memory response must be delivered inside the GPU.
+#[derive(Debug, Clone, Copy)]
+enum RespRoute {
+    /// An L2 read miss: fill `line` and wake all waiting SMs.
+    L2Read { line: u64 },
+    /// An atomic: complete the CTA slot directly.
+    Atomic { sm: u32, slot: u32 },
+}
+
+/// Aggregate GPU statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuStats {
+    /// Merged L1 statistics over all SMs.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Memory requests sent off-chip.
+    pub mem_reqs: u64,
+    /// CTAs retired.
+    pub ctas_done: u64,
+    /// Memory instructions executed.
+    pub mem_instrs: u64,
+}
+
+/// One discrete GPU device.
+pub struct Gpu {
+    id: GpuId,
+    sms: Vec<Sm>,
+    l2: Cache,
+    l2_mshr: MshrTable,
+    /// (ready core cycle, request) — crossbar-delayed SM→L2 traffic.
+    l2_in: VecDeque<(u64, L2Req)>,
+    l2_in_cap: usize,
+    l2_banks: u32,
+    xbar_latency: u64,
+    /// Off-chip requests awaiting the memory port (virtual addresses).
+    mem_out: VecDeque<MemReq>,
+    mem_out_cap: usize,
+    resp_routes: HashMap<ReqId, RespRoute>,
+    next_req: u64,
+    /// CTAs assigned by the SKE runtime, not yet dispatched. Each entry
+    /// carries its kernel so several kernels can be co-resident
+    /// (concurrent kernel execution).
+    pending_ctas: VecDeque<(Arc<dyn KernelModel>, u32)>,
+    core_cycle: u64,
+    mem_reqs: u64,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("id", &self.id)
+            .field("sms", &self.sms.len())
+            .field("pending_ctas", &self.pending_ctas.len())
+            .field("core_cycle", &self.core_cycle)
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Creates a GPU per the configuration.
+    pub fn new(id: GpuId, cfg: &GpuConfig) -> Self {
+        Gpu {
+            id,
+            sms: (0..cfg.n_sms).map(|_| Sm::new(cfg.ctas_per_sm, &cfg.l1)).collect(),
+            l2: Cache::new(&cfg.l2),
+            l2_mshr: MshrTable::new(cfg.l2.mshrs as usize),
+            l2_in: VecDeque::new(),
+            l2_in_cap: 8 * cfg.n_sms as usize,
+            l2_banks: cfg.l2_banks,
+            xbar_latency: cfg.xbar_latency as u64,
+            mem_out: VecDeque::new(),
+            mem_out_cap: 64,
+            resp_routes: HashMap::new(),
+            next_req: 0,
+            pending_ctas: VecDeque::new(),
+            core_cycle: 0,
+            mem_reqs: 0,
+        }
+    }
+
+    /// This GPU's id.
+    pub fn id(&self) -> GpuId {
+        self.id
+    }
+
+    /// Installs a kernel and the CTA indices this GPU will run (the SKE
+    /// launch command of Fig. 5, with its CTA range information). May be
+    /// called multiple times before/while running: later launches
+    /// co-execute with earlier ones (concurrent kernel execution).
+    pub fn launch(&mut self, model: Arc<dyn KernelModel>, ctas: impl IntoIterator<Item = u32>) {
+        self.pending_ctas.extend(ctas.into_iter().map(|c| (model.clone(), c)));
+    }
+
+    /// Interleaves the pending queue round-robin across kernels so that
+    /// co-launched kernels actually share the GPU instead of running
+    /// back-to-back. No-op for a single kernel.
+    pub fn interleave_pending(&mut self, kernels: usize) {
+        if kernels < 2 || self.pending_ctas.len() < 2 {
+            return;
+        }
+        let items: Vec<(Arc<dyn KernelModel>, u32)> = self.pending_ctas.drain(..).collect();
+        let per = items.len().div_ceil(kernels);
+        for i in 0..per {
+            for k in 0..kernels {
+                if let Some(it) = items.get(k * per + i) {
+                    self.pending_ctas.push_back(it.clone());
+                }
+            }
+        }
+    }
+
+    /// CTAs assigned but not yet dispatched to an SM (stealable).
+    pub fn pending_ctas(&self) -> usize {
+        self.pending_ctas.len()
+    }
+
+    /// Removes up to `n` undispatched CTAs from the tail of the queue (CTA
+    /// stealing, Section III-B).
+    pub fn steal(&mut self, n: usize) -> Vec<(Arc<dyn KernelModel>, u32)> {
+        let take = n.min(self.pending_ctas.len());
+        let at = self.pending_ctas.len() - take;
+        self.pending_ctas.split_off(at).into()
+    }
+
+    /// Adds stolen CTAs to this GPU's queue.
+    pub fn donate(&mut self, ctas: Vec<(Arc<dyn KernelModel>, u32)>) {
+        self.pending_ctas.extend(ctas);
+    }
+
+    /// True while any CTA or memory transaction is unfinished.
+    pub fn busy(&self) -> bool {
+        !self.pending_ctas.is_empty()
+            || !self.l2_in.is_empty()
+            || !self.mem_out.is_empty()
+            || !self.resp_routes.is_empty()
+            || self.sms.iter().any(Sm::busy)
+    }
+
+    /// One core-clock cycle: SMs execute; CTA dispatch; SM→L2 drain.
+    pub fn tick_core(&mut self) {
+        let now = self.core_cycle;
+        for i in 0..self.sms.len() {
+            // Dispatch pending CTAs into free slots.
+            while !self.pending_ctas.is_empty() && self.sms[i].has_free_slot() {
+                let (model, cta) = self.pending_ctas.pop_front().expect("nonempty");
+                self.sms[i].assign(model.cta_stream(cta));
+            }
+            self.sms[i].tick(now);
+            // Drain SM output into the crossbar (bounded).
+            while self.l2_in.len() < self.l2_in_cap {
+                match self.sms[i].pop_to_l2() {
+                    Some(mut r) => {
+                        r.sm = i as u32;
+                        self.l2_in.push_back((now + self.xbar_latency, r));
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.core_cycle += 1;
+    }
+
+    /// One L2-clock cycle: services up to `l2_banks` requests.
+    pub fn tick_l2(&mut self) {
+        let now = self.core_cycle;
+        for _ in 0..self.l2_banks {
+            let Some(&(ready, req)) = self.l2_in.front() else { break };
+            if ready > now {
+                break;
+            }
+            if !self.service_l2(req, now) {
+                break; // structural stall (MSHR or memory port full)
+            }
+            self.l2_in.pop_front();
+        }
+    }
+
+    /// Services one request at the L2; `false` on structural stall.
+    fn service_l2(&mut self, req: L2Req, now: u64) -> bool {
+        match req.access.kind {
+            AccessKind::Read => {
+                let line = self.l2.line_addr(req.access.addr);
+                // Probe without double-counting stats on a stalled retry:
+                // stats are counted inside Cache; a retry re-probes, which
+                // slightly overcounts misses only when stalled.
+                if self.l2.read(req.access.addr) {
+                    self.sms[req.sm as usize].refill(line, now + self.xbar_latency);
+                    return true;
+                }
+                if self.mem_out.len() >= self.mem_out_cap {
+                    return false;
+                }
+                match self.l2_mshr.allocate(line, req.sm) {
+                    MshrResult::Merged => true,
+                    MshrResult::Full => false,
+                    MshrResult::Allocated => {
+                        let id = self.alloc_req();
+                        self.resp_routes.insert(id, RespRoute::L2Read { line });
+                        self.push_mem_req(MemReq {
+                            id,
+                            addr: line,
+                            bytes: 128,
+                            kind: AccessKind::Read,
+                            src: Agent::Gpu(self.id),
+                        });
+                        true
+                    }
+                }
+            }
+            AccessKind::Write => {
+                if self.mem_out.len() >= self.mem_out_cap {
+                    return false;
+                }
+                self.l2.write(req.access.addr);
+                let id = self.alloc_req();
+                self.push_mem_req(MemReq {
+                    id,
+                    addr: req.access.addr,
+                    bytes: req.access.bytes,
+                    kind: AccessKind::Write,
+                    src: Agent::Gpu(self.id),
+                });
+                true
+            }
+            AccessKind::Atomic => {
+                if self.mem_out.len() >= self.mem_out_cap {
+                    return false;
+                }
+                self.l2.invalidate(req.access.addr);
+                let id = self.alloc_req();
+                self.resp_routes.insert(id, RespRoute::Atomic { sm: req.sm, slot: req.slot });
+                self.push_mem_req(MemReq {
+                    id,
+                    addr: req.access.addr,
+                    bytes: req.access.bytes,
+                    kind: AccessKind::Atomic,
+                    src: Agent::Gpu(self.id),
+                });
+                true
+            }
+        }
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(((self.id.0 as u64) << 48) | self.next_req)
+    }
+
+    fn push_mem_req(&mut self, req: MemReq) {
+        self.mem_reqs += 1;
+        self.mem_out.push_back(req);
+    }
+
+    /// Takes one off-chip request (virtual address) for the memory port.
+    pub fn pop_mem_request(&mut self) -> Option<MemReq> {
+        self.mem_out.pop_front()
+    }
+
+    /// Peeks whether an off-chip request is waiting.
+    pub fn has_mem_request(&self) -> bool {
+        !self.mem_out.is_empty()
+    }
+
+    /// Delivers a memory response (read data or atomic result).
+    ///
+    /// Write acknowledgements need not be delivered (writes are posted).
+    pub fn push_mem_response(&mut self, resp: MemResp) {
+        let Some(route) = self.resp_routes.remove(&resp.id) else {
+            debug_assert!(
+                resp.kind == AccessKind::Write,
+                "unexpected response {resp:?} with no route"
+            );
+            return;
+        };
+        let now = self.core_cycle;
+        match route {
+            RespRoute::L2Read { line } => {
+                self.l2.fill(line);
+                let mut waiters = self.l2_mshr.complete(line);
+                waiters.dedup();
+                for sm in waiters {
+                    self.sms[sm as usize].refill(line, now + self.xbar_latency);
+                }
+            }
+            RespRoute::Atomic { sm, slot } => {
+                self.sms[sm as usize].schedule_completion(slot, now + self.xbar_latency);
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> GpuStats {
+        let mut s = GpuStats { l2: self.l2.stats(), mem_reqs: self.mem_reqs, ..Default::default() };
+        for sm in &self.sms {
+            s.l1.merge(&sm.l1_stats());
+            let SmStats { ctas_done, mem_instrs, .. } = sm.stats();
+            s.ctas_done += ctas_done;
+            s.mem_instrs += mem_instrs;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::StreamKernel;
+    use memnet_common::SystemConfig;
+
+    fn gpu(n_sms: u32) -> Gpu {
+        let mut cfg = SystemConfig::paper().gpu;
+        cfg.n_sms = n_sms;
+        Gpu::new(GpuId(0), &cfg)
+    }
+
+    /// Runs a GPU standalone with a flat-latency memory behind it.
+    fn run(g: &mut Gpu, mem_lat: u64, max_cycles: u64) -> u64 {
+        let mut pending: VecDeque<(u64, MemReq)> = VecDeque::new();
+        let mut l2_tick = 0u64;
+        let mut now = 0u64;
+        while g.busy() && now < max_cycles {
+            g.tick_core();
+            // L2 at half the core clock (700 vs 1400 MHz).
+            if now % 2 == 0 {
+                g.tick_l2();
+                l2_tick += 1;
+            }
+            while let Some(r) = g.pop_mem_request() {
+                pending.push_back((now + mem_lat, r));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, r) = pending.pop_front().expect("nonempty");
+                if r.kind != AccessKind::Write {
+                    g.push_mem_response(r.response());
+                }
+            }
+            now += 1;
+        }
+        let _ = l2_tick;
+        assert!(!g.busy(), "GPU must drain (cycle {now})");
+        now
+    }
+
+    #[test]
+    fn kernel_runs_to_completion() {
+        let mut g = gpu(2);
+        let k = Arc::new(StreamKernel { ctas: 32, rounds: 4, gap: 8 });
+        g.launch(k, 0..32);
+        run(&mut g, 100, 2_000_000);
+        let s = g.stats();
+        assert_eq!(s.ctas_done, 32);
+        assert_eq!(s.mem_instrs, 32 * 4);
+        assert!(s.mem_reqs > 0);
+    }
+
+    #[test]
+    fn l2_filters_repeated_lines() {
+        let mut g = gpu(2);
+        // All CTAs stream the same small range: first CTA misses, rest hit.
+        struct SharedReads;
+        impl KernelModel for SharedReads {
+            fn grid_ctas(&self) -> u32 {
+                16
+            }
+            fn cta_stream(&self, _cta: u32) -> crate::kernel::CtaStream {
+                Box::new((0..8).map(|i| {
+                    crate::kernel::CtaOp::Mem(vec![crate::kernel::MemAccess::read(i * 128)])
+                }))
+            }
+            fn footprint_bytes(&self) -> u64 {
+                8 * 128
+            }
+        }
+        g.launch(Arc::new(SharedReads), 0..16);
+        run(&mut g, 80, 2_000_000);
+        let s = g.stats();
+        assert!(
+            s.mem_reqs < 16 * 8 / 2,
+            "L1+L2 must filter most of the 128 reads; got {} off-chip",
+            s.mem_reqs
+        );
+    }
+
+    #[test]
+    fn more_sms_finish_faster() {
+        let k = Arc::new(StreamKernel { ctas: 64, rounds: 6, gap: 40 });
+        let mut g1 = gpu(1);
+        g1.launch(k.clone(), 0..64);
+        let t1 = run(&mut g1, 60, 10_000_000);
+        let mut g4 = gpu(4);
+        g4.launch(k, 0..64);
+        let t4 = run(&mut g4, 60, 10_000_000);
+        assert!(t4 * 2 < t1, "4 SMs ({t4}) should be much faster than 1 ({t1})");
+    }
+
+    #[test]
+    fn stealing_moves_undispatched_ctas() {
+        let mut g = gpu(1);
+        let k = Arc::new(StreamKernel { ctas: 100, rounds: 1, gap: 1 });
+        g.launch(k, 0..100);
+        assert_eq!(g.pending_ctas(), 100);
+        let stolen = g.steal(30);
+        assert_eq!(stolen.len(), 30);
+        assert_eq!(stolen[0].1, 70, "steal takes from the tail");
+        assert_eq!(g.pending_ctas(), 70);
+        let back = g.steal(1000);
+        assert_eq!(back.len(), 70);
+        assert_eq!(g.pending_ctas(), 0);
+        g.donate(stolen);
+        assert_eq!(g.pending_ctas(), 30);
+    }
+
+    #[test]
+    fn co_launched_kernels_interleave_and_both_finish() {
+        let mut g = gpu(2);
+        let a = Arc::new(StreamKernel { ctas: 8, rounds: 2, gap: 4 });
+        let b = Arc::new(crate::kernel::OffsetKernel::new(
+            Arc::new(StreamKernel { ctas: 8, rounds: 2, gap: 4 }),
+            1 << 22,
+        ));
+        g.launch(a, 0..8);
+        g.launch(b, 0..8);
+        g.interleave_pending(2);
+        assert_eq!(g.pending_ctas(), 16);
+        run(&mut g, 60, 2_000_000);
+        assert_eq!(g.stats().ctas_done, 16, "both kernels' CTAs must retire");
+    }
+
+    #[test]
+    fn interleave_is_noop_for_single_kernel() {
+        let mut g = gpu(1);
+        let k = Arc::new(StreamKernel { ctas: 6, rounds: 1, gap: 1 });
+        g.launch(k, 0..6);
+        g.interleave_pending(1);
+        assert_eq!(g.pending_ctas(), 6);
+        let order: Vec<u32> = g.steal(6).into_iter().map(|(_, c)| c).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "order preserved");
+    }
+
+    #[test]
+    fn write_only_kernel_drains_without_responses() {
+        let mut g = gpu(1);
+        struct Writes;
+        impl KernelModel for Writes {
+            fn grid_ctas(&self) -> u32 {
+                4
+            }
+            fn cta_stream(&self, cta: u32) -> crate::kernel::CtaStream {
+                Box::new((0..4).map(move |i| {
+                    crate::kernel::CtaOp::Mem(vec![crate::kernel::MemAccess::write(
+                        (cta as u64 * 4 + i) * 128,
+                    )])
+                }))
+            }
+            fn footprint_bytes(&self) -> u64 {
+                16 * 128
+            }
+        }
+        g.launch(Arc::new(Writes), 0..4);
+        let mut now = 0u64;
+        while g.busy() && now < 100_000 {
+            g.tick_core();
+            if now % 2 == 0 {
+                g.tick_l2();
+            }
+            while g.pop_mem_request().is_some() {} // sink, never respond
+            now += 1;
+        }
+        assert!(!g.busy(), "posted writes must drain");
+        assert_eq!(g.stats().ctas_done, 4);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_tagged_by_gpu() {
+        let mut cfg = SystemConfig::paper().gpu;
+        cfg.n_sms = 1;
+        let mut g = Gpu::new(GpuId(3), &cfg);
+        let k = Arc::new(StreamKernel { ctas: 4, rounds: 2, gap: 1 });
+        g.launch(k, 0..4);
+        let mut ids = std::collections::HashSet::new();
+        let mut now = 0u64;
+        let mut pending: VecDeque<(u64, MemReq)> = VecDeque::new();
+        while g.busy() && now < 1_000_000 {
+            g.tick_core();
+            if now % 2 == 0 {
+                g.tick_l2();
+            }
+            while let Some(r) = g.pop_mem_request() {
+                assert_eq!(r.id.0 >> 48, 3, "requests tagged with GPU id");
+                assert!(ids.insert(r.id), "duplicate request id");
+                pending.push_back((now + 20, r));
+            }
+            while pending.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, r) = pending.pop_front().expect("nonempty");
+                if r.kind != AccessKind::Write {
+                    g.push_mem_response(r.response());
+                }
+            }
+            now += 1;
+        }
+        assert!(!g.busy());
+    }
+}

@@ -1,0 +1,223 @@
+//! Kernel execution abstraction.
+//!
+//! The simulator is *model-driven*: instead of executing SASS instructions
+//! (the paper used GPGPU-sim), each workload provides a [`KernelModel`]
+//! that generates, per CTA, a deterministic stream of [`CtaOp`]s — compute
+//! intervals interleaved with memory instructions. This captures exactly
+//! what the paper's evaluation depends on: traffic volume, access pattern,
+//! read/write/atomic mix, and compute intensity.
+//!
+//! Addresses in [`MemAccess`] are *virtual*: byte offsets into the
+//! workload's unified address space. The SKE runtime translates them to
+//! physical addresses at the GPU boundary (Section III-C).
+
+use memnet_common::AccessKind;
+
+/// One memory transaction issued by a warp (already coalesced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Transaction size in bytes (a 128 B line for coalesced accesses).
+    pub bytes: u32,
+    /// Read, write, or atomic.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// A coalesced 128 B read.
+    pub fn read(addr: u64) -> Self {
+        MemAccess { addr, bytes: 128, kind: AccessKind::Read }
+    }
+
+    /// A coalesced 128 B write.
+    pub fn write(addr: u64) -> Self {
+        MemAccess { addr, bytes: 128, kind: AccessKind::Write }
+    }
+
+    /// An atomic read-modify-write (executes at the HMC).
+    pub fn atomic(addr: u64) -> Self {
+        MemAccess { addr, bytes: 32, kind: AccessKind::Atomic }
+    }
+}
+
+/// One step of a CTA's execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtaOp {
+    /// Pure computation for the given number of core cycles.
+    Compute(u32),
+    /// A memory instruction: the CTA blocks until every transaction
+    /// completes (reads/atomics) or is accepted by the memory system
+    /// (writes, which are posted).
+    Mem(Vec<MemAccess>),
+}
+
+/// A per-CTA op stream. `next_op` returns `None` when the CTA retires.
+pub type CtaStream = Box<dyn Iterator<Item = CtaOp> + Send>;
+
+/// A kernel: grid size plus a generator of per-CTA op streams.
+///
+/// Implementations must be deterministic: the stream for a given CTA index
+/// may not depend on simulation interleaving.
+pub trait KernelModel: Send + Sync {
+    /// Number of CTAs in the grid (flattened, Section III-B).
+    fn grid_ctas(&self) -> u32;
+
+    /// The op stream for one CTA.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `cta >= grid_ctas()`.
+    fn cta_stream(&self, cta: u32) -> CtaStream;
+
+    /// Total bytes of the workload's data footprint (used by the runtime to
+    /// size the address space).
+    fn footprint_bytes(&self) -> u64;
+}
+
+/// Wraps a kernel, shifting every memory address by a fixed base.
+///
+/// Used to co-schedule multiple kernels in one virtual address space
+/// (concurrent kernel execution): each co-resident kernel gets a disjoint
+/// region.
+#[derive(Clone)]
+pub struct OffsetKernel {
+    inner: std::sync::Arc<dyn KernelModel>,
+    base: u64,
+}
+
+impl OffsetKernel {
+    /// Wraps `inner`, adding `base` to every address.
+    pub fn new(inner: std::sync::Arc<dyn KernelModel>, base: u64) -> Self {
+        OffsetKernel { inner, base }
+    }
+}
+
+impl std::fmt::Debug for OffsetKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffsetKernel").field("base", &self.base).finish()
+    }
+}
+
+impl KernelModel for OffsetKernel {
+    fn grid_ctas(&self) -> u32 {
+        self.inner.grid_ctas()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.inner.footprint_bytes()
+    }
+
+    fn cta_stream(&self, cta: u32) -> CtaStream {
+        let base = self.base;
+        Box::new(self.inner.cta_stream(cta).map(move |op| match op {
+            CtaOp::Compute(c) => CtaOp::Compute(c),
+            CtaOp::Mem(v) => CtaOp::Mem(
+                v.into_iter()
+                    .map(|a| MemAccess { addr: a.addr + base, ..a })
+                    .collect(),
+            ),
+        }))
+    }
+}
+
+/// A trivial kernel for tests: every CTA does `rounds` of
+/// (compute `gap` cycles, then read one line), striding sequentially from
+/// `cta * rounds * 128`.
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    /// Number of CTAs.
+    pub ctas: u32,
+    /// Memory instructions per CTA.
+    pub rounds: u32,
+    /// Compute cycles between memory instructions.
+    pub gap: u32,
+}
+
+impl KernelModel for StreamKernel {
+    fn grid_ctas(&self) -> u32 {
+        self.ctas
+    }
+
+    fn cta_stream(&self, cta: u32) -> CtaStream {
+        assert!(cta < self.ctas, "cta {cta} out of range");
+        let base = cta as u64 * self.rounds as u64 * 128;
+        let gap = self.gap;
+        let rounds = self.rounds;
+        Box::new((0..rounds).flat_map(move |r| {
+            [CtaOp::Compute(gap), CtaOp::Mem(vec![MemAccess::read(base + r as u64 * 128)])]
+        }))
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.ctas as u64 * self.rounds as u64 * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_kernel_is_deterministic() {
+        let k = StreamKernel { ctas: 4, rounds: 3, gap: 10 };
+        let a: Vec<CtaOp> = k.cta_stream(2).collect();
+        let b: Vec<CtaOp> = k.cta_stream(2).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6); // 3 rounds × (compute + mem)
+    }
+
+    #[test]
+    fn stream_kernel_ctas_access_disjoint_ranges() {
+        let k = StreamKernel { ctas: 2, rounds: 2, gap: 1 };
+        let addrs = |cta: u32| -> Vec<u64> {
+            k.cta_stream(cta)
+                .filter_map(|op| match op {
+                    CtaOp::Mem(a) => Some(a[0].addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(addrs(0), vec![0, 128]);
+        assert_eq!(addrs(1), vec![256, 384]);
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert_eq!(MemAccess::read(0).kind, AccessKind::Read);
+        assert_eq!(MemAccess::write(0).kind, AccessKind::Write);
+        assert_eq!(MemAccess::atomic(0).kind, AccessKind::Atomic);
+        assert_eq!(MemAccess::read(0).bytes, 128);
+    }
+
+    #[test]
+    fn offset_kernel_shifts_every_address() {
+        let inner = std::sync::Arc::new(StreamKernel { ctas: 2, rounds: 3, gap: 5 });
+        let wrapped = OffsetKernel::new(inner.clone(), 1 << 20);
+        assert_eq!(wrapped.grid_ctas(), 2);
+        assert_eq!(wrapped.footprint_bytes(), inner.footprint_bytes());
+        let orig: Vec<CtaOp> = inner.cta_stream(1).collect();
+        let shifted: Vec<CtaOp> = wrapped.cta_stream(1).collect();
+        assert_eq!(orig.len(), shifted.len());
+        for (a, b) in orig.iter().zip(&shifted) {
+            match (a, b) {
+                (CtaOp::Compute(x), CtaOp::Compute(y)) => assert_eq!(x, y),
+                (CtaOp::Mem(va), CtaOp::Mem(vb)) => {
+                    for (ma, mb) in va.iter().zip(vb) {
+                        assert_eq!(mb.addr, ma.addr + (1 << 20));
+                        assert_eq!(mb.kind, ma.kind);
+                        assert_eq!(mb.bytes, ma.bytes);
+                    }
+                }
+                _ => panic!("op kinds must match"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cta_panics() {
+        let k = StreamKernel { ctas: 1, rounds: 1, gap: 1 };
+        let _ = k.cta_stream(5);
+    }
+}

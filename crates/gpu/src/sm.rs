@@ -1,0 +1,420 @@
+//! A streaming multiprocessor: CTA slots, LSU, and the private L1.
+//!
+//! Each SM hosts up to `ctas_per_sm` resident CTAs (Table I: 8). A resident
+//! CTA alternates between compute intervals and memory instructions; a
+//! memory instruction issues its (already coalesced) transactions through
+//! the LSU into the write-through L1, and the CTA blocks until reads and
+//! atomics return (writes are posted).
+
+use crate::cache::{Cache, CacheStats, MshrResult, MshrTable};
+use crate::kernel::{CtaOp, CtaStream, MemAccess};
+use memnet_common::config::CacheConfig;
+use memnet_common::AccessKind;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A memory request leaving the SM toward the GPU's shared L2.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Req {
+    /// Issuing SM (set by the GPU when draining).
+    pub sm: u32,
+    /// CTA slot, used to complete atomics.
+    pub slot: u32,
+    /// The transaction (reads are line-aligned).
+    pub access: MemAccess,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// No CTA resident.
+    Empty,
+    /// Ready to fetch the next op.
+    Ready,
+    /// Computing until the given core cycle.
+    Computing(u64),
+    /// Waiting for `n` outstanding transactions.
+    WaitMem(u32),
+}
+
+struct Slot {
+    stream: Option<CtaStream>,
+    state: SlotState,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot").field("state", &self.state).finish()
+    }
+}
+
+/// Execution statistics for one SM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmStats {
+    /// CTAs retired.
+    pub ctas_done: u64,
+    /// Memory instructions executed.
+    pub mem_instrs: u64,
+    /// Individual transactions issued.
+    pub transactions: u64,
+    /// Cycles with at least one resident CTA.
+    pub busy_cycles: u64,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    slots: Vec<Slot>,
+    l1: Cache,
+    l1_latency: u64,
+    mshr: MshrTable,
+    lsu_q: VecDeque<(u32, MemAccess)>,
+    lsu_width: u32,
+    /// Outbound queue drained by the GPU (bounded for backpressure).
+    to_l2: VecDeque<L2Req>,
+    to_l2_cap: usize,
+    /// (cycle, slot) completion events for L1 hits and returned misses.
+    completions: BinaryHeap<Reverse<(u64, u32)>>,
+    stats: SmStats,
+}
+
+impl Sm {
+    /// Creates an SM with `ctas_per_sm` slots and the given L1.
+    pub fn new(ctas_per_sm: u32, l1_cfg: &CacheConfig) -> Self {
+        Sm {
+            slots: (0..ctas_per_sm).map(|_| Slot { stream: None, state: SlotState::Empty }).collect(),
+            l1: Cache::new(l1_cfg),
+            l1_latency: l1_cfg.latency_cycles as u64,
+            mshr: MshrTable::new(l1_cfg.mshrs as usize),
+            lsu_q: VecDeque::new(),
+            lsu_width: 2,
+            to_l2: VecDeque::new(),
+            to_l2_cap: 16,
+            completions: BinaryHeap::new(),
+            stats: SmStats::default(),
+        }
+    }
+
+    /// True if a CTA slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s.state, SlotState::Empty))
+    }
+
+    /// Installs a CTA stream into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free.
+    pub fn assign(&mut self, stream: CtaStream) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| matches!(s.state, SlotState::Empty))
+            .expect("assign requires a free slot");
+        slot.stream = Some(stream);
+        slot.state = SlotState::Ready;
+    }
+
+    /// True while any CTA is resident or transactions are outstanding.
+    pub fn busy(&self) -> bool {
+        !self.lsu_q.is_empty()
+            || !self.to_l2.is_empty()
+            || !self.completions.is_empty()
+            || !self.mshr.is_empty()
+            || self.slots.iter().any(|s| !matches!(s.state, SlotState::Empty))
+    }
+
+    /// Pops one outbound request for the L2, if present.
+    pub fn pop_to_l2(&mut self) -> Option<L2Req> {
+        self.to_l2.pop_front()
+    }
+
+    /// Completes one outstanding transaction of `slot` at `cycle`.
+    pub fn schedule_completion(&mut self, slot: u32, cycle: u64) {
+        self.completions.push(Reverse((cycle, slot)));
+    }
+
+    /// A refill for `line` arrived from the L2: fill the L1 and release all
+    /// merged waiters at `cycle`.
+    pub fn refill(&mut self, line: u64, cycle: u64) {
+        self.l1.fill(line);
+        for slot in self.mshr.complete(line) {
+            self.completions.push(Reverse((cycle, slot)));
+        }
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// Advances the SM by one core cycle.
+    pub fn tick(&mut self, now: u64) {
+        if self.slots.iter().any(|s| !matches!(s.state, SlotState::Empty)) {
+            self.stats.busy_cycles += 1;
+        }
+
+        // 1. Deliver due completions.
+        while let Some(&Reverse((c, slot))) = self.completions.peek() {
+            if c > now {
+                break;
+            }
+            self.completions.pop();
+            if let SlotState::WaitMem(n) = self.slots[slot as usize].state {
+                self.slots[slot as usize].state =
+                    if n <= 1 { SlotState::Ready } else { SlotState::WaitMem(n - 1) };
+            } else {
+                debug_assert!(false, "completion for a slot not waiting on memory");
+            }
+        }
+
+        // 2. LSU issue.
+        for _ in 0..self.lsu_width {
+            let Some(&(slot, access)) = self.lsu_q.front() else { break };
+            if !self.issue_access(slot, access, now) {
+                break; // structural stall: retry next cycle
+            }
+            self.lsu_q.pop_front();
+        }
+
+        // 3. Advance ready slots.
+        for i in 0..self.slots.len() {
+            loop {
+                match self.slots[i].state {
+                    SlotState::Computing(until) if until <= now => {
+                        self.slots[i].state = SlotState::Ready;
+                    }
+                    SlotState::Ready => {
+                        let op = self.slots[i].stream.as_mut().expect("ready slot has stream").next();
+                        match op {
+                            None => {
+                                self.slots[i].stream = None;
+                                self.slots[i].state = SlotState::Empty;
+                                self.stats.ctas_done += 1;
+                            }
+                            Some(CtaOp::Compute(c)) => {
+                                self.slots[i].state = SlotState::Computing(now + c.max(1) as u64);
+                            }
+                            Some(CtaOp::Mem(accesses)) => {
+                                assert!(!accesses.is_empty(), "memory op needs ≥1 transaction");
+                                self.stats.mem_instrs += 1;
+                                self.stats.transactions += accesses.len() as u64;
+                                self.slots[i].state = SlotState::WaitMem(accesses.len() as u32);
+                                for a in accesses {
+                                    self.lsu_q.push_back((i as u32, a));
+                                }
+                            }
+                        }
+                        continue; // a retired CTA frees the slot this cycle
+                    }
+                    _ => {}
+                }
+                break;
+            }
+        }
+    }
+
+    /// Tries to issue one transaction into the L1/L2 path; `false` on a
+    /// structural stall (MSHR or outbound queue full).
+    fn issue_access(&mut self, slot: u32, access: MemAccess, now: u64) -> bool {
+        match access.kind {
+            AccessKind::Read => {
+                if self.l1.read(access.addr) {
+                    self.completions.push(Reverse((now + self.l1_latency, slot)));
+                    return true;
+                }
+                let line = self.l1.line_addr(access.addr);
+                if self.to_l2.len() >= self.to_l2_cap {
+                    return false;
+                }
+                match self.mshr.allocate(line, slot) {
+                    MshrResult::Merged => true,
+                    MshrResult::Full => false,
+                    MshrResult::Allocated => {
+                        self.to_l2.push_back(L2Req {
+                            sm: 0,
+                            slot,
+                            access: MemAccess { addr: line, bytes: 128, kind: AccessKind::Read },
+                        });
+                        true
+                    }
+                }
+            }
+            AccessKind::Write => {
+                if self.to_l2.len() >= self.to_l2_cap {
+                    return false;
+                }
+                self.l1.write(access.addr);
+                self.to_l2.push_back(L2Req { sm: 0, slot, access });
+                // Posted write: completes once accepted.
+                self.completions.push(Reverse((now + 1, slot)));
+                true
+            }
+            AccessKind::Atomic => {
+                if self.to_l2.len() >= self.to_l2_cap {
+                    return false;
+                }
+                // Atomics evict the line and execute at the HMC (§III-D).
+                self.l1.invalidate(access.addr);
+                self.to_l2.push_back(L2Req { sm: 0, slot, access });
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelModel, StreamKernel};
+    use memnet_common::SystemConfig;
+
+    fn sm() -> Sm {
+        let cfg = SystemConfig::paper().gpu;
+        Sm::new(cfg.ctas_per_sm, &cfg.l1)
+    }
+
+    /// Runs the SM standalone, answering every L2 request after `mem_lat`
+    /// cycles. Returns cycles until idle.
+    fn run_standalone(sm: &mut Sm, mem_lat: u64, max: u64) -> u64 {
+        let mut pending: Vec<(u64, L2Req)> = Vec::new();
+        let mut now = 0;
+        while sm.busy() && now < max {
+            sm.tick(now);
+            while let Some(r) = sm.pop_to_l2() {
+                pending.push((now + mem_lat, r));
+            }
+            let due: Vec<L2Req> =
+                pending.iter().filter(|(t, _)| *t <= now).map(|&(_, r)| r).collect();
+            pending.retain(|(t, _)| *t > now);
+            for r in due {
+                match r.access.kind {
+                    AccessKind::Read => sm.refill(r.access.addr, now),
+                    AccessKind::Atomic => sm.schedule_completion(r.slot, now),
+                    AccessKind::Write => {}
+                }
+            }
+            now += 1;
+        }
+        assert!(!sm.busy(), "SM must drain");
+        now
+    }
+
+    #[test]
+    fn single_cta_completes() {
+        let mut s = sm();
+        let k = StreamKernel { ctas: 1, rounds: 5, gap: 4 };
+        s.assign(k.cta_stream(0));
+        run_standalone(&mut s, 50, 100_000);
+        assert_eq!(s.stats().ctas_done, 1);
+        assert_eq!(s.stats().mem_instrs, 5);
+    }
+
+    #[test]
+    fn eight_ctas_fill_slots_and_all_retire() {
+        let mut s = sm();
+        let k = StreamKernel { ctas: 8, rounds: 3, gap: 2 };
+        for c in 0..8 {
+            s.assign(k.cta_stream(c));
+        }
+        assert!(!s.has_free_slot());
+        run_standalone(&mut s, 30, 100_000);
+        assert_eq!(s.stats().ctas_done, 8);
+        assert!(s.has_free_slot());
+    }
+
+    #[test]
+    fn l1_reuse_hits() {
+        let mut s = sm();
+        // Two CTAs read the same line repeatedly.
+        let mk = || -> CtaStream {
+            Box::new((0..10).map(|_| CtaOp::Mem(vec![MemAccess::read(0x1000)])))
+        };
+        s.assign(mk());
+        s.assign(mk());
+        run_standalone(&mut s, 40, 100_000);
+        let st = s.l1_stats();
+        assert!(st.read_hits > 10, "repeated reads should hit: {st:?}");
+    }
+
+    #[test]
+    fn memory_latency_slows_execution() {
+        let k = StreamKernel { ctas: 1, rounds: 10, gap: 1 };
+        let mut fast = sm();
+        fast.assign(k.cta_stream(0));
+        let t_fast = run_standalone(&mut fast, 10, 1_000_000);
+        let mut slow = sm();
+        slow.assign(k.cta_stream(0));
+        let t_slow = run_standalone(&mut slow, 500, 1_000_000);
+        assert!(t_slow > t_fast + 1000, "fast {t_fast} slow {t_slow}");
+    }
+
+    #[test]
+    fn multiple_ctas_overlap_memory_latency() {
+        // With long memory latency, 4 CTAs should take much less than 4×
+        // one CTA's time (latency hiding).
+        let mk = |cta: u32| StreamKernel { ctas: 4, rounds: 8, gap: 1 }.cta_stream(cta);
+        let mut one = sm();
+        one.assign(mk(0));
+        let t1 = run_standalone(&mut one, 200, 1_000_000);
+        let mut four = sm();
+        for c in 0..4 {
+            four.assign(mk(c));
+        }
+        let t4 = run_standalone(&mut four, 200, 1_000_000);
+        assert!(t4 < 2 * t1, "one-CTA {t1}, four-CTA {t4}");
+    }
+
+    #[test]
+    fn writes_are_posted() {
+        let mut s = sm();
+        let stream: CtaStream = Box::new(
+            (0..5).map(|i| CtaOp::Mem(vec![MemAccess::write(i as u64 * 128)])),
+        );
+        s.assign(stream);
+        // Never answer writes; the SM must still drain.
+        let mut now = 0;
+        while s.busy() && now < 10_000 {
+            s.tick(now);
+            while s.pop_to_l2().is_some() {}
+            now += 1;
+        }
+        assert!(!s.busy(), "posted writes must not block CTA retirement");
+    }
+
+    #[test]
+    fn atomic_waits_for_response() {
+        let mut s = sm();
+        let stream: CtaStream = Box::new(std::iter::once(CtaOp::Mem(vec![MemAccess::atomic(0x40)])));
+        s.assign(stream);
+        let mut got_req = None;
+        for now in 0..100 {
+            s.tick(now);
+            if let Some(r) = s.pop_to_l2() {
+                got_req = Some(r);
+            }
+        }
+        let r = got_req.expect("atomic must be forwarded");
+        assert_eq!(r.access.kind, AccessKind::Atomic);
+        assert!(s.busy(), "atomic must block until response");
+        s.schedule_completion(r.slot, 100);
+        for now in 100..200 {
+            s.tick(now);
+        }
+        assert!(!s.busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "free slot")]
+    fn assign_without_free_slot_panics() {
+        let mut s = sm();
+        let k = StreamKernel { ctas: 16, rounds: 1, gap: 1 };
+        for c in 0..9 {
+            s.assign(k.cta_stream(c)); // 9th overflows the 8 slots
+        }
+    }
+}

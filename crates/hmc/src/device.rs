@@ -1,0 +1,226 @@
+//! One hybrid memory cube: 16 vaults behind the logic-layer switch.
+//!
+//! The network side (routing between cubes) is modeled by `memnet-noc`;
+//! this type models the memory side of the logic die: accepting request
+//! packets from the cube's network endpoint, dispatching them to vault
+//! controllers, and emitting completions that become response packets.
+//! Atomic operations execute here, near the vault controllers
+//! (Section III-D).
+
+use crate::vault::{Vault, VaultStats};
+use memnet_common::config::HmcConfig;
+use memnet_common::MemReq;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Completion {
+    at: u64,
+    seq: u64,
+    req: MemReq,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A hybrid memory cube's memory side.
+#[derive(Debug)]
+pub struct HmcDevice {
+    vaults: Vec<Vault>,
+    completions: BinaryHeap<Reverse<Completion>>,
+    seq: u64,
+    inflight: usize,
+}
+
+impl HmcDevice {
+    /// Creates a cube with `cfg.vaults` vault controllers.
+    pub fn new(cfg: &HmcConfig) -> Self {
+        HmcDevice {
+            vaults: (0..cfg.vaults).map(|_| Vault::new(cfg)).collect(),
+            completions: BinaryHeap::new(),
+            seq: 0,
+            inflight: 0,
+        }
+    }
+
+    /// True if `vault` can accept another request.
+    pub fn can_accept(&self, vault: u32) -> bool {
+        self.vaults[vault as usize].can_accept()
+    }
+
+    /// Hands a request to a vault controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the vault queue is full (the caller
+    /// should stall its ejection port — finite logic-die buffering).
+    pub fn try_accept(&mut self, req: MemReq, vault: u32, bank: u32, row: u64) -> Result<(), MemReq> {
+        self.vaults[vault as usize].try_enqueue(req, bank, row)?;
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// Advances all vaults one DRAM cycle.
+    pub fn tick(&mut self, now_tck: u64) {
+        for v in &mut self.vaults {
+            if v.queue_len() == 0 {
+                continue;
+            }
+            if let Some((req, done)) = v.tick(now_tck) {
+                self.seq += 1;
+                self.completions.push(Reverse(Completion { at: done, seq: self.seq, req }));
+            }
+        }
+    }
+
+    /// Pops one request whose data transfer finished by `now_tck`.
+    pub fn pop_completed(&mut self, now_tck: u64) -> Option<MemReq> {
+        if self.completions.peek().map(|Reverse(c)| c.at <= now_tck)? {
+            self.inflight -= 1;
+            Some(self.completions.pop().expect("peeked").0.req)
+        } else {
+            None
+        }
+    }
+
+    /// Requests accepted but not yet returned.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// True while any vault or the completion queue holds work.
+    pub fn has_work(&self) -> bool {
+        self.inflight > 0
+    }
+
+    /// Merged statistics over all vaults.
+    pub fn stats(&self) -> VaultStats {
+        let mut s = VaultStats::default();
+        for v in &self.vaults {
+            let vs = v.stats();
+            s.row_hits += vs.row_hits;
+            s.row_misses += vs.row_misses;
+            s.served += vs.served;
+            s.bytes += vs.bytes;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_common::{AccessKind, Agent, GpuId, ReqId, SystemConfig};
+
+    fn req(id: u64) -> MemReq {
+        MemReq { id: ReqId(id), addr: 0, bytes: 128, kind: AccessKind::Read, src: Agent::Gpu(GpuId(0)) }
+    }
+
+    #[test]
+    fn requests_flow_through_vaults() {
+        let cfg = SystemConfig::paper().hmc;
+        let mut d = HmcDevice::new(&cfg);
+        for i in 0..32 {
+            d.try_accept(req(i), (i % 16) as u32, 0, 0).unwrap();
+        }
+        assert!(d.has_work());
+        let mut done = 0;
+        for now in 0..10_000 {
+            d.tick(now);
+            while d.pop_completed(now).is_some() {
+                done += 1;
+            }
+            if done == 32 {
+                break;
+            }
+        }
+        assert_eq!(done, 32);
+        assert!(!d.has_work());
+        assert_eq!(d.stats().served, 32);
+    }
+
+    #[test]
+    fn completions_come_out_in_time_order() {
+        let cfg = SystemConfig::paper().hmc;
+        let mut d = HmcDevice::new(&cfg);
+        for i in 0..16 {
+            d.try_accept(req(i), i as u32 % 4, 0, i / 4).unwrap();
+        }
+        let mut last = 0u64;
+        let mut done = 0;
+        for now in 0..100_000 {
+            d.tick(now);
+            while d.pop_completed(now).is_some() {
+                assert!(now >= last);
+                last = now;
+                done += 1;
+            }
+            if done == 16 {
+                break;
+            }
+        }
+        assert_eq!(done, 16);
+    }
+
+    #[test]
+    fn parallel_vaults_beat_single_vault() {
+        let cfg = SystemConfig::paper().hmc;
+        let run = |spread: bool| -> u64 {
+            let mut d = HmcDevice::new(&cfg);
+            let mut fed = 0u64;
+            let mut done = 0;
+            let mut now = 0;
+            while done < 64 {
+                while fed < 64 {
+                    let vault = if spread { (fed % 16) as u32 } else { 0 };
+                    if d.can_accept(vault) {
+                        if d.try_accept(req(fed), vault, (fed % 16) as u32, fed / 7).is_ok() {
+                            fed += 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                d.tick(now);
+                while d.pop_completed(now).is_some() {
+                    done += 1;
+                }
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            now
+        };
+        let spread_time = run(true);
+        let single_time = run(false);
+        assert!(
+            spread_time * 2 < single_time,
+            "vault parallelism: spread {spread_time} vs single {single_time}"
+        );
+    }
+
+    #[test]
+    fn backpressure_when_vault_full() {
+        let cfg = SystemConfig::paper().hmc;
+        let mut d = HmcDevice::new(&cfg);
+        for i in 0..cfg.vault_queue as u64 {
+            d.try_accept(req(i), 0, 0, 0).unwrap();
+        }
+        assert!(!d.can_accept(0));
+        assert!(d.try_accept(req(99), 0, 0, 0).is_err());
+        assert!(d.can_accept(1), "other vaults unaffected");
+    }
+}

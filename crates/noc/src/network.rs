@@ -1,0 +1,1164 @@
+//! The runnable network: routers, endpoints, channels, events and stats.
+//!
+//! See the crate docs for the model. The implementation is virtual
+//! cut-through at packet granularity with per-(port, VC) credit flow
+//! control, a binary-heap event list for channel traversals, and
+//! deterministic round-robin allocation.
+
+use crate::builder::{LinkSpec, LinkTag, NetworkBuilder, NodeRec};
+use crate::packet::{MsgClass, Packet, PacketId};
+use memnet_common::stats::RunningStats;
+use memnet_common::{NodeId, Payload, SplitMix64};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// How packets choose among paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Oblivious minimal routing, hash-spread over all minimal ports.
+    #[default]
+    Minimal,
+    /// UGAL-style load-balanced routing: at injection, choose between the
+    /// minimal path and a Valiant path through a random intermediate router
+    /// by comparing (queue depth × hops); per hop, pick the least-loaded
+    /// minimal port.
+    Ugal,
+}
+
+/// A packet handed back to the consumer at an endpoint.
+#[derive(Debug, Clone)]
+pub struct EjectedPacket {
+    /// The carried memory message.
+    pub payload: Payload,
+    /// Injecting endpoint.
+    pub src: NodeId,
+    /// Network residency in router cycles (injection to ejection).
+    pub latency_cycles: u64,
+    /// Router-to-router hops taken.
+    pub hops: u32,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packet latency in router cycles.
+    pub latency: RunningStats,
+    /// Router-to-router hop counts.
+    pub hops: RunningStats,
+    /// Packets that took a Valiant (non-minimal) path.
+    pub nonminimal: u64,
+    /// Packets forwarded at least once through an overlay pass-through.
+    pub passthrough: u64,
+    /// Total bytes delivered (payload + headers).
+    pub bytes_delivered: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    bytes_per_cycle: f64,
+    serdes_cycles: u32,
+    powered: bool,
+    #[allow(dead_code)]
+    tag: LinkTag,
+    busy_until: u64,
+    bytes_moved: u64,
+    busy_cycles: u64,
+}
+
+impl Channel {
+    fn new(spec: LinkSpec, tag: LinkTag) -> Self {
+        Channel {
+            bytes_per_cycle: spec.bytes_per_cycle,
+            serdes_cycles: spec.serdes_cycles,
+            powered: spec.powered,
+            tag,
+            busy_until: 0,
+            bytes_moved: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    fn ser_cycles(&self, bytes: u32) -> u64 {
+        ((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Peer {
+    Router { idx: u32, port: u8 },
+    Endpoint { idx: u32 },
+}
+
+#[derive(Debug)]
+struct VcBuf {
+    q: VecDeque<PacketId>,
+    occ: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    in_port: u8,
+    vc: u8,
+    passthrough: bool,
+}
+
+#[derive(Debug)]
+struct Port {
+    peer: Peer,
+    out_channel: u32,
+    /// Input VC buffers for traffic arriving *from* the peer.
+    vcs: Vec<VcBuf>,
+    /// Credits (free flits) per VC at the peer's matching input buffers.
+    credits: Vec<i32>,
+    /// Capacity each VC's credits started from (the peer's buffer depth).
+    cap: i32,
+    /// Head packets routed to this *output* port, awaiting allocation.
+    pending: VecDeque<Cand>,
+}
+
+#[derive(Debug)]
+struct Router {
+    ports: Vec<Port>,
+    /// Overlay pass-through next-hop: destination endpoint → output port.
+    overlay_next: HashMap<NodeId, u8>,
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    router: u32,
+    /// Port index on the router for this endpoint's link.
+    router_port: u8,
+    /// Directed channel endpoint→router.
+    inj_channel: u32,
+    /// Credits at the router's input buffers, per VC.
+    inj_credits: Vec<i32>,
+    inject_q: VecDeque<PacketId>,
+    eject_q: VecDeque<PacketId>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    ArriveRouter { router: u32, port: u8, vc: u8, pid: PacketId },
+    ArriveEndpoint { ep: u32, pid: PacketId },
+    Credit { router: u32, port: u8, vc: u8, flits: u32 },
+    CreditEp { ep: u32, vc: u8, flits: u32 },
+}
+
+#[derive(Debug)]
+struct Timed {
+    cycle: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+/// A frozen, runnable network.
+#[derive(Debug)]
+pub struct Network {
+    flit_bytes: u32,
+    pipeline_cycles: u32,
+    passthrough_cycles: u32,
+    vcs_per_class: u32,
+    energy_pj_per_bit: f64,
+    idle_pj_per_bit: f64,
+    policy: RoutingPolicy,
+
+    routers: Vec<Router>,
+    endpoints: Vec<Endpoint>,
+    channels: Vec<Channel>,
+    /// NodeId → (is_router, dense index).
+    kind: Vec<Peer>,
+    node_of_router: Vec<NodeId>,
+    /// Router-to-router hop distances.
+    dist: Vec<Vec<u16>>,
+    /// Minimal output ports per (router, destination endpoint).
+    min_ports_ep: Vec<Vec<Vec<u8>>>,
+    /// Minimal output ports per (router, destination router), for Valiant.
+    min_ports_rtr: Vec<Vec<Vec<u8>>>,
+    /// Home router of each endpoint.
+    home: Vec<u32>,
+
+    events: BinaryHeap<Reverse<Timed>>,
+    seq: u64,
+    cycle: u64,
+    in_network: u64,
+    packets: Vec<Option<Packet>>,
+    free_pids: Vec<PacketId>,
+    rng: SplitMix64,
+    stats: NetStats,
+}
+
+impl Network {
+    pub(crate) fn from_builder(b: NetworkBuilder) -> Network {
+        let p = b.params;
+        // Dense router / endpoint indices.
+        let mut kind = Vec::with_capacity(b.nodes.len());
+        let mut node_of_router = Vec::new();
+        let mut node_of_endpoint = Vec::new();
+        for (i, n) in b.nodes.iter().enumerate() {
+            match n {
+                NodeRec::Router => {
+                    kind.push(Peer::Router { idx: node_of_router.len() as u32, port: 0 });
+                    node_of_router.push(NodeId(i as u16));
+                }
+                NodeRec::Endpoint { .. } => {
+                    kind.push(Peer::Endpoint { idx: node_of_endpoint.len() as u32 });
+                    node_of_endpoint.push(NodeId(i as u16));
+                }
+            }
+        }
+        let nr = node_of_router.len();
+        let ne = node_of_endpoint.len();
+        assert!(nr > 0, "network needs at least one router");
+        assert!(ne > 0, "network needs at least one endpoint");
+
+        // Adjacency from links (router-router) for distance computation.
+        let ridx = |n: NodeId| -> u32 {
+            match kind[n.index()] {
+                Peer::Router { idx, .. } => idx,
+                Peer::Endpoint { .. } => panic!("expected router node {n}"),
+            }
+        };
+        let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); nr]; // (peer router, link idx)
+        for (li, l) in b.links.iter().enumerate() {
+            adj[ridx(l.a) as usize].push((ridx(l.b), li));
+            adj[ridx(l.b) as usize].push((ridx(l.a), li));
+        }
+
+        // BFS all-pairs over routers.
+        let mut dist = vec![vec![u16::MAX; nr]; nr];
+        for s in 0..nr {
+            let mut q = VecDeque::new();
+            dist[s][s] = 0;
+            q.push_back(s as u32);
+            while let Some(u) = q.pop_front() {
+                for &(v, _) in &adj[u as usize] {
+                    if dist[s][v as usize] == u16::MAX {
+                        dist[s][v as usize] = dist[s][u as usize] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        let diameter = (0..nr)
+            .flat_map(|a| dist[a].iter().copied())
+            .filter(|&d| d != u16::MAX)
+            .max()
+            .unwrap_or(0) as u32;
+        for a in 0..nr {
+            for bb in 0..nr {
+                assert!(dist[a][bb] != u16::MAX, "router graph is disconnected");
+            }
+        }
+
+        // Effective VCs per class: enough for hop-indexed VCs even on
+        // Valiant paths.
+        let needed = match b.policy {
+            RoutingPolicy::Minimal => diameter + 1,
+            RoutingPolicy::Ugal => 2 * diameter + 2,
+        };
+        let vcs_per_class = p.vcs_per_class.max(needed);
+        let total_vcs = (vcs_per_class as usize) * MsgClass::COUNT;
+
+        // Materialize routers: each link contributes one port on each side;
+        // each endpoint contributes one port on its home router.
+        let mut channels = Vec::new();
+        let mut routers: Vec<Router> =
+            (0..nr).map(|_| Router { ports: Vec::new(), overlay_next: HashMap::new() }).collect();
+        let new_vcs = |n: usize| -> Vec<VcBuf> {
+            (0..n).map(|_| VcBuf { q: VecDeque::new(), occ: 0 }).collect()
+        };
+        // Buffers (and thus the credit window) must cover the link's
+        // round-trip time or long-latency links (PCIe) throttle far below
+        // their bandwidth: depth ≥ 2 × (serdes + pipeline) + slack.
+        let depth_for = |spec: &LinkSpec| -> u32 {
+            p.vc_buffer_flits.max(2 * (spec.serdes_cycles + p.pipeline_cycles) + 16)
+        };
+        // Map (link idx) -> (port on a, port on b) for overlay lookup.
+        let mut link_ports: Vec<(u8, u8)> = Vec::with_capacity(b.links.len());
+        for l in &b.links {
+            let (ai, bi) = (ridx(l.a), ridx(l.b));
+            let ch_ab = channels.len() as u32;
+            channels.push(Channel::new(l.spec, l.tag));
+            let ch_ba = channels.len() as u32;
+            channels.push(Channel::new(l.spec, l.tag));
+            let pa = routers[ai as usize].ports.len() as u8;
+            let pb = routers[bi as usize].ports.len() as u8;
+            let depth = depth_for(&l.spec) as i32;
+            routers[ai as usize].ports.push(Port {
+                peer: Peer::Router { idx: bi, port: pb },
+                out_channel: ch_ab,
+                vcs: new_vcs(total_vcs),
+                credits: vec![depth; total_vcs],
+                cap: depth,
+                pending: VecDeque::new(),
+            });
+            routers[bi as usize].ports.push(Port {
+                peer: Peer::Router { idx: ai, port: pa },
+                out_channel: ch_ba,
+                vcs: new_vcs(total_vcs),
+                credits: vec![depth; total_vcs],
+                cap: depth,
+                pending: VecDeque::new(),
+            });
+            link_ports.push((pa, pb));
+        }
+        let mut endpoints = Vec::with_capacity(ne);
+        let mut home = Vec::with_capacity(ne);
+        for n in b.nodes.iter() {
+            if let NodeRec::Endpoint { router, link } = n {
+                let ri = ridx(*router);
+                let ch_er = channels.len() as u32; // endpoint -> router
+                channels.push(Channel::new(*link, LinkTag::Internal));
+                let ch_re = channels.len() as u32; // router -> endpoint
+                channels.push(Channel::new(*link, LinkTag::Internal));
+                let port = routers[ri as usize].ports.len() as u8;
+                routers[ri as usize].ports.push(Port {
+                    peer: Peer::Endpoint { idx: endpoints.len() as u32 },
+                    out_channel: ch_re,
+                    vcs: new_vcs(total_vcs),
+                    // Credits toward the endpoint's eject buffer live in VC 0.
+                    credits: {
+                        let mut c = vec![0i32; total_vcs];
+                        c[0] = p.eject_buffer_flits as i32;
+                        c
+                    },
+                    cap: p.eject_buffer_flits as i32,
+                    pending: VecDeque::new(),
+                });
+                endpoints.push(Endpoint {
+                    router: ri,
+                    router_port: port,
+                    inj_channel: ch_er,
+                    inj_credits: vec![p.vc_buffer_flits as i32; total_vcs],
+                    inject_q: VecDeque::new(),
+                    eject_q: VecDeque::new(),
+                });
+                home.push(ri);
+            }
+        }
+
+        // Minimal port tables.
+        let min_ports_rtr: Vec<Vec<Vec<u8>>> = (0..nr)
+            .map(|r| {
+                (0..nr)
+                    .map(|d| {
+                        if r == d {
+                            return Vec::new();
+                        }
+                        routers[r]
+                            .ports
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(pi, port)| match port.peer {
+                                Peer::Router { idx, .. }
+                                    if dist[idx as usize][d] + 1 == dist[r][d] =>
+                                {
+                                    Some(pi as u8)
+                                }
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let min_ports_ep: Vec<Vec<Vec<u8>>> = (0..nr)
+            .map(|r| {
+                (0..ne)
+                    .map(|e| {
+                        let h = home[e] as usize;
+                        if r == h {
+                            vec![endpoints[e].router_port]
+                        } else {
+                            min_ports_rtr[r][h].clone()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Overlay chains: for each router on a chain, destination endpoints
+        // homed further along the chain (in either direction) are reached
+        // through the chain port toward them.
+        let mut overlay: Vec<HashMap<NodeId, u8>> = vec![HashMap::new(); nr];
+        for chain in &b.overlay_chains {
+            let idxs: Vec<u32> = chain.iter().map(|&n| ridx(n)).collect();
+            // Port used to go from chain[i] to chain[i+1] and back.
+            let mut fwd_port = vec![0u8; idxs.len()];
+            let mut back_port = vec![0u8; idxs.len()];
+            for w in 0..idxs.len() - 1 {
+                let (a, bb) = (idxs[w], idxs[w + 1]);
+                let li = b
+                    .links
+                    .iter()
+                    .position(|l| {
+                        (ridx(l.a) == a && ridx(l.b) == bb) || (ridx(l.a) == bb && ridx(l.b) == a)
+                    })
+                    .expect("validated by overlay_chain");
+                let (pa, pb) = link_ports[li];
+                let a_is_link_a = ridx(b.links[li].a) == a;
+                fwd_port[w] = if a_is_link_a { pa } else { pb };
+                back_port[w + 1] = if a_is_link_a { pb } else { pa };
+            }
+            for (i, &r) in idxs.iter().enumerate() {
+                for (j, &other) in idxs.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let port = if j > i { fwd_port[i] } else { back_port[i] };
+                    // All endpoints homed at `other` are reachable via the chain.
+                    for (e, &h) in home.iter().enumerate() {
+                        if h == other {
+                            overlay[r as usize].insert(node_of_endpoint[e], port);
+                        }
+                    }
+                }
+            }
+        }
+        for (r, map) in overlay.into_iter().enumerate() {
+            routers[r].overlay_next = map;
+        }
+
+        Network {
+            flit_bytes: p.flit_bytes,
+            pipeline_cycles: p.pipeline_cycles,
+            passthrough_cycles: p.passthrough_cycles,
+            vcs_per_class,
+            energy_pj_per_bit: p.energy_pj_per_bit,
+            idle_pj_per_bit: p.idle_pj_per_bit,
+            policy: b.policy,
+            routers,
+            endpoints,
+            channels,
+            kind,
+            node_of_router,
+            dist,
+            min_ports_ep,
+            min_ports_rtr,
+            home,
+            events: BinaryHeap::new(),
+            seq: 0,
+            cycle: 0,
+            in_network: 0,
+            packets: Vec::new(),
+            free_pids: Vec::new(),
+            rng: SplitMix64::new(p.seed),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current router-clock cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True while any packet is buffered or in flight.
+    #[inline]
+    pub fn has_work(&self) -> bool {
+        self.in_network > 0
+    }
+
+    /// Effective virtual channels per message class (may exceed the
+    /// configured value if the topology diameter required it).
+    pub fn vcs_per_class(&self) -> u32 {
+        self.vcs_per_class
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mean utilization of powered channels: busy cycles over elapsed
+    /// cycles, averaged over all external channels. 0 when no time has
+    /// passed.
+    pub fn channel_utilization(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        let powered: Vec<&Channel> = self.channels.iter().filter(|c| c.powered).collect();
+        if powered.is_empty() {
+            return 0.0;
+        }
+        powered.iter().map(|c| c.busy_cycles as f64 / self.cycle as f64).sum::<f64>()
+            / powered.len() as f64
+    }
+
+    /// Network energy in millijoules under the paper's model: 2.0 pJ/bit
+    /// for moved bytes plus 1.5 pJ/bit-time idle on powered channels.
+    pub fn energy_mj(&self) -> f64 {
+        let mut pj = 0.0;
+        for ch in &self.channels {
+            if !ch.powered {
+                continue;
+            }
+            let moved_bits = ch.bytes_moved as f64 * 8.0;
+            pj += moved_bits * self.energy_pj_per_bit;
+            let idle_cycles = self.cycle.saturating_sub(ch.busy_cycles) as f64;
+            pj += idle_cycles * ch.bytes_per_cycle * 8.0 * self.idle_pj_per_bit;
+        }
+        pj * 1e-9
+    }
+
+    /// Dense endpoint index for a node id.
+    fn ep_idx(&self, ep: NodeId) -> u32 {
+        match self.kind[ep.index()] {
+            Peer::Endpoint { idx } => idx,
+            Peer::Router { .. } => panic!("{ep} is a router, not an endpoint"),
+        }
+    }
+
+    /// True if the endpoint can accept another packet without unbounded
+    /// queueing (used by producers for backpressure).
+    pub fn inject_ready(&self, ep: NodeId) -> bool {
+        self.endpoints[self.ep_idx(ep) as usize].inject_q.len() < 8
+    }
+
+    /// Injects a packet from endpoint `src` to endpoint `dest`.
+    ///
+    /// Always accepted (the injection queue is unbounded); callers that want
+    /// backpressure should check [`Network::inject_ready`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dest` are not endpoints.
+    pub fn inject(&mut self, src: NodeId, dest: NodeId, class: MsgClass, payload: Payload, overlay: bool) {
+        let _ = self.ep_idx(dest);
+        let pkt = Packet::new(src, dest, class, payload, self.flit_bytes, overlay, self.cycle);
+        let pid = self.alloc(pkt);
+        let e = self.ep_idx(src) as usize;
+        self.endpoints[e].inject_q.push_back(pid);
+        self.in_network += 1;
+        self.try_inject(e);
+    }
+
+    /// Takes the next delivered packet at `ep`, if any, returning credits to
+    /// the network.
+    pub fn poll_eject(&mut self, ep: NodeId) -> Option<EjectedPacket> {
+        let e = self.ep_idx(ep) as usize;
+        let pid = self.endpoints[e].eject_q.pop_front()?;
+        let pkt = self.free(pid);
+        let (router, port) = (self.endpoints[e].router as usize, self.endpoints[e].router_port as usize);
+        self.routers[router].ports[port].credits[0] += pkt.flits as i32;
+        Some(EjectedPacket {
+            payload: pkt.payload,
+            src: pkt.src,
+            latency_cycles: self.cycle - pkt.injected_cycle,
+            hops: pkt.hops,
+        })
+    }
+
+    /// Advances the network by one router cycle.
+    pub fn tick(&mut self) {
+        // 1. Deliver due events.
+        while let Some(Reverse(t)) = self.events.peek() {
+            if t.cycle > self.cycle {
+                break;
+            }
+            let Reverse(t) = self.events.pop().expect("peeked");
+            match t.ev {
+                Ev::ArriveRouter { router, port, vc, pid } => {
+                    let buf = &mut self.routers[router as usize].ports[port as usize].vcs[vc as usize];
+                    let flits = self.packets[pid as usize].as_ref().expect("live packet").flits;
+                    buf.q.push_back(pid);
+                    buf.occ += flits;
+                    if buf.q.len() == 1 {
+                        self.route_head(router as usize, port as usize, vc as usize);
+                    }
+                }
+                Ev::ArriveEndpoint { ep, pid } => {
+                    self.endpoints[ep as usize].eject_q.push_back(pid);
+                    self.in_network -= 1;
+                    let pkt = self.packets[pid as usize].as_ref().expect("live packet");
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += pkt.bytes as u64;
+                    self.stats.latency.record((self.cycle - pkt.injected_cycle) as f64);
+                    self.stats.hops.record(pkt.hops as f64);
+                }
+                Ev::Credit { router, port, vc, flits } => {
+                    self.routers[router as usize].ports[port as usize].credits[vc as usize] += flits as i32;
+                }
+                Ev::CreditEp { ep, vc, flits } => {
+                    self.endpoints[ep as usize].inj_credits[vc as usize] += flits as i32;
+                }
+            }
+        }
+
+        // 2. Switch allocation, one transfer per output port per cycle.
+        for r in 0..self.routers.len() {
+            for p in 0..self.routers[r].ports.len() {
+                self.allocate(r, p);
+            }
+        }
+
+        // 3. Endpoint injection.
+        for e in 0..self.endpoints.len() {
+            self.try_inject(e);
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Runs ticks until the network drains or `max_cycles` elapse; returns
+    /// cycles run.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while self.has_work() && self.cycle - start < max_cycles {
+            self.tick();
+        }
+        self.cycle - start
+    }
+
+    fn alloc(&mut self, pkt: Packet) -> PacketId {
+        if let Some(pid) = self.free_pids.pop() {
+            self.packets[pid as usize] = Some(pkt);
+            pid
+        } else {
+            self.packets.push(Some(pkt));
+            (self.packets.len() - 1) as PacketId
+        }
+    }
+
+    fn free(&mut self, pid: PacketId) -> Packet {
+        let pkt = self.packets[pid as usize].take().expect("double free");
+        self.free_pids.push(pid);
+        pkt
+    }
+
+    fn push_event(&mut self, cycle: u64, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse(Timed { cycle, seq: self.seq, ev }));
+    }
+
+    fn class_base(&self, class: MsgClass) -> usize {
+        class.index() * self.vcs_per_class as usize
+    }
+
+    /// Queue pressure toward `port`: occupied downstream credits across the
+    /// packet's class VCs (used by UGAL).
+    fn port_pressure(&self, r: usize, port: u8, class: MsgClass) -> i64 {
+        let base = self.class_base(class);
+        let port = &self.routers[r].ports[port as usize];
+        (0..self.vcs_per_class as usize)
+            .map(|v| port.cap as i64 - port.credits[base + v] as i64)
+            .sum()
+    }
+
+    /// Decides the output port for the packet at the head of
+    /// `routers[r].ports[in_port].vcs[vc]` and registers it for allocation.
+    fn route_head(&mut self, r: usize, in_port: usize, vc: usize) {
+        let pid = self.routers[r].ports[in_port].vcs[vc].q[0];
+        let (dest, class, hops, overlay, mut via) = {
+            let p = self.packets[pid as usize].as_ref().expect("live packet");
+            (p.dest, p.class, p.hops, p.overlay, p.via)
+        };
+
+        // Overlay pass-through takes precedence for flagged packets.
+        if overlay {
+            if let Some(&port) = self.routers[r].overlay_next.get(&dest) {
+                self.routers[r].ports[port as usize].pending.push_back(Cand {
+                    in_port: in_port as u8,
+                    vc: vc as u8,
+                    passthrough: true,
+                });
+                return;
+            }
+        }
+
+        // Valiant intermediate handling.
+        if via == Some(self.node_of_router[r]) {
+            via = None;
+            self.packets[pid as usize].as_mut().expect("live").via = None;
+        }
+
+        // UGAL decision at the injection router.
+        let e = self.ep_idx(dest) as usize;
+        if self.policy == RoutingPolicy::Ugal && hops == 0 && via.is_none() && !overlay {
+            let h_min = self.dist[r][self.home[e] as usize] as i64 + 1;
+            if let Some(min_port) = self.min_ports_ep[r][e].first().copied() {
+                let x = self.rng.next_below(self.routers.len() as u64) as usize;
+                if x != r && x != self.home[e] as usize && !self.min_ports_rtr[r][x].is_empty() {
+                    let h_non = (self.dist[r][x] + self.dist[x][self.home[e] as usize]) as i64 + 1;
+                    let q_min = self.port_pressure(r, min_port, class);
+                    let non_port = self.min_ports_rtr[r][x][0];
+                    let q_non = self.port_pressure(r, non_port, class);
+                    // Bias toward minimal (standard UGAL threshold): only
+                    // divert when the minimal queue is *substantially*
+                    // worse, not on noise.
+                    const UGAL_THRESHOLD: i64 = 96;
+                    if q_min * h_min > q_non * h_non + UGAL_THRESHOLD {
+                        via = Some(self.node_of_router[x]);
+                        self.packets[pid as usize].as_mut().expect("live").via = via;
+                        self.stats.nonminimal += 1;
+                    }
+                }
+            }
+        }
+
+        // Candidate minimal ports toward the current objective.
+        let ports: &[u8] = match via {
+            Some(v) => {
+                let vi = match self.kind[v.index()] {
+                    Peer::Router { idx, .. } => idx as usize,
+                    Peer::Endpoint { .. } => unreachable!("via is always a router"),
+                };
+                &self.min_ports_rtr[r][vi]
+            }
+            None => &self.min_ports_ep[r][e],
+        };
+        assert!(!ports.is_empty(), "no route from router {r} to endpoint {dest}");
+        let out = if ports.len() == 1 {
+            ports[0]
+        } else {
+            match self.policy {
+                RoutingPolicy::Minimal => {
+                    let h = (pid as u64).wrapping_mul(0x9E37_79B1).wrapping_add(hops as u64);
+                    ports[(h % ports.len() as u64) as usize]
+                }
+                RoutingPolicy::Ugal => {
+                    // Adaptive minimal: least-pressure port.
+                    *ports
+                        .iter()
+                        .min_by_key(|&&p| self.port_pressure(r, p, class))
+                        .expect("nonempty")
+                }
+            }
+        };
+        self.routers[r].ports[out as usize].pending.push_back(Cand {
+            in_port: in_port as u8,
+            vc: vc as u8,
+            passthrough: false,
+        });
+    }
+
+    /// Tries to send one packet through output port `p` of router `r`.
+    fn allocate(&mut self, r: usize, p: usize) {
+        if self.routers[r].ports[p].pending.is_empty() {
+            return;
+        }
+        let ch_idx = self.routers[r].ports[p].out_channel as usize;
+        if self.channels[ch_idx].busy_until > self.cycle {
+            return;
+        }
+        let n = self.routers[r].ports[p].pending.len();
+        for _ in 0..n {
+            let cand = *self.routers[r].ports[p].pending.front().expect("nonempty");
+            let pid = self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize].q[0];
+            let (flits, bytes, class, hops) = {
+                let pkt = self.packets[pid as usize].as_ref().expect("live");
+                (pkt.flits, pkt.bytes, pkt.class, pkt.hops)
+            };
+            let peer = self.routers[r].ports[p].peer;
+            let out_vc = match peer {
+                Peer::Endpoint { .. } => 0usize,
+                Peer::Router { .. } => {
+                    let v = self.class_base(class) + ((hops + 1) as usize).min(self.vcs_per_class as usize - 1);
+                    debug_assert!(
+                        ((hops + 1) as usize) < self.vcs_per_class as usize || true,
+                        "hop-indexed VC overflow"
+                    );
+                    v
+                }
+            };
+            if self.routers[r].ports[p].credits[out_vc] < flits as i32 {
+                // Blocked: rotate and try the next candidate.
+                let c = self.routers[r].ports[p].pending.pop_front().expect("nonempty");
+                self.routers[r].ports[p].pending.push_back(c);
+                continue;
+            }
+
+            // Commit the transfer.
+            self.routers[r].ports[p].pending.pop_front();
+            self.routers[r].ports[p].credits[out_vc] -= flits as i32;
+            let ser = self.channels[ch_idx].ser_cycles(bytes);
+            let lat = if cand.passthrough {
+                self.stats.passthrough += 1;
+                self.passthrough_cycles as u64 + ser
+            } else {
+                self.pipeline_cycles as u64 + self.channels[ch_idx].serdes_cycles as u64 + ser
+            };
+            self.channels[ch_idx].busy_until = self.cycle + ser;
+            self.channels[ch_idx].bytes_moved += bytes as u64;
+            self.channels[ch_idx].busy_cycles += ser;
+
+            match peer {
+                Peer::Router { idx, port } => {
+                    self.packets[pid as usize].as_mut().expect("live").hops += 1;
+                    self.push_event(
+                        self.cycle + lat,
+                        Ev::ArriveRouter { router: idx, port, vc: out_vc as u8, pid },
+                    );
+                }
+                Peer::Endpoint { idx } => {
+                    self.push_event(self.cycle + lat, Ev::ArriveEndpoint { ep: idx, pid });
+                }
+            }
+
+            // Remove from the input buffer and return a credit upstream.
+            {
+                let buf = &mut self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize];
+                let popped = buf.q.pop_front().expect("head exists");
+                debug_assert_eq!(popped, pid);
+                buf.occ -= flits;
+            }
+            let upstream = self.routers[r].ports[cand.in_port as usize].peer;
+            match upstream {
+                Peer::Router { idx, port } => {
+                    self.push_event(
+                        self.cycle + 1,
+                        Ev::Credit { router: idx, port, vc: cand.vc, flits },
+                    );
+                }
+                Peer::Endpoint { idx } => {
+                    self.push_event(self.cycle + 1, Ev::CreditEp { ep: idx, vc: cand.vc, flits });
+                }
+            }
+            // New head (if any) gets routed.
+            if !self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize].q.is_empty() {
+                self.route_head(r, cand.in_port as usize, cand.vc as usize);
+            }
+            return;
+        }
+    }
+
+    /// Moves packets from an endpoint's injection queue into its router.
+    fn try_inject(&mut self, e: usize) {
+        loop {
+            let Some(&pid) = self.endpoints[e].inject_q.front() else { return };
+            let (flits, bytes, class) = {
+                let pkt = self.packets[pid as usize].as_ref().expect("live");
+                (pkt.flits, pkt.bytes, pkt.class)
+            };
+            let vc = self.class_base(class); // hop 0
+            let ch_idx = self.endpoints[e].inj_channel as usize;
+            if self.endpoints[e].inj_credits[vc] < flits as i32 || self.channels[ch_idx].busy_until > self.cycle {
+                return;
+            }
+            self.endpoints[e].inject_q.pop_front();
+            self.endpoints[e].inj_credits[vc] -= flits as i32;
+            let ser = self.channels[ch_idx].ser_cycles(bytes);
+            self.channels[ch_idx].busy_until = self.cycle + ser;
+            self.channels[ch_idx].bytes_moved += bytes as u64;
+            self.channels[ch_idx].busy_cycles += ser;
+            let (router, port) = (self.endpoints[e].router, self.endpoints[e].router_port);
+            self.push_event(self.cycle + ser + 1, Ev::ArriveRouter { router, port, vc: vc as u8, pid });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{LinkSpec, LinkTag, NetworkBuilder, NocParams};
+    use memnet_common::{AccessKind, Agent, GpuId, MemReq, ReqId};
+
+    fn payload(bytes: u32, kind: AccessKind, id: u64) -> Payload {
+        Payload::Req(MemReq { id: ReqId(id), addr: 0, bytes, kind, src: Agent::Gpu(GpuId(0)) })
+    }
+
+    /// A line of `n` routers, one endpoint each.
+    fn line(n: usize) -> (Network, Vec<NodeId>) {
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let routers: Vec<NodeId> = (0..n).map(|_| b.router()).collect();
+        for w in routers.windows(2) {
+            b.link(w[0], w[1], LinkSpec::default(), LinkTag::HmcHmc);
+        }
+        let eps: Vec<NodeId> = routers.iter().map(|&r| b.endpoint(r)).collect();
+        (b.build(), eps)
+    }
+
+    #[test]
+    fn single_hop_delivery_and_latency() {
+        let (mut net, eps) = line(2);
+        net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        assert!(net.has_work());
+        let mut got = None;
+        for _ in 0..200 {
+            net.tick();
+            if let Some(p) = net.poll_eject(eps[1]) {
+                got = Some(p);
+                break;
+            }
+        }
+        let p = got.expect("delivered");
+        assert_eq!(p.hops, 1);
+        // 1-flit packet: inject ser(1)+1, hop pipeline(4)+serdes(4)+ser(1),
+        // eject pipeline(4)+ser(1) — order ~16 cycles.
+        assert!(p.latency_cycles >= 10 && p.latency_cycles <= 30, "latency {}", p.latency_cycles);
+        assert!(!net.has_work());
+    }
+
+    #[test]
+    fn multi_hop_line_increases_latency() {
+        let (mut net, eps) = line(5);
+        net.inject(eps[0], eps[4], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        let mut lat5 = 0;
+        for _ in 0..500 {
+            net.tick();
+            if let Some(p) = net.poll_eject(eps[4]) {
+                assert_eq!(p.hops, 4);
+                lat5 = p.latency_cycles;
+                break;
+            }
+        }
+        assert!(lat5 > 0);
+
+        let (mut net2, eps2) = line(2);
+        net2.inject(eps2[0], eps2[1], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        let mut lat2 = 0;
+        for _ in 0..500 {
+            net2.tick();
+            if let Some(p) = net2.poll_eject(eps2[1]) {
+                lat2 = p.latency_cycles;
+                break;
+            }
+        }
+        assert!(lat5 > lat2 + 20, "5-router line ({lat5}) should be much slower than 2 ({lat2})");
+    }
+
+    #[test]
+    fn all_packets_delivered_under_load() {
+        let (mut net, eps) = line(4);
+        let n = 200;
+        for i in 0..n {
+            let dst = eps[1 + (i % 3) as usize];
+            net.inject(eps[0], dst, MsgClass::Req, payload(128, AccessKind::Write, i), false);
+        }
+        let mut delivered = 0;
+        for _ in 0..200_000 {
+            net.tick();
+            for &e in &eps[1..] {
+                while net.poll_eject(e).is_some() {
+                    delivered += 1;
+                }
+            }
+            if delivered == n {
+                break;
+            }
+        }
+        assert_eq!(delivered, n, "all packets must eventually arrive");
+        assert!(!net.has_work());
+        assert_eq!(net.stats().delivered, n);
+    }
+
+    #[test]
+    fn bidirectional_traffic_request_response() {
+        let (mut net, eps) = line(3);
+        for i in 0..50u64 {
+            net.inject(eps[0], eps[2], MsgClass::Req, payload(128, AccessKind::Read, i), false);
+            net.inject(eps[2], eps[0], MsgClass::Resp, payload(128, AccessKind::Read, 1000 + i), false);
+        }
+        let mut got = 0;
+        for _ in 0..100_000 {
+            net.tick();
+            while net.poll_eject(eps[0]).is_some() {
+                got += 1;
+            }
+            while net.poll_eject(eps[2]).is_some() {
+                got += 1;
+            }
+            if got == 100 {
+                break;
+            }
+        }
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn slow_pcie_link_is_much_slower() {
+        // Two routers joined by PCIe vs by an HMC channel.
+        let build = |spec: LinkSpec| {
+            let mut b = NetworkBuilder::new(NocParams::default());
+            let r0 = b.router();
+            let r1 = b.router();
+            let e0 = b.endpoint(r0);
+            let e1 = b.endpoint(r1);
+            b.link(r0, r1, spec, LinkTag::Pcie);
+            (b.build(), e0, e1)
+        };
+        let run = |mut net: Network, e0: NodeId, e1: NodeId| -> u64 {
+            for i in 0..64u64 {
+                net.inject(e0, e1, MsgClass::Req, payload(128, AccessKind::Write, i), false);
+            }
+            while net.has_work() && net.cycle() < 1_000_000 {
+                net.tick();
+                while net.poll_eject(e1).is_some() {}
+            }
+            assert!(!net.has_work(), "network should drain");
+            net.cycle()
+        };
+        let (hmc_net, a0, a1) = build(LinkSpec::hmc_channel());
+        let (pcie_net, b0, b1) = build(LinkSpec::pcie(300.0));
+        let t_hmc = run(hmc_net, a0, a1);
+        let t_pcie = run(pcie_net, b0, b1);
+        assert!(t_pcie > t_hmc, "pcie {t_pcie} should exceed hmc {t_hmc}");
+    }
+
+    #[test]
+    fn overlay_passthrough_reduces_latency() {
+        // Chain of 4 routers; compare overlay CPU packet vs normal packet.
+        let build = |use_overlay: bool| {
+            let mut b = NetworkBuilder::new(NocParams::default());
+            let rs: Vec<NodeId> = (0..4).map(|_| b.router()).collect();
+            for w in rs.windows(2) {
+                b.link(w[0], w[1], LinkSpec::default(), LinkTag::HmcHmc);
+            }
+            let e0 = b.endpoint(rs[0]);
+            let e3 = b.endpoint(rs[3]);
+            if use_overlay {
+                b.overlay_chain(&rs);
+            }
+            (b.build(), e0, e3)
+        };
+        let run = |mut net: Network, e0: NodeId, e3: NodeId, overlay: bool| -> u64 {
+            net.inject(e0, e3, MsgClass::Req, payload(64, AccessKind::Read, 1), overlay);
+            for _ in 0..1000 {
+                net.tick();
+                if let Some(p) = net.poll_eject(e3) {
+                    return p.latency_cycles;
+                }
+            }
+            panic!("not delivered");
+        };
+        let (n1, a, bb) = build(true);
+        let (n2, c, d) = build(false);
+        let lat_overlay = run(n1, a, bb, true);
+        let lat_normal = run(n2, c, d, false);
+        assert!(
+            lat_overlay < lat_normal,
+            "overlay {lat_overlay} should beat normal {lat_normal}"
+        );
+    }
+
+    #[test]
+    fn energy_grows_with_traffic() {
+        let (mut net, eps) = line(2);
+        for _ in 0..10 {
+            net.tick();
+        }
+        let idle_only = net.energy_mj();
+        assert!(idle_only > 0.0, "powered channels burn idle energy");
+        for i in 0..100u64 {
+            net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+        }
+        net.run_until_idle(1_000_000);
+        let with_traffic = net.energy_mj();
+        assert!(with_traffic > idle_only);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut net, eps) = line(4);
+            for i in 0..100u64 {
+                let d = eps[1 + (i % 3) as usize];
+                net.inject(eps[0], d, MsgClass::Req, payload(128, AccessKind::Read, i), false);
+            }
+            net.run_until_idle(1_000_000);
+            (net.cycle(), net.stats().latency.mean(), net.stats().hops.mean())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ugal_on_multipath_topology_delivers_everything() {
+        // A 2x2 torus-ish square with path diversity.
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let rs: Vec<NodeId> = (0..4).map(|_| b.router()).collect();
+        b.link(rs[0], rs[1], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[1], rs[3], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[0], rs[2], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[2], rs[3], LinkSpec::default(), LinkTag::HmcHmc);
+        let eps: Vec<NodeId> = rs.iter().map(|&r| b.endpoint(r)).collect();
+        b.routing(RoutingPolicy::Ugal);
+        let mut net = b.build();
+        for i in 0..300u64 {
+            net.inject(eps[0], eps[3], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+        }
+        while net.has_work() && net.cycle() < 1_000_000 {
+            net.tick();
+            while net.poll_eject(eps[3]).is_some() {}
+        }
+        assert_eq!(net.stats().delivered, 300);
+        assert!(!net.has_work());
+    }
+
+    #[test]
+    fn inject_ready_backpressure_signal() {
+        let (mut net, eps) = line(2);
+        assert!(net.inject_ready(eps[0]));
+        for i in 0..200u64 {
+            net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+        }
+        assert!(!net.inject_ready(eps[0]), "deep injection queue should report not-ready");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_panics() {
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let r0 = b.router();
+        let r1 = b.router();
+        let _e0 = b.endpoint(r0);
+        let _e1 = b.endpoint(r1);
+        let _ = b.build();
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use crate::builder::{LinkSpec, LinkTag, NetworkBuilder, NocParams};
+    use crate::packet::MsgClass;
+    use memnet_common::{AccessKind, Agent, GpuId, MemReq, Payload, ReqId};
+
+    #[test]
+    fn utilization_tracks_traffic() {
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let r0 = b.router();
+        let r1 = b.router();
+        let e0 = b.endpoint(r0);
+        let e1 = b.endpoint(r1);
+        b.link(r0, r1, LinkSpec::default(), LinkTag::HmcHmc);
+        let mut net = b.build();
+        for _ in 0..50 {
+            net.tick();
+        }
+        assert_eq!(net.channel_utilization(), 0.0, "idle network has zero utilization");
+        for i in 0..200u64 {
+            let req = MemReq {
+                id: ReqId(i),
+                addr: i * 128,
+                bytes: 128,
+                kind: AccessKind::Write,
+                src: Agent::Gpu(GpuId(0)),
+            };
+            net.inject(e0, e1, MsgClass::Req, Payload::Req(req), false);
+        }
+        while net.has_work() && net.cycle() < 100_000 {
+            net.tick();
+            while net.poll_eject(e1).is_some() {}
+        }
+        let u = net.channel_utilization();
+        assert!(u > 0.05 && u <= 1.0, "utilization {u}");
+    }
+}

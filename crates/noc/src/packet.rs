@@ -1,0 +1,128 @@
+//! Network packets.
+//!
+//! A packet wraps one memory-system message ([`Payload`]) together with the
+//! routing state the network needs: source and destination endpoints,
+//! message class, optional Valiant intermediate, and bookkeeping for
+//! latency/hop statistics.
+
+use memnet_common::{NodeId, Payload};
+
+/// Index into the network's packet slab.
+pub type PacketId = u32;
+
+/// Protocol message class. Requests and responses use disjoint virtual
+/// channels so that a full request path can never block responses
+/// (protocol-deadlock freedom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Toward memory.
+    Req,
+    /// Back to the requester.
+    Resp,
+}
+
+impl MsgClass {
+    /// Dense index used for VC partitioning.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MsgClass::Req => 0,
+            MsgClass::Resp => 1,
+        }
+    }
+
+    /// Number of message classes.
+    pub const COUNT: usize = 2;
+}
+
+/// One in-flight packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Injecting endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dest: NodeId,
+    /// Message class.
+    pub class: MsgClass,
+    /// Size on the wire in bytes (header + data).
+    pub bytes: u32,
+    /// Size in flits (`ceil(bytes / flit_bytes)`).
+    pub flits: u32,
+    /// The memory message being carried.
+    pub payload: Payload,
+    /// True for latency-sensitive CPU packets eligible for overlay
+    /// pass-through paths.
+    pub overlay: bool,
+    /// Valiant intermediate router chosen by UGAL, if any. Cleared once
+    /// reached.
+    pub via: Option<NodeId>,
+    /// Network cycle at injection (for latency statistics).
+    pub injected_cycle: u64,
+    /// Router-to-router hops taken so far; also selects the VC index.
+    pub hops: u32,
+}
+
+impl Packet {
+    /// Builds a packet, computing the flit count from `flit_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_bytes` is zero or `bytes` is zero.
+    pub fn new(
+        src: NodeId,
+        dest: NodeId,
+        class: MsgClass,
+        payload: Payload,
+        flit_bytes: u32,
+        overlay: bool,
+        injected_cycle: u64,
+    ) -> Self {
+        let bytes = payload.packet_bytes();
+        assert!(flit_bytes > 0 && bytes > 0, "flit and packet sizes must be nonzero");
+        Packet {
+            src,
+            dest,
+            class,
+            bytes,
+            flits: bytes.div_ceil(flit_bytes),
+            payload,
+            overlay,
+            via: None,
+            injected_cycle,
+            hops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memnet_common::{AccessKind, Agent, GpuId, MemReq, ReqId};
+
+    fn payload(bytes: u32, kind: AccessKind) -> Payload {
+        Payload::Req(MemReq { id: ReqId(1), addr: 0, bytes, kind, src: Agent::Gpu(GpuId(0)) })
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        // 128 B read request = 16 B header = 1 flit.
+        let p = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(128, AccessKind::Read), 16, false, 0);
+        assert_eq!(p.flits, 1);
+        // 128 B write request = 144 B = 9 flits.
+        let p = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(128, AccessKind::Write), 16, false, 0);
+        assert_eq!(p.flits, 9);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(MsgClass::Req.index(), 0);
+        assert_eq!(MsgClass::Resp.index(), 1);
+        assert!(MsgClass::Resp.index() < MsgClass::COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_flit_size_panics() {
+        let _ = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(64, AccessKind::Read), 0, false, 0);
+    }
+}

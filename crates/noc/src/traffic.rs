@@ -1,0 +1,216 @@
+//! Synthetic traffic generation and load–latency measurement.
+//!
+//! A standard interconnection-network evaluation harness (Dally & Towles):
+//! endpoints inject fixed-size packets under a Bernoulli process at a given
+//! offered load, following a spatial pattern, and the network's average
+//! packet latency is measured after warm-up. Used by the
+//! `noc_loadlatency` bench to characterize the memory-network topologies
+//! independently of full-system behavior, and by tests to sanity-check
+//! saturation behavior.
+
+use crate::network::Network;
+use crate::packet::MsgClass;
+use memnet_common::stats::RunningStats;
+use memnet_common::{AccessKind, Agent, GpuId, MemReq, NodeId, Payload, ReqId, SplitMix64};
+
+/// Spatial traffic patterns over a set of endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniform random destination (the self-balancing pattern the paper
+    /// observes for data-parallel workloads, Section V-A).
+    Uniform,
+    /// All sources target one hot endpoint.
+    Hotspot,
+    /// Bit-reversal-style permutation: source `i` always sends to
+    /// `n - 1 - i` (adversarial for minimal routing on some topologies).
+    Transpose,
+}
+
+impl Pattern {
+    fn dest(self, src: usize, n: usize, rng: &mut SplitMix64) -> usize {
+        match self {
+            Pattern::Uniform => {
+                let mut d = rng.next_below(n as u64 - 1) as usize;
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            Pattern::Hotspot => {
+                if src == 0 {
+                    1 % n
+                } else {
+                    0
+                }
+            }
+            Pattern::Transpose => n - 1 - src,
+        }
+    }
+}
+
+/// Results of one load point.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Offered load in packets per endpoint per cycle.
+    pub offered: f64,
+    /// Accepted throughput in packets per endpoint per cycle.
+    pub accepted: f64,
+    /// Mean packet latency in router cycles (measurement phase only).
+    pub latency: RunningStats,
+    /// True if injection queues kept growing (post-saturation).
+    pub saturated: bool,
+}
+
+/// Runs one load point on `net` between `sources` and `dests`.
+///
+/// Injects 9-flit write packets (128 B payload + header — the dominant
+/// packet size in the memory network) from every source endpoint at
+/// `offered` packets/cycle with pattern `pattern`, for `warmup + measure`
+/// cycles, then drains.
+///
+/// # Panics
+///
+/// Panics if `sources` or `dests` is empty.
+pub fn run_load_point(
+    net: &mut Network,
+    sources: &[NodeId],
+    dests: &[NodeId],
+    pattern: Pattern,
+    offered: f64,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> LoadPoint {
+    assert!(!sources.is_empty() && !dests.is_empty(), "need sources and destinations");
+    let mut rng = SplitMix64::new(seed);
+    let mut sent = 0u64;
+    let mut backlog = 0u64;
+    let start_cycle = net.cycle();
+    let mut latency = RunningStats::new();
+    let mut accepted = 0u64;
+
+    let mut id = 0u64;
+    for step in 0..(warmup + measure) {
+        let measuring = step >= warmup;
+        for (si, &s) in sources.iter().enumerate() {
+            if rng.chance(offered) {
+                if net.inject_ready(s) {
+                    let d = dests[pattern.dest(si, dests.len(), &mut rng) % dests.len()];
+                    id += 1;
+                    let req = MemReq {
+                        id: ReqId(id),
+                        addr: id * 128,
+                        bytes: 128,
+                        kind: AccessKind::Write,
+                        src: Agent::Gpu(GpuId(si as u16)),
+                    };
+                    net.inject(s, d, MsgClass::Req, Payload::Req(req), false);
+                    sent += 1;
+                } else {
+                    backlog += 1;
+                }
+            }
+        }
+        net.tick();
+        for &d in dests {
+            while let Some(p) = net.poll_eject(d) {
+                if measuring {
+                    latency.record(p.latency_cycles as f64);
+                    accepted += 1;
+                }
+            }
+        }
+    }
+    // Drain what's in flight (not measured).
+    let mut spin = 0;
+    while net.has_work() && spin < 1_000_000 {
+        net.tick();
+        for &d in dests {
+            while net.poll_eject(d).is_some() {}
+        }
+        spin += 1;
+    }
+    let cycles = (net.cycle() - start_cycle).max(1);
+    let _ = cycles;
+    LoadPoint {
+        offered,
+        accepted: accepted as f64 / (measure.max(1) as f64 * sources.len() as f64),
+        latency,
+        saturated: backlog > sent / 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{NetworkBuilder, NocParams};
+    use crate::topo::{build_clusters, SlicedKind, TopologyKind};
+
+    fn sfbfly() -> (Network, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let c = build_clusters(&mut b, 4, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let eps = c.hmc_eps_flat();
+        (b.build(), c.device_eps.clone(), eps)
+    }
+
+    #[test]
+    fn low_load_has_low_latency_and_full_throughput() {
+        let (mut net, src, dst) = sfbfly();
+        let p = run_load_point(&mut net, &src, &dst, Pattern::Uniform, 0.05, 500, 2000, 1);
+        assert!(!p.saturated);
+        assert!(p.latency.count() > 0);
+        let zero_load = p.latency.mean();
+        assert!((10.0..60.0).contains(&zero_load), "zero-load latency {zero_load}");
+        assert!((p.accepted - 0.05).abs() < 0.02, "accepted {}", p.accepted);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let (mut a, src_a, dst_a) = sfbfly();
+        let lo = run_load_point(&mut a, &src_a, &dst_a, Pattern::Uniform, 0.05, 500, 2000, 1);
+        let (mut b, src_b, dst_b) = sfbfly();
+        let hi = run_load_point(&mut b, &src_b, &dst_b, Pattern::Uniform, 0.6, 500, 2000, 1);
+        assert!(
+            hi.latency.mean() > lo.latency.mean(),
+            "latency must rise with load: {} vs {}",
+            hi.latency.mean(),
+            lo.latency.mean()
+        );
+    }
+
+    #[test]
+    fn hotspot_saturates_before_uniform() {
+        let offered = 0.5;
+        let (mut a, src_a, dst_a) = sfbfly();
+        let uni = run_load_point(&mut a, &src_a, &dst_a, Pattern::Uniform, offered, 500, 3000, 1);
+        let (mut b, src_b, dst_b) = sfbfly();
+        let hot = run_load_point(&mut b, &src_b, &dst_b, Pattern::Hotspot, offered, 500, 3000, 1);
+        assert!(
+            hot.accepted < uni.accepted,
+            "hotspot throughput {} must trail uniform {}",
+            hot.accepted,
+            uni.accepted
+        );
+    }
+
+    #[test]
+    fn transpose_pattern_is_a_permutation() {
+        let mut rng = SplitMix64::new(1);
+        let n = 8;
+        let dests: Vec<usize> = (0..n).map(|s| Pattern::Transpose.dest(s, n, &mut rng)).collect();
+        let mut sorted = dests.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "must be a permutation");
+        assert!((0..n).all(|s| dests[s] != s), "no self traffic");
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut rng = SplitMix64::new(2);
+        for s in 0..8 {
+            for _ in 0..200 {
+                assert_ne!(Pattern::Uniform.dest(s, 8, &mut rng), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The parametric synthetic kernel engine.
+//!
+//! Every Table II workload is an instance of [`SyntheticKernel`]: a
+//! deterministic generator of per-CTA op streams parameterized by compute
+//! intensity, sequential/random/dependent/write access counts, atomics, and
+//! the sizes of three virtual regions:
+//!
+//! ```text
+//! | shared (random reads) | read (sequential, split per CTA) | write (split per CTA) |
+//! ```
+//!
+//! The parameters encode each workload's *traffic character* — which is
+//! what the paper's evaluation exercises: total volume, locality (L1/L2
+//! reuse), spread (uniform vs. hot HMCs, Fig. 10), read/write/atomic mix,
+//! and compute/memory ratio.
+
+use memnet_common::SplitMix64;
+use memnet_gpu::kernel::{CtaOp, CtaStream, KernelModel, MemAccess};
+
+/// Line size used for coalesced accesses.
+const LINE: u64 = 128;
+
+/// A deterministic, parametric GPU kernel model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticKernel {
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Memory phases (outer iterations) per CTA.
+    pub iters: u32,
+    /// Compute cycles between memory phases.
+    pub compute_gap: u32,
+    /// Sequential-stream reads per phase (each from its own stream slice).
+    pub seq_reads: u32,
+    /// Independent random reads per phase, uniform over the shared region.
+    pub rand_reads: u32,
+    /// Dependent random reads per phase (serialized, pointer-chasing).
+    pub dep_reads: u32,
+    /// Sequential writes per phase.
+    pub writes: u32,
+    /// Halo reads per phase: reads into the *next* CTA's slice, so adjacent
+    /// CTAs share cache lines (stencil halos). This is what makes chunked
+    /// CTA assignment win over round-robin (Section III-B).
+    pub halo_reads: u32,
+    /// Issue one atomic every this many phases (0 = never).
+    pub atomic_every: u32,
+    /// Temporal reuse factor: each phase additionally re-reads the previous
+    /// phase's sequential/halo lines `reuse - 1` times. Models the
+    /// warp-level spatial/temporal reuse that gives real GPU kernels their
+    /// L1/L2 hit rates (1 = pure streaming).
+    pub reuse: u32,
+    /// Shared random-read region in bytes.
+    pub shared_bytes: u64,
+    /// Sequential-read region in bytes (divided across CTAs).
+    pub read_bytes: u64,
+    /// Write region in bytes (divided across CTAs).
+    pub write_bytes: u64,
+    /// Stride between consecutive sequential accesses (≥ 128; larger values
+    /// model butterfly/transpose patterns like FWT/FT).
+    pub stride: u64,
+    /// Base seed; each CTA derives an independent stream.
+    pub seed: u64,
+}
+
+impl SyntheticKernel {
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ctas == 0 || self.iters == 0 {
+            return Err("kernel needs at least one CTA and one iteration".into());
+        }
+        if self.seq_reads > 0 && self.read_bytes < LINE * self.ctas as u64 {
+            return Err("read region too small for per-CTA slices".into());
+        }
+        if self.writes > 0 && self.write_bytes < LINE * self.ctas as u64 {
+            return Err("write region too small for per-CTA slices".into());
+        }
+        if (self.rand_reads > 0 || self.dep_reads > 0 || self.atomic_every > 0) && self.shared_bytes < LINE {
+            return Err("shared region required for random/dependent/atomic accesses".into());
+        }
+        if self.stride < LINE {
+            return Err("stride must be at least one line".into());
+        }
+        if self.halo_reads > 0 && (self.seq_reads == 0 || self.read_bytes < LINE * self.ctas as u64) {
+            return Err("halo reads require sequential streams and a read region".into());
+        }
+        if self.seq_reads + self.rand_reads + self.dep_reads + self.writes + self.halo_reads == 0 {
+            return Err("kernel must access memory".into());
+        }
+        Ok(())
+    }
+
+    /// Start of the sequential-read region.
+    fn read_base(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    /// Start of the write region.
+    fn write_base(&self) -> u64 {
+        self.shared_bytes + self.read_bytes
+    }
+}
+
+impl KernelModel for SyntheticKernel {
+    fn grid_ctas(&self) -> u32 {
+        self.ctas
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.shared_bytes + self.read_bytes + self.write_bytes
+    }
+
+    fn cta_stream(&self, cta: u32) -> CtaStream {
+        assert!(cta < self.ctas, "cta {cta} out of range");
+        debug_assert!(self.validate().is_ok(), "invalid kernel: {:?}", self.validate());
+        Box::new(SynthStream {
+            k: self.clone(),
+            rng: SplitMix64::new(self.seed).fork(cta as u64),
+            cta: cta as u64,
+            iter: 0,
+            dep_left: 0,
+            atomic_pending: false,
+            emitted_compute: false,
+            batch_done: false,
+        })
+    }
+}
+
+/// Iterator state for one CTA.
+struct SynthStream {
+    k: SyntheticKernel,
+    rng: SplitMix64,
+    cta: u64,
+    iter: u32,
+    /// Dependent reads still to emit in the current phase.
+    dep_left: u32,
+    /// Atomic still to emit in the current phase.
+    atomic_pending: bool,
+    /// Compute op for the current phase already emitted.
+    emitted_compute: bool,
+    /// Batched phase accesses already emitted.
+    batch_done: bool,
+}
+
+impl SynthStream {
+    fn rand_shared_line(&mut self) -> u64 {
+        let lines = (self.k.shared_bytes / LINE).max(1);
+        self.rng.next_below(lines) * LINE
+    }
+
+    /// Sequential slice position for stream `s` at the current iteration,
+    /// wrapping within this CTA's slice of `region_bytes`.
+    fn seq_addr(&self, base: u64, region_bytes: u64, streams: u32, s: u32) -> u64 {
+        self.seq_addr_for(self.cta, self.iter, base, region_bytes, streams, s)
+    }
+
+    fn seq_addr_for(&self, cta: u64, iter: u32, base: u64, region_bytes: u64, streams: u32, s: u32) -> u64 {
+        let slice = (region_bytes / self.k.ctas as u64).max(LINE * streams.max(1) as u64);
+        let slice_base = base + (cta * slice) % region_bytes.max(slice);
+        let per_stream = (slice / streams.max(1) as u64).max(LINE);
+        let stream_base = slice_base + s as u64 * per_stream;
+        let off = (iter as u64 * self.k.stride) % per_stream.max(LINE);
+        // Align and clamp inside the region.
+        let addr = stream_base + (off / LINE) * LINE;
+        let end = base + region_bytes;
+        if addr + LINE > end {
+            base + (addr % region_bytes.max(LINE)) / LINE * LINE
+        } else {
+            addr
+        }
+    }
+}
+
+impl Iterator for SynthStream {
+    type Item = CtaOp;
+
+    fn next(&mut self) -> Option<CtaOp> {
+        loop {
+            if self.iter >= self.k.iters {
+                return None;
+            }
+            // Phase order: compute → batched phase accesses → dependent
+            // chain → atomic → next phase.
+            if !self.emitted_compute {
+                self.emitted_compute = true;
+                self.dep_left = self.k.dep_reads;
+                self.atomic_pending =
+                    self.k.atomic_every > 0 && (self.iter + 1) % self.k.atomic_every == 0;
+                if self.k.compute_gap > 0 {
+                    return Some(CtaOp::Compute(self.k.compute_gap));
+                }
+                continue;
+            }
+            let batch = self.k.seq_reads + self.k.rand_reads + self.k.writes + self.k.halo_reads;
+            if batch > 0 && !self.batch_done {
+                let mut v = Vec::with_capacity(batch as usize);
+                for s in 0..self.k.seq_reads {
+                    v.push(MemAccess::read(self.seq_addr(
+                        self.k.read_base(),
+                        self.k.read_bytes,
+                        self.k.seq_reads,
+                        s,
+                    )));
+                }
+                for s in 0..self.k.halo_reads {
+                    let neighbor = (self.cta + 1) % self.k.ctas as u64;
+                    v.push(MemAccess::read(self.seq_addr_for(
+                        neighbor,
+                        self.iter,
+                        self.k.read_base(),
+                        self.k.read_bytes,
+                        self.k.seq_reads.max(1),
+                        s % self.k.seq_reads.max(1),
+                    )));
+                }
+                // Temporal reuse: re-read the previous phase's lines, which
+                // hit in the L1 (own lines) or the GPU-shared L2 (halo
+                // lines from neighbor CTAs resident on the same GPU).
+                if self.k.reuse > 1 && self.iter > 0 {
+                    for _ in 1..self.k.reuse {
+                        for s in 0..self.k.seq_reads {
+                            v.push(MemAccess::read(self.seq_addr_for(
+                                self.cta,
+                                self.iter - 1,
+                                self.k.read_base(),
+                                self.k.read_bytes,
+                                self.k.seq_reads,
+                                s,
+                            )));
+                        }
+                        for s in 0..self.k.halo_reads {
+                            let neighbor = (self.cta + 1) % self.k.ctas as u64;
+                            v.push(MemAccess::read(self.seq_addr_for(
+                                neighbor,
+                                self.iter - 1,
+                                self.k.read_base(),
+                                self.k.read_bytes,
+                                self.k.seq_reads.max(1),
+                                s % self.k.seq_reads.max(1),
+                            )));
+                        }
+                    }
+                }
+                for _ in 0..self.k.rand_reads {
+                    let a = self.rand_shared_line();
+                    v.push(MemAccess::read(a));
+                }
+                for s in 0..self.k.writes {
+                    v.push(MemAccess::write(self.seq_addr(
+                        self.k.write_base(),
+                        self.k.write_bytes,
+                        self.k.writes,
+                        s,
+                    )));
+                }
+                self.batch_done = true;
+                return Some(CtaOp::Mem(v));
+            }
+            if self.dep_left > 0 {
+                self.dep_left -= 1;
+                let a = self.rand_shared_line();
+                return Some(CtaOp::Mem(vec![MemAccess::read(a)]));
+            }
+            if self.atomic_pending {
+                self.atomic_pending = false;
+                let a = self.rand_shared_line();
+                return Some(CtaOp::Mem(vec![MemAccess::atomic(a)]));
+            }
+            // Phase finished.
+            self.iter += 1;
+            self.emitted_compute = false;
+            self.batch_done = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic() -> SyntheticKernel {
+        SyntheticKernel {
+            ctas: 8,
+            iters: 4,
+            compute_gap: 10,
+            seq_reads: 2,
+            rand_reads: 1,
+            dep_reads: 2,
+            writes: 1,
+            halo_reads: 0,
+            atomic_every: 2,
+            reuse: 1,
+            shared_bytes: 1 << 16,
+            read_bytes: 1 << 16,
+            write_bytes: 1 << 16,
+            stride: 128,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let k = basic();
+        let a: Vec<CtaOp> = k.cta_stream(3).collect();
+        let b: Vec<CtaOp> = k.cta_stream(3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_ctas_differ() {
+        let k = basic();
+        let a: Vec<CtaOp> = k.cta_stream(0).collect();
+        let b: Vec<CtaOp> = k.cta_stream(1).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phase_structure_matches_parameters() {
+        let k = basic();
+        let ops: Vec<CtaOp> = k.cta_stream(0).collect();
+        let computes = ops.iter().filter(|o| matches!(o, CtaOp::Compute(_))).count();
+        assert_eq!(computes, 4, "one compute per phase");
+        let atomics: usize = ops
+            .iter()
+            .filter_map(|o| match o {
+                CtaOp::Mem(v) => Some(v.iter().filter(|a| a.kind == memnet_common::AccessKind::Atomic).count()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(atomics, 2, "atomic every 2 phases over 4 iters");
+        // Per phase: 1 batched op + 2 dependent ops (+ maybe atomic).
+        let mems = ops.iter().filter(|o| matches!(o, CtaOp::Mem(_))).count();
+        assert_eq!(mems, 4 * (1 + 2) + 2);
+    }
+
+    #[test]
+    fn all_addresses_stay_in_footprint() {
+        let k = basic();
+        let fp = k.footprint_bytes();
+        for cta in 0..k.ctas {
+            for op in k.cta_stream(cta) {
+                if let CtaOp::Mem(v) = op {
+                    for a in v {
+                        assert!(a.addr + a.bytes as u64 <= fp, "addr {:#x} outside footprint {fp:#x}", a.addr);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_respected() {
+        let k = basic();
+        for op in k.cta_stream(2) {
+            if let CtaOp::Mem(v) = op {
+                for a in v {
+                    match a.kind {
+                        memnet_common::AccessKind::Write => {
+                            assert!(a.addr >= k.shared_bytes + k.read_bytes, "writes go to the write region");
+                        }
+                        memnet_common::AccessKind::Atomic => {
+                            assert!(a.addr < k.shared_bytes, "atomics hit the shared region");
+                        }
+                        memnet_common::AccessKind::Read => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_reads_cover_the_shared_region_roughly_uniformly() {
+        let mut k = basic();
+        k.rand_reads = 4;
+        k.dep_reads = 0;
+        k.atomic_every = 0;
+        k.iters = 64;
+        let mut quart = [0u64; 4];
+        for cta in 0..k.ctas {
+            for op in k.cta_stream(cta) {
+                if let CtaOp::Mem(v) = op {
+                    for a in v.iter().filter(|a| a.addr < k.shared_bytes) {
+                        quart[(a.addr * 4 / k.shared_bytes) as usize] += 1;
+                    }
+                }
+            }
+        }
+        let total: u64 = quart.iter().sum();
+        for q in quart {
+            let frac = q as f64 / total as f64;
+            assert!((0.15..0.35).contains(&frac), "quartile fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn reuse_re_reads_previous_phase_lines() {
+        let mut k = basic();
+        k.reuse = 2;
+        k.rand_reads = 0;
+        k.dep_reads = 0;
+        k.atomic_every = 0;
+        k.writes = 0;
+        // Collect per-phase batched reads; from phase 1 on, each batch must
+        // contain the previous phase's addresses again.
+        let mut batches: Vec<Vec<u64>> = Vec::new();
+        for op in k.cta_stream(0) {
+            if let CtaOp::Mem(v) = op {
+                batches.push(v.iter().map(|a| a.addr).collect());
+            }
+        }
+        assert!(batches.len() >= 2);
+        for w in batches.windows(2) {
+            let (prev, cur) = (&w[0], &w[1]);
+            // First seq_reads of prev must appear in cur (the reuse reads).
+            for a in prev.iter().take(k.seq_reads as usize) {
+                assert!(cur.contains(a), "phase must re-read prev line {a:#x}");
+            }
+        }
+        // All addresses still in the footprint.
+        let fp = k.footprint_bytes();
+        for b in &batches {
+            for &a in b {
+                assert!(a + 128 <= fp);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_parameters() {
+        let mut k = basic();
+        k.ctas = 0;
+        assert!(k.validate().is_err());
+        let mut k = basic();
+        k.stride = 64;
+        assert!(k.validate().is_err());
+        let mut k = basic();
+        k.shared_bytes = 0;
+        assert!(k.validate().is_err(), "random reads need a shared region");
+        let mut k = basic();
+        k.seq_reads = 0;
+        k.rand_reads = 0;
+        k.dep_reads = 0;
+        k.writes = 0;
+        k.atomic_every = 0;
+        assert!(k.validate().is_err(), "kernel must access memory");
+        assert!(basic().validate().is_ok());
+    }
+
+    #[test]
+    fn strided_kernel_spreads_addresses() {
+        let mut k = basic();
+        k.stride = 4096;
+        k.ctas = 2;
+        k.read_bytes = 1 << 20;
+        let mut addrs = Vec::new();
+        for op in k.cta_stream(0) {
+            if let CtaOp::Mem(v) = op {
+                for a in v {
+                    if a.kind == memnet_common::AccessKind::Read && a.addr >= k.shared_bytes && a.addr < k.shared_bytes + k.read_bytes {
+                        addrs.push(a.addr);
+                    }
+                }
+            }
+        }
+        let distinct: std::collections::HashSet<_> = addrs.iter().map(|a| a / 4096).collect();
+        assert!(distinct.len() > 2, "strided reads should touch several 4 KB pages");
+    }
+}

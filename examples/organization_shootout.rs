@@ -1,0 +1,50 @@
+//! Compare all seven Table III organizations on one workload.
+//!
+//! This is a single-workload slice of Fig. 14: the same unmodified kernel
+//! runs under SKE on every interconnect organization, and the runtime
+//! breakdown (memcpy vs kernel) shows where each design spends its time.
+//!
+//! ```sh
+//! cargo run --release --example organization_shootout [WORKLOAD]
+//! ```
+//!
+//! `WORKLOAD` is a Table II abbreviation (default: BP).
+
+use memnet::sim::{Organization, SimBuilder};
+use memnet::workloads::Workload;
+
+fn pick(abbr: &str) -> Workload {
+    Workload::table2()
+        .into_iter()
+        .find(|w| w.abbr().eq_ignore_ascii_case(abbr))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {abbr}; using BP");
+            Workload::Bp
+        })
+}
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "BP".into());
+    let w = pick(&abbr);
+    let spec = w.spec_small();
+    println!("workload: {} ({})", spec.abbr, spec.name);
+    println!("{:<9} {:>12} {:>12} {:>12} {:>12}  {:>9}", "org", "kernel ns", "memcpy ns", "host ns", "total ns", "vs PCIe");
+    let mut pcie_total = None;
+    for org in Organization::all() {
+        let r = SimBuilder::new(org).gpus(4).sms_per_gpu(4).workload(spec.clone()).run();
+        assert!(!r.timed_out, "{} timed out", org.name());
+        let total = r.total_ns();
+        let base = *pcie_total.get_or_insert(total);
+        println!(
+            "{:<9} {:>12.0} {:>12.0} {:>12.0} {:>12.0}  {:>8.2}x",
+            org.name(),
+            r.kernel_ns,
+            r.memcpy_ns,
+            r.host_ns,
+            total,
+            base / total
+        );
+    }
+    println!("\nThe unified memory network (UMN) wins by removing memcpy entirely");
+    println!("while giving every GPU full-bandwidth access to all HMCs.");
+}

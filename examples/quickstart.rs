@@ -1,0 +1,30 @@
+//! Quickstart: run one workload on the unified memory network (UMN) and
+//! print the runtime breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memnet::sim::{Organization, SimBuilder};
+use memnet::workloads::Workload;
+
+fn main() {
+    let report = SimBuilder::new(Organization::Umn)
+        .gpus(4)
+        .sms_per_gpu(8)
+        .workload(Workload::Kmn.spec_small())
+        .run();
+
+    println!("workload : {}", report.workload);
+    println!("org      : {}", report.org.name());
+    println!("kernel   : {:>10.1} ns", report.kernel_ns);
+    println!("memcpy   : {:>10.1} ns", report.memcpy_ns);
+    println!("host     : {:>10.1} ns", report.host_ns);
+    println!("total    : {:>10.1} ns", report.total_ns());
+    println!("energy   : {:>10.3} mJ", report.energy_mj);
+    println!("L1 hit   : {:>10.1} %", report.l1_hit_rate * 100.0);
+    println!("L2 hit   : {:>10.1} %", report.l2_hit_rate * 100.0);
+    println!("pkt lat  : {:>10.1} ns", report.avg_pkt_latency_ns);
+    println!("row hits : {:>10.1} %", report.row_hit_rate * 100.0);
+    assert!(!report.timed_out);
+}

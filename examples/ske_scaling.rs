@@ -1,0 +1,43 @@
+//! Scalable kernel execution: one unmodified kernel across 1–8 GPUs.
+//!
+//! Demonstrates the core SKE idea (Section III): the same kernel launch
+//! scales across GPU counts with zero source changes — the runtime simply
+//! re-partitions the CTA range. Prints the Fig. 19-style speedup curve.
+//!
+//! ```sh
+//! cargo run --release --example ske_scaling
+//! ```
+
+use memnet::sim::{Organization, SimBuilder};
+use memnet::workloads::Workload;
+
+fn main() {
+    println!("{:<6} {:>12} {:>9} {:>9} {:>9}", "GPUs", "kernel ns", "speedup", "L1 hit", "L2 hit");
+    for w in [Workload::Cp, Workload::Bp] {
+        let spec = w.spec_small();
+        println!("\n{} ({}):", spec.abbr, spec.name);
+        let mut base = None;
+        for gpus in [1u32, 2, 4, 8] {
+            let r = SimBuilder::new(Organization::Umn)
+                .gpus(gpus)
+                .sms_per_gpu(4)
+                .workload(spec.clone())
+                .run();
+            assert!(!r.timed_out, "{gpus}-GPU run timed out");
+            let b = *base.get_or_insert(r.kernel_ns);
+            println!(
+                "{:<6} {:>12.0} {:>8.2}x {:>8.1}% {:>8.1}%",
+                gpus,
+                r.kernel_ns,
+                b / r.kernel_ns,
+                r.l1_hit_rate * 100.0,
+                r.l2_hit_rate * 100.0
+            );
+        }
+    }
+    println!("\nNote: these are the *small* workload variants, so speedup tails off");
+    println!("once there are too few CTAs to fill the added GPUs — the same effect");
+    println!("the paper reports for FWT's small input. The full Fig. 19 study");
+    println!("(`cargo bench -p memnet-bench --bench fig19_scaling`) uses enlarged");
+    println!("inputs and reaches ~15x at 16 GPUs.");
+}

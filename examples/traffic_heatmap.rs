@@ -1,0 +1,46 @@
+//! Render the GPU×HMC traffic matrix (Fig. 10) as an ASCII heatmap.
+//!
+//! Shows how a uniform workload (KMN) spreads traffic across all HMCs
+//! while a tiny class-S workload (CG.S) concentrates it — the property
+//! that motivates intra-cluster cache-line interleaving and the sliced
+//! topology (Section V-A).
+//!
+//! ```sh
+//! cargo run --release --example traffic_heatmap
+//! ```
+
+use memnet::sim::{Organization, SimBuilder};
+use memnet::workloads::Workload;
+
+const SHADES: [char; 5] = [' ', '.', 'o', 'O', '#'];
+
+fn main() {
+    for w in [Workload::Kmn, Workload::CgS] {
+        let spec = w.spec_small();
+        let r = SimBuilder::new(Organization::Gmn)
+            .gpus(4)
+            .sms_per_gpu(4)
+            .workload(spec.clone())
+            .run();
+        assert!(!r.timed_out);
+        // Kernel traffic: GPU rows 0..4 to GPU-cluster HMC columns 0..16.
+        let cells: Vec<Vec<u64>> =
+            (0..4).map(|g| (0..16).map(|h| r.traffic.get(g, h)).collect()).collect();
+        let max = cells.iter().flatten().copied().max().unwrap_or(1).max(1);
+        println!("\n{} traffic (rows: GPUs, cols: HMC0..HMC15; '#' = hottest):", spec.abbr);
+        for (g, row) in cells.iter().enumerate() {
+            print!("  GPU{g} |");
+            for &v in row {
+                let shade = (v * (SHADES.len() as u64 - 1)).div_ceil(max) as usize;
+                print!("{}", SHADES[shade.min(SHADES.len() - 1)]);
+            }
+            println!("|");
+        }
+        let col: Vec<u64> = (0..16).map(|h| (0..4).map(|g| cells[g][h]).sum()).collect();
+        let hot = *col.iter().max().expect("16 cols");
+        let cold = col.iter().copied().filter(|&v| v > 0).min().unwrap_or(0);
+        if cold > 0 {
+            println!("  hottest/coldest HMC: {:.1}x", hot as f64 / cold as f64);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # memnet — Multi-GPU System Design with Memory Networks
+//!
+//! A full-system simulator reproducing Kim, Lee, Jeong & Kim, *Multi-GPU
+//! System Design with Memory Networks* (MICRO 2014): scalable kernel
+//! execution (SKE) across discrete GPUs, hybrid-memory-cube (HMC) memory
+//! networks (CMN / GMN / UMN), the sliced flattened butterfly topology, and
+//! the CPU overlay network.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`common`] — ids, clocks, config (Table I), statistics
+//! * [`noc`] — flit-level interconnection-network simulator
+//! * [`hmc`] — hybrid memory cube timing model
+//! * [`gpu`] — GPU (SM / cache / CTA scheduler) timing model
+//! * [`cpu`] — host CPU and DMA model
+//! * [`workloads`] — the Table II workload models
+//! * [`sim`] — SKE runtime, system organizations, full-system simulator
+//!
+//! # Quickstart
+//!
+//! ```
+//! use memnet::sim::{Organization, SimBuilder};
+//! use memnet::workloads::Workload;
+//!
+//! # fn main() {
+//! let report = SimBuilder::new(Organization::Umn)
+//!     .gpus(2)
+//!     .sms_per_gpu(4)
+//!     .workload(Workload::VecAdd.spec_small())
+//!     .run();
+//! assert!(report.kernel_ns > 0.0);
+//! # }
+//! ```
+
+pub use memnet_common as common;
+pub use memnet_core as sim;
+pub use memnet_cpu as cpu;
+pub use memnet_gpu as gpu;
+pub use memnet_hmc as hmc;
+pub use memnet_noc as noc;
+pub use memnet_workloads as workloads;

@@ -1,0 +1,300 @@
+//! `memnet` command-line interface.
+//!
+//! Runs one full-system simulation from command-line flags and prints the
+//! report as a table or JSON. Examples:
+//!
+//! ```sh
+//! memnet run --org umn --workload kmn
+//! memnet run --org pcie --workload bp --gpus 2 --sms 8 --json
+//! memnet run --org gmn --workload cg.s --topology dfbfly --routing ugal
+//! memnet list
+//! ```
+
+use memnet::noc::topo::{SlicedKind, TopologyKind};
+use memnet::noc::RoutingPolicy;
+use memnet::sim::{CtaPolicy, Organization, PlacementPolicy, SimBuilder, SimReport};
+use memnet::workloads::Workload;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "memnet — multi-GPU memory-network simulator (MICRO 2014 reproduction)
+
+USAGE:
+  memnet list                      list workloads and organizations
+  memnet run [OPTIONS]             run one simulation
+  memnet sweep [--small]           run every workload on every organization
+                                   and print a Fig. 14-style table
+
+OPTIONS:
+  --org <ORG>          pcie | pcie-zc | cmn | cmn-zc | gmn | gmn-zc | umn | pcn   (default umn)
+  --workload <W>       a Table II abbreviation, e.g. KMN, BP, CG.S               (default KMN)
+  --gpus <N>           number of GPUs                                             (default 4)
+  --sms <N>            SMs per GPU                                                (default 16)
+  --topology <T>       smesh | storus | smesh2x | storus2x | sfbfly | dfbfly | ddfly
+  --routing <R>        minimal | ugal
+  --cta <P>            static | rr | stealing
+  --placement <P>      random | round-robin | contiguous
+  --overlay            enable the CPU overlay network (UMN)
+  --small              use the tiny workload variant
+  --seconds-budget <S> simulated-time budget per phase in ms (default 20)
+  --json               print the report as JSON"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_org(s: &str) -> Option<Organization> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "pcie" => Organization::Pcie,
+        "pcie-zc" => Organization::PcieZc,
+        "cmn" => Organization::Cmn,
+        "cmn-zc" => Organization::CmnZc,
+        "gmn" => Organization::Gmn,
+        "gmn-zc" => Organization::GmnZc,
+        "umn" => Organization::Umn,
+        "pcn" => Organization::Pcn,
+        _ => return None,
+    })
+}
+
+fn parse_topology(s: &str) -> Option<TopologyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "smesh" => TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
+        "storus" => TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
+        "smesh2x" => TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
+        "storus2x" => TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
+        "sfbfly" => TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        "dfbfly" => TopologyKind::DistributorFbfly,
+        "ddfly" => TopologyKind::DistributorDfly,
+        _ => return None,
+    })
+}
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    if s.eq_ignore_ascii_case("vecadd") {
+        return Some(Workload::VecAdd);
+    }
+    Workload::table2().into_iter().find(|w| w.abbr().eq_ignore_ascii_case(s))
+}
+
+fn print_table(r: &SimReport) {
+    println!("workload         : {}", r.workload);
+    println!("organization     : {}", r.org.name());
+    println!("kernel time      : {:>14.1} ns", r.kernel_ns);
+    println!("memcpy time      : {:>14.1} ns", r.memcpy_ns);
+    println!("host time        : {:>14.1} ns", r.host_ns);
+    println!("total time       : {:>14.1} ns", r.total_ns());
+    println!("network energy   : {:>14.4} mJ", r.energy_mj);
+    println!("L1 / L2 hit rate : {:>6.1} % / {:.1} %", r.l1_hit_rate * 100.0, r.l2_hit_rate * 100.0);
+    println!("packet latency   : {:>14.1} ns (avg)", r.avg_pkt_latency_ns);
+    println!("hops per packet  : {:>14.2}", r.avg_hops);
+    println!("DRAM row hits    : {:>13.1} %", r.row_hit_rate * 100.0);
+    if r.passthrough > 0 {
+        println!("overlay hops     : {:>14}", r.passthrough);
+    }
+    println!("net utilization  : {:>13.1} %", r.channel_utilization * 100.0);
+    for (i, g) in r.per_gpu.iter().enumerate() {
+        println!(
+            "  GPU{i}: {} CTAs, {} mem reqs, L1 {:.0} %, L2 {:.0} %",
+            g.ctas_done,
+            g.mem_reqs,
+            g.l1_hit_rate * 100.0,
+            g.l2_hit_rate * 100.0
+        );
+    }
+    if r.timed_out {
+        println!("WARNING: simulation hit its phase budget before finishing");
+    }
+}
+
+fn print_json(r: &SimReport) {
+    // Hand-rolled JSON keeps the report struct free of serde bounds.
+    println!("{{");
+    println!("  \"workload\": \"{}\",", r.workload);
+    println!("  \"org\": \"{}\",", r.org.name());
+    println!("  \"kernel_ns\": {},", r.kernel_ns);
+    println!("  \"memcpy_ns\": {},", r.memcpy_ns);
+    println!("  \"host_ns\": {},", r.host_ns);
+    println!("  \"total_ns\": {},", r.total_ns());
+    println!("  \"energy_mj\": {},", r.energy_mj);
+    println!("  \"l1_hit_rate\": {},", r.l1_hit_rate);
+    println!("  \"l2_hit_rate\": {},", r.l2_hit_rate);
+    println!("  \"avg_pkt_latency_ns\": {},", r.avg_pkt_latency_ns);
+    println!("  \"avg_hops\": {},", r.avg_hops);
+    println!("  \"row_hit_rate\": {},", r.row_hit_rate);
+    println!("  \"timed_out\": {}", r.timed_out);
+    println!("}}");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("workloads (Table II):");
+            for w in Workload::table2() {
+                let s = w.spec();
+                println!("  {:<7} {}", s.abbr, s.name);
+            }
+            println!("  {:<7} {}", "VECADD", "vectorAdd (Fig. 7 microbenchmark)");
+            println!("\norganizations (Table III + PCN):");
+            for o in Organization::all_extended() {
+                println!("  {}", o.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_cmd(&args[1..]),
+        Some("sweep") => sweep_cmd(args.iter().any(|a| a == "--small")),
+        _ => usage(),
+    }
+}
+
+fn sweep_cmd(small: bool) -> ExitCode {
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "", "PCIe", "PCIe-ZC", "CMN", "CMN-ZC", "GMN", "GMN-ZC", "UMN", "PCN"
+    );
+    for w in Workload::table2() {
+        print!("{:<8}", w.abbr());
+        for org in Organization::all_extended() {
+            let spec = if small { w.spec_small() } else { w.spec() };
+            let r = SimBuilder::new(org).workload(spec).phase_budget_ns(30e6).run();
+            print!(" {:>11.0}{}", r.total_ns(), if r.timed_out { "!" } else { " " });
+        }
+        println!();
+    }
+    println!("(total runtime in ns; '!' marks a timed-out phase)");
+    ExitCode::SUCCESS
+}
+
+fn run_cmd(args: &[String]) -> ExitCode {
+    let mut org = Organization::Umn;
+    let mut workload = Workload::Kmn;
+    let mut gpus = 4u32;
+    let mut sms = 16u32;
+    let mut topology = None;
+    let mut routing = RoutingPolicy::Minimal;
+    let mut cta = CtaPolicy::StaticChunk;
+    let mut placement = PlacementPolicy::Random;
+    let mut overlay = false;
+    let mut small = false;
+    let mut json = false;
+    let mut budget_ms = 20.0f64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("missing value for {name}");
+            }
+            v.cloned()
+        };
+        match a.as_str() {
+            "--org" => match value("--org").and_then(|v| parse_org(&v)) {
+                Some(o) => org = o,
+                None => return usage(),
+            },
+            "--workload" => match value("--workload").and_then(|v| parse_workload(&v)) {
+                Some(w) => workload = w,
+                None => return usage(),
+            },
+            "--gpus" => match value("--gpus").and_then(|v| v.parse().ok()) {
+                Some(n) => gpus = n,
+                None => return usage(),
+            },
+            "--sms" => match value("--sms").and_then(|v| v.parse().ok()) {
+                Some(n) => sms = n,
+                None => return usage(),
+            },
+            "--topology" => match value("--topology").and_then(|v| parse_topology(&v)) {
+                Some(t) => topology = Some(t),
+                None => return usage(),
+            },
+            "--routing" => match value("--routing").as_deref() {
+                Some("minimal") => routing = RoutingPolicy::Minimal,
+                Some("ugal") => routing = RoutingPolicy::Ugal,
+                _ => return usage(),
+            },
+            "--cta" => match value("--cta").as_deref() {
+                Some("static") => cta = CtaPolicy::StaticChunk,
+                Some("rr") => cta = CtaPolicy::RoundRobin,
+                Some("stealing") => cta = CtaPolicy::Stealing,
+                _ => return usage(),
+            },
+            "--placement" => match value("--placement").as_deref() {
+                Some("random") => placement = PlacementPolicy::Random,
+                Some("round-robin") => placement = PlacementPolicy::RoundRobin,
+                Some("contiguous") => placement = PlacementPolicy::Contiguous,
+                _ => return usage(),
+            },
+            "--overlay" => overlay = true,
+            "--small" => small = true,
+            "--json" => json = true,
+            "--seconds-budget" => match value("--seconds-budget").and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = ms,
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown option {a}");
+                return usage();
+            }
+        }
+    }
+
+    let spec = if small { workload.spec_small() } else { workload.spec() };
+    let mut b = SimBuilder::new(org)
+        .gpus(gpus)
+        .sms_per_gpu(sms)
+        .workload(spec)
+        .cta_policy(cta)
+        .placement(placement)
+        .overlay(overlay)
+        .routing(routing)
+        .phase_budget_ns(budget_ms * 1e6);
+    if let Some(t) = topology {
+        b = b.topology(t);
+    }
+    let r = b.run();
+    if json {
+        print_json(&r);
+    } else {
+        print_table(&r);
+    }
+    if r.timed_out {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn org_parsing_covers_all_names() {
+        for o in Organization::all_extended() {
+            let parsed = parse_org(&o.name().to_ascii_lowercase());
+            assert_eq!(parsed, Some(o), "{}", o.name());
+        }
+        assert_eq!(parse_org("nvlink"), None);
+    }
+
+    #[test]
+    fn workload_parsing_accepts_table2_abbreviations() {
+        for w in Workload::table2() {
+            assert_eq!(parse_workload(w.abbr()), Some(w));
+            assert_eq!(parse_workload(&w.abbr().to_ascii_lowercase()), Some(w));
+        }
+        assert_eq!(parse_workload("VECADD"), Some(Workload::VecAdd));
+        assert_eq!(parse_workload("nope"), None);
+    }
+
+    #[test]
+    fn topology_parsing() {
+        assert!(parse_topology("sfbfly").is_some());
+        assert!(parse_topology("smesh2x").is_some());
+        assert!(parse_topology("ddfly").is_some());
+        assert!(parse_topology("hypercube").is_none());
+    }
+}
