@@ -8,9 +8,7 @@
 
 use memnet_core::{CtaPolicy, Organization, SimReport};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     policy: &'static str,
@@ -18,6 +16,13 @@ struct Row {
     l1_hit_rate: f64,
     l2_hit_rate: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    policy,
+    kernel_ns,
+    l1_hit_rate,
+    l2_hit_rate
+});
 
 fn main() {
     memnet_bench::header("Ablation (Sec. III-B): CTA assignment policy");
@@ -31,8 +36,11 @@ fn main() {
         .iter()
         .flat_map(|&w| policies.iter().map(move |&(_, p)| (w, p)))
         .map(|(w, p)| {
-            Box::new(move || memnet_bench::eval_builder(Organization::Umn, w).cta_policy(p).run())
-                as Box<dyn FnOnce() -> SimReport + Send>
+            Box::new(move || {
+                memnet_bench::eval_builder(Organization::Umn, w)
+                    .cta_policy(p)
+                    .run()
+            }) as Box<dyn FnOnce() -> SimReport + Send>
         })
         .collect();
     let reports = memnet_bench::run_parallel(jobs);
@@ -89,7 +97,13 @@ fn main() {
     );
     let max_l1 = l1_gains.iter().cloned().fold(0.0, f64::max);
     let max_l2 = l2_gains.iter().cloned().fold(0.0, f64::max);
-    println!("  max L1 hit-rate gain : {:.0}% (paper: up to 43%)", (max_l1 - 1.0) * 100.0);
-    println!("  max L2 hit-rate gain : {:.0}% (paper: up to 20%)", (max_l2 - 1.0) * 100.0);
+    println!(
+        "  max L1 hit-rate gain : {:.0}% (paper: up to 43%)",
+        (max_l1 - 1.0) * 100.0
+    );
+    println!(
+        "  max L2 hit-rate gain : {:.0}% (paper: up to 20%)",
+        (max_l2 - 1.0) * 100.0
+    );
     memnet_bench::write_json("ablation_cta_sched", &rows);
 }

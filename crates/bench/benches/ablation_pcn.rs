@@ -10,9 +10,7 @@
 
 use memnet_core::{Organization, SimReport};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     org: &'static str,
@@ -20,15 +18,29 @@ struct Row {
     memcpy_ns: f64,
     total_ns: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    org,
+    kernel_ns,
+    memcpy_ns,
+    total_ns
+});
 
 fn main() {
     memnet_bench::header("Extension: processor-centric (NVLink-style) vs memory-centric networks");
-    let orgs = [Organization::Pcie, Organization::Pcn, Organization::Gmn, Organization::Umn];
+    let orgs = [
+        Organization::Pcie,
+        Organization::Pcn,
+        Organization::Gmn,
+        Organization::Umn,
+    ];
     let workloads = [Workload::Bp, Workload::Bfs, Workload::Cp];
     let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
         .iter()
         .flat_map(|&w| orgs.iter().map(move |&o| (w, o)))
-        .map(|(w, o)| Box::new(move || memnet_bench::run_org(o, w)) as Box<dyn FnOnce() -> SimReport + Send>)
+        .map(|(w, o)| {
+            Box::new(move || memnet_bench::run_org(o, w)) as Box<dyn FnOnce() -> SimReport + Send>
+        })
         .collect();
     let reports = memnet_bench::run_parallel(jobs);
 

@@ -9,15 +9,19 @@
 
 use memnet_core::{Organization, PlacementPolicy, SimReport};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     policy: &'static str,
     kernel_ns: f64,
     hot_share_pct: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    policy,
+    kernel_ns,
+    hot_share_pct
+});
 
 fn main() {
     memnet_bench::header("Extension: page placement policy (UMN kernels)");
@@ -31,8 +35,11 @@ fn main() {
         .iter()
         .flat_map(|&w| policies.iter().map(move |&(_, p)| (w, p)))
         .map(|(w, p)| {
-            Box::new(move || memnet_bench::eval_builder(Organization::Umn, w).placement(p).run())
-                as Box<dyn FnOnce() -> SimReport + Send>
+            Box::new(move || {
+                memnet_bench::eval_builder(Organization::Umn, w)
+                    .placement(p)
+                    .run()
+            }) as Box<dyn FnOnce() -> SimReport + Send>
         })
         .collect();
     let reports = memnet_bench::run_parallel(jobs);

@@ -12,9 +12,7 @@
 
 use memnet_core::Organization;
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     system: &'static str,
     clusters: usize,
@@ -22,6 +20,13 @@ struct Row {
     kernel_ns: f64,
     normalized: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    system,
+    clusters,
+    remote_fraction,
+    kernel_ns,
+    normalized
+});
 
 fn run(org: Organization, clusters: Vec<u32>) -> f64 {
     let r = memnet_bench::eval_builder(org, Workload::VecAdd)
@@ -34,9 +39,16 @@ fn run(org: Organization, clusters: Vec<u32>) -> f64 {
 
 fn main() {
     memnet_bench::header("Fig. 7: vectorAdd kernel time vs. data distribution (1 executing GPU)");
-    let cases = [(vec![0u32], 0.0), (vec![0, 1], 0.5), (vec![0, 1, 2, 3], 0.75)];
+    let cases = [
+        (vec![0u32], 0.0),
+        (vec![0, 1], 0.5),
+        (vec![0, 1, 2, 3], 0.75),
+    ];
     let mut rows = Vec::new();
-    for (system, org) in [("PCIe (a)", Organization::Pcie), ("GMN sFBFLY (b)", Organization::Gmn)] {
+    for (system, org) in [
+        ("PCIe (a)", Organization::Pcie),
+        ("GMN sFBFLY (b)", Organization::Gmn),
+    ] {
         let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = cases
             .iter()
             .map(|(cl, _)| {

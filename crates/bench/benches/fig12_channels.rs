@@ -8,9 +8,7 @@
 
 use memnet_noc::topo::{build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::{LinkTag, NetworkBuilder, NocParams};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     gpus: usize,
     dfbfly_channels: usize,
@@ -19,6 +17,14 @@ struct Row {
     dfbfly_max_radix: usize,
     sfbfly_max_radix: usize,
 }
+memnet_obs::to_json_struct!(Row {
+    gpus,
+    dfbfly_channels,
+    sfbfly_channels,
+    reduction_pct,
+    dfbfly_max_radix,
+    sfbfly_max_radix
+});
 
 fn count(n: usize, kind: TopologyKind) -> (usize, usize) {
     let mut b = NetworkBuilder::new(NocParams::default());
@@ -28,7 +34,10 @@ fn count(n: usize, kind: TopologyKind) -> (usize, usize) {
 
 fn main() {
     memnet_bench::header("Fig. 12: memory-network channel count, dFBFLY vs sFBFLY (4 HMCs/GPU)");
-    let sf = TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false };
+    let sf = TopologyKind::Sliced {
+        kind: SlicedKind::Fbfly,
+        double: false,
+    };
     let mut rows = Vec::new();
     println!("  GPUs   dFBFLY   sFBFLY   removed   max radix (d/s)");
     for gpus in [2usize, 4, 8, 16] {
@@ -48,8 +57,14 @@ fn main() {
     println!("  paper: -50% at 4 GPUs, -43% at 8 GPUs");
     let r4 = rows.iter().find(|r| r.gpus == 4).expect("4-GPU row");
     let r8 = rows.iter().find(|r| r.gpus == 8).expect("8-GPU row");
-    assert!((r4.reduction_pct - 50.0).abs() < 0.1, "4-GPU reduction must be 50%");
-    assert!((r8.reduction_pct - 42.86).abs() < 0.1, "8-GPU reduction must be ~43%");
+    assert!(
+        (r4.reduction_pct - 50.0).abs() < 0.1,
+        "4-GPU reduction must be 50%"
+    );
+    assert!(
+        (r8.reduction_pct - 42.86).abs() < 0.1,
+        "8-GPU reduction must be ~43%"
+    );
     println!("  [check] measured reductions match the paper exactly");
     memnet_bench::write_json("fig12_channels", &rows);
 }

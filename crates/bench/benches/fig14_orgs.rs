@@ -12,9 +12,7 @@
 
 use memnet_core::{Organization, SimReport};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     org: &'static str,
@@ -24,6 +22,15 @@ struct Row {
     total_ns: f64,
     timed_out: bool,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    org,
+    kernel_ns,
+    memcpy_ns,
+    host_ns,
+    total_ns,
+    timed_out
+});
 
 fn main() {
     memnet_bench::header("Fig. 14: runtime breakdown (memcpy + kernel) per organization");
@@ -32,7 +39,9 @@ fn main() {
     let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
         .iter()
         .flat_map(|&w| orgs.iter().map(move |&o| (w, o)))
-        .map(|(w, o)| Box::new(move || memnet_bench::run_org(o, w)) as Box<dyn FnOnce() -> SimReport + Send>)
+        .map(|(w, o)| {
+            Box::new(move || memnet_bench::run_org(o, w)) as Box<dyn FnOnce() -> SimReport + Send>
+        })
         .collect();
     let reports = memnet_bench::run_parallel(jobs);
 
@@ -43,8 +52,13 @@ fn main() {
     let mut cmnzc_speedups = Vec::new();
     for (wi, w) in workloads.iter().enumerate() {
         println!("\n{}:", w.abbr());
-        println!("  {:<9} {:>12} {:>12} {:>12} {:>12}", "org", "kernel ns", "memcpy ns", "host ns", "total ns");
-        let per_org: Vec<&SimReport> = (0..orgs.len()).map(|oi| &reports[wi * orgs.len() + oi]).collect();
+        println!(
+            "  {:<9} {:>12} {:>12} {:>12} {:>12}",
+            "org", "kernel ns", "memcpy ns", "host ns", "total ns"
+        );
+        let per_org: Vec<&SimReport> = (0..orgs.len())
+            .map(|oi| &reports[wi * orgs.len() + oi])
+            .collect();
         for r in &per_org {
             println!(
                 "  {:<9} {:>12.0} {:>12.0} {:>12.0} {:>12.0}{}",

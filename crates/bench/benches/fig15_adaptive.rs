@@ -9,9 +9,7 @@ use memnet_core::{Organization, SimReport};
 use memnet_noc::topo::TopologyKind;
 use memnet_noc::RoutingPolicy;
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     topology: &'static str,
@@ -20,20 +18,36 @@ struct Row {
     ugal_gain_pct: f64,
     nonminimal_packets: u64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    topology,
+    min_kernel_ns,
+    ugal_kernel_ns,
+    ugal_gain_pct,
+    nonminimal_packets
+});
 
 fn run(w: Workload, topo: TopologyKind, routing: RoutingPolicy) -> SimReport {
-    memnet_bench::eval_builder(Organization::Gmn, w).topology(topo).routing(routing).run()
+    memnet_bench::eval_builder(Organization::Gmn, w)
+        .topology(topo)
+        .routing(routing)
+        .run()
 }
 
 fn main() {
     memnet_bench::header("Fig. 15: MIN vs UGAL on dDFLY and dFBFLY (GMN kernel time)");
-    let topos = [TopologyKind::DistributorDfly, TopologyKind::DistributorFbfly];
+    let topos = [
+        TopologyKind::DistributorDfly,
+        TopologyKind::DistributorFbfly,
+    ];
     let workloads = [Workload::Kmn, Workload::Cp, Workload::CgS];
     let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads
         .iter()
         .flat_map(|&w| {
             topos.iter().flat_map(move |&t| {
-                [RoutingPolicy::Minimal, RoutingPolicy::Ugal].into_iter().map(move |r| (w, t, r))
+                [RoutingPolicy::Minimal, RoutingPolicy::Ugal]
+                    .into_iter()
+                    .map(move |r| (w, t, r))
             })
         })
         .map(|(w, t, r)| Box::new(move || run(w, t, r)) as Box<dyn FnOnce() -> SimReport + Send>)

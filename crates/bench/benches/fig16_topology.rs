@@ -8,9 +8,7 @@
 use memnet_core::{Organization, SimReport};
 use memnet_noc::topo::{SlicedKind, TopologyKind};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     topology: &'static str,
@@ -18,14 +16,36 @@ struct Row {
     avg_hops: f64,
     energy_mj: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    topology,
+    kernel_ns,
+    avg_hops,
+    energy_mj
+});
 
 pub fn topologies() -> [TopologyKind; 5] {
     [
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
     ]
 }
 
@@ -37,22 +57,33 @@ fn main() {
         .iter()
         .flat_map(|&w| topos.iter().map(move |&t| (w, t)))
         .map(|(w, t)| {
-            Box::new(move || memnet_bench::eval_builder(Organization::Gmn, w).topology(t).run())
-                as Box<dyn FnOnce() -> SimReport + Send>
+            Box::new(move || {
+                memnet_bench::eval_builder(Organization::Gmn, w)
+                    .topology(t)
+                    .run()
+            }) as Box<dyn FnOnce() -> SimReport + Send>
         })
         .collect();
     let reports = memnet_bench::run_parallel(jobs);
 
     let mut rows = Vec::new();
-    println!("  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}   (kernel ns)", "", "sMESH", "sTORUS", "sMESH-2x", "sTORUS-2x", "sFBFLY");
+    println!(
+        "  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}   (kernel ns)",
+        "", "sMESH", "sTORUS", "sMESH-2x", "sTORUS-2x", "sFBFLY"
+    );
     let mut wins = 0;
     for (wi, w) in workloads.iter().enumerate() {
-        let per: Vec<&SimReport> = (0..topos.len()).map(|ti| &reports[wi * topos.len() + ti]).collect();
+        let per: Vec<&SimReport> = (0..topos.len())
+            .map(|ti| &reports[wi * topos.len() + ti])
+            .collect();
         print!("  {:<6}", w.abbr());
         for r in &per {
             print!(" {:>10.0}", r.kernel_ns);
         }
-        let best = per.iter().map(|r| r.kernel_ns).fold(f64::INFINITY, f64::min);
+        let best = per
+            .iter()
+            .map(|r| r.kernel_ns)
+            .fold(f64::INFINITY, f64::min);
         let sfbfly = per[4].kernel_ns;
         if sfbfly <= best * 1.05 {
             wins += 1;
@@ -68,7 +99,10 @@ fn main() {
             });
         }
     }
-    println!("\n  sFBFLY best-or-within-5% on {wins}/{} workloads", workloads.len());
+    println!(
+        "\n  sFBFLY best-or-within-5% on {wins}/{} workloads",
+        workloads.len()
+    );
     println!("  paper: sFBFLY better or comparable to sMESH-2x/sTORUS-2x on most workloads");
     memnet_bench::write_json("fig16_topology", &rows);
 }

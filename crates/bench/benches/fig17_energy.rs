@@ -13,24 +13,44 @@
 
 use memnet_core::{Organization, SimReport};
 use memnet_noc::topo::{SlicedKind, TopologyKind};
+use memnet_obs::JsonValue;
 use memnet_workloads::Workload;
-use serde::{Deserialize, Serialize};
 
-#[derive(Serialize, Deserialize)]
 struct Row {
     workload: String,
     topology: String,
     energy_mj: f64,
     kernel_ns: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    topology,
+    energy_mj,
+    kernel_ns
+});
 
 fn topologies() -> [TopologyKind; 5] {
     [
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
     ]
 }
 
@@ -41,28 +61,24 @@ fn load_from_fig16() -> Option<Vec<Row>> {
     path.pop();
     path.push("target/experiments/fig16_topology.json");
     let data = std::fs::read_to_string(path).ok()?;
-    #[derive(Deserialize)]
-    struct Fig16Row {
-        workload: String,
-        topology: String,
-        kernel_ns: f64,
-        energy_mj: f64,
-    }
-    let rows: Vec<Fig16Row> = serde_json::from_str(&data).ok()?;
+    let rows: Vec<Row> = memnet_obs::parse(&data)
+        .ok()?
+        .as_array()?
+        .iter()
+        .map(|v: &JsonValue| {
+            Some(Row {
+                workload: v.get("workload")?.as_str()?.to_string(),
+                topology: v.get("topology")?.as_str()?.to_string(),
+                energy_mj: v.get("energy_mj")?.as_f64()?,
+                kernel_ns: v.get("kernel_ns")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<Row>>>()?;
     let expected = Workload::table2().len() * topologies().len();
     if rows.len() != expected {
         return None; // stale or fast-mode artifact: rerun
     }
-    Some(
-        rows.into_iter()
-            .map(|r| Row {
-                workload: r.workload,
-                topology: r.topology,
-                energy_mj: r.energy_mj,
-                kernel_ns: r.kernel_ns,
-            })
-            .collect(),
-    )
+    Some(rows)
 }
 
 fn run_sweep() -> Vec<Row> {
@@ -72,13 +88,20 @@ fn run_sweep() -> Vec<Row> {
         .iter()
         .flat_map(|&w| topos.iter().map(move |&t| (w, t)))
         .map(|(w, t)| {
-            Box::new(move || memnet_bench::eval_builder(Organization::Gmn, w).topology(t).run())
-                as Box<dyn FnOnce() -> SimReport + Send>
+            Box::new(move || {
+                memnet_bench::eval_builder(Organization::Gmn, w)
+                    .topology(t)
+                    .run()
+            }) as Box<dyn FnOnce() -> SimReport + Send>
         })
         .collect();
     memnet_bench::run_parallel(jobs)
         .into_iter()
-        .zip(workloads.iter().flat_map(|&w| topos.iter().map(move |&t| (w, t))))
+        .zip(
+            workloads
+                .iter()
+                .flat_map(|&w| topos.iter().map(move |&t| (w, t))),
+        )
         .map(|(r, (_, t))| Row {
             workload: r.workload.to_string(),
             topology: t.name().to_string(),
@@ -99,7 +122,10 @@ fn main() {
     }
     let topo_names: Vec<&str> = topologies().iter().map(|t| t.name()).collect();
     let mut savings = Vec::new();
-    println!("  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}   (mJ)", "", "sMESH", "sTORUS", "sMESH-2x", "sTORUS-2x", "sFBFLY");
+    println!(
+        "  {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}   (mJ)",
+        "", "sMESH", "sTORUS", "sMESH-2x", "sTORUS-2x", "sFBFLY"
+    );
     for w in Workload::table2() {
         let abbr = w.abbr();
         let per: Vec<&Row> = topo_names

@@ -9,9 +9,7 @@
 use memnet_core::{Organization, SimReport};
 use memnet_noc::topo::{SlicedKind, TopologyKind};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     design: &'static str,
@@ -20,17 +18,50 @@ struct Row {
     avg_pkt_latency_ns: f64,
     passthrough: u64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    design,
+    host_ns,
+    total_ns,
+    avg_pkt_latency_ns,
+    passthrough
+});
 
 fn run(w: Workload, topo: TopologyKind, overlay: bool) -> SimReport {
-    memnet_bench::eval_builder(Organization::Umn, w).gpus(3).topology(topo).overlay(overlay).run()
+    memnet_bench::eval_builder(Organization::Umn, w)
+        .gpus(3)
+        .topology(topo)
+        .overlay(overlay)
+        .run()
 }
 
 fn main() {
     memnet_bench::header("Fig. 18: host-thread performance on UMN (1 CPU + 3 GPU + 16 HMC)");
     let designs: [(&'static str, TopologyKind, bool); 3] = [
-        ("sMESH", TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false }, false),
-        ("sFBFLY", TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false }, false),
-        ("overlay", TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false }, true),
+        (
+            "sMESH",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            },
+            false,
+        ),
+        (
+            "sFBFLY",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+            false,
+        ),
+        (
+            "overlay",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+            true,
+        ),
     ];
     let workloads = [Workload::CgS, Workload::FtS];
     let jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = workloads

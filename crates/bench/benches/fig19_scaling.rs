@@ -9,9 +9,7 @@
 
 use memnet_core::{Organization, SimBuilder, SimReport};
 use memnet_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: &'static str,
     gpus: u32,
@@ -19,10 +17,25 @@ struct Row {
     speedup: f64,
     l2_hit_rate: f64,
 }
+memnet_obs::to_json_struct!(Row {
+    workload,
+    gpus,
+    kernel_ns,
+    speedup,
+    l2_hit_rate
+});
 
 fn run(w: Workload, gpus: u32) -> SimReport {
-    let spec = if memnet_bench::fast_mode() { w.spec_small() } else { w.spec_large() };
-    SimBuilder::new(Organization::Umn).gpus(gpus).workload(spec).phase_budget_ns(60_000_000.0).run()
+    let spec = if memnet_bench::fast_mode() {
+        w.spec_small()
+    } else {
+        w.spec_large()
+    };
+    SimBuilder::new(Organization::Umn)
+        .gpus(gpus)
+        .workload(spec)
+        .phase_budget_ns(60_000_000.0)
+        .run()
 }
 
 fn main() {
@@ -38,9 +51,14 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedups_at_16 = Vec::new();
-    println!("  {:<6} {:>8} {:>8} {:>8} {:>8} {:>8}   (speedup vs 1 GPU)", "", 1, 2, 4, 8, 16);
+    println!(
+        "  {:<6} {:>8} {:>8} {:>8} {:>8} {:>8}   (speedup vs 1 GPU)",
+        "", 1, 2, 4, 8, 16
+    );
     for (wi, w) in workloads.iter().enumerate() {
-        let per: Vec<&SimReport> = (0..gpu_counts.len()).map(|gi| &reports[wi * gpu_counts.len() + gi]).collect();
+        let per: Vec<&SimReport> = (0..gpu_counts.len())
+            .map(|gi| &reports[wi * gpu_counts.len() + gi])
+            .collect();
         let base = per[0].kernel_ns;
         print!("  {:<6}", w.abbr());
         for (g, r) in gpu_counts.iter().zip(&per) {
@@ -60,6 +78,8 @@ fn main() {
     }
     let geo = memnet_bench::geomean(&speedups_at_16);
     let min = speedups_at_16.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("\n  geomean @16 GPUs: {geo:.1}x (paper: 13.5x); lowest: {min:.1}x (paper: FWT 11.2x)");
+    println!(
+        "\n  geomean @16 GPUs: {geo:.1}x (paper: 13.5x); lowest: {min:.1}x (paper: FWT 11.2x)"
+    );
     memnet_bench::write_json("fig19_scaling", &rows);
 }

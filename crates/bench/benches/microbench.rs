@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks for the hot substrate loops: router tick
-//! under load, FR-FCFS vault scheduling, cache probes, and address
-//! decoding. These guard the simulator's own performance (a full Fig. 14
-//! sweep runs ~100 full-system simulations).
+//! Microbenchmarks for the hot substrate loops: router tick under load,
+//! FR-FCFS vault scheduling, cache probes, and address decoding. These
+//! guard the simulator's own performance (a full Fig. 14 sweep runs ~100
+//! full-system simulations).
+//!
+//! The harness is a minimal warmup-then-measure loop (median of several
+//! batches) so it runs in the offline build; point `xtests/` at these same
+//! kernels for statistics-grade numbers with criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use memnet_common::{AccessKind, Agent, GpuId, MemReq, Payload, ReqId, SystemConfig};
 use memnet_gpu::cache::Cache;
 use memnet_hmc::mapping::AddressMap;
@@ -11,88 +14,119 @@ use memnet_hmc::Vault;
 use memnet_noc::topo::{build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::{MsgClass, NetworkBuilder, NocParams};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_network_tick(c: &mut Criterion) {
-    c.bench_function("noc: loaded sFBFLY tick", |b| {
-        let mut nb = NetworkBuilder::new(NocParams::default());
-        let cl = build_clusters(&mut nb, 4, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
-        let mut net = nb.build();
-        let eps = cl.hmc_eps_flat();
-        let mut i = 0u64;
-        b.iter(|| {
-            // Keep the network loaded: inject a packet per tick, drain ejects.
-            let src = cl.device_eps[(i % 4) as usize];
-            let dst = eps[(i % 16) as usize];
-            if net.inject_ready(src) {
-                let req = MemReq {
-                    id: ReqId(i),
-                    addr: i * 128,
-                    bytes: 128,
-                    kind: AccessKind::Read,
-                    src: Agent::Gpu(GpuId((i % 4) as u16)),
-                };
-                net.inject(src, dst, MsgClass::Req, Payload::Req(req), false);
+/// Runs `iters`-iteration batches of `f` and prints the median ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..iters / 4 {
+        f();
+    }
+    const BATCHES: usize = 7;
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
             }
-            net.tick();
-            for &e in &eps {
-                while net.poll_eject(e).is_some() {}
-            }
-            i += 1;
-            black_box(net.cycle())
-        });
-    });
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    println!(
+        "  {name:<28} {:>10.1} ns/iter   (median of {BATCHES}x{iters})",
+        per_iter[BATCHES / 2]
+    );
 }
 
-fn bench_vault(c: &mut Criterion) {
-    c.bench_function("hmc: FR-FCFS vault tick", |b| {
-        let cfg = SystemConfig::paper().hmc;
-        let mut v = Vault::new(&cfg);
-        let mut now = 0u64;
-        let mut i = 0u64;
-        b.iter(|| {
-            if v.can_accept() {
-                let req = MemReq {
-                    id: ReqId(i),
-                    addr: 0,
-                    bytes: 128,
-                    kind: AccessKind::Read,
-                    src: Agent::Gpu(GpuId(0)),
-                };
-                v.try_enqueue(req, (i % 16) as u32, i / 5).expect("space checked");
-                i += 1;
-            }
-            let out = v.tick(now);
-            now += 1;
-            black_box(out)
-        });
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("gpu: L1 probe", |b| {
-        let cfg = SystemConfig::paper().gpu.l1;
-        let mut cache = Cache::new(&cfg);
-        for i in 0..256u64 {
-            cache.fill(i * 128);
+fn bench_network_tick() {
+    let mut nb = NetworkBuilder::new(NocParams::default());
+    let cl = build_clusters(
+        &mut nb,
+        4,
+        4,
+        8,
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
+    );
+    let mut net = nb.build();
+    let eps = cl.hmc_eps_flat();
+    let mut i = 0u64;
+    bench("noc: loaded sFBFLY tick", 20_000, || {
+        // Keep the network loaded: inject a packet per tick, drain ejects.
+        let src = cl.device_eps[(i % 4) as usize];
+        let dst = eps[(i % 16) as usize];
+        if net.inject_ready(src) {
+            let req = MemReq {
+                id: ReqId(i),
+                addr: i * 128,
+                bytes: 128,
+                kind: AccessKind::Read,
+                src: Agent::Gpu(GpuId((i % 4) as u16)),
+            };
+            net.inject(src, dst, MsgClass::Req, Payload::Req(req), false);
         }
-        let mut i = 0u64;
-        b.iter(|| {
+        net.tick();
+        for &e in &eps {
+            while net.poll_eject(e).is_some() {}
+        }
+        i += 1;
+        black_box(net.cycle());
+    });
+}
+
+fn bench_vault() {
+    let cfg = SystemConfig::paper().hmc;
+    let mut v = Vault::new(&cfg);
+    let mut now = 0u64;
+    let mut i = 0u64;
+    bench("hmc: FR-FCFS vault tick", 100_000, || {
+        if v.can_accept() {
+            let req = MemReq {
+                id: ReqId(i),
+                addr: 0,
+                bytes: 128,
+                kind: AccessKind::Read,
+                src: Agent::Gpu(GpuId(0)),
+            };
+            v.try_enqueue(req, (i % 16) as u32, i / 5)
+                .expect("space checked");
             i += 1;
-            black_box(cache.read((i % 512) * 128))
-        });
+        }
+        let out = v.tick(now);
+        now += 1;
+        black_box(out);
     });
 }
 
-fn bench_mapping(c: &mut Criterion) {
-    c.bench_function("hmc: address decode", |b| {
-        let map = AddressMap::new(&SystemConfig::paper());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            black_box(map.decode(i & ((1 << 40) - 1)))
-        });
+fn bench_cache() {
+    let cfg = SystemConfig::paper().gpu.l1;
+    let mut cache = Cache::new(&cfg);
+    for i in 0..256u64 {
+        cache.fill(i * 128);
+    }
+    let mut i = 0u64;
+    bench("gpu: L1 probe", 1_000_000, || {
+        i += 1;
+        black_box(cache.read((i % 512) * 128));
     });
 }
 
-criterion_group!(benches, bench_network_tick, bench_vault, bench_cache, bench_mapping);
-criterion_main!(benches);
+fn bench_mapping() {
+    let map = AddressMap::new(&SystemConfig::paper());
+    let mut i = 0u64;
+    bench("hmc: address decode", 1_000_000, || {
+        i = i.wrapping_add(0x9E37_79B9);
+        black_box(map.decode(i & ((1 << 40) - 1)));
+    });
+}
+
+fn main() {
+    memnet_bench::header("Microbenchmarks: simulator substrate hot loops");
+    bench_network_tick();
+    bench_vault();
+    bench_cache();
+    bench_mapping();
+}

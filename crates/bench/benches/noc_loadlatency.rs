@@ -11,9 +11,7 @@
 use memnet_noc::topo::{build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::traffic::{run_load_point, Pattern};
 use memnet_noc::{NetworkBuilder, NocParams};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     topology: &'static str,
     offered: f64,
@@ -21,13 +19,29 @@ struct Point {
     latency_cycles: f64,
     saturated: bool,
 }
+memnet_obs::to_json_struct!(Point {
+    topology,
+    offered,
+    accepted,
+    latency_cycles,
+    saturated
+});
 
 fn main() {
     memnet_bench::header("Extension: load-latency of memory-network topologies (uniform traffic)");
     let topos = [
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
         TopologyKind::DistributorFbfly,
         TopologyKind::DistributorDfly,
     ];
@@ -54,7 +68,11 @@ fn main() {
                 5_000,
                 42,
             );
-            print!(" {:>6.1}{}", p.latency.mean(), if p.saturated { "*" } else { " " });
+            print!(
+                " {:>6.1}{}",
+                p.latency.mean(),
+                if p.saturated { "*" } else { " " }
+            );
             rows.push(Point {
                 topology: t.name(),
                 offered: load,

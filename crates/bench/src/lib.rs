@@ -14,8 +14,8 @@
 //! points) for a quick smoke pass.
 
 use memnet_core::{Organization, SimBuilder, SimReport};
+use memnet_obs::ToJson;
 use memnet_workloads::{Workload, WorkloadSpec};
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -42,7 +42,9 @@ pub fn spec_for(w: Workload) -> WorkloadSpec {
 /// A builder preconfigured for the evaluation machine (4 GPUs, 16 HMCs,
 /// scaled SM count — see `SystemConfig::scaled`).
 pub fn eval_builder(org: Organization, w: Workload) -> SimBuilder {
-    let mut b = SimBuilder::new(org).workload(spec_for(w)).phase_budget_ns(20_000_000.0);
+    let mut b = SimBuilder::new(org)
+        .workload(spec_for(w))
+        .phase_budget_ns(20_000_000.0);
     if full_mode() {
         b = b.config(memnet_common::SystemConfig::paper());
     }
@@ -52,7 +54,9 @@ pub fn eval_builder(org: Organization, w: Workload) -> SimBuilder {
 /// Runs `jobs` in parallel (bounded by available cores) and returns the
 /// results in submission order.
 pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(jobs.len().max(1));
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(jobs.len().max(1));
     let jobs: Vec<_> = jobs.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(jobs);
     let n = queue.lock().expect("fresh mutex").len();
@@ -102,7 +106,7 @@ pub fn ratio(a: f64, b: f64) -> String {
 /// # Panics
 ///
 /// Panics on I/O errors — the harness should fail loudly.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.pop();
     path.pop();
@@ -110,7 +114,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     std::fs::create_dir_all(&path).expect("create experiments dir");
     path.push(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("create json");
-    let s = serde_json::to_string_pretty(value).expect("serialize");
+    let s = value.to_json_pretty();
     f.write_all(s.as_bytes()).expect("write json");
     println!("[wrote {}]", path.display());
 }
@@ -124,8 +128,9 @@ mod tests {
 
     #[test]
     fn parallel_results_keep_order() {
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0..32usize).map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
         let out = run_parallel(jobs);
         assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
     }

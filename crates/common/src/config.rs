@@ -7,10 +7,8 @@
 //! (fewer SMs, same ratios) that the bench harness uses by default; every
 //! experiment can be re-run at full Table I scale by switching constructors.
 
-use serde::{Deserialize, Serialize};
-
 /// A set-associative cache's geometry and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -28,13 +26,16 @@ impl CacheConfig {
     /// Number of sets; panics if the geometry is inconsistent.
     pub fn sets(&self) -> u64 {
         let lines = self.size_bytes / self.line_bytes as u64;
-        assert!(lines % self.assoc as u64 == 0, "cache lines not divisible by associativity");
+        assert!(
+            lines.is_multiple_of(self.assoc as u64),
+            "cache lines not divisible by associativity"
+        );
         lines / self.assoc as u64
     }
 }
 
 /// GPU parameters (Table I, GPU section).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Streaming multiprocessors per GPU (Table I: 64).
     pub n_sms: u32,
@@ -61,7 +62,7 @@ pub struct GpuConfig {
 }
 
 /// CPU parameters (Table I, CPU section).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuConfig {
     /// Core clock in MHz (4000).
     pub freq_mhz: f64,
@@ -76,7 +77,7 @@ pub struct CpuConfig {
 }
 
 /// HMC parameters (Table I, HMC section). DRAM timings are in tCK units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HmcConfig {
     /// DRAM layers (8).
     pub layers: u32,
@@ -120,7 +121,7 @@ impl HmcConfig {
 }
 
 /// Interconnection-network parameters (Section VI-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocConfig {
     /// High-speed channel bandwidth per direction, GB/s (20).
     pub channel_gbs: f64,
@@ -165,7 +166,7 @@ impl NocConfig {
 }
 
 /// PCIe interconnect model (16-lane PCIe v3.0, Section VI-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieConfig {
     /// Bandwidth per direction in GB/s (15.75).
     pub gbs: f64,
@@ -174,7 +175,7 @@ pub struct PcieConfig {
 }
 
 /// Full system configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of discrete GPUs (evaluation default: 4).
     pub n_gpus: u32,
@@ -211,8 +212,20 @@ impl SystemConfig {
                 threads_per_sm: 1024,
                 ctas_per_sm: 8,
                 simd_width: 32,
-                l1: CacheConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 128, latency_cycles: 4, mshrs: 32 },
-                l2: CacheConfig { size_bytes: 2 << 20, assoc: 16, line_bytes: 128, latency_cycles: 20, mshrs: 128 },
+                l1: CacheConfig {
+                    size_bytes: 32 << 10,
+                    assoc: 4,
+                    line_bytes: 128,
+                    latency_cycles: 4,
+                    mshrs: 32,
+                },
+                l2: CacheConfig {
+                    size_bytes: 2 << 20,
+                    assoc: 16,
+                    line_bytes: 128,
+                    latency_cycles: 20,
+                    mshrs: 128,
+                },
                 core_mhz: 1400.0,
                 xbar_mhz: 1250.0,
                 l2_mhz: 700.0,
@@ -223,8 +236,20 @@ impl SystemConfig {
                 freq_mhz: 4000.0,
                 issue_width: 4,
                 rob_size: 64,
-                l1: CacheConfig { size_bytes: 64 << 10, assoc: 4, line_bytes: 64, latency_cycles: 2, mshrs: 16 },
-                l2: CacheConfig { size_bytes: 16 << 20, assoc: 16, line_bytes: 64, latency_cycles: 10, mshrs: 32 },
+                l1: CacheConfig {
+                    size_bytes: 64 << 10,
+                    assoc: 4,
+                    line_bytes: 64,
+                    latency_cycles: 2,
+                    mshrs: 16,
+                },
+                l2: CacheConfig {
+                    size_bytes: 16 << 20,
+                    assoc: 16,
+                    line_bytes: 64,
+                    latency_cycles: 10,
+                    mshrs: 32,
+                },
             },
             hmc: HmcConfig {
                 layers: 8,
@@ -257,7 +282,10 @@ impl SystemConfig {
                 idle_pj_per_bit: 1.5,
                 passthrough_cycles: 1,
             },
-            pcie: PcieConfig { gbs: 15.75, latency_ns: 300.0 },
+            pcie: PcieConfig {
+                gbs: 15.75,
+                latency_ns: 300.0,
+            },
             seed: 0xC0FFEE,
         }
     }
@@ -289,19 +317,29 @@ impl SystemConfig {
             return Err("each GPU needs at least one local HMC".into());
         }
         if !self.page_bytes.is_power_of_two() {
-            return Err(format!("page size {} is not a power of two", self.page_bytes));
+            return Err(format!(
+                "page size {} is not a power of two",
+                self.page_bytes
+            ));
         }
-        if self.noc.channels_per_device % self.hmcs_per_gpu != 0 {
+        if !self
+            .noc
+            .channels_per_device
+            .is_multiple_of(self.hmcs_per_gpu)
+        {
             return Err(format!(
                 "{} channels cannot be distributed evenly over {} local HMCs",
                 self.noc.channels_per_device, self.hmcs_per_gpu
             ));
         }
-        for (name, cache) in
-            [("gpu.l1", self.gpu.l1), ("gpu.l2", self.gpu.l2), ("cpu.l1", self.cpu.l1), ("cpu.l2", self.cpu.l2)]
-        {
+        for (name, cache) in [
+            ("gpu.l1", self.gpu.l1),
+            ("gpu.l2", self.gpu.l2),
+            ("cpu.l1", self.cpu.l1),
+            ("cpu.l2", self.cpu.l2),
+        ] {
             let lines = cache.size_bytes / cache.line_bytes as u64;
-            if lines % cache.assoc as u64 != 0 {
+            if !lines.is_multiple_of(cache.assoc as u64) {
                 return Err(format!("{name}: lines not divisible by associativity"));
             }
         }
@@ -338,7 +376,9 @@ mod tests {
 
     #[test]
     fn scaled_config_validates() {
-        SystemConfig::scaled().validate().expect("scaled config must validate");
+        SystemConfig::scaled()
+            .validate()
+            .expect("scaled config must validate");
     }
 
     #[test]
@@ -373,12 +413,7 @@ mod tests {
         c.hmcs_per_gpu = 3;
         assert!(c.validate().is_err());
     }
-
-    #[test]
-    fn config_serde_round_trip() {
-        let c = SystemConfig::paper();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: SystemConfig = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back, c);
-    }
 }
+
+// The JSON round-trip test for SystemConfig lives in memnet-obs
+// (crates/obs/src/config.rs), which owns the serialization bindings.

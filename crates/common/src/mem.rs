@@ -57,13 +57,24 @@ impl MemReq {
     /// Total bytes this request occupies on a link (header + write data).
     #[inline]
     pub fn packet_bytes(&self) -> u32 {
-        HEADER_BYTES + if self.kind.carries_data() { self.bytes } else { 0 }
+        HEADER_BYTES
+            + if self.kind.carries_data() {
+                self.bytes
+            } else {
+                0
+            }
     }
 
     /// Builds the response for this request.
     #[inline]
     pub fn response(&self) -> MemResp {
-        MemResp { id: self.id, addr: self.addr, bytes: self.bytes, kind: self.kind, src: self.src }
+        MemResp {
+            id: self.id,
+            addr: self.addr,
+            bytes: self.bytes,
+            kind: self.kind,
+            src: self.src,
+        }
     }
 }
 
@@ -86,7 +97,12 @@ impl MemResp {
     /// Total bytes this response occupies on a link (header + read data).
     #[inline]
     pub fn packet_bytes(&self) -> u32 {
-        HEADER_BYTES + if self.kind.returns_data() { self.bytes } else { 0 }
+        HEADER_BYTES
+            + if self.kind.returns_data() {
+                self.bytes
+            } else {
+                0
+            }
     }
 }
 
@@ -131,7 +147,13 @@ mod tests {
     use crate::ids::{CpuId, GpuId};
 
     fn req(kind: AccessKind, bytes: u32) -> MemReq {
-        MemReq { id: ReqId(1), addr: 0x1000, bytes, kind, src: Agent::Gpu(GpuId(0)) }
+        MemReq {
+            id: ReqId(1),
+            addr: 0x1000,
+            bytes,
+            kind,
+            src: Agent::Gpu(GpuId(0)),
+        }
     }
 
     #[test]
@@ -168,7 +190,13 @@ mod tests {
 
     #[test]
     fn payload_accessors() {
-        let r = MemReq { id: ReqId(9), addr: 0, bytes: 64, kind: AccessKind::Read, src: Agent::Cpu(CpuId(0)) };
+        let r = MemReq {
+            id: ReqId(9),
+            addr: 0,
+            bytes: 64,
+            kind: AccessKind::Read,
+            src: Agent::Cpu(CpuId(0)),
+        };
         let p = Payload::Req(r);
         assert!(p.is_req());
         assert_eq!(p.src(), Agent::Cpu(CpuId(0)));

@@ -1,10 +1,9 @@
 //! A small, fast, deterministic RNG for simulation-internal randomness.
 //!
-//! Workload address streams, page placement, and allocation tie-breaks all
-//! need *reproducible* randomness; `SplitMix64` gives a fixed sequence for a
-//! fixed seed with no allocation and a trivially copyable state. For
-//! statistically heavier lifting (property tests, workload generation with
-//! distributions) the `rand` crate is used instead.
+//! Workload address streams, page placement, allocation tie-breaks, and the
+//! randomized property tests all need *reproducible* randomness;
+//! `SplitMix64` gives a fixed sequence for a fixed seed with no allocation
+//! and a trivially copyable state.
 
 /// SplitMix64 pseudo-random generator (Steele, Lea & Flood).
 ///

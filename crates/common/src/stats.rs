@@ -2,11 +2,10 @@
 //! traffic matrix of Fig. 10, and small numeric helpers (geometric mean for
 //! the Fig. 19 scalability summary).
 
-use serde::Serialize;
 use std::fmt;
 
 /// Streaming mean/min/max/count accumulator.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunningStats {
     count: u64,
     sum: f64,
@@ -17,7 +16,12 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -44,7 +48,11 @@ impl RunningStats {
     /// Arithmetic mean, or 0.0 when empty.
     #[inline]
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
     }
 
     /// Smallest sample, or `None` when empty.
@@ -68,18 +76,34 @@ impl RunningStats {
     }
 }
 
+// A derived Default would zero-initialize `min`/`max`, silently clamping
+// the observed minimum of any default-constructed accumulator to 0.0 (and
+// corrupting the result of `merge`). Defer to `new()` and its ±∞ sentinels.
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl fmt::Display for RunningStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.count == 0 {
             write!(f, "n=0")
         } else {
-            write!(f, "n={} mean={:.2} min={:.2} max={:.2}", self.count, self.mean(), self.min, self.max)
+            write!(
+                f,
+                "n={} mean={:.2} min={:.2} max={:.2}",
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
+            )
         }
     }
 }
 
 /// Power-of-two bucketed histogram for latencies / queue depths.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
 }
@@ -88,7 +112,9 @@ impl Histogram {
     /// Creates a histogram with `log2(max)+1` buckets; values ≥ 2^63 land in
     /// the last bucket.
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; 64] }
+        Histogram {
+            buckets: vec![0; 64],
+        }
     }
 
     /// Records one value.
@@ -101,6 +127,11 @@ impl Histogram {
     /// Total samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts; bucket `i > 0` covers `[2^(i-1), 2^i)`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Approximate percentile (0..=100) as the lower bound of the bucket that
@@ -131,7 +162,7 @@ impl Default for Histogram {
 /// Source × destination traffic accumulation in bytes (Fig. 10).
 ///
 /// Rows are traffic sources (GPUs), columns are HMCs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficMatrix {
     rows: usize,
     cols: usize,
@@ -141,7 +172,11 @@ pub struct TrafficMatrix {
 impl TrafficMatrix {
     /// Creates a zeroed `rows × cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        TrafficMatrix { rows, cols, bytes: vec![0; rows * cols] }
+        TrafficMatrix {
+            rows,
+            cols,
+            bytes: vec![0; rows * cols],
+        }
     }
 
     /// Number of source rows.
@@ -161,7 +196,10 @@ impl TrafficMatrix {
     /// Panics if `src`/`dst` are out of range.
     #[inline]
     pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
-        assert!(src < self.rows && dst < self.cols, "traffic matrix index out of range");
+        assert!(
+            src < self.rows && dst < self.cols,
+            "traffic matrix index out of range"
+        );
         self.bytes[src * self.cols + dst] += bytes;
     }
 
@@ -179,14 +217,20 @@ impl TrafficMatrix {
     pub fn fractions(&self) -> Vec<Vec<f64>> {
         let total = self.total().max(1) as f64;
         (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.get(r, c) as f64 / total).collect())
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.get(r, c) as f64 / total)
+                    .collect()
+            })
             .collect()
     }
 
     /// Per-destination (column) totals — the per-HMC load used to measure
     /// the Fig. 10(b) imbalance.
     pub fn column_totals(&self) -> Vec<u64> {
-        (0..self.cols).map(|c| (0..self.rows).map(|r| self.get(r, c)).sum()).collect()
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self.get(r, c)).sum())
+            .collect()
     }
 
     /// Ratio of the hottest to the coldest *nonzero* destination, the
@@ -195,7 +239,11 @@ impl TrafficMatrix {
         let totals = self.column_totals();
         let max = totals.iter().copied().max().unwrap_or(0);
         let min = totals.iter().copied().filter(|&t| t > 0).min().unwrap_or(0);
-        if min == 0 { 0.0 } else { max as f64 / min as f64 }
+        if min == 0 {
+            0.0
+        } else {
+            max as f64 / min as f64
+        }
     }
 }
 
@@ -237,6 +285,31 @@ mod tests {
         let empty = RunningStats::new();
         a.merge(&empty);
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn default_uses_infinity_sentinels() {
+        // Regression: a derived Default zeroed min/max, so a default
+        // accumulator reported min() = Some(0.0) after recording only
+        // positive samples, and merging it corrupted the other side's min.
+        let mut d = RunningStats::default();
+        d.record(5.0);
+        assert_eq!(d.min(), Some(5.0));
+        assert_eq!(d.max(), Some(5.0));
+
+        let mut a = RunningStats::new();
+        a.record(3.0);
+        a.merge(&RunningStats::default());
+        assert_eq!(a.min(), Some(3.0));
+
+        let mut b = RunningStats::default();
+        b.record(-2.0);
+        let mut c = RunningStats::new();
+        c.record(7.0);
+        c.merge(&b);
+        assert_eq!(c.min(), Some(-2.0));
+        assert_eq!(c.max(), Some(7.0));
+        assert_eq!(c.count(), 2);
     }
 
     #[test]

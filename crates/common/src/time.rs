@@ -50,7 +50,11 @@ impl Clock {
     /// Panics if `period_fs` is zero.
     pub fn new(period_fs: Fs) -> Self {
         assert!(period_fs > 0, "clock period must be nonzero");
-        Clock { period_fs, next_fs: 0, cycles: 0 }
+        Clock {
+            period_fs,
+            next_fs: 0,
+            cycles: 0,
+        }
     }
 
     /// Creates a clock from a frequency in MHz.
@@ -108,7 +112,11 @@ impl Default for Clock {
 ///
 /// Returns `u64::MAX` when `clocks` is empty.
 pub fn earliest_tick<'a, I: IntoIterator<Item = &'a Clock>>(clocks: I) -> Fs {
-    clocks.into_iter().map(|c| c.next_fs()).min().unwrap_or(Fs::MAX)
+    clocks
+        .into_iter()
+        .map(|c| c.next_fs())
+        .min()
+        .unwrap_or(Fs::MAX)
 }
 
 #[cfg(test)]

@@ -98,7 +98,11 @@ impl MemoryLayout {
             clusters.iter().all(|&c| (c as usize) < self.next_seq.len()),
             "cluster out of range"
         );
-        self.regions.push(Region { base, bytes, clusters: clusters.to_vec() });
+        self.regions.push(Region {
+            base,
+            bytes,
+            clusters: clusters.to_vec(),
+        });
     }
 
     /// Translates a virtual address, allocating the page on first touch.
@@ -201,7 +205,10 @@ mod tests {
             seen[loc.local_hmc as usize] = true;
             assert_eq!(loc.cluster, 1);
         }
-        assert!(seen.iter().all(|&s| s), "cache lines must cover all local HMCs");
+        assert!(
+            seen.iter().all(|&s| s),
+            "cache lines must cover all local HMCs"
+        );
     }
 
     #[test]
@@ -231,7 +238,9 @@ mod tests {
         let run = || {
             let mut l = layout(4);
             l.add_region(0, 1 << 22, &[0, 1, 2, 3]);
-            (0..256u64).map(|i| l.translate(i * 4096)).collect::<Vec<_>>()
+            (0..256u64)
+                .map(|i| l.translate(i * 4096))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

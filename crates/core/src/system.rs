@@ -22,6 +22,7 @@ use memnet_hmc::mapping::Location;
 use memnet_hmc::HmcDevice;
 use memnet_noc::topo::{add_cpu_overlay, add_pcie_tree, build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::{LinkSpec, LinkTag, MsgClass, Network, NetworkBuilder, NocParams, RoutingPolicy};
+use memnet_obs::{ClockDomain, MetricSink, MetricsRegistry, ToJson, TraceEventKind, Tracer};
 use memnet_workloads::{HostWork, WorkloadSpec};
 use std::collections::VecDeque;
 
@@ -80,12 +81,18 @@ impl Organization {
 
     /// True if data is staged with explicit memcpy.
     pub fn uses_memcpy(self) -> bool {
-        matches!(self, Organization::Pcie | Organization::Cmn | Organization::Gmn | Organization::Pcn)
+        matches!(
+            self,
+            Organization::Pcie | Organization::Cmn | Organization::Gmn | Organization::Pcn
+        )
     }
 
     /// True if kernels access data resident in CPU memory (zero-copy).
     pub fn zero_copy(self) -> bool {
-        matches!(self, Organization::PcieZc | Organization::CmnZc | Organization::GmnZc)
+        matches!(
+            self,
+            Organization::PcieZc | Organization::CmnZc | Organization::GmnZc
+        )
     }
 }
 
@@ -139,6 +146,12 @@ pub struct SimReport {
     pub per_gpu: Vec<GpuSummary>,
     /// Mean busy fraction of the external network channels.
     pub channel_utilization: f64,
+    /// Chrome trace-event JSON, when tracing was enabled with
+    /// [`SimBuilder::trace`]. Load it in `chrome://tracing` or Perfetto.
+    pub trace_json: Option<String>,
+    /// Metrics-registry JSON (counters, gauges, epochs), when periodic
+    /// snapshots were enabled with [`SimBuilder::metrics_every`].
+    pub metrics_json: Option<String>,
 }
 
 impl SimReport {
@@ -163,6 +176,8 @@ pub struct SimBuilder {
     phase_budget_ns: f64,
     placement: PlacementPolicy,
     co_workloads: Vec<WorkloadSpec>,
+    trace_capacity: Option<usize>,
+    metrics_every: Option<u64>,
 }
 
 impl SimBuilder {
@@ -171,7 +186,10 @@ impl SimBuilder {
         SimBuilder {
             cfg: SystemConfig::scaled(),
             org,
-            topology: TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+            topology: TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
             routing: RoutingPolicy::Minimal,
             overlay: false,
             cta_policy: CtaPolicy::StaticChunk,
@@ -181,7 +199,29 @@ impl SimBuilder {
             phase_budget_ns: 3_000_000.0,
             placement: PlacementPolicy::Random,
             co_workloads: Vec::new(),
+            trace_capacity: None,
+            metrics_every: None,
         }
+    }
+
+    /// Enables event tracing into a ring buffer of `capacity` events; the
+    /// report then carries the Chrome trace JSON in
+    /// [`SimReport::trace_json`]. Oldest events are dropped on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at `run`) if `capacity` is zero.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Snapshots every counter and gauge into a metrics epoch once per
+    /// `cycles` network cycles; the report then carries the registry JSON
+    /// in [`SimReport::metrics_json`]. A zero period disables snapshots.
+    pub fn metrics_every(mut self, cycles: u64) -> Self {
+        self.metrics_every = Some(cycles);
+        self
     }
 
     /// Adds a workload to run *concurrently* with the primary one
@@ -320,6 +360,14 @@ struct System {
 
     traffic: TrafficMatrix,
     timed_out: bool,
+
+    tracer: Option<Tracer>,
+    metrics: Option<MetricsRegistry>,
+    /// Network cycles between metrics epochs; 0 disables snapshots.
+    metrics_every: u64,
+    /// Network cycle at which the next epoch is due.
+    next_epoch: u64,
+    steal_events: u64,
 }
 
 impl System {
@@ -359,8 +407,20 @@ impl System {
                     Organization::Gmn | Organization::GmnZc => b.topology,
                     _ => TopologyKind::Isolated,
                 };
-                let g = build_clusters(&mut nb, n_gpus, local, cfg.noc.channels_per_device, gpu_topo);
-                let c = build_clusters(&mut nb, 1, local, cfg.noc.channels_per_device, TopologyKind::Isolated);
+                let g = build_clusters(
+                    &mut nb,
+                    n_gpus,
+                    local,
+                    cfg.noc.channels_per_device,
+                    gpu_topo,
+                );
+                let c = build_clusters(
+                    &mut nb,
+                    1,
+                    local,
+                    cfg.noc.channels_per_device,
+                    TopologyKind::Isolated,
+                );
                 let mut devs = g.device_routers.clone();
                 devs.push(c.device_routers[0]);
                 let _switch = add_pcie_tree(&mut nb, &devs, cfg.pcie.latency_ns);
@@ -371,8 +431,20 @@ impl System {
             Organization::Pcn => {
                 // Processor-centric network: every device pair gets a
                 // direct NVLink-class channel; memories remain local.
-                let g = build_clusters(&mut nb, n_gpus, local, cfg.noc.channels_per_device, TopologyKind::Isolated);
-                let c = build_clusters(&mut nb, 1, local, cfg.noc.channels_per_device, TopologyKind::Isolated);
+                let g = build_clusters(
+                    &mut nb,
+                    n_gpus,
+                    local,
+                    cfg.noc.channels_per_device,
+                    TopologyKind::Isolated,
+                );
+                let c = build_clusters(
+                    &mut nb,
+                    1,
+                    local,
+                    cfg.noc.channels_per_device,
+                    TopologyKind::Isolated,
+                );
                 let mut devs = g.device_routers.clone();
                 devs.push(c.device_routers[0]);
                 for i in 0..devs.len() {
@@ -385,20 +457,47 @@ impl System {
                 (g.device_eps.clone(), c.device_eps[0], hmc_eps)
             }
             Organization::Cmn | Organization::CmnZc => {
-                let g = build_clusters(&mut nb, n_gpus, local, cfg.noc.channels_per_device, TopologyKind::Isolated);
-                let c = build_clusters(&mut nb, 1, local, cfg.noc.channels_per_device, TopologyKind::Isolated);
+                let g = build_clusters(
+                    &mut nb,
+                    n_gpus,
+                    local,
+                    cfg.noc.channels_per_device,
+                    TopologyKind::Isolated,
+                );
+                let c = build_clusters(
+                    &mut nb,
+                    1,
+                    local,
+                    cfg.noc.channels_per_device,
+                    TopologyKind::Isolated,
+                );
                 // The CPU's HMCs form the memory network (fully connected),
                 // and each GPU taps into it with two channels — replacing
                 // the PCIe interface (Fig. 8(a)).
                 let cpu_hmcs = &c.hmc_routers[0];
                 for i in 0..cpu_hmcs.len() {
                     for j in i + 1..cpu_hmcs.len() {
-                        nb.link(cpu_hmcs[i], cpu_hmcs[j], LinkSpec::hmc_channel(), LinkTag::HmcHmc);
+                        nb.link(
+                            cpu_hmcs[i],
+                            cpu_hmcs[j],
+                            LinkSpec::hmc_channel(),
+                            LinkTag::HmcHmc,
+                        );
                     }
                 }
                 for (gi, &gr) in g.device_routers.iter().enumerate() {
-                    nb.link(gr, cpu_hmcs[gi % cpu_hmcs.len()], LinkSpec::hmc_channel(), LinkTag::DeviceHmc);
-                    nb.link(gr, cpu_hmcs[(gi + 1) % cpu_hmcs.len()], LinkSpec::hmc_channel(), LinkTag::DeviceHmc);
+                    nb.link(
+                        gr,
+                        cpu_hmcs[gi % cpu_hmcs.len()],
+                        LinkSpec::hmc_channel(),
+                        LinkTag::DeviceHmc,
+                    );
+                    nb.link(
+                        gr,
+                        cpu_hmcs[(gi + 1) % cpu_hmcs.len()],
+                        LinkSpec::hmc_channel(),
+                        LinkTag::DeviceHmc,
+                    );
                 }
                 let mut hmc_eps = g.hmc_eps_flat();
                 hmc_eps.extend(c.hmc_eps_flat());
@@ -410,8 +509,10 @@ impl System {
         // Memory layout: regions per data-residency policy. Co-workloads
         // stack above the primary footprint at page-aligned bases.
         let mut co_workloads: Vec<(WorkloadSpec, u64)> = Vec::new();
-        let mut next_base = (workload.footprint_bytes().max(4096) + cfg.page_bytes - 1)
-            / cfg.page_bytes
+        let mut next_base = workload
+            .footprint_bytes()
+            .max(4096)
+            .div_ceil(cfg.page_bytes)
             * cfg.page_bytes;
         for w in &b.co_workloads {
             assert!(
@@ -419,8 +520,7 @@ impl System {
                 "co-workloads cannot have host compute phases"
             );
             co_workloads.push((w.clone(), next_base));
-            next_base += (w.footprint_bytes().max(4096) + cfg.page_bytes - 1) / cfg.page_bytes
-                * cfg.page_bytes;
+            next_base += w.footprint_bytes().max(4096).div_ceil(cfg.page_bytes) * cfg.page_bytes;
         }
         let fp = next_base.max(4096);
         let mut layout = MemoryLayout::new(&cfg, cpu_cluster + 1);
@@ -428,15 +528,38 @@ impl System {
         let device_clusters: Vec<u32> = match b.org {
             Organization::PcieZc | Organization::CmnZc | Organization::GmnZc => vec![cpu_cluster],
             Organization::Umn => (0..=cpu_cluster).collect(),
-            _ => b.data_clusters.clone().unwrap_or_else(|| (0..cpu_cluster).collect()),
+            _ => b
+                .data_clusters
+                .clone()
+                .unwrap_or_else(|| (0..cpu_cluster).collect()),
         };
         layout.add_region(0, fp, &device_clusters);
         layout.add_region(HOST_BASE, fp, &[cpu_cluster]);
 
-        let gpus: Vec<Gpu> = (0..n_gpus).map(|g| Gpu::new(GpuId(g as u16), &cfg.gpu)).collect();
-        let hmcs: Vec<HmcDevice> = (0..hmc_eps.len()).map(|_| HmcDevice::new(&cfg.hmc)).collect();
+        let gpus: Vec<Gpu> = (0..n_gpus)
+            .map(|g| Gpu::new(GpuId(g as u16), &cfg.gpu))
+            .collect();
+        let hmcs: Vec<HmcDevice> = (0..hmc_eps.len())
+            .map(|_| HmcDevice::new(&cfg.hmc))
+            .collect();
         let hmc_ports = (0..hmc_eps.len()).map(|_| HmcPort::default()).collect();
         let traffic = TrafficMatrix::new(n_gpus + 1, hmc_eps.len());
+
+        let clk_core = Clock::from_freq_mhz(cfg.gpu.core_mhz);
+        let clk_l2 = Clock::from_freq_mhz(cfg.gpu.l2_mhz);
+        let clk_cpu = Clock::from_freq_mhz(cfg.cpu.freq_mhz);
+        let clk_net = Clock::from_freq_mhz(cfg.noc.router_mhz);
+        let clk_dram = Clock::new(memnet_common::time::ns_to_fs(cfg.hmc.tck_ns));
+        let tracer = b.trace_capacity.map(|cap| {
+            let mut t = Tracer::new(cap);
+            t.set_clock(ClockDomain::Core, clk_core.period_fs() as f64);
+            t.set_clock(ClockDomain::L2, clk_l2.period_fs() as f64);
+            t.set_clock(ClockDomain::Cpu, clk_cpu.period_fs() as f64);
+            t.set_clock(ClockDomain::Net, clk_net.period_fs() as f64);
+            t.set_clock(ClockDomain::Dram, clk_dram.period_fs() as f64);
+            t
+        });
+        let metrics_every = b.metrics_every.unwrap_or(0);
 
         System {
             active_gpus: b.active_gpus.unwrap_or(cfg.n_gpus).min(cfg.n_gpus),
@@ -444,13 +567,18 @@ impl System {
             phase_budget: (b.phase_budget_ns * 1e6) as Fs,
             cpu: CpuCore::new(CpuId(0), &cfg.cpu),
             dma: DmaEngine::new(CpuId(0), 32),
-            clk_core: Clock::from_freq_mhz(cfg.gpu.core_mhz),
-            clk_l2: Clock::from_freq_mhz(cfg.gpu.l2_mhz),
-            clk_cpu: Clock::from_freq_mhz(cfg.cpu.freq_mhz),
-            clk_net: Clock::from_freq_mhz(cfg.noc.router_mhz),
-            clk_dram: Clock::new(memnet_common::time::ns_to_fs(cfg.hmc.tck_ns)),
+            clk_core,
+            clk_l2,
+            clk_cpu,
+            clk_net,
+            clk_dram,
             now: 0,
             timed_out: false,
+            tracer,
+            metrics: (metrics_every > 0).then(MetricsRegistry::new),
+            metrics_every,
+            next_epoch: metrics_every,
+            steal_events: 0,
             cta_policy: b.cta_policy,
             org: b.org,
             workload,
@@ -475,16 +603,23 @@ impl System {
 
         let co = self.co_workloads.clone();
         if let Some(pre) = w.host_pre {
+            let t0 = self.now;
             host_fs += self.run_host_phase(&pre);
+            self.emit_phase("host-pre", t0);
         }
         if self.org.uses_memcpy() {
+            let t0 = self.now;
             memcpy_fs += self.run_memcpy_phase(HOST_BASE, 0, w.h2d_bytes);
             for (cw, base) in &co {
                 memcpy_fs += self.run_memcpy_phase(HOST_BASE + base, *base, cw.h2d_bytes);
             }
+            self.emit_phase("memcpy-h2d", t0);
         }
+        let t0 = self.now;
         let kernel_fs = self.run_kernel_phase();
+        self.emit_phase("kernel", t0);
         if self.org.uses_memcpy() {
+            let t0 = self.now;
             if w.d2h_bytes > 0 {
                 let wbase = w.kernel.shared_bytes + w.kernel.read_bytes;
                 memcpy_fs += self.run_memcpy_phase(wbase, HOST_BASE + wbase, w.d2h_bytes);
@@ -495,9 +630,16 @@ impl System {
                     memcpy_fs += self.run_memcpy_phase(wbase, HOST_BASE + wbase, cw.d2h_bytes);
                 }
             }
+            self.emit_phase("memcpy-d2h", t0);
         }
         if let Some(post) = w.host_post {
+            let t0 = self.now;
             host_fs += self.run_host_phase(&post);
+            self.emit_phase("host-post", t0);
+        }
+        if self.metrics.is_some() {
+            // Close the run with a final epoch so short runs get at least one.
+            self.snapshot_metrics();
         }
 
         let mut l1 = memnet_gpu::CacheStats::default();
@@ -533,14 +675,52 @@ impl System {
             l2_hit_rate: l2.read_hit_rate(),
             avg_pkt_latency_ns: self.net.stats().latency.mean() * ns,
             avg_hops: self.net.stats().hops.mean(),
-            row_hit_rate: if row_total == 0 { 0.0 } else { row_hits as f64 / row_total as f64 },
+            row_hit_rate: if row_total == 0 {
+                0.0
+            } else {
+                row_hits as f64 / row_total as f64
+            },
             traffic: self.traffic.clone(),
             passthrough: self.net.stats().passthrough,
             nonminimal: self.net.stats().nonminimal,
             timed_out: self.timed_out,
             per_gpu,
             channel_utilization: self.net.channel_utilization(),
+            trace_json: self
+                .tracer
+                .as_ref()
+                .map(|t| t.to_chrome_json(self.metrics.as_ref())),
+            metrics_json: self.metrics.as_ref().map(ToJson::to_json_pretty),
         }
+    }
+
+    /// Records a phase span from `start` to now (no-op without a tracer).
+    fn emit_phase(&mut self, name: &'static str, start: Fs) {
+        let (now, tracer) = (self.now, self.tracer.as_mut());
+        if let Some(t) = tracer {
+            t.emit_fs(start, now - start, TraceEventKind::Phase { name });
+        }
+    }
+
+    /// Publishes live gauges plus cumulative counters and records one epoch.
+    fn snapshot_metrics(&mut self) {
+        let Some(m) = self.metrics.as_mut() else {
+            return;
+        };
+        let flits = self.net.stats().flits_injected;
+        let delta = flits - m.counter("net.flits_injected");
+        m.add("net.flits_injected", delta);
+        let delta = self.steal_events - m.counter("ske.cta_steals");
+        m.add("ske.cta_steals", delta);
+        for (i, g) in self.gpus.iter().enumerate() {
+            m.set(&format!("gpu{i}.occupancy"), g.occupancy());
+        }
+        for (i, h) in self.hmcs.iter().enumerate() {
+            m.set(&format!("hmc{i}.vault_queue"), h.queued() as f64);
+        }
+        m.set("cpu.outstanding", f64::from(self.cpu.outstanding()));
+        m.set("dma.reads_inflight", f64::from(self.dma.reads_inflight()));
+        m.snapshot(self.now);
     }
 
     /// Runs until `done` holds; returns elapsed simulated time.
@@ -559,7 +739,9 @@ impl System {
     fn memory_system_idle(s: &System) -> bool {
         !s.net.has_work()
             && s.hmcs.iter().all(|h| !h.has_work())
-            && s.hmc_ports.iter().all(|p| p.deferred.is_none() && p.resp_q.is_empty())
+            && s.hmc_ports
+                .iter()
+                .all(|p| p.deferred.is_none() && p.resp_q.is_empty())
     }
 
     fn run_host_phase(&mut self, work: &HostWork) -> Fs {
@@ -628,7 +810,10 @@ impl System {
     /// Two-level dynamic scheduling: idle GPUs steal undispatched CTAs.
     fn steal_ctas(&mut self) {
         let active = self.active_gpus as usize;
-        let pending: Vec<usize> = self.gpus[..active].iter().map(|g| g.pending_ctas()).collect();
+        let pending: Vec<usize> = self.gpus[..active]
+            .iter()
+            .map(|g| g.pending_ctas())
+            .collect();
         for thief in 0..active {
             if pending[thief] > 0 {
                 continue;
@@ -636,7 +821,22 @@ impl System {
             if let Some((victim, count)) = ske::pick_steal(&pending) {
                 if victim != thief && count > 0 {
                     let stolen = self.gpus[victim].steal(count);
+                    let moved = stolen.len() as u32;
                     self.gpus[thief].donate(stolen);
+                    if moved > 0 {
+                        self.steal_events += 1;
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.emit_instant(
+                                ClockDomain::Core,
+                                self.clk_core.cycles(),
+                                TraceEventKind::CtaSteal {
+                                    victim: victim as u32,
+                                    thief: thief as u32,
+                                    count: moved,
+                                },
+                            );
+                        }
+                    }
                     break; // one steal per scan keeps it simple and rare
                 }
             }
@@ -660,7 +860,7 @@ impl System {
 
         if self.clk_core.due(self.now) {
             for g in &mut self.gpus {
-                g.tick_core();
+                g.tick_core_traced(self.tracer.as_mut());
             }
             self.clk_core.advance();
         }
@@ -677,14 +877,18 @@ impl System {
         }
         if self.clk_net.due(self.now) {
             self.pump_into_network();
-            self.net.tick();
+            self.net.tick_traced(self.tracer.as_mut());
             self.pump_out_of_network();
+            if self.metrics.is_some() && self.net.cycle() >= self.next_epoch {
+                self.next_epoch = self.net.cycle() + self.metrics_every;
+                self.snapshot_metrics();
+            }
             self.clk_net.advance();
         }
         if self.clk_dram.due(self.now) {
             let tck = self.clk_dram.cycles();
             for (i, h) in self.hmcs.iter_mut().enumerate() {
-                h.tick(tck);
+                h.tick_traced(tck, i as u32, self.tracer.as_mut());
                 while let Some(req) = h.pop_completed(tck) {
                     if req.kind.returns_data() {
                         self.hmc_ports[i].resp_q.push_back(req.response());
@@ -703,27 +907,74 @@ impl System {
         let n_gpus = self.gpus.len();
         for g in 0..n_gpus {
             while self.net.inject_ready(self.gpu_eps[g]) {
-                let Some(req) = self.gpus[g].pop_mem_request() else { break };
+                let Some(req) = self.gpus[g].pop_mem_request() else {
+                    break;
+                };
                 let (_, loc) = self.layout.locate(req.addr);
                 let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
-                self.traffic.add(g, hmc, req.packet_bytes() as u64);
-                self.net.inject(self.gpu_eps[g], self.hmc_eps[hmc], MsgClass::Req, Payload::Req(req), false);
+                let bytes = req.packet_bytes() as u64;
+                self.traffic.add(g, hmc, bytes);
+                self.net.inject(
+                    self.gpu_eps[g],
+                    self.hmc_eps[hmc],
+                    MsgClass::Req,
+                    Payload::Req(req),
+                    false,
+                );
+                self.trace_inject(g as u16, hmc as u16, bytes as u32);
             }
         }
         // CPU core, then DMA, share the CPU endpoint.
         while self.net.inject_ready(self.cpu_ep) {
-            let Some(req) = self.cpu.pop_mem_request() else { break };
+            let Some(req) = self.cpu.pop_mem_request() else {
+                break;
+            };
             let (_, loc) = self.layout.locate(req.addr);
             let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
-            self.traffic.add(n_gpus, hmc, req.packet_bytes() as u64);
-            self.net.inject(self.cpu_ep, self.hmc_eps[hmc], MsgClass::Req, Payload::Req(req), self.use_overlay);
+            let bytes = req.packet_bytes() as u64;
+            self.traffic.add(n_gpus, hmc, bytes);
+            self.net.inject(
+                self.cpu_ep,
+                self.hmc_eps[hmc],
+                MsgClass::Req,
+                Payload::Req(req),
+                self.use_overlay,
+            );
+            self.trace_inject(n_gpus as u16, hmc as u16, bytes as u32);
         }
         while self.net.inject_ready(self.cpu_ep) {
-            let Some(req) = self.dma.pop_mem_request() else { break };
+            let Some(req) = self.dma.pop_mem_request() else {
+                break;
+            };
             let (_, loc) = self.layout.locate(req.addr);
             let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
-            self.traffic.add(n_gpus, hmc, req.packet_bytes() as u64);
-            self.net.inject(self.cpu_ep, self.hmc_eps[hmc], MsgClass::Req, Payload::Req(req), false);
+            let bytes = req.packet_bytes() as u64;
+            self.traffic.add(n_gpus, hmc, bytes);
+            self.net.inject(
+                self.cpu_ep,
+                self.hmc_eps[hmc],
+                MsgClass::Req,
+                Payload::Req(req),
+                false,
+            );
+            self.trace_inject(n_gpus as u16, hmc as u16, bytes as u32);
+        }
+    }
+
+    /// Records a request-injection instant (no-op without a tracer).
+    fn trace_inject(&mut self, src: u16, dst: u16, bytes: u32) {
+        let cycle = self.net.cycle();
+        if let Some(t) = self.tracer.as_mut() {
+            t.emit_instant(
+                ClockDomain::Net,
+                cycle,
+                TraceEventKind::PacketInject {
+                    src,
+                    dst,
+                    class: "req",
+                    bytes,
+                },
+            );
         }
     }
 
@@ -740,13 +991,19 @@ impl System {
                 }
             }
             while self.hmc_ports[i].deferred.is_none() {
-                let Some(p) = self.net.poll_eject(self.hmc_eps[i]) else { break };
+                let Some(p) = self.net.poll_eject(self.hmc_eps[i]) else {
+                    break;
+                };
                 let Payload::Req(req) = p.payload else {
                     debug_assert!(false, "response ejected at an HMC endpoint");
                     continue;
                 };
                 let (_, loc) = self.layout.locate(req.addr);
-                debug_assert_eq!(loc.hmc_global(self.cfg.hmcs_per_gpu) as usize, i, "request routed to wrong HMC");
+                debug_assert_eq!(
+                    loc.hmc_global(self.cfg.hmcs_per_gpu) as usize,
+                    i,
+                    "request routed to wrong HMC"
+                );
                 if let Err(r) = self.hmcs[i].try_accept(req, loc.vault, loc.bank, loc.row) {
                     self.hmc_ports[i].deferred = Some((r, loc));
                 }
@@ -759,11 +1016,18 @@ impl System {
                     Agent::Cpu(_) => (self.cpu_ep, self.use_overlay),
                     Agent::Dma(_) => (self.cpu_ep, false),
                 };
-                self.net.inject(self.hmc_eps[i], dest, MsgClass::Resp, Payload::Resp(resp), overlay);
+                self.net.inject(
+                    self.hmc_eps[i],
+                    dest,
+                    MsgClass::Resp,
+                    Payload::Resp(resp),
+                    overlay,
+                );
             }
         }
         for g in 0..self.gpus.len() {
             while let Some(p) = self.net.poll_eject(self.gpu_eps[g]) {
+                self.trace_eject(g as u16, p.latency_cycles, p.hops);
                 let Payload::Resp(resp) = p.payload else {
                     debug_assert!(false, "request ejected at a GPU endpoint");
                     continue;
@@ -772,6 +1036,7 @@ impl System {
             }
         }
         while let Some(p) = self.net.poll_eject(self.cpu_ep) {
+            self.trace_eject(self.gpus.len() as u16, p.latency_cycles, p.hops);
             let Payload::Resp(resp) = p.payload else {
                 debug_assert!(false, "request ejected at the CPU endpoint");
                 continue;
@@ -781,6 +1046,23 @@ impl System {
                 Agent::Dma(_) => self.dma.push_mem_response(resp),
                 Agent::Gpu(_) => debug_assert!(false, "GPU response at CPU endpoint"),
             }
+        }
+    }
+
+    /// Records a response-ejection instant at device endpoint `dst`
+    /// (no-op without a tracer).
+    fn trace_eject(&mut self, dst: u16, latency_cycles: u64, hops: u32) {
+        let cycle = self.net.cycle();
+        if let Some(t) = self.tracer.as_mut() {
+            t.emit_instant(
+                ClockDomain::Net,
+                cycle,
+                TraceEventKind::PacketEject {
+                    dst,
+                    latency_cycles,
+                    hops,
+                },
+            );
         }
     }
 }
@@ -818,7 +1100,11 @@ mod tests {
 
     #[test]
     fn zero_copy_orgs_skip_memcpy() {
-        for org in [Organization::PcieZc, Organization::CmnZc, Organization::GmnZc] {
+        for org in [
+            Organization::PcieZc,
+            Organization::CmnZc,
+            Organization::GmnZc,
+        ] {
             let r = small(org);
             assert!(!r.timed_out, "{} must finish", org.name());
             assert_eq!(r.memcpy_ns, 0.0, "{}", org.name());
@@ -851,7 +1137,11 @@ mod tests {
     fn concurrent_kernels_complete_and_overlap() {
         use memnet_workloads::Workload as W;
         let iso = |w: Workload| {
-            SimBuilder::new(Organization::Umn).gpus(2).sms_per_gpu(2).workload(w.spec_small()).run()
+            SimBuilder::new(Organization::Umn)
+                .gpus(2)
+                .sms_per_gpu(2)
+                .workload(w.spec_small())
+                .run()
         };
         let cp = iso(W::Cp);
         let scan = iso(W::Scan);
@@ -870,8 +1160,18 @@ mod tests {
         // a well-known CKE effect this model reproduces.
         let slower = cp.kernel_ns.max(scan.kernel_ns);
         let serial = cp.kernel_ns + scan.kernel_ns;
-        assert!(both.kernel_ns >= slower * 0.95, "CKE {} vs slower {}", both.kernel_ns, slower);
-        assert!(both.kernel_ns <= serial * 1.30, "CKE {} vs serial {}", both.kernel_ns, serial);
+        assert!(
+            both.kernel_ns >= slower * 0.95,
+            "CKE {} vs slower {}",
+            both.kernel_ns,
+            slower
+        );
+        assert!(
+            both.kernel_ns <= serial * 1.30,
+            "CKE {} vs serial {}",
+            both.kernel_ns,
+            serial
+        );
     }
 
     #[test]
@@ -909,8 +1209,14 @@ mod tests {
         let pcn = small(Organization::Pcn);
         let umn = small(Organization::Umn);
         assert!(!pcn.timed_out);
-        assert!(pcn.memcpy_ns > 0.0, "PCN stages data like the PCIe baseline");
-        assert!(pcn.total_ns() < pcie.total_ns(), "NVLink-class links beat PCIe");
+        assert!(
+            pcn.memcpy_ns > 0.0,
+            "PCN stages data like the PCIe baseline"
+        );
+        assert!(
+            pcn.total_ns() < pcie.total_ns(),
+            "NVLink-class links beat PCIe"
+        );
         assert!(umn.total_ns() < pcn.total_ns(), "memory-centric still wins");
     }
 
@@ -967,7 +1273,10 @@ mod tests {
         let local: u64 = cols[0..4].iter().sum();
         let remote_gpu: u64 = cols[4..8].iter().sum();
         assert!(local > 0);
-        assert_eq!(remote_gpu, 0, "no pages on cluster 1 ⇒ no kernel traffic there");
+        assert_eq!(
+            remote_gpu, 0,
+            "no pages on cluster 1 ⇒ no kernel traffic there"
+        );
     }
 
     #[test]
@@ -979,7 +1288,11 @@ mod tests {
             k.iters = 2;
             k
         });
-        let r = SimBuilder::new(Organization::Umn).gpus(2).sms_per_gpu(2).workload(spec).run();
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .workload(spec)
+            .run();
         assert!(!r.timed_out);
         assert!(r.host_ns > 0.0, "CG.S computes on the host");
     }
@@ -994,6 +1307,53 @@ mod tests {
             .run();
         assert!(!r.timed_out);
         assert!(r.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn tracing_and_metrics_capture_the_run() {
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .trace(1 << 16)
+            .metrics_every(1000)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert!(!r.timed_out);
+        let trace = r.trace_json.expect("trace enabled");
+        for needle in [
+            "packet-inject",
+            "packet-hop",
+            "packet-eject",
+            "vault-service",
+            "cta-launch",
+            "\"kernel\"",
+        ] {
+            assert!(trace.contains(needle), "trace must mention {needle}");
+        }
+        let metrics = r.metrics_json.expect("metrics enabled");
+        assert!(metrics.contains("net.flits_injected"));
+        assert!(metrics.contains("occupancy"));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let plain = small(Organization::Umn);
+        let traced = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .trace(4096)
+            .metrics_every(500)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert_eq!(plain.kernel_ns, traced.kernel_ns, "observer effect");
+        assert_eq!(plain.traffic.total(), traced.traffic.total());
+    }
+
+    #[test]
+    fn untraced_report_has_no_observability_payloads() {
+        let r = small(Organization::Umn);
+        assert!(r.trace_json.is_none());
+        assert!(r.metrics_json.is_none());
     }
 
     #[test]
@@ -1012,6 +1372,9 @@ mod tests {
             .workload(spec)
             .run();
         assert!(!r.timed_out);
-        assert!(r.passthrough > 0, "CPU packets should take pass-through hops");
+        assert!(
+            r.passthrough > 0,
+            "CPU packets should take pass-through hops"
+        );
     }
 }

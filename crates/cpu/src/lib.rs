@@ -138,13 +138,22 @@ impl CpuCore {
         self.stats
     }
 
+    /// Loads currently in flight (MLP occupancy gauge).
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
     /// One 4 GHz core cycle.
     pub fn tick(&mut self) {
         let now = self.cycle;
         if self.busy() {
             self.stats.busy_cycles += 1;
         }
-        while self.local_completions.peek().is_some_and(|&Reverse(c)| c <= now) {
+        while self
+            .local_completions
+            .peek()
+            .is_some_and(|&Reverse(c)| c <= now)
+        {
             self.local_completions.pop();
             self.outstanding -= 1;
         }
@@ -159,7 +168,9 @@ impl CpuCore {
             if self.mem_out.len() >= self.mem_out_cap {
                 break;
             }
-            let Some(stream) = self.stream.as_mut() else { break };
+            let Some(stream) = self.stream.as_mut() else {
+                break;
+            };
             match stream.next() {
                 None => {
                     self.stream = None;
@@ -278,7 +289,13 @@ impl DmaEngine {
         if bytes == 0 {
             return;
         }
-        self.jobs.push_back(CopyJob { src, dst, bytes, next_off: 0, reads_outstanding: 0 });
+        self.jobs.push_back(CopyJob {
+            src,
+            dst,
+            bytes,
+            next_off: 0,
+            reads_outstanding: 0,
+        });
     }
 
     /// True while any copy is unfinished.
@@ -291,13 +308,26 @@ impl DmaEngine {
         self.bytes_copied
     }
 
+    /// Copy jobs queued or in progress (gauge).
+    pub fn jobs_queued(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Line reads issued for the active job but not yet answered (gauge).
+    pub fn reads_inflight(&self) -> u32 {
+        self.jobs.front().map_or(0, |j| j.reads_outstanding)
+    }
+
     /// Issues read requests for the current job up to the window.
     pub fn tick(&mut self) {
         let line = self.line;
         let window = self.window;
         let cap = self.mem_out_cap;
-        let Some(job) = self.jobs.front_mut() else { return };
-        while job.next_off < job.bytes && job.reads_outstanding < window && self.mem_out.len() < cap {
+        let Some(job) = self.jobs.front_mut() else {
+            return;
+        };
+        while job.next_off < job.bytes && job.reads_outstanding < window && self.mem_out.len() < cap
+        {
             self.next_req += 1;
             let id = ReqId((1u64 << 62) | ((self.id.0 as u64) << 48) | self.next_req);
             let bytes = line.min(job.bytes - job.next_off) as u32;
@@ -414,7 +444,9 @@ mod tests {
     fn cache_hits_avoid_memory() {
         let mut c = cpu();
         // Two passes over a small range: second pass hits.
-        let ops: Vec<CpuOp> = (0..2).flat_map(|_| (0..32u64).map(|i| CpuOp::Read(i * 64))).collect();
+        let ops: Vec<CpuOp> = (0..2)
+            .flat_map(|_| (0..32u64).map(|i| CpuOp::Read(i * 64)))
+            .collect();
         c.run_program(Box::new(ops.into_iter()));
         run(&mut c, 100, 1_000_000);
         assert_eq!(c.stats().mem_reads, 32, "second pass must hit");

@@ -68,9 +68,22 @@ impl Cache {
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
-            sets: vec![vec![Way { tag: 0, valid: false, lru: 0 }; cfg.assoc as usize]; sets as usize],
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        lru: 0
+                    };
+                    cfg.assoc as usize
+                ];
+                sets as usize
+            ],
             set_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: sets - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
@@ -88,7 +101,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.set_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Probes for a read. Returns `true` on hit (LRU updated). Misses do
@@ -137,7 +153,11 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("nonzero associativity");
-        *victim = Way { tag, valid: true, lru: tick };
+        *victim = Way {
+            tag,
+            valid: true,
+            lru: tick,
+        };
     }
 
     /// Drops the line for `addr` if present (atomics evict before going to
@@ -183,7 +203,10 @@ pub enum MshrResult {
 impl MshrTable {
     /// Creates a table with capacity for `cap` distinct lines.
     pub fn new(cap: usize) -> Self {
-        MshrTable { map: HashMap::with_capacity(cap), cap }
+        MshrTable {
+            map: HashMap::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Registers `waiter` for `line`.
@@ -221,7 +244,13 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 128 B lines = 1 KB.
-        Cache::new(&CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 128, latency_cycles: 1, mshrs: 4 })
+        Cache::new(&CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 128,
+            latency_cycles: 1,
+            mshrs: 4,
+        })
     }
 
     #[test]
@@ -272,7 +301,10 @@ mod tests {
         c.fill(0x1000);
         c.fill(0x1000);
         c.fill(0x1200); // same set
-        assert!(c.read(0x1000), "line must survive duplicate fill + one insert");
+        assert!(
+            c.read(0x1000),
+            "line must survive duplicate fill + one insert"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::kernel::KernelModel;
 use crate::sm::{L2Req, Sm, SmStats};
 use memnet_common::config::GpuConfig;
 use memnet_common::{AccessKind, Agent, GpuId, MemReq, MemResp, ReqId};
+use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -79,7 +80,9 @@ impl Gpu {
     pub fn new(id: GpuId, cfg: &GpuConfig) -> Self {
         Gpu {
             id,
-            sms: (0..cfg.n_sms).map(|_| Sm::new(cfg.ctas_per_sm, &cfg.l1)).collect(),
+            sms: (0..cfg.n_sms)
+                .map(|_| Sm::new(cfg.ctas_per_sm, &cfg.l1))
+                .collect(),
             l2: Cache::new(&cfg.l2),
             l2_mshr: MshrTable::new(cfg.l2.mshrs as usize),
             l2_in: VecDeque::new(),
@@ -106,7 +109,8 @@ impl Gpu {
     /// called multiple times before/while running: later launches
     /// co-execute with earlier ones (concurrent kernel execution).
     pub fn launch(&mut self, model: Arc<dyn KernelModel>, ctas: impl IntoIterator<Item = u32>) {
-        self.pending_ctas.extend(ctas.into_iter().map(|c| (model.clone(), c)));
+        self.pending_ctas
+            .extend(ctas.into_iter().map(|c| (model.clone(), c)));
     }
 
     /// Interleaves the pending queue round-robin across kernels so that
@@ -145,6 +149,17 @@ impl Gpu {
         self.pending_ctas.extend(ctas);
     }
 
+    /// Fraction of CTA slots across all SMs currently holding a resident
+    /// CTA (the SM-occupancy gauge sampled by metrics epochs).
+    pub fn occupancy(&self) -> f64 {
+        let slots: u32 = self.sms.iter().map(Sm::slot_count).sum();
+        if slots == 0 {
+            return 0.0;
+        }
+        let resident: u32 = self.sms.iter().map(Sm::resident_ctas).sum();
+        resident as f64 / slots as f64
+    }
+
     /// True while any CTA or memory transaction is unfinished.
     pub fn busy(&self) -> bool {
         !self.pending_ctas.is_empty()
@@ -156,14 +171,31 @@ impl Gpu {
 
     /// One core-clock cycle: SMs execute; CTA dispatch; SM→L2 drain.
     pub fn tick_core(&mut self) {
+        self.tick_core_traced(None);
+    }
+
+    /// [`Gpu::tick_core`] with optional tracing of the CTA lifecycle
+    /// (launch instants at dispatch, retire spans from the SMs).
+    pub fn tick_core_traced(&mut self, mut tracer: Option<&mut Tracer>) {
         let now = self.core_cycle;
         for i in 0..self.sms.len() {
             // Dispatch pending CTAs into free slots.
             while !self.pending_ctas.is_empty() && self.sms[i].has_free_slot() {
                 let (model, cta) = self.pending_ctas.pop_front().expect("nonempty");
-                self.sms[i].assign(model.cta_stream(cta));
+                self.sms[i].assign_tagged(model.cta_stream(cta), cta as u64, now);
+                if let Some(tr) = tracer.as_deref_mut() {
+                    tr.emit_instant(
+                        ClockDomain::Core,
+                        now,
+                        TraceEventKind::CtaLaunch {
+                            gpu: self.id.0,
+                            sm: i as u32,
+                            cta: cta as u64,
+                        },
+                    );
+                }
             }
-            self.sms[i].tick(now);
+            self.sms[i].tick_traced(now, self.id.0, i as u32, tracer.as_deref_mut());
             // Drain SM output into the crossbar (bounded).
             while self.l2_in.len() < self.l2_in_cap {
                 match self.sms[i].pop_to_l2() {
@@ -182,7 +214,9 @@ impl Gpu {
     pub fn tick_l2(&mut self) {
         let now = self.core_cycle;
         for _ in 0..self.l2_banks {
-            let Some(&(ready, req)) = self.l2_in.front() else { break };
+            let Some(&(ready, req)) = self.l2_in.front() else {
+                break;
+            };
             if ready > now {
                 break;
             }
@@ -246,7 +280,13 @@ impl Gpu {
                 }
                 self.l2.invalidate(req.access.addr);
                 let id = self.alloc_req();
-                self.resp_routes.insert(id, RespRoute::Atomic { sm: req.sm, slot: req.slot });
+                self.resp_routes.insert(
+                    id,
+                    RespRoute::Atomic {
+                        sm: req.sm,
+                        slot: req.slot,
+                    },
+                );
                 self.push_mem_req(MemReq {
                     id,
                     addr: req.access.addr,
@@ -308,10 +348,18 @@ impl Gpu {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> GpuStats {
-        let mut s = GpuStats { l2: self.l2.stats(), mem_reqs: self.mem_reqs, ..Default::default() };
+        let mut s = GpuStats {
+            l2: self.l2.stats(),
+            mem_reqs: self.mem_reqs,
+            ..Default::default()
+        };
         for sm in &self.sms {
             s.l1.merge(&sm.l1_stats());
-            let SmStats { ctas_done, mem_instrs, .. } = sm.stats();
+            let SmStats {
+                ctas_done,
+                mem_instrs,
+                ..
+            } = sm.stats();
             s.ctas_done += ctas_done;
             s.mem_instrs += mem_instrs;
         }
@@ -339,7 +387,7 @@ mod tests {
         while g.busy() && now < max_cycles {
             g.tick_core();
             // L2 at half the core clock (700 vs 1400 MHz).
-            if now % 2 == 0 {
+            if now.is_multiple_of(2) {
                 g.tick_l2();
                 l2_tick += 1;
             }
@@ -362,7 +410,11 @@ mod tests {
     #[test]
     fn kernel_runs_to_completion() {
         let mut g = gpu(2);
-        let k = Arc::new(StreamKernel { ctas: 32, rounds: 4, gap: 8 });
+        let k = Arc::new(StreamKernel {
+            ctas: 32,
+            rounds: 4,
+            gap: 8,
+        });
         g.launch(k, 0..32);
         run(&mut g, 100, 2_000_000);
         let s = g.stats();
@@ -401,20 +453,31 @@ mod tests {
 
     #[test]
     fn more_sms_finish_faster() {
-        let k = Arc::new(StreamKernel { ctas: 64, rounds: 6, gap: 40 });
+        let k = Arc::new(StreamKernel {
+            ctas: 64,
+            rounds: 6,
+            gap: 40,
+        });
         let mut g1 = gpu(1);
         g1.launch(k.clone(), 0..64);
         let t1 = run(&mut g1, 60, 10_000_000);
         let mut g4 = gpu(4);
         g4.launch(k, 0..64);
         let t4 = run(&mut g4, 60, 10_000_000);
-        assert!(t4 * 2 < t1, "4 SMs ({t4}) should be much faster than 1 ({t1})");
+        assert!(
+            t4 * 2 < t1,
+            "4 SMs ({t4}) should be much faster than 1 ({t1})"
+        );
     }
 
     #[test]
     fn stealing_moves_undispatched_ctas() {
         let mut g = gpu(1);
-        let k = Arc::new(StreamKernel { ctas: 100, rounds: 1, gap: 1 });
+        let k = Arc::new(StreamKernel {
+            ctas: 100,
+            rounds: 1,
+            gap: 1,
+        });
         g.launch(k, 0..100);
         assert_eq!(g.pending_ctas(), 100);
         let stolen = g.steal(30);
@@ -431,9 +494,17 @@ mod tests {
     #[test]
     fn co_launched_kernels_interleave_and_both_finish() {
         let mut g = gpu(2);
-        let a = Arc::new(StreamKernel { ctas: 8, rounds: 2, gap: 4 });
+        let a = Arc::new(StreamKernel {
+            ctas: 8,
+            rounds: 2,
+            gap: 4,
+        });
         let b = Arc::new(crate::kernel::OffsetKernel::new(
-            Arc::new(StreamKernel { ctas: 8, rounds: 2, gap: 4 }),
+            Arc::new(StreamKernel {
+                ctas: 8,
+                rounds: 2,
+                gap: 4,
+            }),
             1 << 22,
         ));
         g.launch(a, 0..8);
@@ -447,7 +518,11 @@ mod tests {
     #[test]
     fn interleave_is_noop_for_single_kernel() {
         let mut g = gpu(1);
-        let k = Arc::new(StreamKernel { ctas: 6, rounds: 1, gap: 1 });
+        let k = Arc::new(StreamKernel {
+            ctas: 6,
+            rounds: 1,
+            gap: 1,
+        });
         g.launch(k, 0..6);
         g.interleave_pending(1);
         assert_eq!(g.pending_ctas(), 6);
@@ -478,7 +553,7 @@ mod tests {
         let mut now = 0u64;
         while g.busy() && now < 100_000 {
             g.tick_core();
-            if now % 2 == 0 {
+            if now.is_multiple_of(2) {
                 g.tick_l2();
             }
             while g.pop_mem_request().is_some() {} // sink, never respond
@@ -493,14 +568,18 @@ mod tests {
         let mut cfg = SystemConfig::paper().gpu;
         cfg.n_sms = 1;
         let mut g = Gpu::new(GpuId(3), &cfg);
-        let k = Arc::new(StreamKernel { ctas: 4, rounds: 2, gap: 1 });
+        let k = Arc::new(StreamKernel {
+            ctas: 4,
+            rounds: 2,
+            gap: 1,
+        });
         g.launch(k, 0..4);
         let mut ids = std::collections::HashSet::new();
         let mut now = 0u64;
         let mut pending: VecDeque<(u64, MemReq)> = VecDeque::new();
         while g.busy() && now < 1_000_000 {
             g.tick_core();
-            if now % 2 == 0 {
+            if now.is_multiple_of(2) {
                 g.tick_l2();
             }
             while let Some(r) = g.pop_mem_request() {

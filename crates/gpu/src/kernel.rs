@@ -27,17 +27,29 @@ pub struct MemAccess {
 impl MemAccess {
     /// A coalesced 128 B read.
     pub fn read(addr: u64) -> Self {
-        MemAccess { addr, bytes: 128, kind: AccessKind::Read }
+        MemAccess {
+            addr,
+            bytes: 128,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A coalesced 128 B write.
     pub fn write(addr: u64) -> Self {
-        MemAccess { addr, bytes: 128, kind: AccessKind::Write }
+        MemAccess {
+            addr,
+            bytes: 128,
+            kind: AccessKind::Write,
+        }
     }
 
     /// An atomic read-modify-write (executes at the HMC).
     pub fn atomic(addr: u64) -> Self {
-        MemAccess { addr, bytes: 32, kind: AccessKind::Atomic }
+        MemAccess {
+            addr,
+            bytes: 32,
+            kind: AccessKind::Atomic,
+        }
     }
 }
 
@@ -95,7 +107,9 @@ impl OffsetKernel {
 
 impl std::fmt::Debug for OffsetKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OffsetKernel").field("base", &self.base).finish()
+        f.debug_struct("OffsetKernel")
+            .field("base", &self.base)
+            .finish()
     }
 }
 
@@ -110,13 +124,18 @@ impl KernelModel for OffsetKernel {
 
     fn cta_stream(&self, cta: u32) -> CtaStream {
         let base = self.base;
-        Box::new(self.inner.cta_stream(cta).map(move |op| match op {
-            CtaOp::Compute(c) => CtaOp::Compute(c),
-            CtaOp::Mem(v) => CtaOp::Mem(
-                v.into_iter()
-                    .map(|a| MemAccess { addr: a.addr + base, ..a })
-                    .collect(),
-            ),
+        Box::new(self.inner.cta_stream(cta).map(move |op| {
+            match op {
+                CtaOp::Compute(c) => CtaOp::Compute(c),
+                CtaOp::Mem(v) => CtaOp::Mem(
+                    v.into_iter()
+                        .map(|a| MemAccess {
+                            addr: a.addr + base,
+                            ..a
+                        })
+                        .collect(),
+                ),
+            }
         }))
     }
 }
@@ -145,7 +164,10 @@ impl KernelModel for StreamKernel {
         let gap = self.gap;
         let rounds = self.rounds;
         Box::new((0..rounds).flat_map(move |r| {
-            [CtaOp::Compute(gap), CtaOp::Mem(vec![MemAccess::read(base + r as u64 * 128)])]
+            [
+                CtaOp::Compute(gap),
+                CtaOp::Mem(vec![MemAccess::read(base + r as u64 * 128)]),
+            ]
         }))
     }
 
@@ -160,7 +182,11 @@ mod tests {
 
     #[test]
     fn stream_kernel_is_deterministic() {
-        let k = StreamKernel { ctas: 4, rounds: 3, gap: 10 };
+        let k = StreamKernel {
+            ctas: 4,
+            rounds: 3,
+            gap: 10,
+        };
         let a: Vec<CtaOp> = k.cta_stream(2).collect();
         let b: Vec<CtaOp> = k.cta_stream(2).collect();
         assert_eq!(a, b);
@@ -169,7 +195,11 @@ mod tests {
 
     #[test]
     fn stream_kernel_ctas_access_disjoint_ranges() {
-        let k = StreamKernel { ctas: 2, rounds: 2, gap: 1 };
+        let k = StreamKernel {
+            ctas: 2,
+            rounds: 2,
+            gap: 1,
+        };
         let addrs = |cta: u32| -> Vec<u64> {
             k.cta_stream(cta)
                 .filter_map(|op| match op {
@@ -192,7 +222,11 @@ mod tests {
 
     #[test]
     fn offset_kernel_shifts_every_address() {
-        let inner = std::sync::Arc::new(StreamKernel { ctas: 2, rounds: 3, gap: 5 });
+        let inner = std::sync::Arc::new(StreamKernel {
+            ctas: 2,
+            rounds: 3,
+            gap: 5,
+        });
         let wrapped = OffsetKernel::new(inner.clone(), 1 << 20);
         assert_eq!(wrapped.grid_ctas(), 2);
         assert_eq!(wrapped.footprint_bytes(), inner.footprint_bytes());
@@ -217,7 +251,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_cta_panics() {
-        let k = StreamKernel { ctas: 1, rounds: 1, gap: 1 };
+        let k = StreamKernel {
+            ctas: 1,
+            rounds: 1,
+            gap: 1,
+        };
         let _ = k.cta_stream(5);
     }
 }

@@ -10,6 +10,7 @@ use crate::cache::{Cache, CacheStats, MshrResult, MshrTable};
 use crate::kernel::{CtaOp, CtaStream, MemAccess};
 use memnet_common::config::CacheConfig;
 use memnet_common::AccessKind;
+use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -39,6 +40,10 @@ enum SlotState {
 struct Slot {
     stream: Option<CtaStream>,
     state: SlotState,
+    /// Flattened CTA index of the resident stream (trace identity).
+    tag: u64,
+    /// Core cycle the CTA was installed (start of its lifecycle span).
+    launched_at: u64,
 }
 
 impl std::fmt::Debug for Slot {
@@ -81,7 +86,14 @@ impl Sm {
     /// Creates an SM with `ctas_per_sm` slots and the given L1.
     pub fn new(ctas_per_sm: u32, l1_cfg: &CacheConfig) -> Self {
         Sm {
-            slots: (0..ctas_per_sm).map(|_| Slot { stream: None, state: SlotState::Empty }).collect(),
+            slots: (0..ctas_per_sm)
+                .map(|_| Slot {
+                    stream: None,
+                    state: SlotState::Empty,
+                    tag: 0,
+                    launched_at: 0,
+                })
+                .collect(),
             l1: Cache::new(l1_cfg),
             l1_latency: l1_cfg.latency_cycles as u64,
             mshr: MshrTable::new(l1_cfg.mshrs as usize),
@@ -96,7 +108,9 @@ impl Sm {
 
     /// True if a CTA slot is free.
     pub fn has_free_slot(&self) -> bool {
-        self.slots.iter().any(|s| matches!(s.state, SlotState::Empty))
+        self.slots
+            .iter()
+            .any(|s| matches!(s.state, SlotState::Empty))
     }
 
     /// Installs a CTA stream into a free slot.
@@ -105,6 +119,12 @@ impl Sm {
     ///
     /// Panics if no slot is free.
     pub fn assign(&mut self, stream: CtaStream) {
+        self.assign_tagged(stream, 0, 0);
+    }
+
+    /// [`Sm::assign`] carrying the CTA's flattened index and the launch
+    /// cycle, so retirement can emit a full lifecycle span.
+    pub fn assign_tagged(&mut self, stream: CtaStream, cta: u64, now: u64) {
         let slot = self
             .slots
             .iter_mut()
@@ -112,6 +132,21 @@ impl Sm {
             .expect("assign requires a free slot");
         slot.stream = Some(stream);
         slot.state = SlotState::Ready;
+        slot.tag = cta;
+        slot.launched_at = now;
+    }
+
+    /// Number of slots currently holding a CTA (occupancy numerator).
+    pub fn resident_ctas(&self) -> u32 {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s.state, SlotState::Empty))
+            .count() as u32
+    }
+
+    /// Total CTA slots (occupancy denominator).
+    pub fn slot_count(&self) -> u32 {
+        self.slots.len() as u32
     }
 
     /// True while any CTA is resident or transactions are outstanding.
@@ -120,7 +155,10 @@ impl Sm {
             || !self.to_l2.is_empty()
             || !self.completions.is_empty()
             || !self.mshr.is_empty()
-            || self.slots.iter().any(|s| !matches!(s.state, SlotState::Empty))
+            || self
+                .slots
+                .iter()
+                .any(|s| !matches!(s.state, SlotState::Empty))
     }
 
     /// Pops one outbound request for the L2, if present.
@@ -154,7 +192,18 @@ impl Sm {
 
     /// Advances the SM by one core cycle.
     pub fn tick(&mut self, now: u64) {
-        if self.slots.iter().any(|s| !matches!(s.state, SlotState::Empty)) {
+        self.tick_traced(now, 0, 0, None);
+    }
+
+    /// [`Sm::tick`] with optional tracing. The SM holds no identity of its
+    /// own, so the caller passes its `(gpu, sm)` coordinates for the
+    /// CTA-retire spans.
+    pub fn tick_traced(&mut self, now: u64, gpu: u16, sm: u32, mut tracer: Option<&mut Tracer>) {
+        if self
+            .slots
+            .iter()
+            .any(|s| !matches!(s.state, SlotState::Empty))
+        {
             self.stats.busy_cycles += 1;
         }
 
@@ -165,8 +214,11 @@ impl Sm {
             }
             self.completions.pop();
             if let SlotState::WaitMem(n) = self.slots[slot as usize].state {
-                self.slots[slot as usize].state =
-                    if n <= 1 { SlotState::Ready } else { SlotState::WaitMem(n - 1) };
+                self.slots[slot as usize].state = if n <= 1 {
+                    SlotState::Ready
+                } else {
+                    SlotState::WaitMem(n - 1)
+                };
             } else {
                 debug_assert!(false, "completion for a slot not waiting on memory");
             }
@@ -174,7 +226,9 @@ impl Sm {
 
         // 2. LSU issue.
         for _ in 0..self.lsu_width {
-            let Some(&(slot, access)) = self.lsu_q.front() else { break };
+            let Some(&(slot, access)) = self.lsu_q.front() else {
+                break;
+            };
             if !self.issue_access(slot, access, now) {
                 break; // structural stall: retry next cycle
             }
@@ -189,12 +243,29 @@ impl Sm {
                         self.slots[i].state = SlotState::Ready;
                     }
                     SlotState::Ready => {
-                        let op = self.slots[i].stream.as_mut().expect("ready slot has stream").next();
+                        let op = self.slots[i]
+                            .stream
+                            .as_mut()
+                            .expect("ready slot has stream")
+                            .next();
                         match op {
                             None => {
                                 self.slots[i].stream = None;
                                 self.slots[i].state = SlotState::Empty;
                                 self.stats.ctas_done += 1;
+                                if let Some(tr) = tracer.as_deref_mut() {
+                                    let start = self.slots[i].launched_at;
+                                    tr.emit(
+                                        ClockDomain::Core,
+                                        start,
+                                        now - start,
+                                        TraceEventKind::CtaRetire {
+                                            gpu,
+                                            sm,
+                                            cta: self.slots[i].tag,
+                                        },
+                                    );
+                                }
                             }
                             Some(CtaOp::Compute(c)) => {
                                 self.slots[i].state = SlotState::Computing(now + c.max(1) as u64);
@@ -224,7 +295,8 @@ impl Sm {
         match access.kind {
             AccessKind::Read => {
                 if self.l1.read(access.addr) {
-                    self.completions.push(Reverse((now + self.l1_latency, slot)));
+                    self.completions
+                        .push(Reverse((now + self.l1_latency, slot)));
                     return true;
                 }
                 let line = self.l1.line_addr(access.addr);
@@ -238,7 +310,11 @@ impl Sm {
                         self.to_l2.push_back(L2Req {
                             sm: 0,
                             slot,
-                            access: MemAccess { addr: line, bytes: 128, kind: AccessKind::Read },
+                            access: MemAccess {
+                                addr: line,
+                                bytes: 128,
+                                kind: AccessKind::Read,
+                            },
                         });
                         true
                     }
@@ -249,7 +325,11 @@ impl Sm {
                     return false;
                 }
                 self.l1.write(access.addr);
-                self.to_l2.push_back(L2Req { sm: 0, slot, access });
+                self.to_l2.push_back(L2Req {
+                    sm: 0,
+                    slot,
+                    access,
+                });
                 // Posted write: completes once accepted.
                 self.completions.push(Reverse((now + 1, slot)));
                 true
@@ -260,7 +340,11 @@ impl Sm {
                 }
                 // Atomics evict the line and execute at the HMC (§III-D).
                 self.l1.invalidate(access.addr);
-                self.to_l2.push_back(L2Req { sm: 0, slot, access });
+                self.to_l2.push_back(L2Req {
+                    sm: 0,
+                    slot,
+                    access,
+                });
                 true
             }
         }
@@ -288,8 +372,11 @@ mod tests {
             while let Some(r) = sm.pop_to_l2() {
                 pending.push((now + mem_lat, r));
             }
-            let due: Vec<L2Req> =
-                pending.iter().filter(|(t, _)| *t <= now).map(|&(_, r)| r).collect();
+            let due: Vec<L2Req> = pending
+                .iter()
+                .filter(|(t, _)| *t <= now)
+                .map(|&(_, r)| r)
+                .collect();
             pending.retain(|(t, _)| *t > now);
             for r in due {
                 match r.access.kind {
@@ -307,7 +394,11 @@ mod tests {
     #[test]
     fn single_cta_completes() {
         let mut s = sm();
-        let k = StreamKernel { ctas: 1, rounds: 5, gap: 4 };
+        let k = StreamKernel {
+            ctas: 1,
+            rounds: 5,
+            gap: 4,
+        };
         s.assign(k.cta_stream(0));
         run_standalone(&mut s, 50, 100_000);
         assert_eq!(s.stats().ctas_done, 1);
@@ -317,7 +408,11 @@ mod tests {
     #[test]
     fn eight_ctas_fill_slots_and_all_retire() {
         let mut s = sm();
-        let k = StreamKernel { ctas: 8, rounds: 3, gap: 2 };
+        let k = StreamKernel {
+            ctas: 8,
+            rounds: 3,
+            gap: 2,
+        };
         for c in 0..8 {
             s.assign(k.cta_stream(c));
         }
@@ -343,7 +438,11 @@ mod tests {
 
     #[test]
     fn memory_latency_slows_execution() {
-        let k = StreamKernel { ctas: 1, rounds: 10, gap: 1 };
+        let k = StreamKernel {
+            ctas: 1,
+            rounds: 10,
+            gap: 1,
+        };
         let mut fast = sm();
         fast.assign(k.cta_stream(0));
         let t_fast = run_standalone(&mut fast, 10, 1_000_000);
@@ -357,7 +456,14 @@ mod tests {
     fn multiple_ctas_overlap_memory_latency() {
         // With long memory latency, 4 CTAs should take much less than 4×
         // one CTA's time (latency hiding).
-        let mk = |cta: u32| StreamKernel { ctas: 4, rounds: 8, gap: 1 }.cta_stream(cta);
+        let mk = |cta: u32| {
+            StreamKernel {
+                ctas: 4,
+                rounds: 8,
+                gap: 1,
+            }
+            .cta_stream(cta)
+        };
         let mut one = sm();
         one.assign(mk(0));
         let t1 = run_standalone(&mut one, 200, 1_000_000);
@@ -372,9 +478,8 @@ mod tests {
     #[test]
     fn writes_are_posted() {
         let mut s = sm();
-        let stream: CtaStream = Box::new(
-            (0..5).map(|i| CtaOp::Mem(vec![MemAccess::write(i as u64 * 128)])),
-        );
+        let stream: CtaStream =
+            Box::new((0..5).map(|i| CtaOp::Mem(vec![MemAccess::write(i as u64 * 128)])));
         s.assign(stream);
         // Never answer writes; the SM must still drain.
         let mut now = 0;
@@ -389,7 +494,8 @@ mod tests {
     #[test]
     fn atomic_waits_for_response() {
         let mut s = sm();
-        let stream: CtaStream = Box::new(std::iter::once(CtaOp::Mem(vec![MemAccess::atomic(0x40)])));
+        let stream: CtaStream =
+            Box::new(std::iter::once(CtaOp::Mem(vec![MemAccess::atomic(0x40)])));
         s.assign(stream);
         let mut got_req = None;
         for now in 0..100 {
@@ -412,7 +518,11 @@ mod tests {
     #[should_panic(expected = "free slot")]
     fn assign_without_free_slot_panics() {
         let mut s = sm();
-        let k = StreamKernel { ctas: 16, rounds: 1, gap: 1 };
+        let k = StreamKernel {
+            ctas: 16,
+            rounds: 1,
+            gap: 1,
+        };
         for c in 0..9 {
             s.assign(k.cta_stream(c)); // 9th overflows the 8 slots
         }

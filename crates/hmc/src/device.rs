@@ -10,6 +10,7 @@
 use crate::vault::{Vault, VaultStats};
 use memnet_common::config::HmcConfig;
 use memnet_common::MemReq;
+use memnet_obs::Tracer;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -68,7 +69,13 @@ impl HmcDevice {
     ///
     /// Returns the request back if the vault queue is full (the caller
     /// should stall its ejection port — finite logic-die buffering).
-    pub fn try_accept(&mut self, req: MemReq, vault: u32, bank: u32, row: u64) -> Result<(), MemReq> {
+    pub fn try_accept(
+        &mut self,
+        req: MemReq,
+        vault: u32,
+        bank: u32,
+        row: u64,
+    ) -> Result<(), MemReq> {
         self.vaults[vault as usize].try_enqueue(req, bank, row)?;
         self.inflight += 1;
         Ok(())
@@ -76,15 +83,32 @@ impl HmcDevice {
 
     /// Advances all vaults one DRAM cycle.
     pub fn tick(&mut self, now_tck: u64) {
-        for v in &mut self.vaults {
+        self.tick_traced(now_tck, 0, None);
+    }
+
+    /// [`HmcDevice::tick`] with optional vault-service tracing; `hmc` is
+    /// this cube's global index for the trace track.
+    pub fn tick_traced(&mut self, now_tck: u64, hmc: u32, mut tracer: Option<&mut Tracer>) {
+        for (vi, v) in self.vaults.iter_mut().enumerate() {
             if v.queue_len() == 0 {
                 continue;
             }
-            if let Some((req, done)) = v.tick(now_tck) {
+            if let Some((req, done)) = v.tick_traced(now_tck, hmc, vi as u32, tracer.as_deref_mut())
+            {
                 self.seq += 1;
-                self.completions.push(Reverse(Completion { at: done, seq: self.seq, req }));
+                self.completions.push(Reverse(Completion {
+                    at: done,
+                    seq: self.seq,
+                    req,
+                }));
             }
         }
+    }
+
+    /// Total requests queued across all vault controllers (queue-depth
+    /// gauge for metrics epochs; excludes in-flight completions).
+    pub fn queued(&self) -> usize {
+        self.vaults.iter().map(Vault::queue_len).sum()
     }
 
     /// Pops one request whose data transfer finished by `now_tck`.
@@ -127,7 +151,13 @@ mod tests {
     use memnet_common::{AccessKind, Agent, GpuId, ReqId, SystemConfig};
 
     fn req(id: u64) -> MemReq {
-        MemReq { id: ReqId(id), addr: 0, bytes: 128, kind: AccessKind::Read, src: Agent::Gpu(GpuId(0)) }
+        MemReq {
+            id: ReqId(id),
+            addr: 0,
+            bytes: 128,
+            kind: AccessKind::Read,
+            src: Agent::Gpu(GpuId(0)),
+        }
     }
 
     #[test]
@@ -187,11 +217,12 @@ mod tests {
             while done < 64 {
                 while fed < 64 {
                     let vault = if spread { (fed % 16) as u32 } else { 0 };
-                    if d.can_accept(vault) {
-                        if d.try_accept(req(fed), vault, (fed % 16) as u32, fed / 7).is_ok() {
-                            fed += 1;
-                            continue;
-                        }
+                    if d.can_accept(vault)
+                        && d.try_accept(req(fed), vault, (fed % 16) as u32, fed / 7)
+                            .is_ok()
+                    {
+                        fed += 1;
+                        continue;
                     }
                     break;
                 }

@@ -87,7 +87,16 @@ impl AddressMap {
         let bk_bits = log2(cfg.hmc.banks_per_vault as u64);
         let clh_bits = log2(ROW_BYTES / COL_BYTES) - cll_bits;
         let page_bits = log2(cfg.page_bytes);
-        let map = AddressMap { by_bits, cll_bits, lc_bits, vl_bits, ct_bits, bk_bits, clh_bits, page_bits };
+        let map = AddressMap {
+            by_bits,
+            cll_bits,
+            lc_bits,
+            vl_bits,
+            ct_bits,
+            bk_bits,
+            clh_bits,
+            page_bits,
+        };
         assert!(
             map.ct_shift() >= page_bits,
             "cluster bits (at {}) must lie above the page offset ({page_bits})",
@@ -176,7 +185,7 @@ impl AddressMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use memnet_common::rng::SplitMix64;
 
     fn map() -> AddressMap {
         AddressMap::new(&SystemConfig::paper())
@@ -222,7 +231,10 @@ mod tests {
         for off in (0..4096u64).step_by(128) {
             seen[m.decode(off).local_hmc as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "page lines must cover all 4 local HMCs");
+        assert!(
+            seen.iter().all(|&s| s),
+            "page lines must cover all 4 local HMCs"
+        );
     }
 
     #[test]
@@ -242,44 +254,68 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for cluster in 0..4 {
             for seq in 0..1000u64 {
-                assert!(seen.insert(m.page_for_cluster(seq, cluster)), "duplicate page");
+                assert!(
+                    seen.insert(m.page_for_cluster(seq, cluster)),
+                    "duplicate page"
+                );
             }
         }
     }
 
     #[test]
     fn hmc_global_index() {
-        let loc = Location { cluster: 2, local_hmc: 3, vault: 0, bank: 0, row: 0, col: 0 };
+        let loc = Location {
+            cluster: 2,
+            local_hmc: 3,
+            vault: 0,
+            bank: 0,
+            row: 0,
+            col: 0,
+        };
         assert_eq!(loc.hmc_global(4), 11);
     }
 
-    proptest! {
-        #[test]
-        fn decode_encode_bijection(addr in 0u64..(1u64 << 40)) {
-            let m = map();
+    // Deterministic randomized properties: a seeded SplitMix64 replaces the
+    // former proptest strategies so the suite runs without registry deps.
+
+    #[test]
+    fn decode_encode_bijection() {
+        let m = map();
+        let mut rng = SplitMix64::new(0xb1ec7);
+        for _ in 0..256 {
+            let addr = rng.next_below(1u64 << 40);
             let aligned = addr & !(COL_BYTES - 1);
-            prop_assert_eq!(m.encode(m.decode(aligned)), aligned);
+            assert_eq!(m.encode(m.decode(aligned)), aligned, "addr {addr:#x}");
         }
+    }
 
-        #[test]
-        fn decode_fields_in_range(addr in 0u64..(1u64 << 40)) {
-            let m = map();
+    #[test]
+    fn decode_fields_in_range() {
+        let m = map();
+        let mut rng = SplitMix64::new(0xf1e1d5);
+        for _ in 0..256 {
+            let addr = rng.next_below(1u64 << 40);
             let loc = m.decode(addr);
-            prop_assert!(loc.cluster < 4);
-            prop_assert!(loc.local_hmc < 4);
-            prop_assert!(loc.vault < 16);
-            prop_assert!(loc.bank < 16);
-            prop_assert!((loc.col as u64) < ROW_BYTES / COL_BYTES);
+            assert!(loc.cluster < 4, "addr {addr:#x}");
+            assert!(loc.local_hmc < 4, "addr {addr:#x}");
+            assert!(loc.vault < 16, "addr {addr:#x}");
+            assert!(loc.bank < 16, "addr {addr:#x}");
+            assert!((loc.col as u64) < ROW_BYTES / COL_BYTES, "addr {addr:#x}");
         }
+    }
 
-        #[test]
-        fn page_placement_bijection(seq in 0u64..1_000_000, cluster in 0u32..4) {
-            let m = map();
+    #[test]
+    fn page_placement_bijection() {
+        let m = map();
+        let mut rng = SplitMix64::new(0x9a9e5);
+        for _ in 0..256 {
+            let seq = rng.next_below(1_000_000);
+            let cluster = rng.next_below(4) as u32;
             let page = m.page_for_cluster(seq, cluster);
-            prop_assert_eq!(m.page_cluster(page), cluster);
+            assert_eq!(m.page_cluster(page), cluster, "seq {seq} cluster {cluster}");
             // Different seqs map to different pages for the same cluster.
             let other = m.page_for_cluster(seq + 1, cluster);
-            prop_assert_ne!(page, other);
+            assert_ne!(page, other, "seq {seq} cluster {cluster}");
         }
     }
 }

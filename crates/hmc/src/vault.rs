@@ -9,6 +9,7 @@
 
 use memnet_common::config::HmcConfig;
 use memnet_common::{AccessKind, MemReq};
+use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::collections::VecDeque;
 
 /// One DRAM bank's timing state.
@@ -78,7 +79,8 @@ impl Vault {
         // t = 0 or collide on the same cycle.
         let banks = (0..cfg.banks_per_vault)
             .map(|i| Bank {
-                next_refresh: (i as u64 + 1) * cfg.t_refi.max(1) as u64 / cfg.banks_per_vault as u64
+                next_refresh: (i as u64 + 1) * cfg.t_refi.max(1) as u64
+                    / cfg.banks_per_vault as u64
                     + cfg.t_refi as u64 / 2,
                 ..Bank::default()
             })
@@ -126,6 +128,20 @@ impl Vault {
     /// FR-FCFS issue: picks at most one request this cycle, returning it and
     /// its data-completion time in tCK.
     pub fn tick(&mut self, now: u64) -> Option<(MemReq, u64)> {
+        self.tick_traced(now, 0, 0, None)
+    }
+
+    /// [`Vault::tick`] with optional tracing: each serviced request emits a
+    /// [`TraceEventKind::VaultService`] span from its first DRAM command to
+    /// the end of the data burst. The vault holds no identity, so the
+    /// caller passes `(hmc, vault)` coordinates.
+    pub fn tick_traced(
+        &mut self,
+        now: u64,
+        hmc: u32,
+        vault: u32,
+        tracer: Option<&mut Tracer>,
+    ) -> Option<(MemReq, u64)> {
         if self.queue.is_empty() {
             return None;
         }
@@ -153,16 +169,21 @@ impl Vault {
         // Refresh: on the tREFI cadence, close the row and block the bank
         // for tRFC before the request's commands may issue.
         if c.t_refi > 0 && now >= bank.next_refresh {
-            let start = now.max(bank.activated_at + c.t_ras as u64).max(bank.write_recovery_until);
+            let start = now
+                .max(bank.activated_at + c.t_ras as u64)
+                .max(bank.write_recovery_until);
             bank.open_row = None;
             bank.next_cmd = bank.next_cmd.max(start + c.t_rfc as u64);
             bank.next_refresh = now + c.t_refi as u64;
             self.stats.refreshes += 1;
         }
-        let burst = (e.req.bytes as u64).div_ceil(c.vault_bus_bytes_per_tck as u64).max(1);
+        let burst = (e.req.bytes as u64)
+            .div_ceil(c.vault_bus_bytes_per_tck as u64)
+            .max(1);
 
         // Column command time after any row cycling.
         let cmd_at = now.max(bank.next_cmd);
+        let row_hit = bank.open_row == Some(e.row);
         let col_ready = match bank.open_row {
             Some(r) if r == e.row => {
                 self.stats.row_hits += 1;
@@ -208,6 +229,19 @@ impl Vault {
         }
         self.stats.served += 1;
         self.stats.bytes += e.req.bytes as u64;
+        if let Some(tr) = tracer {
+            tr.emit(
+                ClockDomain::Dram,
+                cmd_at,
+                done - cmd_at,
+                TraceEventKind::VaultService {
+                    hmc,
+                    vault,
+                    row_hit,
+                    bytes: e.req.bytes,
+                },
+            );
+        }
         Some((e.req, done))
     }
 }
@@ -222,7 +256,13 @@ mod tests {
     }
 
     fn req(id: u64, bytes: u32, kind: AccessKind) -> MemReq {
-        MemReq { id: ReqId(id), addr: 0, bytes, kind, src: Agent::Gpu(GpuId(0)) }
+        MemReq {
+            id: ReqId(id),
+            addr: 0,
+            bytes,
+            kind,
+            src: Agent::Gpu(GpuId(0)),
+        }
     }
 
     /// Drives the vault until a specific request completes.
@@ -304,7 +344,10 @@ mod tests {
         let done = complete_all(&mut v, 2);
         let burst = 128 / c.vault_bus_bytes_per_tck as u64;
         let gap = done[1].1.abs_diff(done[0].1);
-        assert!(gap >= burst, "completions {gap} apart must be ≥ burst {burst}");
+        assert!(
+            gap >= burst,
+            "completions {gap} apart must be ≥ burst {burst}"
+        );
     }
 
     #[test]
@@ -314,7 +357,8 @@ mod tests {
         v.try_enqueue(req(1, 128, AccessKind::Read), 0, 5).unwrap();
         let (_, t_read) = v.tick(0).expect("read");
         let mut v2 = Vault::new(&c);
-        v2.try_enqueue(req(2, 128, AccessKind::Atomic), 0, 5).unwrap();
+        v2.try_enqueue(req(2, 128, AccessKind::Atomic), 0, 5)
+            .unwrap();
         let (_, t_atomic) = v2.tick(0).expect("atomic");
         assert!(t_atomic > t_read);
     }
@@ -330,7 +374,8 @@ mod tests {
             if issued < 200 && v.can_accept() {
                 let bank = (issued % 16) as u32;
                 let row = issued / 3;
-                v.try_enqueue(req(issued, 128, AccessKind::Read), bank, row).unwrap();
+                v.try_enqueue(req(issued, 128, AccessKind::Read), bank, row)
+                    .unwrap();
                 issued += 1;
             }
             if v.tick(now).is_some() {
@@ -354,7 +399,8 @@ mod tests {
         let mut fed = 0u64;
         while left > 0 {
             if fed < 64 && v.can_accept() {
-                v.try_enqueue(req(fed, 128, AccessKind::Read), 0, 7).unwrap();
+                v.try_enqueue(req(fed, 128, AccessKind::Read), 0, 7)
+                    .unwrap();
                 fed += 1;
             }
             if v.tick(now).is_some() {
@@ -362,7 +408,11 @@ mod tests {
             }
             now += 1;
         }
-        assert!(v.stats().hit_rate() > 0.9, "hit rate {}", v.stats().hit_rate());
+        assert!(
+            v.stats().hit_rate() > 0.9,
+            "hit rate {}",
+            v.stats().hit_rate()
+        );
     }
 }
 
@@ -372,7 +422,13 @@ mod refresh_tests {
     use memnet_common::{Agent, GpuId, ReqId, SystemConfig};
 
     fn req(id: u64) -> MemReq {
-        MemReq { id: ReqId(id), addr: 0, bytes: 128, kind: AccessKind::Read, src: Agent::Gpu(GpuId(0)) }
+        MemReq {
+            id: ReqId(id),
+            addr: 0,
+            bytes: 128,
+            kind: AccessKind::Read,
+            src: Agent::Gpu(GpuId(0)),
+        }
     }
 
     #[test]
@@ -392,7 +448,10 @@ mod refresh_tests {
             now += 1;
         }
         let r = v.stats().refreshes;
-        assert!((2..=8).contains(&r), "expected a few refreshes over 4 tREFI, got {r}");
+        assert!(
+            (2..=8).contains(&r),
+            "expected a few refreshes over 4 tREFI, got {r}"
+        );
     }
 
     #[test]
@@ -406,7 +465,11 @@ mod refresh_tests {
         let hits_before = v.stats().row_hits;
         v.try_enqueue(req(2), 0, 5).unwrap();
         let (_, _) = v.tick(2 * c.t_refi as u64).expect("post-refresh access");
-        assert_eq!(v.stats().row_hits, hits_before, "row must have been closed by refresh");
+        assert_eq!(
+            v.stats().row_hits,
+            hits_before,
+            "row must have been closed by refresh"
+        );
         assert!(v.stats().refreshes >= 1);
     }
 
@@ -416,7 +479,7 @@ mod refresh_tests {
         c.t_refi = 0;
         let mut v = Vault::new(&c);
         for i in 0..32 {
-            v.try_enqueue(req(i), 0, 0).unwrap_or_else(|_| ());
+            v.try_enqueue(req(i), 0, 0).unwrap_or(());
         }
         let mut now = 0;
         while v.queue_len() > 0 && now < 100_000 {

@@ -80,23 +80,39 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A 20 GB/s external HMC channel (16 B/cycle, 4-cycle SerDes).
     pub fn hmc_channel() -> Self {
-        LinkSpec { bytes_per_cycle: 16.0, serdes_cycles: 4, powered: true }
+        LinkSpec {
+            bytes_per_cycle: 16.0,
+            serdes_cycles: 4,
+            powered: true,
+        }
     }
 
     /// An `n`-wide trunk of HMC channels modeled as one fat link.
     pub fn hmc_trunk(n: u32) -> Self {
-        LinkSpec { bytes_per_cycle: 16.0 * n as f64, serdes_cycles: 4, powered: true }
+        LinkSpec {
+            bytes_per_cycle: 16.0 * n as f64,
+            serdes_cycles: 4,
+            powered: true,
+        }
     }
 
     /// A 16-lane PCIe v3.0 channel: 15.75 GB/s = 12.6 B per 1.25 GHz cycle,
     /// with a long protocol latency folded into `serdes_cycles`.
     pub fn pcie(latency_ns: f64) -> Self {
-        LinkSpec { bytes_per_cycle: 12.6, serdes_cycles: (latency_ns / 0.8).ceil() as u32, powered: false }
+        LinkSpec {
+            bytes_per_cycle: 12.6,
+            serdes_cycles: (latency_ns / 0.8).ceil() as u32,
+            powered: false,
+        }
     }
 
     /// A wide on-die connection between a device and its network interface.
     pub fn internal() -> Self {
-        LinkSpec { bytes_per_cycle: 256.0, serdes_cycles: 0, powered: false }
+        LinkSpec {
+            bytes_per_cycle: 256.0,
+            serdes_cycles: 0,
+            powered: false,
+        }
     }
 }
 
@@ -135,7 +151,10 @@ pub(crate) struct LinkRec {
 pub(crate) enum NodeRec {
     Router,
     /// Endpoint attached to a router via an implicit internal link.
-    Endpoint { router: NodeId, link: LinkSpec },
+    Endpoint {
+        router: NodeId,
+        link: LinkSpec,
+    },
 }
 
 /// Builds a network graph.
@@ -196,7 +215,10 @@ impl NetworkBuilder {
     pub fn link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec, tag: LinkTag) {
         assert_ne!(a, b, "self links are not allowed");
         for n in [a, b] {
-            assert!(matches!(self.nodes.get(n.index()), Some(NodeRec::Router)), "links connect routers");
+            assert!(
+                matches!(self.nodes.get(n.index()), Some(NodeRec::Router)),
+                "links connect routers"
+            );
         }
         self.links.push(LinkRec { a, b, spec, tag });
     }
@@ -215,7 +237,11 @@ impl NetworkBuilder {
                 .links
                 .iter()
                 .any(|l| (l.a == w[0] && l.b == w[1]) || (l.a == w[1] && l.b == w[0]));
-            assert!(linked, "overlay chain requires an existing link {} - {}", w[0], w[1]);
+            assert!(
+                linked,
+                "overlay chain requires an existing link {} - {}",
+                w[0], w[1]
+            );
         }
         self.overlay_chains.push(chain.to_vec());
     }

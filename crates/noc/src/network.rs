@@ -9,6 +9,7 @@ use crate::builder::{LinkSpec, LinkTag, NetworkBuilder, NodeRec};
 use crate::packet::{MsgClass, Packet, PacketId};
 use memnet_common::stats::RunningStats;
 use memnet_common::{NodeId, Payload, SplitMix64};
+use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -53,6 +54,9 @@ pub struct NetStats {
     pub passthrough: u64,
     /// Total bytes delivered (payload + headers).
     pub bytes_delivered: u64,
+    /// Flits that left endpoint injection queues onto the wire (drives the
+    /// injected-flits/cycle metric epoch series).
+    pub flits_injected: u64,
 }
 
 #[derive(Debug)]
@@ -140,10 +144,27 @@ struct Endpoint {
 
 #[derive(Debug)]
 enum Ev {
-    ArriveRouter { router: u32, port: u8, vc: u8, pid: PacketId },
-    ArriveEndpoint { ep: u32, pid: PacketId },
-    Credit { router: u32, port: u8, vc: u8, flits: u32 },
-    CreditEp { ep: u32, vc: u8, flits: u32 },
+    ArriveRouter {
+        router: u32,
+        port: u8,
+        vc: u8,
+        pid: PacketId,
+    },
+    ArriveEndpoint {
+        ep: u32,
+        pid: PacketId,
+    },
+    Credit {
+        router: u32,
+        port: u8,
+        vc: u8,
+        flits: u32,
+    },
+    CreditEp {
+        ep: u32,
+        vc: u8,
+        flits: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -216,11 +237,16 @@ impl Network {
         for (i, n) in b.nodes.iter().enumerate() {
             match n {
                 NodeRec::Router => {
-                    kind.push(Peer::Router { idx: node_of_router.len() as u32, port: 0 });
+                    kind.push(Peer::Router {
+                        idx: node_of_router.len() as u32,
+                        port: 0,
+                    });
                     node_of_router.push(NodeId(i as u16));
                 }
                 NodeRec::Endpoint { .. } => {
-                    kind.push(Peer::Endpoint { idx: node_of_endpoint.len() as u32 });
+                    kind.push(Peer::Endpoint {
+                        idx: node_of_endpoint.len() as u32,
+                    });
                     node_of_endpoint.push(NodeId(i as u16));
                 }
             }
@@ -245,27 +271,28 @@ impl Network {
 
         // BFS all-pairs over routers.
         let mut dist = vec![vec![u16::MAX; nr]; nr];
-        for s in 0..nr {
+        for (s, row) in dist.iter_mut().enumerate() {
             let mut q = VecDeque::new();
-            dist[s][s] = 0;
+            row[s] = 0;
             q.push_back(s as u32);
             while let Some(u) = q.pop_front() {
                 for &(v, _) in &adj[u as usize] {
-                    if dist[s][v as usize] == u16::MAX {
-                        dist[s][v as usize] = dist[s][u as usize] + 1;
+                    if row[v as usize] == u16::MAX {
+                        row[v as usize] = row[u as usize] + 1;
                         q.push_back(v);
                     }
                 }
             }
         }
-        let diameter = (0..nr)
-            .flat_map(|a| dist[a].iter().copied())
+        let diameter = dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
             .filter(|&d| d != u16::MAX)
             .max()
             .unwrap_or(0) as u32;
-        for a in 0..nr {
-            for bb in 0..nr {
-                assert!(dist[a][bb] != u16::MAX, "router graph is disconnected");
+        for row in &dist {
+            for &d in row {
+                assert!(d != u16::MAX, "router graph is disconnected");
             }
         }
 
@@ -281,16 +308,26 @@ impl Network {
         // Materialize routers: each link contributes one port on each side;
         // each endpoint contributes one port on its home router.
         let mut channels = Vec::new();
-        let mut routers: Vec<Router> =
-            (0..nr).map(|_| Router { ports: Vec::new(), overlay_next: HashMap::new() }).collect();
+        let mut routers: Vec<Router> = (0..nr)
+            .map(|_| Router {
+                ports: Vec::new(),
+                overlay_next: HashMap::new(),
+            })
+            .collect();
         let new_vcs = |n: usize| -> Vec<VcBuf> {
-            (0..n).map(|_| VcBuf { q: VecDeque::new(), occ: 0 }).collect()
+            (0..n)
+                .map(|_| VcBuf {
+                    q: VecDeque::new(),
+                    occ: 0,
+                })
+                .collect()
         };
         // Buffers (and thus the credit window) must cover the link's
         // round-trip time or long-latency links (PCIe) throttle far below
         // their bandwidth: depth ≥ 2 × (serdes + pipeline) + slack.
         let depth_for = |spec: &LinkSpec| -> u32 {
-            p.vc_buffer_flits.max(2 * (spec.serdes_cycles + p.pipeline_cycles) + 16)
+            p.vc_buffer_flits
+                .max(2 * (spec.serdes_cycles + p.pipeline_cycles) + 16)
         };
         // Map (link idx) -> (port on a, port on b) for overlay lookup.
         let mut link_ports: Vec<(u8, u8)> = Vec::with_capacity(b.links.len());
@@ -332,7 +369,9 @@ impl Network {
                 channels.push(Channel::new(*link, LinkTag::Internal));
                 let port = routers[ri as usize].ports.len() as u8;
                 routers[ri as usize].ports.push(Port {
-                    peer: Peer::Endpoint { idx: endpoints.len() as u32 },
+                    peer: Peer::Endpoint {
+                        idx: endpoints.len() as u32,
+                    },
                     out_channel: ch_re,
                     vcs: new_vcs(total_vcs),
                     // Credits toward the endpoint's eject buffer live in VC 0.
@@ -500,7 +539,10 @@ impl Network {
         if powered.is_empty() {
             return 0.0;
         }
-        powered.iter().map(|c| c.busy_cycles as f64 / self.cycle as f64).sum::<f64>()
+        powered
+            .iter()
+            .map(|c| c.busy_cycles as f64 / self.cycle as f64)
+            .sum::<f64>()
             / powered.len() as f64
     }
 
@@ -542,9 +584,24 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `src`/`dest` are not endpoints.
-    pub fn inject(&mut self, src: NodeId, dest: NodeId, class: MsgClass, payload: Payload, overlay: bool) {
+    pub fn inject(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        class: MsgClass,
+        payload: Payload,
+        overlay: bool,
+    ) {
         let _ = self.ep_idx(dest);
-        let pkt = Packet::new(src, dest, class, payload, self.flit_bytes, overlay, self.cycle);
+        let pkt = Packet::new(
+            src,
+            dest,
+            class,
+            payload,
+            self.flit_bytes,
+            overlay,
+            self.cycle,
+        );
         let pid = self.alloc(pkt);
         let e = self.ep_idx(src) as usize;
         self.endpoints[e].inject_q.push_back(pid);
@@ -558,7 +615,10 @@ impl Network {
         let e = self.ep_idx(ep) as usize;
         let pid = self.endpoints[e].eject_q.pop_front()?;
         let pkt = self.free(pid);
-        let (router, port) = (self.endpoints[e].router as usize, self.endpoints[e].router_port as usize);
+        let (router, port) = (
+            self.endpoints[e].router as usize,
+            self.endpoints[e].router_port as usize,
+        );
         self.routers[router].ports[port].credits[0] += pkt.flits as i32;
         Some(EjectedPacket {
             payload: pkt.payload,
@@ -570,6 +630,13 @@ impl Network {
 
     /// Advances the network by one router cycle.
     pub fn tick(&mut self) {
+        self.tick_traced(None);
+    }
+
+    /// [`Network::tick`] with optional event tracing. Per-hop stage timing
+    /// (queueing vs pipeline vs SerDes vs serialization) is recorded as
+    /// [`TraceEventKind::PacketHop`] spans.
+    pub fn tick_traced(&mut self, mut tracer: Option<&mut Tracer>) {
         // 1. Deliver due events.
         while let Some(Reverse(t)) = self.events.peek() {
             if t.cycle > self.cycle {
@@ -577,9 +644,17 @@ impl Network {
             }
             let Reverse(t) = self.events.pop().expect("peeked");
             match t.ev {
-                Ev::ArriveRouter { router, port, vc, pid } => {
-                    let buf = &mut self.routers[router as usize].ports[port as usize].vcs[vc as usize];
-                    let flits = self.packets[pid as usize].as_ref().expect("live packet").flits;
+                Ev::ArriveRouter {
+                    router,
+                    port,
+                    vc,
+                    pid,
+                } => {
+                    let pkt = self.packets[pid as usize].as_mut().expect("live packet");
+                    pkt.arrived_cycle = self.cycle;
+                    let flits = pkt.flits;
+                    let buf =
+                        &mut self.routers[router as usize].ports[port as usize].vcs[vc as usize];
                     buf.q.push_back(pid);
                     buf.occ += flits;
                     if buf.q.len() == 1 {
@@ -592,11 +667,19 @@ impl Network {
                     let pkt = self.packets[pid as usize].as_ref().expect("live packet");
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += pkt.bytes as u64;
-                    self.stats.latency.record((self.cycle - pkt.injected_cycle) as f64);
+                    self.stats
+                        .latency
+                        .record((self.cycle - pkt.injected_cycle) as f64);
                     self.stats.hops.record(pkt.hops as f64);
                 }
-                Ev::Credit { router, port, vc, flits } => {
-                    self.routers[router as usize].ports[port as usize].credits[vc as usize] += flits as i32;
+                Ev::Credit {
+                    router,
+                    port,
+                    vc,
+                    flits,
+                } => {
+                    self.routers[router as usize].ports[port as usize].credits[vc as usize] +=
+                        flits as i32;
                 }
                 Ev::CreditEp { ep, vc, flits } => {
                     self.endpoints[ep as usize].inj_credits[vc as usize] += flits as i32;
@@ -607,7 +690,7 @@ impl Network {
         // 2. Switch allocation, one transfer per output port per cycle.
         for r in 0..self.routers.len() {
             for p in 0..self.routers[r].ports.len() {
-                self.allocate(r, p);
+                self.allocate(r, p, tracer.as_deref_mut());
             }
         }
 
@@ -647,7 +730,11 @@ impl Network {
 
     fn push_event(&mut self, cycle: u64, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse(Timed { cycle, seq: self.seq, ev }));
+        self.events.push(Reverse(Timed {
+            cycle,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     fn class_base(&self, class: MsgClass) -> usize {
@@ -676,11 +763,13 @@ impl Network {
         // Overlay pass-through takes precedence for flagged packets.
         if overlay {
             if let Some(&port) = self.routers[r].overlay_next.get(&dest) {
-                self.routers[r].ports[port as usize].pending.push_back(Cand {
-                    in_port: in_port as u8,
-                    vc: vc as u8,
-                    passthrough: true,
-                });
+                self.routers[r].ports[port as usize]
+                    .pending
+                    .push_back(Cand {
+                        in_port: in_port as u8,
+                        vc: vc as u8,
+                        passthrough: true,
+                    });
                 return;
             }
         }
@@ -726,13 +815,18 @@ impl Network {
             }
             None => &self.min_ports_ep[r][e],
         };
-        assert!(!ports.is_empty(), "no route from router {r} to endpoint {dest}");
+        assert!(
+            !ports.is_empty(),
+            "no route from router {r} to endpoint {dest}"
+        );
         let out = if ports.len() == 1 {
             ports[0]
         } else {
             match self.policy {
                 RoutingPolicy::Minimal => {
-                    let h = (pid as u64).wrapping_mul(0x9E37_79B1).wrapping_add(hops as u64);
+                    let h = (pid as u64)
+                        .wrapping_mul(0x9E37_79B1)
+                        .wrapping_add(hops as u64);
                     ports[(h % ports.len() as u64) as usize]
                 }
                 RoutingPolicy::Ugal => {
@@ -752,7 +846,7 @@ impl Network {
     }
 
     /// Tries to send one packet through output port `p` of router `r`.
-    fn allocate(&mut self, r: usize, p: usize) {
+    fn allocate(&mut self, r: usize, p: usize, mut tracer: Option<&mut Tracer>) {
         if self.routers[r].ports[p].pending.is_empty() {
             return;
         }
@@ -772,17 +866,19 @@ impl Network {
             let out_vc = match peer {
                 Peer::Endpoint { .. } => 0usize,
                 Peer::Router { .. } => {
-                    let v = self.class_base(class) + ((hops + 1) as usize).min(self.vcs_per_class as usize - 1);
-                    debug_assert!(
-                        ((hops + 1) as usize) < self.vcs_per_class as usize || true,
-                        "hop-indexed VC overflow"
-                    );
-                    v
+                    // Hop-indexed VC, clamped: paths longer than the VC
+                    // count share the last VC (still deadlock-free, the
+                    // escape ordering only needs monotonicity).
+                    self.class_base(class)
+                        + ((hops + 1) as usize).min(self.vcs_per_class as usize - 1)
                 }
             };
             if self.routers[r].ports[p].credits[out_vc] < flits as i32 {
                 // Blocked: rotate and try the next candidate.
-                let c = self.routers[r].ports[p].pending.pop_front().expect("nonempty");
+                let c = self.routers[r].ports[p]
+                    .pending
+                    .pop_front()
+                    .expect("nonempty");
                 self.routers[r].ports[p].pending.push_back(c);
                 continue;
             }
@@ -791,22 +887,53 @@ impl Network {
             self.routers[r].ports[p].pending.pop_front();
             self.routers[r].ports[p].credits[out_vc] -= flits as i32;
             let ser = self.channels[ch_idx].ser_cycles(bytes);
-            let lat = if cand.passthrough {
+            let (pipe, serdes) = if cand.passthrough {
                 self.stats.passthrough += 1;
-                self.passthrough_cycles as u64 + ser
+                (self.passthrough_cycles as u64, 0u64)
             } else {
-                self.pipeline_cycles as u64 + self.channels[ch_idx].serdes_cycles as u64 + ser
+                (
+                    self.pipeline_cycles as u64,
+                    self.channels[ch_idx].serdes_cycles as u64,
+                )
             };
+            let lat = pipe + serdes + ser;
             self.channels[ch_idx].busy_until = self.cycle + ser;
             self.channels[ch_idx].bytes_moved += bytes as u64;
             self.channels[ch_idx].busy_cycles += ser;
+
+            if let Some(tr) = tracer.as_deref_mut() {
+                let arrived = self.packets[pid as usize]
+                    .as_ref()
+                    .expect("live")
+                    .arrived_cycle;
+                let queue_cycles = self.cycle - arrived;
+                tr.emit(
+                    ClockDomain::Net,
+                    arrived,
+                    queue_cycles + lat,
+                    TraceEventKind::PacketHop {
+                        router: r as u32,
+                        port: p as u8,
+                        queue_cycles,
+                        pipeline_cycles: pipe,
+                        serdes_cycles: serdes,
+                        ser_cycles: ser,
+                        passthrough: cand.passthrough,
+                    },
+                );
+            }
 
             match peer {
                 Peer::Router { idx, port } => {
                     self.packets[pid as usize].as_mut().expect("live").hops += 1;
                     self.push_event(
                         self.cycle + lat,
-                        Ev::ArriveRouter { router: idx, port, vc: out_vc as u8, pid },
+                        Ev::ArriveRouter {
+                            router: idx,
+                            port,
+                            vc: out_vc as u8,
+                            pid,
+                        },
                     );
                 }
                 Peer::Endpoint { idx } => {
@@ -826,15 +953,30 @@ impl Network {
                 Peer::Router { idx, port } => {
                     self.push_event(
                         self.cycle + 1,
-                        Ev::Credit { router: idx, port, vc: cand.vc, flits },
+                        Ev::Credit {
+                            router: idx,
+                            port,
+                            vc: cand.vc,
+                            flits,
+                        },
                     );
                 }
                 Peer::Endpoint { idx } => {
-                    self.push_event(self.cycle + 1, Ev::CreditEp { ep: idx, vc: cand.vc, flits });
+                    self.push_event(
+                        self.cycle + 1,
+                        Ev::CreditEp {
+                            ep: idx,
+                            vc: cand.vc,
+                            flits,
+                        },
+                    );
                 }
             }
             // New head (if any) gets routed.
-            if !self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize].q.is_empty() {
+            if !self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize]
+                .q
+                .is_empty()
+            {
                 self.route_head(r, cand.in_port as usize, cand.vc as usize);
             }
             return;
@@ -844,24 +986,37 @@ impl Network {
     /// Moves packets from an endpoint's injection queue into its router.
     fn try_inject(&mut self, e: usize) {
         loop {
-            let Some(&pid) = self.endpoints[e].inject_q.front() else { return };
+            let Some(&pid) = self.endpoints[e].inject_q.front() else {
+                return;
+            };
             let (flits, bytes, class) = {
                 let pkt = self.packets[pid as usize].as_ref().expect("live");
                 (pkt.flits, pkt.bytes, pkt.class)
             };
             let vc = self.class_base(class); // hop 0
             let ch_idx = self.endpoints[e].inj_channel as usize;
-            if self.endpoints[e].inj_credits[vc] < flits as i32 || self.channels[ch_idx].busy_until > self.cycle {
+            if self.endpoints[e].inj_credits[vc] < flits as i32
+                || self.channels[ch_idx].busy_until > self.cycle
+            {
                 return;
             }
             self.endpoints[e].inject_q.pop_front();
             self.endpoints[e].inj_credits[vc] -= flits as i32;
+            self.stats.flits_injected += flits as u64;
             let ser = self.channels[ch_idx].ser_cycles(bytes);
             self.channels[ch_idx].busy_until = self.cycle + ser;
             self.channels[ch_idx].bytes_moved += bytes as u64;
             self.channels[ch_idx].busy_cycles += ser;
             let (router, port) = (self.endpoints[e].router, self.endpoints[e].router_port);
-            self.push_event(self.cycle + ser + 1, Ev::ArriveRouter { router, port, vc: vc as u8, pid });
+            self.push_event(
+                self.cycle + ser + 1,
+                Ev::ArriveRouter {
+                    router,
+                    port,
+                    vc: vc as u8,
+                    pid,
+                },
+            );
         }
     }
 }
@@ -873,7 +1028,13 @@ mod tests {
     use memnet_common::{AccessKind, Agent, GpuId, MemReq, ReqId};
 
     fn payload(bytes: u32, kind: AccessKind, id: u64) -> Payload {
-        Payload::Req(MemReq { id: ReqId(id), addr: 0, bytes, kind, src: Agent::Gpu(GpuId(0)) })
+        Payload::Req(MemReq {
+            id: ReqId(id),
+            addr: 0,
+            bytes,
+            kind,
+            src: Agent::Gpu(GpuId(0)),
+        })
     }
 
     /// A line of `n` routers, one endpoint each.
@@ -890,7 +1051,13 @@ mod tests {
     #[test]
     fn single_hop_delivery_and_latency() {
         let (mut net, eps) = line(2);
-        net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        net.inject(
+            eps[0],
+            eps[1],
+            MsgClass::Req,
+            payload(128, AccessKind::Read, 1),
+            false,
+        );
         assert!(net.has_work());
         let mut got = None;
         for _ in 0..200 {
@@ -904,14 +1071,24 @@ mod tests {
         assert_eq!(p.hops, 1);
         // 1-flit packet: inject ser(1)+1, hop pipeline(4)+serdes(4)+ser(1),
         // eject pipeline(4)+ser(1) — order ~16 cycles.
-        assert!(p.latency_cycles >= 10 && p.latency_cycles <= 30, "latency {}", p.latency_cycles);
+        assert!(
+            p.latency_cycles >= 10 && p.latency_cycles <= 30,
+            "latency {}",
+            p.latency_cycles
+        );
         assert!(!net.has_work());
     }
 
     #[test]
     fn multi_hop_line_increases_latency() {
         let (mut net, eps) = line(5);
-        net.inject(eps[0], eps[4], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        net.inject(
+            eps[0],
+            eps[4],
+            MsgClass::Req,
+            payload(128, AccessKind::Read, 1),
+            false,
+        );
         let mut lat5 = 0;
         for _ in 0..500 {
             net.tick();
@@ -924,7 +1101,13 @@ mod tests {
         assert!(lat5 > 0);
 
         let (mut net2, eps2) = line(2);
-        net2.inject(eps2[0], eps2[1], MsgClass::Req, payload(128, AccessKind::Read, 1), false);
+        net2.inject(
+            eps2[0],
+            eps2[1],
+            MsgClass::Req,
+            payload(128, AccessKind::Read, 1),
+            false,
+        );
         let mut lat2 = 0;
         for _ in 0..500 {
             net2.tick();
@@ -933,7 +1116,10 @@ mod tests {
                 break;
             }
         }
-        assert!(lat5 > lat2 + 20, "5-router line ({lat5}) should be much slower than 2 ({lat2})");
+        assert!(
+            lat5 > lat2 + 20,
+            "5-router line ({lat5}) should be much slower than 2 ({lat2})"
+        );
     }
 
     #[test]
@@ -942,7 +1128,13 @@ mod tests {
         let n = 200;
         for i in 0..n {
             let dst = eps[1 + (i % 3) as usize];
-            net.inject(eps[0], dst, MsgClass::Req, payload(128, AccessKind::Write, i), false);
+            net.inject(
+                eps[0],
+                dst,
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
         }
         let mut delivered = 0;
         for _ in 0..200_000 {
@@ -965,8 +1157,20 @@ mod tests {
     fn bidirectional_traffic_request_response() {
         let (mut net, eps) = line(3);
         for i in 0..50u64 {
-            net.inject(eps[0], eps[2], MsgClass::Req, payload(128, AccessKind::Read, i), false);
-            net.inject(eps[2], eps[0], MsgClass::Resp, payload(128, AccessKind::Read, 1000 + i), false);
+            net.inject(
+                eps[0],
+                eps[2],
+                MsgClass::Req,
+                payload(128, AccessKind::Read, i),
+                false,
+            );
+            net.inject(
+                eps[2],
+                eps[0],
+                MsgClass::Resp,
+                payload(128, AccessKind::Read, 1000 + i),
+                false,
+            );
         }
         let mut got = 0;
         for _ in 0..100_000 {
@@ -998,7 +1202,13 @@ mod tests {
         };
         let run = |mut net: Network, e0: NodeId, e1: NodeId| -> u64 {
             for i in 0..64u64 {
-                net.inject(e0, e1, MsgClass::Req, payload(128, AccessKind::Write, i), false);
+                net.inject(
+                    e0,
+                    e1,
+                    MsgClass::Req,
+                    payload(128, AccessKind::Write, i),
+                    false,
+                );
             }
             while net.has_work() && net.cycle() < 1_000_000 {
                 net.tick();
@@ -1031,7 +1241,13 @@ mod tests {
             (b.build(), e0, e3)
         };
         let run = |mut net: Network, e0: NodeId, e3: NodeId, overlay: bool| -> u64 {
-            net.inject(e0, e3, MsgClass::Req, payload(64, AccessKind::Read, 1), overlay);
+            net.inject(
+                e0,
+                e3,
+                MsgClass::Req,
+                payload(64, AccessKind::Read, 1),
+                overlay,
+            );
             for _ in 0..1000 {
                 net.tick();
                 if let Some(p) = net.poll_eject(e3) {
@@ -1059,7 +1275,13 @@ mod tests {
         let idle_only = net.energy_mj();
         assert!(idle_only > 0.0, "powered channels burn idle energy");
         for i in 0..100u64 {
-            net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+            net.inject(
+                eps[0],
+                eps[1],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
         }
         net.run_until_idle(1_000_000);
         let with_traffic = net.energy_mj();
@@ -1072,10 +1294,20 @@ mod tests {
             let (mut net, eps) = line(4);
             for i in 0..100u64 {
                 let d = eps[1 + (i % 3) as usize];
-                net.inject(eps[0], d, MsgClass::Req, payload(128, AccessKind::Read, i), false);
+                net.inject(
+                    eps[0],
+                    d,
+                    MsgClass::Req,
+                    payload(128, AccessKind::Read, i),
+                    false,
+                );
             }
             net.run_until_idle(1_000_000);
-            (net.cycle(), net.stats().latency.mean(), net.stats().hops.mean())
+            (
+                net.cycle(),
+                net.stats().latency.mean(),
+                net.stats().hops.mean(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1093,7 +1325,13 @@ mod tests {
         b.routing(RoutingPolicy::Ugal);
         let mut net = b.build();
         for i in 0..300u64 {
-            net.inject(eps[0], eps[3], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+            net.inject(
+                eps[0],
+                eps[3],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
         }
         while net.has_work() && net.cycle() < 1_000_000 {
             net.tick();
@@ -1108,9 +1346,18 @@ mod tests {
         let (mut net, eps) = line(2);
         assert!(net.inject_ready(eps[0]));
         for i in 0..200u64 {
-            net.inject(eps[0], eps[1], MsgClass::Req, payload(128, AccessKind::Write, i), false);
+            net.inject(
+                eps[0],
+                eps[1],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
         }
-        assert!(!net.inject_ready(eps[0]), "deep injection queue should report not-ready");
+        assert!(
+            !net.inject_ready(eps[0]),
+            "deep injection queue should report not-ready"
+        );
     }
 
     #[test]
@@ -1143,7 +1390,11 @@ mod utilization_tests {
         for _ in 0..50 {
             net.tick();
         }
-        assert_eq!(net.channel_utilization(), 0.0, "idle network has zero utilization");
+        assert_eq!(
+            net.channel_utilization(),
+            0.0,
+            "idle network has zero utilization"
+        );
         for i in 0..200u64 {
             let req = MemReq {
                 id: ReqId(i),

@@ -58,6 +58,9 @@ pub struct Packet {
     pub via: Option<NodeId>,
     /// Network cycle at injection (for latency statistics).
     pub injected_cycle: u64,
+    /// Network cycle the packet arrived at its current buffer (injection or
+    /// last router arrival) — the start of its current queueing interval.
+    pub arrived_cycle: u64,
     /// Router-to-router hops taken so far; also selects the VC index.
     pub hops: u32,
 }
@@ -78,7 +81,10 @@ impl Packet {
         injected_cycle: u64,
     ) -> Self {
         let bytes = payload.packet_bytes();
-        assert!(flit_bytes > 0 && bytes > 0, "flit and packet sizes must be nonzero");
+        assert!(
+            flit_bytes > 0 && bytes > 0,
+            "flit and packet sizes must be nonzero"
+        );
         Packet {
             src,
             dest,
@@ -89,6 +95,7 @@ impl Packet {
             overlay,
             via: None,
             injected_cycle,
+            arrived_cycle: injected_cycle,
             hops: 0,
         }
     }
@@ -100,16 +107,38 @@ mod tests {
     use memnet_common::{AccessKind, Agent, GpuId, MemReq, ReqId};
 
     fn payload(bytes: u32, kind: AccessKind) -> Payload {
-        Payload::Req(MemReq { id: ReqId(1), addr: 0, bytes, kind, src: Agent::Gpu(GpuId(0)) })
+        Payload::Req(MemReq {
+            id: ReqId(1),
+            addr: 0,
+            bytes,
+            kind,
+            src: Agent::Gpu(GpuId(0)),
+        })
     }
 
     #[test]
     fn flit_count_rounds_up() {
         // 128 B read request = 16 B header = 1 flit.
-        let p = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(128, AccessKind::Read), 16, false, 0);
+        let p = Packet::new(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Req,
+            payload(128, AccessKind::Read),
+            16,
+            false,
+            0,
+        );
         assert_eq!(p.flits, 1);
         // 128 B write request = 144 B = 9 flits.
-        let p = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(128, AccessKind::Write), 16, false, 0);
+        let p = Packet::new(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Req,
+            payload(128, AccessKind::Write),
+            16,
+            false,
+            0,
+        );
         assert_eq!(p.flits, 9);
     }
 
@@ -123,6 +152,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonzero")]
     fn zero_flit_size_panics() {
-        let _ = Packet::new(NodeId(0), NodeId(1), MsgClass::Req, payload(64, AccessKind::Read), 0, false, 0);
+        let _ = Packet::new(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Req,
+            payload(64, AccessKind::Read),
+            0,
+            false,
+            0,
+        );
     }
 }

@@ -58,12 +58,30 @@ impl TopologyKind {
     pub fn name(&self) -> &'static str {
         match self {
             TopologyKind::Isolated => "isolated",
-            TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false } => "sMESH",
-            TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true } => "sMESH-2x",
-            TopologyKind::Sliced { kind: SlicedKind::Torus, double: false } => "sTORUS",
-            TopologyKind::Sliced { kind: SlicedKind::Torus, double: true } => "sTORUS-2x",
-            TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false } => "sFBFLY",
-            TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: true } => "sFBFLY-2x",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            } => "sMESH",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: true,
+            } => "sMESH-2x",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: false,
+            } => "sTORUS",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: true,
+            } => "sTORUS-2x",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            } => "sFBFLY",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: true,
+            } => "sFBFLY-2x",
             TopologyKind::DistributorFbfly => "dFBFLY",
             TopologyKind::DistributorDfly => "dDFLY",
         }
@@ -107,7 +125,7 @@ impl Clusters {
 pub fn grid_dims(n: usize) -> (usize, usize) {
     assert!(n > 0, "grid needs at least one node");
     let mut a = (n as f64).sqrt() as usize;
-    while a > 1 && n % a != 0 {
+    while a > 1 && !n.is_multiple_of(a) {
         a -= 1;
     }
     (a.max(1), n / a.max(1))
@@ -130,7 +148,10 @@ pub fn build_clusters(
     channels_per_device: u32,
     kind: TopologyKind,
 ) -> Clusters {
-    assert!(n_clusters > 0 && hmcs_per_cluster > 0, "need clusters and HMCs");
+    assert!(
+        n_clusters > 0 && hmcs_per_cluster > 0,
+        "need clusters and HMCs"
+    );
     assert_eq!(
         channels_per_device % hmcs_per_cluster as u32,
         0,
@@ -325,11 +346,7 @@ pub fn add_cpu_overlay(b: &mut NetworkBuilder, c: &Clusters, cpu_cluster: usize)
 
 /// Connects devices to a PCIe switch in a star (Fig. 1(a)): the
 /// conventional multi-GPU interconnect. Returns the switch router.
-pub fn add_pcie_tree(
-    b: &mut NetworkBuilder,
-    device_routers: &[NodeId],
-    latency_ns: f64,
-) -> NodeId {
+pub fn add_pcie_tree(b: &mut NetworkBuilder, device_routers: &[NodeId], latency_ns: f64) -> NodeId {
     let switch = b.router();
     for &d in device_routers {
         b.link(switch, d, LinkSpec::pcie(latency_ns), LinkTag::Pcie);
@@ -351,13 +368,25 @@ mod tests {
     #[test]
     fn fig12_channel_counts() {
         // Paper: sFBFLY removes 50 % of channels for 4 GPUs, 43 % for 8.
-        let s4 = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let s4 = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         let d4 = count_hmc_links(4, TopologyKind::DistributorFbfly);
         assert_eq!(s4, 24); // 4 slices × C(4,2)
         assert_eq!(d4, 48); // + 4 clusters × C(4,2)
         assert!((1.0 - s4 as f64 / d4 as f64 - 0.50).abs() < 1e-9);
 
-        let s8 = count_hmc_links(8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let s8 = count_hmc_links(
+            8,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         let d8 = count_hmc_links(8, TopologyKind::DistributorFbfly);
         assert_eq!(s8, 64); // 4 slices × (2 rows × C(4,2) + 4 cols × C(2,2))
         assert_eq!(d8, 112); // + 8 clusters × C(4,2)
@@ -373,16 +402,46 @@ mod tests {
 
     #[test]
     fn doubling_doubles_slice_channels() {
-        let s = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Torus, double: false });
-        let s2 = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Torus, double: true });
+        let s = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: false,
+            },
+        );
+        let s2 = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: true,
+            },
+        );
         assert_eq!(s2, 2 * s);
     }
 
     #[test]
     fn sliced_mesh_vs_torus_vs_fbfly_link_counts() {
-        let m = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false });
-        let t = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Torus, double: false });
-        let f = count_hmc_links(4, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let m = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            },
+        );
+        let t = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: false,
+            },
+        );
+        let f = count_hmc_links(
+            4,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         assert_eq!(m, 12); // 4 slices × path(3)
         assert_eq!(t, 16); // 4 slices × ring(4)
         assert_eq!(f, 24); // 4 slices × K4(6)
@@ -402,8 +461,16 @@ mod tests {
         // The scalability argument: 16-GPU sFBFLY fits the HMC's 8 channels
         // (one GPU trunk port + 6 slice ports), while dFBFLY would not.
         let mut b = NetworkBuilder::new(NocParams::default());
-        let _ =
-            build_clusters(&mut b, 16, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let _ = build_clusters(
+            &mut b,
+            16,
+            4,
+            8,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         assert!(b.max_radix() <= 8, "radix {}", b.max_radix());
     }
 
@@ -412,10 +479,22 @@ mod tests {
         use crate::packet::MsgClass;
         use memnet_common::{AccessKind, Agent, GpuId, MemReq, Payload, ReqId};
         for kind in [
-            TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-            TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-            TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
-            TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: true },
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            },
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: false,
+            },
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: true,
+            },
             TopologyKind::DistributorFbfly,
             TopologyKind::DistributorDfly,
         ] {
@@ -459,7 +538,16 @@ mod tests {
     #[test]
     fn overlay_chain_builds_on_fbfly() {
         let mut b = NetworkBuilder::new(NocParams::default());
-        let c = build_clusters(&mut b, 4, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let c = build_clusters(
+            &mut b,
+            4,
+            4,
+            8,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         add_cpu_overlay(&mut b, &c, 0);
         let _ = b.build(); // must not panic
     }
@@ -468,7 +556,16 @@ mod tests {
     #[should_panic(expected = "existing link")]
     fn overlay_chain_panics_on_mesh() {
         let mut b = NetworkBuilder::new(NocParams::default());
-        let c = build_clusters(&mut b, 4, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false });
+        let c = build_clusters(
+            &mut b,
+            4,
+            4,
+            8,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            },
+        );
         // Mesh slices are paths 0-1-2-3; a chain starting at cluster 2 would
         // need link 3-0 which does not exist.
         add_cpu_overlay(&mut b, &c, 2);
@@ -485,8 +582,22 @@ mod tests {
 
     #[test]
     fn topology_names() {
-        assert_eq!(TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false }.name(), "sFBFLY");
-        assert_eq!(TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true }.name(), "sMESH-2x");
+        assert_eq!(
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false
+            }
+            .name(),
+            "sFBFLY"
+        );
+        assert_eq!(
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: true
+            }
+            .name(),
+            "sMESH-2x"
+        );
         assert_eq!(TopologyKind::DistributorDfly.name(), "dDFLY");
     }
 }

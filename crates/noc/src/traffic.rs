@@ -71,6 +71,7 @@ pub struct LoadPoint {
 /// # Panics
 ///
 /// Panics if `sources` or `dests` is empty.
+#[allow(clippy::too_many_arguments)] // a load point *is* eight knobs
 pub fn run_load_point(
     net: &mut Network,
     sources: &[NodeId],
@@ -81,7 +82,10 @@ pub fn run_load_point(
     measure: u64,
     seed: u64,
 ) -> LoadPoint {
-    assert!(!sources.is_empty() && !dests.is_empty(), "need sources and destinations");
+    assert!(
+        !sources.is_empty() && !dests.is_empty(),
+        "need sources and destinations"
+    );
     let mut rng = SplitMix64::new(seed);
     let mut sent = 0u64;
     let mut backlog = 0u64;
@@ -148,7 +152,16 @@ mod tests {
 
     fn sfbfly() -> (Network, Vec<NodeId>, Vec<NodeId>) {
         let mut b = NetworkBuilder::new(NocParams::default());
-        let c = build_clusters(&mut b, 4, 4, 8, TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false });
+        let c = build_clusters(
+            &mut b,
+            4,
+            4,
+            8,
+            TopologyKind::Sliced {
+                kind: SlicedKind::Fbfly,
+                double: false,
+            },
+        );
         let eps = c.hmc_eps_flat();
         (b.build(), c.device_eps.clone(), eps)
     }
@@ -160,7 +173,10 @@ mod tests {
         assert!(!p.saturated);
         assert!(p.latency.count() > 0);
         let zero_load = p.latency.mean();
-        assert!((10.0..60.0).contains(&zero_load), "zero-load latency {zero_load}");
+        assert!(
+            (10.0..60.0).contains(&zero_load),
+            "zero-load latency {zero_load}"
+        );
         assert!((p.accepted - 0.05).abs() < 0.02, "accepted {}", p.accepted);
     }
 
@@ -182,9 +198,27 @@ mod tests {
     fn hotspot_saturates_before_uniform() {
         let offered = 0.5;
         let (mut a, src_a, dst_a) = sfbfly();
-        let uni = run_load_point(&mut a, &src_a, &dst_a, Pattern::Uniform, offered, 500, 3000, 1);
+        let uni = run_load_point(
+            &mut a,
+            &src_a,
+            &dst_a,
+            Pattern::Uniform,
+            offered,
+            500,
+            3000,
+            1,
+        );
         let (mut b, src_b, dst_b) = sfbfly();
-        let hot = run_load_point(&mut b, &src_b, &dst_b, Pattern::Hotspot, offered, 500, 3000, 1);
+        let hot = run_load_point(
+            &mut b,
+            &src_b,
+            &dst_b,
+            Pattern::Hotspot,
+            offered,
+            500,
+            3000,
+            1,
+        );
         assert!(
             hot.accepted < uni.accepted,
             "hotspot throughput {} must trail uniform {}",
@@ -197,7 +231,9 @@ mod tests {
     fn transpose_pattern_is_a_permutation() {
         let mut rng = SplitMix64::new(1);
         let n = 8;
-        let dests: Vec<usize> = (0..n).map(|s| Pattern::Transpose.dest(s, n, &mut rng)).collect();
+        let dests: Vec<usize> = (0..n)
+            .map(|s| Pattern::Transpose.dest(s, n, &mut rng))
+            .collect();
         let mut sorted = dests.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "must be a permutation");

@@ -1,10 +1,16 @@
-//! Property-based tests for the network: on randomized connected graphs
-//! with randomized traffic, every packet is delivered, the network drains
-//! completely, and replays are deterministic.
+//! Randomized property tests for the network: on seeded random connected
+//! graphs with seeded random traffic, every packet is delivered, the
+//! network drains completely, and replays are deterministic.
+//!
+//! Inputs are drawn from [`SplitMix64`] with fixed seeds, so the suite is
+//! fully deterministic and needs no registry dependencies; failures print
+//! the iteration's parameters for reproduction.
 
+use memnet_common::rng::SplitMix64;
 use memnet_common::{AccessKind, Agent, GpuId, MemReq, NodeId, Payload, ReqId};
 use memnet_noc::{LinkSpec, LinkTag, MsgClass, Network, NetworkBuilder, NocParams, RoutingPolicy};
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 /// Builds a connected random graph: a ring of `n` routers (guarantees
 /// connectivity) plus arbitrary chords, one endpoint per router.
@@ -12,7 +18,12 @@ fn build(n: usize, chords: &[(usize, usize)], policy: RoutingPolicy) -> (Network
     let mut b = NetworkBuilder::new(NocParams::default());
     let routers: Vec<NodeId> = (0..n).map(|_| b.router()).collect();
     for i in 0..n {
-        b.link(routers[i], routers[(i + 1) % n], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(
+            routers[i],
+            routers[(i + 1) % n],
+            LinkSpec::default(),
+            LinkTag::HmcHmc,
+        );
     }
     for &(a, c) in chords {
         let (a, c) = (a % n, c % n);
@@ -30,9 +41,34 @@ fn payload(i: u64, write: bool) -> Payload {
         id: ReqId(i),
         addr: i * 128,
         bytes: 128,
-        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         src: Agent::Gpu(GpuId(0)),
     })
+}
+
+/// A drawn case: router count, chords, and (src, dst, write) traffic.
+type Case = (usize, Vec<(usize, usize)>, Vec<(usize, usize, bool)>);
+
+/// Draws a random case: router count, chords, and traffic triples.
+fn draw_case(rng: &mut SplitMix64, max_traffic: u64) -> Case {
+    let n = 3 + rng.next_below(5) as usize; // 3..8
+    let chords: Vec<(usize, usize)> = (0..rng.next_below(6))
+        .map(|_| (rng.next_below(8) as usize, rng.next_below(8) as usize))
+        .collect();
+    let traffic: Vec<(usize, usize, bool)> = (0..1 + rng.next_below(max_traffic))
+        .map(|_| {
+            (
+                rng.next_below(8) as usize,
+                rng.next_below(8) as usize,
+                rng.chance(0.5),
+            )
+        })
+        .collect();
+    (n, chords, traffic)
 }
 
 /// Injects `traffic`, drains everything, and returns (delivered, cycles).
@@ -62,66 +98,78 @@ fn run(net: &mut Network, eps: &[NodeId], traffic: &[(usize, usize, bool)]) -> (
             }
         }
     }
-    assert!(net.cycle() < limit, "network failed to drain (possible deadlock)");
+    assert!(
+        net.cycle() < limit,
+        "network failed to drain (possible deadlock)"
+    );
     (delivered, net.cycle())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn every_packet_is_delivered_minimal(
-        n in 3usize..8,
-        chords in prop::collection::vec((0usize..8, 0usize..8), 0..6),
-        traffic in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 1..120),
-    ) {
-        let (mut net, eps) = build(n, &chords, RoutingPolicy::Minimal);
-        let expected = traffic
-            .iter()
-            .filter(|&&(s, d, _)| s % n != d % n)
-            .count() as u64;
+fn delivery_property(policy: RoutingPolicy, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..CASES {
+        let (n, chords, traffic) = draw_case(&mut rng, 119);
+        let (mut net, eps) = build(n, &chords, policy);
+        let expected = traffic.iter().filter(|&&(s, d, _)| s % n != d % n).count() as u64;
         let (delivered, _) = run(&mut net, &eps, &traffic);
-        prop_assert_eq!(delivered, expected);
-        prop_assert!(!net.has_work(), "network must drain completely");
+        assert_eq!(delivered, expected, "case {case}: n {n} chords {chords:?}");
+        assert!(
+            !net.has_work(),
+            "case {case}: network must drain completely"
+        );
     }
+}
 
-    #[test]
-    fn every_packet_is_delivered_ugal(
-        n in 3usize..8,
-        chords in prop::collection::vec((0usize..8, 0usize..8), 0..6),
-        traffic in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 1..120),
-    ) {
-        let (mut net, eps) = build(n, &chords, RoutingPolicy::Ugal);
-        let expected = traffic
-            .iter()
-            .filter(|&&(s, d, _)| s % n != d % n)
-            .count() as u64;
-        let (delivered, _) = run(&mut net, &eps, &traffic);
-        prop_assert_eq!(delivered, expected);
-        prop_assert!(!net.has_work());
-    }
+#[test]
+fn every_packet_is_delivered_minimal() {
+    delivery_property(RoutingPolicy::Minimal, 0xde11_4e31);
+}
 
-    #[test]
-    fn replays_are_bit_identical(
-        n in 3usize..6,
-        traffic in prop::collection::vec((0usize..6, 0usize..6, any::<bool>()), 1..60),
-    ) {
+#[test]
+fn every_packet_is_delivered_ugal() {
+    delivery_property(RoutingPolicy::Ugal, 0x06a1_cafe);
+}
+
+#[test]
+fn replays_are_bit_identical() {
+    let mut rng = SplitMix64::new(0x4e91a9);
+    for case in 0..CASES {
+        let n = 3 + rng.next_below(3) as usize; // 3..6
+        let traffic: Vec<(usize, usize, bool)> = (0..1 + rng.next_below(59))
+            .map(|_| {
+                (
+                    rng.next_below(6) as usize,
+                    rng.next_below(6) as usize,
+                    rng.chance(0.5),
+                )
+            })
+            .collect();
         let once = || {
             let (mut net, eps) = build(n, &[], RoutingPolicy::Minimal);
             let out = run(&mut net, &eps, &traffic);
-            (out, net.stats().latency.mean(), net.stats().hops.mean(), net.energy_mj())
+            (
+                out,
+                net.stats().latency.mean(),
+                net.stats().hops.mean(),
+                net.energy_mj(),
+            )
         };
-        prop_assert_eq!(once(), once());
+        assert_eq!(once(), once(), "case {case}: n {n}");
     }
+}
 
-    #[test]
-    fn latency_is_at_least_topological_distance(
-        n in 3usize..8,
-        src in 0usize..8,
-        dst in 0usize..8,
-    ) {
-        let (src, dst) = (src % n, dst % n);
-        prop_assume!(src != dst);
+#[test]
+fn latency_is_at_least_topological_distance() {
+    let mut rng = SplitMix64::new(0x70b0);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = 3 + rng.next_below(5) as usize; // 3..8
+        let src = rng.next_below(8) as usize % n;
+        let dst = rng.next_below(8) as usize % n;
+        if src == dst {
+            continue;
+        }
+        checked += 1;
         let (mut net, eps) = build(n, &[], RoutingPolicy::Minimal);
         net.inject(eps[src], eps[dst], MsgClass::Req, payload(0, false), false);
         let mut got = None;
@@ -136,8 +184,14 @@ proptest! {
         // Ring distance between src and dst.
         let d = (dst + n - src) % n;
         let hops = d.min(n - d) as u32;
-        prop_assert_eq!(p.hops, hops, "minimal routing takes the shortest ring path");
+        assert_eq!(
+            p.hops, hops,
+            "n {n} src {src} dst {dst}: shortest ring path"
+        );
         // Each hop costs at least SerDes (4) + pipeline (4) cycles.
-        prop_assert!(p.latency_cycles >= 8 * hops as u64);
+        assert!(
+            p.latency_cycles >= 8 * hops as u64,
+            "n {n} src {src} dst {dst}"
+        );
     }
 }

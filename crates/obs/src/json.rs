@@ -1,0 +1,809 @@
+//! Hand-rolled JSON: a streaming writer, the [`ToJson`] trait, and a small
+//! recursive-descent parser.
+//!
+//! The build environment is offline, so the workspace carries no serde.
+//! This module covers everything the simulator needs from JSON:
+//!
+//! * [`JsonWriter`] — a push-style writer (compact or pretty) used by the
+//!   Chrome-trace exporter and the experiment artifacts;
+//! * [`ToJson`] — implemented for primitives, strings, slices, options and
+//!   (via [`to_json_struct!`](crate::to_json_struct)) plain structs;
+//! * [`parse`] — a strict parser into [`JsonValue`] for reading artifacts
+//!   back (e.g. the fig. 17 energy bench re-reads fig. 16's output).
+//!
+//! Non-finite floats have no JSON representation; the writer emits `null`
+//! for NaN and ±∞, matching what `JSON.stringify` does.
+
+use std::fmt::Write as _;
+
+/// Types that can write themselves as one JSON value.
+pub trait ToJson {
+    /// Writes exactly one JSON value into `w`.
+    fn write_json(&self, w: &mut JsonWriter);
+
+    /// Serializes `self` compactly.
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Serializes `self` with two-space indentation.
+    fn to_json_pretty(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    Object,
+    Array,
+}
+
+/// A push-style JSON writer.
+///
+/// Call [`begin_object`](Self::begin_object)/[`begin_array`](Self::begin_array)
+/// to open containers, [`key`](Self::key) (or [`field`](Self::field)) for
+/// object members, and the value methods for scalars. Commas and
+/// indentation are inserted automatically.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    /// Open containers and how many members each has so far.
+    stack: Vec<(Ctx, usize)>,
+    /// Set between `key()` and the member's value.
+    expect_value: bool,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    /// Creates a compact writer.
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            pretty: false,
+            stack: Vec::new(),
+            expect_value: false,
+        }
+    }
+
+    /// Creates a writer with two-space indentation.
+    pub fn pretty() -> Self {
+        JsonWriter {
+            pretty: true,
+            ..Self::new()
+        }
+    }
+
+    /// Returns the accumulated JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        self.out.push('\n');
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Comma/indent bookkeeping before a bare value (array element or
+    /// top-level document).
+    fn pre_value(&mut self) {
+        if self.expect_value {
+            self.expect_value = false;
+            return;
+        }
+        if let Some(&mut (ctx, ref mut count)) = self.stack.last_mut() {
+            debug_assert_eq!(ctx, Ctx::Array, "object members need key() first");
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+            if self.pretty {
+                let depth = self.stack.len();
+                self.newline_indent(depth);
+            }
+        }
+    }
+
+    /// Starts an object member; must be followed by exactly one value.
+    pub fn key(&mut self, k: &str) {
+        debug_assert!(!self.expect_value, "key() after key()");
+        let depth = self.stack.len();
+        let (ctx, count) = self.stack.last_mut().expect("key() outside an object");
+        debug_assert_eq!(*ctx, Ctx::Object, "key() inside an array");
+        if *count > 0 {
+            self.out.push(',');
+        }
+        *count += 1;
+        if self.pretty {
+            self.newline_indent(depth);
+        }
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.expect_value = true;
+    }
+
+    /// Writes `key` followed by `v` as one object member.
+    pub fn field<T: ToJson + ?Sized>(&mut self, key: &str, v: &T) {
+        self.key(key);
+        v.write_json(self);
+    }
+
+    /// Writes one value (array element or keyed member).
+    pub fn value<T: ToJson + ?Sized>(&mut self, v: &T) {
+        v.write_json(self);
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push((Ctx::Object, 0));
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        let (ctx, count) = self.stack.pop().expect("end_object without begin_object");
+        debug_assert_eq!(ctx, Ctx::Object);
+        if self.pretty && count > 0 {
+            let depth = self.stack.len();
+            self.newline_indent(depth);
+        }
+        self.out.push('}');
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push((Ctx::Array, 0));
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        let (ctx, count) = self.stack.pop().expect("end_array without begin_array");
+        debug_assert_eq!(ctx, Ctx::Array);
+        if self.pretty && count > 0 {
+            let depth = self.stack.len();
+            self.newline_indent(depth);
+        }
+        self.out.push(']');
+    }
+
+    /// Writes a string value (escaped).
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, s);
+    }
+
+    /// Writes a float; NaN and ±∞ become `null`.
+    pub fn number(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            // Rust's Display for f64 is shortest-roundtrip decimal — valid JSON.
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes an unsigned integer.
+    pub fn uint(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a signed integer.
+    pub fn int(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a boolean.
+    pub fn boolean(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// ToJson implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.uint(*self as u64);
+            }
+        }
+    )*};
+}
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, w: &mut JsonWriter) {
+                w.int(*self as i64);
+            }
+        }
+    )*};
+}
+impl_tojson_uint!(u8, u16, u32, u64, usize);
+impl_tojson_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.number(*self);
+    }
+}
+impl ToJson for f32 {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.number(*self as f64);
+    }
+}
+impl ToJson for bool {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.boolean(*self);
+    }
+}
+impl ToJson for str {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+impl ToJson for String {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, w: &mut JsonWriter) {
+        (**self).write_json(w);
+    }
+}
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            v.write_json(w);
+        }
+        w.end_array();
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        self.as_slice().write_json(w);
+    }
+}
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.write_json(w),
+            None => w.null(),
+        }
+    }
+}
+
+/// Implements [`ToJson`] for a struct as an object of its named fields.
+///
+/// ```
+/// struct Row {
+///     workload: &'static str,
+///     kernel_ns: f64,
+/// }
+/// memnet_obs::to_json_struct!(Row { workload, kernel_ns });
+/// # use memnet_obs::json::ToJson;
+/// assert_eq!(
+///     Row { workload: "KMN", kernel_ns: 1.5 }.to_json(),
+///     r#"{"workload":"KMN","kernel_ns":1.5}"#
+/// );
+/// ```
+#[macro_export]
+macro_rules! to_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn write_json(&self, w: &mut $crate::json::JsonWriter) {
+                w.begin_object();
+                $(w.field(stringify!($field), &self.$field);)+
+                w.end_object();
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced by the writer for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer from float).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for JsonValue {
+    fn write_json(&self, w: &mut JsonWriter) {
+        match self {
+            JsonValue::Null => w.null(),
+            JsonValue::Bool(b) => w.boolean(*b),
+            JsonValue::Number(n) => w.number(*n),
+            JsonValue::String(s) => w.string(s),
+            JsonValue::Array(items) => {
+                w.begin_array();
+                for v in items {
+                    v.write_json(w);
+                }
+                w.end_array();
+            }
+            JsonValue::Object(members) => {
+                w.begin_object();
+                for (k, v) in members {
+                    w.field(k, v);
+                }
+                w.end_object();
+            }
+        }
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { pos: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let e = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Copy one UTF-8 scalar (input is &str, so it's valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError {
+                pos: start,
+                msg: "invalid number",
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.uint(1);
+        w.uint(2);
+        w.end_array();
+        w.key("inner");
+        w.begin_object();
+        w.field("ok", &true);
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[1,2],"inner":{"ok":true}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number(f64::NAN);
+        w.number(f64::INFINITY);
+        w.number(f64::NEG_INFINITY);
+        w.number(1.5);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,null,1.5]");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field("a", &1u32);
+        w.key("b");
+        w.begin_array();
+        w.string("x");
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\n  \"a\": 1"), "{s}");
+        assert_eq!(
+            parse(&s).expect("reparse"),
+            parse(r#"{"a":1,"b":["x"]}"#).expect("compact")
+        );
+    }
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        struct Row {
+            name: &'static str,
+            value: f64,
+            flag: bool,
+        }
+        crate::to_json_struct!(Row { name, value, flag });
+        let s = Row {
+            name: "kmn",
+            value: 2.25,
+            flag: false,
+        }
+        .to_json();
+        assert_eq!(s, r#"{"name":"kmn","value":2.25,"flag":false}"#);
+        let v = parse(&s).expect("valid");
+        assert_eq!(v.get("value").and_then(JsonValue::as_f64), Some(2.25));
+    }
+
+    #[test]
+    fn parser_handles_numbers_strings_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5, 1e3], "s": "qA\n", "n": null}"#).expect("parse");
+        let xs = v.get("a").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[1].as_f64(), Some(-2.5));
+        assert_eq!(xs[2].as_f64(), Some(1000.0));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("qA\n"));
+        assert_eq!(v.get("n"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("[1] x").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        let v = parse(r#""😀""#).expect("emoji");
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(
+            parse(r#""\ud83d""#).is_err(),
+            "unpaired surrogate must fail"
+        );
+    }
+
+    #[test]
+    fn writer_value_roundtrips_jsonvalue() {
+        let src = r#"{"k":[true,false,null,"s",1.25]}"#;
+        let v = parse(src).expect("parse");
+        assert_eq!(v.to_json(), src);
+    }
+
+    #[test]
+    fn options_and_slices() {
+        let xs: Vec<Option<u32>> = vec![Some(1), None];
+        assert_eq!(xs.to_json(), "[1,null]");
+    }
+}

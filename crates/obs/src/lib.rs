@@ -1,0 +1,34 @@
+//! Observability layer for the memnet simulator.
+//!
+//! Three pieces, all dependency-free so the workspace builds offline:
+//!
+//! - [`json`] — a hand-rolled JSON writer ([`json::JsonWriter`], the
+//!   [`json::ToJson`] trait, the [`to_json_struct!`] helper macro) and a
+//!   strict parser ([`json::parse`] → [`json::JsonValue`]). This replaces
+//!   `serde`/`serde_json` everywhere in the workspace.
+//! - [`metrics`] — hierarchically-named counters and gauges behind the
+//!   [`metrics::MetricSink`] trait, with periodic epoch snapshots
+//!   ([`metrics::MetricsRegistry::snapshot`]) so per-interval rates
+//!   (injected flits/cycle, SM occupancy, vault queue depth) can be
+//!   plotted over time rather than only summed at the end of a run.
+//! - [`trace`] — a bounded ring buffer of typed simulation events
+//!   ([`trace::Tracer`]) with per-clock-domain cycle→femtosecond
+//!   conversion, exported as Chrome trace-event JSON
+//!   ([`trace::Tracer::to_chrome_json`]) for `chrome://tracing` or
+//!   <https://ui.perfetto.dev>.
+//!
+//! Instrumented code takes `Option<&mut Tracer>` so the disabled path is a
+//! single branch; `memnet run --trace out.json` turns it on.
+//!
+//! [`config`] binds the shared `memnet-common` configuration and
+//! statistics types to the JSON layer (export + [`config::parse_system_config`]).
+
+pub mod config;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use config::parse_system_config;
+pub use json::{parse, JsonValue, JsonWriter, ToJson};
+pub use metrics::{Epoch, MetricSink, MetricsRegistry, NullSink};
+pub use trace::{ClockDomain, TraceEvent, TraceEventKind, Tracer};

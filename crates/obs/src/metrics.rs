@@ -1,0 +1,241 @@
+//! Metrics registry: hierarchically-named counters and gauges with
+//! periodic epoch snapshots.
+//!
+//! Names are dotted paths (`net.flits_injected`, `gpu0.sm_occupancy`,
+//! `hmc3.vault_queue`), kept sorted so exports are deterministic. The
+//! engine feeds values through the [`MetricSink`] trait so instrumented
+//! code never depends on the concrete registry; [`NullSink`] makes the
+//! disabled path free.
+//!
+//! Counters are cumulative (monotonic); gauges are point-in-time samples.
+//! [`MetricsRegistry::snapshot`] records the current value of everything
+//! under a timestamp, turning the run into a time series (injected
+//! flits/cycle, SM occupancy, vault queue depths, CTA-steal events, ...).
+
+use crate::json::{JsonWriter, ToJson};
+use memnet_common::stats::RunningStats;
+use std::collections::BTreeMap;
+
+// The statistics accumulators the registry understands natively live in
+// memnet-common; re-exported here so instrumented code can name them
+// through the observability layer.
+pub use memnet_common::stats::{Histogram, RunningStats as Stats};
+
+/// Destination for metric updates from instrumented code.
+pub trait MetricSink {
+    /// Adds `delta` to the counter `name`.
+    fn add(&mut self, name: &str, delta: u64);
+
+    /// Sets the gauge `name` to `value`.
+    fn set(&mut self, name: &str, value: f64);
+
+    /// Publishes a [`RunningStats`] accumulator as `name.count/mean/min/max`
+    /// gauges.
+    fn observe(&mut self, name: &str, stats: &RunningStats) {
+        self.set(&format!("{name}.count"), stats.count() as f64);
+        self.set(&format!("{name}.mean"), stats.mean());
+        if let (Some(min), Some(max)) = (stats.min(), stats.max()) {
+            self.set(&format!("{name}.min"), min);
+            self.set(&format!("{name}.max"), max);
+        }
+    }
+}
+
+/// A sink that drops everything (tracing disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricSink for NullSink {
+    fn add(&mut self, _name: &str, _delta: u64) {}
+    fn set(&mut self, _name: &str, _value: f64) {}
+}
+
+/// One periodic snapshot of every counter and gauge.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Simulated time of the snapshot, femtoseconds.
+    pub at_fs: u64,
+    /// Cumulative counter values at the snapshot.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values at the snapshot.
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// The concrete metrics store: current values plus the epoch time series.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    epochs: Vec<Epoch>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The recorded epoch snapshots, oldest first.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Records a snapshot of every current counter and gauge at `at_fs`.
+    pub fn snapshot(&mut self, at_fs: u64) {
+        self.epochs.push(Epoch {
+            at_fs,
+            counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: self.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        });
+    }
+}
+
+impl MetricSink for MetricsRegistry {
+    fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    fn set(&mut self, name: &str, value: f64) {
+        if let Some(v) = self.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in &self.counters {
+            w.field(k, v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (k, v) in &self.gauges {
+            w.field(k, v);
+        }
+        w.end_object();
+        w.key("epochs");
+        w.begin_array();
+        for e in &self.epochs {
+            w.begin_object();
+            w.field("at_ns", &(e.at_fs as f64 / 1e6));
+            w.key("counters");
+            w.begin_object();
+            for (k, v) in &e.counters {
+                w.field(k, v);
+            }
+            w.end_object();
+            w.key("gauges");
+            w.begin_object();
+            for (k, v) in &e.gauges {
+                w.field(k, v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.add("net.flits", 3);
+        m.add("net.flits", 4);
+        m.set("gpu0.occupancy", 0.5);
+        m.set("gpu0.occupancy", 0.75);
+        assert_eq!(m.counter("net.flits"), 7);
+        assert_eq!(m.gauge("gpu0.occupancy"), Some(0.75));
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn snapshots_capture_the_time_series() {
+        let mut m = MetricsRegistry::new();
+        m.add("x", 1);
+        m.snapshot(1_000);
+        m.add("x", 1);
+        m.set("g", 2.0);
+        m.snapshot(2_000);
+        assert_eq!(m.epochs().len(), 2);
+        assert_eq!(m.epochs()[0].counters, vec![("x".to_string(), 1)]);
+        assert_eq!(m.epochs()[1].counters, vec![("x".to_string(), 2)]);
+        assert_eq!(m.epochs()[1].gauges, vec![("g".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn observe_publishes_runningstats_fields() {
+        let mut m = MetricsRegistry::new();
+        let mut s = RunningStats::new();
+        s.record(2.0);
+        s.record(6.0);
+        m.observe("lat", &s);
+        assert_eq!(m.gauge("lat.count"), Some(2.0));
+        assert_eq!(m.gauge("lat.mean"), Some(4.0));
+        assert_eq!(m.gauge("lat.min"), Some(2.0));
+        assert_eq!(m.gauge("lat.max"), Some(6.0));
+    }
+
+    #[test]
+    fn json_export_is_valid_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.add("b", 2);
+        m.add("a", 1);
+        m.snapshot(500);
+        let v = parse(&m.to_json()).expect("valid json");
+        let counters = v
+            .get("counters")
+            .and_then(|c| c.as_object())
+            .expect("counters");
+        assert_eq!(counters[0].0, "a", "sorted by name");
+        assert_eq!(
+            v.get("epochs")
+                .and_then(|e| e.as_array())
+                .expect("epochs")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn null_sink_ignores_everything() {
+        let mut s = NullSink;
+        s.add("x", 1);
+        s.set("y", 2.0);
+    }
+}

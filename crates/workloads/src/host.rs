@@ -64,9 +64,7 @@ impl HostWork {
             }
             ops
         });
-        Box::new(mem_ops.chain(
-            (w.tail_compute > 0).then_some(CpuOp::Compute(w.tail_compute)).into_iter(),
-        ))
+        Box::new(mem_ops.chain((w.tail_compute > 0).then_some(CpuOp::Compute(w.tail_compute))))
     }
 }
 
@@ -94,13 +92,23 @@ mod tests {
         assert_eq!(reads.len(), 10);
         assert_eq!(reads[0], 4096);
         assert_eq!(reads[9], 4096 + 9 * 64);
-        let computes = ops.iter().filter(|o| matches!(o, CpuOp::Compute(3))).count();
+        let computes = ops
+            .iter()
+            .filter(|o| matches!(o, CpuOp::Compute(3)))
+            .count();
         assert_eq!(computes, 10);
     }
 
     #[test]
     fn reads_stay_in_region() {
-        let w = HostWork { reads: 100, region_base: 1000, region_bytes: 320, stride: 64, compute_per_read: 0, tail_compute: 0 };
+        let w = HostWork {
+            reads: 100,
+            region_base: 1000,
+            region_bytes: 320,
+            stride: 64,
+            compute_per_read: 0,
+            tail_compute: 0,
+        };
         for op in w.stream() {
             if let CpuOp::Read(a) = op {
                 assert!((1000..1320).contains(&a));

@@ -114,7 +114,9 @@ impl Workload {
     /// Every Table II workload (excludes the Fig. 7 VECADD microbenchmark).
     pub fn table2() -> [Workload; 14] {
         use Workload::*;
-        [Bp, Bfs, Srad, Kmn, Bh, Sp, Scan, Fd3d, Fwt, CgS, FtS, Ray, Sto, Cp]
+        [
+            Bp, Bfs, Srad, Kmn, Bh, Sp, Scan, Fd3d, Fwt, CgS, FtS, Ray, Sto, Cp,
+        ]
     }
 
     /// The subset used for the Fig. 19 scalability study.
@@ -254,7 +256,13 @@ impl Workload {
                     stride: 128,
                     seed: 0x5AD,
                 });
-                spec("SRAD", "Speckle Reducing Anisotropic Diffusion (Rodinia)", k, None, None)
+                spec(
+                    "SRAD",
+                    "Speckle Reducing Anisotropic Diffusion (Rodinia)",
+                    k,
+                    None,
+                    None,
+                )
             }
             Workload::Kmn => {
                 // 484K objects × 34 features scaled: object streaming plus
@@ -524,7 +532,15 @@ fn spec(
 ) -> WorkloadSpec {
     let h2d = kernel.shared_bytes + kernel.read_bytes;
     let d2h = kernel.write_bytes;
-    WorkloadSpec { abbr, name, kernel, h2d_bytes: h2d, d2h_bytes: d2h, host_pre, host_post }
+    WorkloadSpec {
+        abbr,
+        name,
+        kernel,
+        h2d_bytes: h2d,
+        d2h_bytes: d2h,
+        host_pre,
+        host_post,
+    }
 }
 
 #[cfg(test)]
@@ -536,12 +552,20 @@ mod tests {
     fn all_specs_validate() {
         for w in Workload::table2().into_iter().chain([Workload::VecAdd]) {
             let s = w.spec();
-            s.kernel.validate().unwrap_or_else(|e| panic!("{}: {e}", s.abbr));
+            s.kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.abbr));
             assert!(s.h2d_bytes > 0, "{} stages input", s.abbr);
             let small = w.spec_small();
-            small.kernel.validate().unwrap_or_else(|e| panic!("{} small: {e}", s.abbr));
+            small
+                .kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{} small: {e}", s.abbr));
             let large = w.spec_large();
-            large.kernel.validate().unwrap_or_else(|e| panic!("{} large: {e}", s.abbr));
+            large
+                .kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{} large: {e}", s.abbr));
         }
     }
 
@@ -550,7 +574,10 @@ mod tests {
         let abbrs: Vec<&str> = Workload::table2().iter().map(|w| w.spec().abbr).collect();
         assert_eq!(
             abbrs,
-            ["BP", "BFS", "SRAD", "KMN", "BH", "SP", "SCAN", "3DFD", "FWT", "CG.S", "FT.S", "RAY", "STO", "CP"]
+            [
+                "BP", "BFS", "SRAD", "KMN", "BH", "SP", "SCAN", "3DFD", "FWT", "CG.S", "FT.S",
+                "RAY", "STO", "CP"
+            ]
         );
     }
 
@@ -568,7 +595,10 @@ mod tests {
         let cg = Workload::CgS.spec();
         let kmn = Workload::Kmn.spec();
         assert!(cg.kernel.ctas < 64, "class S has too few CTAs for 4 GPUs");
-        assert!(cg.footprint_bytes() * 4 < kmn.footprint_bytes(), "class S footprint is tiny");
+        assert!(
+            cg.footprint_bytes() * 4 < kmn.footprint_bytes(),
+            "class S footprint is tiny"
+        );
     }
 
     #[test]
@@ -597,7 +627,10 @@ mod tests {
         let large = Workload::Bp.spec_large();
         assert_eq!(large.kernel.ctas, base.kernel.ctas * 4);
         // FWT deliberately scales less.
-        assert_eq!(Workload::Fwt.spec_large().kernel.ctas, Workload::Fwt.spec().kernel.ctas * 2);
+        assert_eq!(
+            Workload::Fwt.spec_large().kernel.ctas,
+            Workload::Fwt.spec().kernel.ctas * 2
+        );
     }
 
     #[test]
@@ -621,7 +654,11 @@ mod tests {
     fn footprints_fit_the_address_space_budget() {
         for w in Workload::table2() {
             let s = w.spec_large();
-            assert!(s.footprint_bytes() < 1 << 32, "{}: footprint too large", s.abbr);
+            assert!(
+                s.footprint_bytes() < 1 << 32,
+                "{}: footprint too large",
+                s.abbr
+            );
         }
     }
 }

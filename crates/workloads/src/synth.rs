@@ -77,13 +77,16 @@ impl SyntheticKernel {
         if self.writes > 0 && self.write_bytes < LINE * self.ctas as u64 {
             return Err("write region too small for per-CTA slices".into());
         }
-        if (self.rand_reads > 0 || self.dep_reads > 0 || self.atomic_every > 0) && self.shared_bytes < LINE {
+        if (self.rand_reads > 0 || self.dep_reads > 0 || self.atomic_every > 0)
+            && self.shared_bytes < LINE
+        {
             return Err("shared region required for random/dependent/atomic accesses".into());
         }
         if self.stride < LINE {
             return Err("stride must be at least one line".into());
         }
-        if self.halo_reads > 0 && (self.seq_reads == 0 || self.read_bytes < LINE * self.ctas as u64) {
+        if self.halo_reads > 0 && (self.seq_reads == 0 || self.read_bytes < LINE * self.ctas as u64)
+        {
             return Err("halo reads require sequential streams and a read region".into());
         }
         if self.seq_reads + self.rand_reads + self.dep_reads + self.writes + self.halo_reads == 0 {
@@ -114,7 +117,11 @@ impl KernelModel for SyntheticKernel {
 
     fn cta_stream(&self, cta: u32) -> CtaStream {
         assert!(cta < self.ctas, "cta {cta} out of range");
-        debug_assert!(self.validate().is_ok(), "invalid kernel: {:?}", self.validate());
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid kernel: {:?}",
+            self.validate()
+        );
         Box::new(SynthStream {
             k: self.clone(),
             rng: SplitMix64::new(self.seed).fork(cta as u64),
@@ -156,7 +163,15 @@ impl SynthStream {
         self.seq_addr_for(self.cta, self.iter, base, region_bytes, streams, s)
     }
 
-    fn seq_addr_for(&self, cta: u64, iter: u32, base: u64, region_bytes: u64, streams: u32, s: u32) -> u64 {
+    fn seq_addr_for(
+        &self,
+        cta: u64,
+        iter: u32,
+        base: u64,
+        region_bytes: u64,
+        streams: u32,
+        s: u32,
+    ) -> u64 {
         let slice = (region_bytes / self.k.ctas as u64).max(LINE * streams.max(1) as u64);
         let slice_base = base + (cta * slice) % region_bytes.max(slice);
         let per_stream = (slice / streams.max(1) as u64).max(LINE);
@@ -187,7 +202,7 @@ impl Iterator for SynthStream {
                 self.emitted_compute = true;
                 self.dep_left = self.k.dep_reads;
                 self.atomic_pending =
-                    self.k.atomic_every > 0 && (self.iter + 1) % self.k.atomic_every == 0;
+                    self.k.atomic_every > 0 && (self.iter + 1).is_multiple_of(self.k.atomic_every);
                 if self.k.compute_gap > 0 {
                     return Some(CtaOp::Compute(self.k.compute_gap));
                 }
@@ -320,12 +335,19 @@ mod tests {
     fn phase_structure_matches_parameters() {
         let k = basic();
         let ops: Vec<CtaOp> = k.cta_stream(0).collect();
-        let computes = ops.iter().filter(|o| matches!(o, CtaOp::Compute(_))).count();
+        let computes = ops
+            .iter()
+            .filter(|o| matches!(o, CtaOp::Compute(_)))
+            .count();
         assert_eq!(computes, 4, "one compute per phase");
         let atomics: usize = ops
             .iter()
             .filter_map(|o| match o {
-                CtaOp::Mem(v) => Some(v.iter().filter(|a| a.kind == memnet_common::AccessKind::Atomic).count()),
+                CtaOp::Mem(v) => Some(
+                    v.iter()
+                        .filter(|a| a.kind == memnet_common::AccessKind::Atomic)
+                        .count(),
+                ),
                 _ => None,
             })
             .sum();
@@ -343,7 +365,11 @@ mod tests {
             for op in k.cta_stream(cta) {
                 if let CtaOp::Mem(v) = op {
                     for a in v {
-                        assert!(a.addr + a.bytes as u64 <= fp, "addr {:#x} outside footprint {fp:#x}", a.addr);
+                        assert!(
+                            a.addr + a.bytes as u64 <= fp,
+                            "addr {:#x} outside footprint {fp:#x}",
+                            a.addr
+                        );
                     }
                 }
             }
@@ -358,7 +384,10 @@ mod tests {
                 for a in v {
                     match a.kind {
                         memnet_common::AccessKind::Write => {
-                            assert!(a.addr >= k.shared_bytes + k.read_bytes, "writes go to the write region");
+                            assert!(
+                                a.addr >= k.shared_bytes + k.read_bytes,
+                                "writes go to the write region"
+                            );
                         }
                         memnet_common::AccessKind::Atomic => {
                             assert!(a.addr < k.shared_bytes, "atomics hit the shared region");
@@ -458,13 +487,19 @@ mod tests {
         for op in k.cta_stream(0) {
             if let CtaOp::Mem(v) = op {
                 for a in v {
-                    if a.kind == memnet_common::AccessKind::Read && a.addr >= k.shared_bytes && a.addr < k.shared_bytes + k.read_bytes {
+                    if a.kind == memnet_common::AccessKind::Read
+                        && a.addr >= k.shared_bytes
+                        && a.addr < k.shared_bytes + k.read_bytes
+                    {
                         addrs.push(a.addr);
                     }
                 }
             }
         }
         let distinct: std::collections::HashSet<_> = addrs.iter().map(|a| a / 4096).collect();
-        assert!(distinct.len() > 2, "strided reads should touch several 4 KB pages");
+        assert!(
+            distinct.len() > 2,
+            "strided reads should touch several 4 KB pages"
+        );
     }
 }

@@ -35,7 +35,11 @@ fn co_run(a: Workload, b: Workload) -> f64 {
 
 fn main() {
     let pairs = [
-        (Workload::Cp, Workload::Scan, "compute-bound + bandwidth-bound"),
+        (
+            Workload::Cp,
+            Workload::Scan,
+            "compute-bound + bandwidth-bound",
+        ),
         (Workload::Scan, Workload::Fwt, "two bandwidth-bound streams"),
         (Workload::Cp, Workload::Ray, "two compute-heavy kernels"),
     ];

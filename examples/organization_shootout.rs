@@ -28,10 +28,17 @@ fn main() {
     let w = pick(&abbr);
     let spec = w.spec_small();
     println!("workload: {} ({})", spec.abbr, spec.name);
-    println!("{:<9} {:>12} {:>12} {:>12} {:>12}  {:>9}", "org", "kernel ns", "memcpy ns", "host ns", "total ns", "vs PCIe");
+    println!(
+        "{:<9} {:>12} {:>12} {:>12} {:>12}  {:>9}",
+        "org", "kernel ns", "memcpy ns", "host ns", "total ns", "vs PCIe"
+    );
     let mut pcie_total = None;
     for org in Organization::all() {
-        let r = SimBuilder::new(org).gpus(4).sms_per_gpu(4).workload(spec.clone()).run();
+        let r = SimBuilder::new(org)
+            .gpus(4)
+            .sms_per_gpu(4)
+            .workload(spec.clone())
+            .run();
         assert!(!r.timed_out, "{} timed out", org.name());
         let total = r.total_ns();
         let base = *pcie_total.get_or_insert(total);

@@ -12,7 +12,10 @@ use memnet::sim::{Organization, SimBuilder};
 use memnet::workloads::Workload;
 
 fn main() {
-    println!("{:<6} {:>12} {:>9} {:>9} {:>9}", "GPUs", "kernel ns", "speedup", "L1 hit", "L2 hit");
+    println!(
+        "{:<6} {:>12} {:>9} {:>9} {:>9}",
+        "GPUs", "kernel ns", "speedup", "L1 hit", "L2 hit"
+    );
     for w in [Workload::Cp, Workload::Bp] {
         let spec = w.spec_small();
         println!("\n{} ({}):", spec.abbr, spec.name);

@@ -16,11 +16,26 @@ use memnet::workloads::Workload;
 
 fn main() {
     let topos = [
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
         TopologyKind::DistributorFbfly,
         TopologyKind::DistributorDfly,
     ];

@@ -24,10 +24,14 @@ fn main() {
             .run();
         assert!(!r.timed_out);
         // Kernel traffic: GPU rows 0..4 to GPU-cluster HMC columns 0..16.
-        let cells: Vec<Vec<u64>> =
-            (0..4).map(|g| (0..16).map(|h| r.traffic.get(g, h)).collect()).collect();
+        let cells: Vec<Vec<u64>> = (0..4)
+            .map(|g| (0..16).map(|h| r.traffic.get(g, h)).collect())
+            .collect();
         let max = cells.iter().flatten().copied().max().unwrap_or(1).max(1);
-        println!("\n{} traffic (rows: GPUs, cols: HMC0..HMC15; '#' = hottest):", spec.abbr);
+        println!(
+            "\n{} traffic (rows: GPUs, cols: HMC0..HMC15; '#' = hottest):",
+            spec.abbr
+        );
         for (g, row) in cells.iter().enumerate() {
             print!("  GPU{g} |");
             for &v in row {

@@ -15,6 +15,8 @@
 //! * [`cpu`] — host CPU and DMA model
 //! * [`workloads`] — the Table II workload models
 //! * [`sim`] — SKE runtime, system organizations, full-system simulator
+//! * [`obs`] — observability: metrics registry, event tracer (Chrome
+//!   trace JSON), and the hand-rolled JSON writer/parser
 //!
 //! # Quickstart
 //!
@@ -38,4 +40,5 @@ pub use memnet_cpu as cpu;
 pub use memnet_gpu as gpu;
 pub use memnet_hmc as hmc;
 pub use memnet_noc as noc;
+pub use memnet_obs as obs;
 pub use memnet_workloads as workloads;

@@ -12,6 +12,7 @@
 
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
+use memnet::obs::JsonWriter;
 use memnet::sim::{CtaPolicy, Organization, PlacementPolicy, SimBuilder, SimReport};
 use memnet::workloads::Workload;
 use std::process::ExitCode;
@@ -38,7 +39,12 @@ OPTIONS:
   --overlay            enable the CPU overlay network (UMN)
   --small              use the tiny workload variant
   --seconds-budget <S> simulated-time budget per phase in ms (default 20)
-  --json               print the report as JSON"
+  --json               print the report as JSON
+  --trace <FILE>       write a Chrome trace (chrome://tracing / Perfetto)
+  --trace-events <N>   tracer ring-buffer capacity in events (default 1M)
+  --metrics-every <N>  snapshot metrics every N network cycles (with
+                       --trace the epochs become counter tracks; alone
+                       they print as JSON after the report)"
     );
     ExitCode::FAILURE
 }
@@ -59,11 +65,26 @@ fn parse_org(s: &str) -> Option<Organization> {
 
 fn parse_topology(s: &str) -> Option<TopologyKind> {
     Some(match s.to_ascii_lowercase().as_str() {
-        "smesh" => TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        "storus" => TopologyKind::Sliced { kind: SlicedKind::Torus, double: false },
-        "smesh2x" => TopologyKind::Sliced { kind: SlicedKind::Mesh, double: true },
-        "storus2x" => TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
-        "sfbfly" => TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        "smesh" => TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        "storus" => TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: false,
+        },
+        "smesh2x" => TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: true,
+        },
+        "storus2x" => TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: true,
+        },
+        "sfbfly" => TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
         "dfbfly" => TopologyKind::DistributorFbfly,
         "ddfly" => TopologyKind::DistributorDfly,
         _ => return None,
@@ -74,7 +95,9 @@ fn parse_workload(s: &str) -> Option<Workload> {
     if s.eq_ignore_ascii_case("vecadd") {
         return Some(Workload::VecAdd);
     }
-    Workload::table2().into_iter().find(|w| w.abbr().eq_ignore_ascii_case(s))
+    Workload::table2()
+        .into_iter()
+        .find(|w| w.abbr().eq_ignore_ascii_case(s))
 }
 
 fn print_table(r: &SimReport) {
@@ -85,14 +108,21 @@ fn print_table(r: &SimReport) {
     println!("host time        : {:>14.1} ns", r.host_ns);
     println!("total time       : {:>14.1} ns", r.total_ns());
     println!("network energy   : {:>14.4} mJ", r.energy_mj);
-    println!("L1 / L2 hit rate : {:>6.1} % / {:.1} %", r.l1_hit_rate * 100.0, r.l2_hit_rate * 100.0);
+    println!(
+        "L1 / L2 hit rate : {:>6.1} % / {:.1} %",
+        r.l1_hit_rate * 100.0,
+        r.l2_hit_rate * 100.0
+    );
     println!("packet latency   : {:>14.1} ns (avg)", r.avg_pkt_latency_ns);
     println!("hops per packet  : {:>14.2}", r.avg_hops);
     println!("DRAM row hits    : {:>13.1} %", r.row_hit_rate * 100.0);
     if r.passthrough > 0 {
         println!("overlay hops     : {:>14}", r.passthrough);
     }
-    println!("net utilization  : {:>13.1} %", r.channel_utilization * 100.0);
+    println!(
+        "net utilization  : {:>13.1} %",
+        r.channel_utilization * 100.0
+    );
     for (i, g) in r.per_gpu.iter().enumerate() {
         println!(
             "  GPU{i}: {} CTAs, {} mem reqs, L1 {:.0} %, L2 {:.0} %",
@@ -108,22 +138,33 @@ fn print_table(r: &SimReport) {
 }
 
 fn print_json(r: &SimReport) {
-    // Hand-rolled JSON keeps the report struct free of serde bounds.
-    println!("{{");
-    println!("  \"workload\": \"{}\",", r.workload);
-    println!("  \"org\": \"{}\",", r.org.name());
-    println!("  \"kernel_ns\": {},", r.kernel_ns);
-    println!("  \"memcpy_ns\": {},", r.memcpy_ns);
-    println!("  \"host_ns\": {},", r.host_ns);
-    println!("  \"total_ns\": {},", r.total_ns());
-    println!("  \"energy_mj\": {},", r.energy_mj);
-    println!("  \"l1_hit_rate\": {},", r.l1_hit_rate);
-    println!("  \"l2_hit_rate\": {},", r.l2_hit_rate);
-    println!("  \"avg_pkt_latency_ns\": {},", r.avg_pkt_latency_ns);
-    println!("  \"avg_hops\": {},", r.avg_hops);
-    println!("  \"row_hit_rate\": {},", r.row_hit_rate);
-    println!("  \"timed_out\": {}", r.timed_out);
-    println!("}}");
+    // memnet_obs::JsonWriter keeps the report struct free of serde bounds
+    // while still escaping strings and mapping non-finite floats to null.
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field("workload", r.workload);
+    w.field("org", r.org.name());
+    w.field("kernel_ns", &r.kernel_ns);
+    w.field("memcpy_ns", &r.memcpy_ns);
+    w.field("host_ns", &r.host_ns);
+    w.field("total_ns", &r.total_ns());
+    w.field("energy_mj", &r.energy_mj);
+    w.field("l1_hit_rate", &r.l1_hit_rate);
+    w.field("l2_hit_rate", &r.l2_hit_rate);
+    w.field("avg_pkt_latency_ns", &r.avg_pkt_latency_ns);
+    w.field("avg_hops", &r.avg_hops);
+    w.field("row_hit_rate", &r.row_hit_rate);
+    w.field("timed_out", &r.timed_out);
+    // Keep stdout one valid JSON document: metrics nest under the
+    // report instead of being printed as a second top-level object.
+    if let Some(m) = &r.metrics_json {
+        if let Ok(v) = memnet::obs::parse(m) {
+            w.key("metrics");
+            w.value(&v);
+        }
+    }
+    w.end_object();
+    println!("{}", w.finish());
 }
 
 fn main() -> ExitCode {
@@ -135,7 +176,7 @@ fn main() -> ExitCode {
                 let s = w.spec();
                 println!("  {:<7} {}", s.abbr, s.name);
             }
-            println!("  {:<7} {}", "VECADD", "vectorAdd (Fig. 7 microbenchmark)");
+            println!("  {:<7} vectorAdd (Fig. 7 microbenchmark)", "VECADD");
             println!("\norganizations (Table III + PCN):");
             for o in Organization::all_extended() {
                 println!("  {}", o.name());
@@ -157,8 +198,15 @@ fn sweep_cmd(small: bool) -> ExitCode {
         print!("{:<8}", w.abbr());
         for org in Organization::all_extended() {
             let spec = if small { w.spec_small() } else { w.spec() };
-            let r = SimBuilder::new(org).workload(spec).phase_budget_ns(30e6).run();
-            print!(" {:>11.0}{}", r.total_ns(), if r.timed_out { "!" } else { " " });
+            let r = SimBuilder::new(org)
+                .workload(spec)
+                .phase_budget_ns(30e6)
+                .run();
+            print!(
+                " {:>11.0}{}",
+                r.total_ns(),
+                if r.timed_out { "!" } else { " " }
+            );
         }
         println!();
     }
@@ -179,6 +227,9 @@ fn run_cmd(args: &[String]) -> ExitCode {
     let mut small = false;
     let mut json = false;
     let mut budget_ms = 20.0f64;
+    let mut trace_file: Option<String> = None;
+    let mut trace_events = 1_000_000usize;
+    let mut metrics_every: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -234,6 +285,18 @@ fn run_cmd(args: &[String]) -> ExitCode {
                 Some(ms) => budget_ms = ms,
                 None => return usage(),
             },
+            "--trace" => match value("--trace") {
+                Some(f) => trace_file = Some(f),
+                None => return usage(),
+            },
+            "--trace-events" => match value("--trace-events").and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => trace_events = n,
+                _ => return usage(),
+            },
+            "--metrics-every" => match value("--metrics-every").and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => metrics_every = Some(n),
+                _ => return usage(),
+            },
             _ => {
                 eprintln!("unknown option {a}");
                 return usage();
@@ -241,7 +304,11 @@ fn run_cmd(args: &[String]) -> ExitCode {
         }
     }
 
-    let spec = if small { workload.spec_small() } else { workload.spec() };
+    let spec = if small {
+        workload.spec_small()
+    } else {
+        workload.spec()
+    };
     let mut b = SimBuilder::new(org)
         .gpus(gpus)
         .sms_per_gpu(sms)
@@ -254,11 +321,30 @@ fn run_cmd(args: &[String]) -> ExitCode {
     if let Some(t) = topology {
         b = b.topology(t);
     }
+    if trace_file.is_some() {
+        b = b.trace(trace_events);
+    }
+    if let Some(n) = metrics_every {
+        b = b.metrics_every(n);
+    }
     let r = b.run();
     if json {
         print_json(&r);
     } else {
         print_table(&r);
+    }
+    if let Some(path) = &trace_file {
+        let trace = r.trace_json.as_deref().expect("tracing was enabled");
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[wrote trace: {path}]");
+    }
+    if !json && trace_file.is_none() {
+        if let Some(m) = &r.metrics_json {
+            println!("{m}");
+        }
     }
     if r.timed_out {
         ExitCode::FAILURE

@@ -8,7 +8,10 @@ use memnet::sim::{CtaPolicy, Organization, SimBuilder};
 use memnet::workloads::Workload;
 
 fn tiny(org: Organization, w: Workload) -> SimBuilder {
-    SimBuilder::new(org).gpus(2).sms_per_gpu(2).workload(w.spec_small())
+    SimBuilder::new(org)
+        .gpus(2)
+        .sms_per_gpu(2)
+        .workload(w.spec_small())
 }
 
 #[test]
@@ -23,7 +26,11 @@ fn every_org_runs_every_cpu_flavor_workload() {
                 assert_eq!(r.memcpy_ns, 0.0);
             }
             if w == Workload::CgS {
-                assert!(r.host_ns > 0.0, "CG.S computes on the host ({})", org.name());
+                assert!(
+                    r.host_ns > 0.0,
+                    "CG.S computes on the host ({})",
+                    org.name()
+                );
             }
         }
     }
@@ -45,7 +52,10 @@ fn memory_network_beats_pcie_for_bandwidth_bound_kernels() {
     let gmn = tiny(Organization::Gmn, Workload::Bp).run();
     let umn = tiny(Organization::Umn, Workload::Bp).run();
     assert!(gmn.kernel_ns < pcie.kernel_ns, "GMN must beat PCIe kernels");
-    assert!(umn.total_ns() < pcie.total_ns(), "UMN must beat PCIe totals");
+    assert!(
+        umn.total_ns() < pcie.total_ns(),
+        "UMN must beat PCIe totals"
+    );
     assert!(umn.total_ns() < gmn.total_ns(), "UMN removes GMN's memcpy");
 }
 
@@ -56,15 +66,30 @@ fn gmn_zc_equals_pcie_zc() {
     let a = tiny(Organization::GmnZc, Workload::Kmn).run();
     let b = tiny(Organization::PcieZc, Workload::Kmn).run();
     let rel = (a.kernel_ns - b.kernel_ns).abs() / b.kernel_ns;
-    assert!(rel < 0.05, "GMN-ZC {} vs PCIe-ZC {} differ by {:.1}%", a.kernel_ns, b.kernel_ns, rel * 100.0);
+    assert!(
+        rel < 0.05,
+        "GMN-ZC {} vs PCIe-ZC {} differ by {:.1}%",
+        a.kernel_ns,
+        b.kernel_ns,
+        rel * 100.0
+    );
 }
 
 #[test]
 fn all_topologies_complete_the_same_kernel() {
     for t in [
-        TopologyKind::Sliced { kind: SlicedKind::Mesh, double: false },
-        TopologyKind::Sliced { kind: SlicedKind::Torus, double: true },
-        TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Mesh,
+            double: false,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Torus,
+            double: true,
+        },
+        TopologyKind::Sliced {
+            kind: SlicedKind::Fbfly,
+            double: false,
+        },
         TopologyKind::DistributorFbfly,
         TopologyKind::DistributorDfly,
     ] {
@@ -96,24 +121,49 @@ fn ugal_routing_completes_and_uses_nonminimal_paths_under_imbalance() {
 fn cta_policies_agree_on_work_done() {
     // Different schedules, same kernel: all CTAs must execute exactly once,
     // so total traffic is similar and the run completes either way.
-    let base = tiny(Organization::Umn, Workload::Srad).cta_policy(CtaPolicy::StaticChunk).run();
-    let rr = tiny(Organization::Umn, Workload::Srad).cta_policy(CtaPolicy::RoundRobin).run();
-    let steal = tiny(Organization::Umn, Workload::Srad).cta_policy(CtaPolicy::Stealing).run();
+    let base = tiny(Organization::Umn, Workload::Srad)
+        .cta_policy(CtaPolicy::StaticChunk)
+        .run();
+    let rr = tiny(Organization::Umn, Workload::Srad)
+        .cta_policy(CtaPolicy::RoundRobin)
+        .run();
+    let steal = tiny(Organization::Umn, Workload::Srad)
+        .cta_policy(CtaPolicy::Stealing)
+        .run();
     for r in [&base, &rr, &steal] {
         assert!(!r.timed_out);
     }
     // Same CTAs, same per-CTA streams ⇒ identical *issued* access counts;
     // network traffic differs only through cache behavior.
-    let lo = base.traffic.total().min(rr.traffic.total()).min(steal.traffic.total()) as f64;
-    let hi = base.traffic.total().max(rr.traffic.total()).max(steal.traffic.total()) as f64;
-    assert!(hi / lo < 2.0, "traffic should be in the same ballpark: {lo} vs {hi}");
+    let lo = base
+        .traffic
+        .total()
+        .min(rr.traffic.total())
+        .min(steal.traffic.total()) as f64;
+    let hi = base
+        .traffic
+        .total()
+        .max(rr.traffic.total())
+        .max(steal.traffic.total()) as f64;
+    assert!(
+        hi / lo < 2.0,
+        "traffic should be in the same ballpark: {lo} vs {hi}"
+    );
 }
 
 #[test]
 fn scaling_gpus_speeds_up_parallel_kernels() {
     let spec = Workload::Bp.spec_small();
-    let one = SimBuilder::new(Organization::Umn).gpus(1).sms_per_gpu(2).workload(spec.clone()).run();
-    let four = SimBuilder::new(Organization::Umn).gpus(4).sms_per_gpu(2).workload(spec).run();
+    let one = SimBuilder::new(Organization::Umn)
+        .gpus(1)
+        .sms_per_gpu(2)
+        .workload(spec.clone())
+        .run();
+    let four = SimBuilder::new(Organization::Umn)
+        .gpus(4)
+        .sms_per_gpu(2)
+        .workload(spec)
+        .run();
     assert!(!one.timed_out && !four.timed_out);
     assert!(
         four.kernel_ns * 1.5 < one.kernel_ns,
@@ -126,9 +176,17 @@ fn scaling_gpus_speeds_up_parallel_kernels() {
 #[test]
 fn overlay_reduces_cpu_latency_on_umn() {
     let spec = Workload::FtS.spec_small();
-    let plain = SimBuilder::new(Organization::Umn).gpus(3).sms_per_gpu(2).workload(spec.clone()).run();
-    let overlay =
-        SimBuilder::new(Organization::Umn).gpus(3).sms_per_gpu(2).overlay(true).workload(spec).run();
+    let plain = SimBuilder::new(Organization::Umn)
+        .gpus(3)
+        .sms_per_gpu(2)
+        .workload(spec.clone())
+        .run();
+    let overlay = SimBuilder::new(Organization::Umn)
+        .gpus(3)
+        .sms_per_gpu(2)
+        .overlay(true)
+        .workload(spec)
+        .run();
     assert!(!plain.timed_out && !overlay.timed_out);
     assert!(overlay.passthrough > 0, "overlay must carry CPU packets");
     // Host phases read GPU-written output over the network; pass-through

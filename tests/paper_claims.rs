@@ -58,19 +58,28 @@ fn fig7b_memory_network_tolerates_remote_data() {
 #[test]
 fn fig10_cgs_is_more_imbalanced_than_kmn() {
     let run = |w: Workload| {
-        SimBuilder::new(Organization::Gmn).gpus(4).sms_per_gpu(2).workload(w.spec_small()).run()
+        SimBuilder::new(Organization::Gmn)
+            .gpus(4)
+            .sms_per_gpu(2)
+            .workload(w.spec_small())
+            .run()
     };
     let kmn = run(Workload::Kmn);
     let cgs = run(Workload::CgS);
     // Compare hot/cold over GPU-cluster HMC columns only.
     let imbalance = |r: &memnet::sim::SimReport| {
-        let col: Vec<u64> = (0..16).map(|h| (0..4).map(|g| r.traffic.get(g, h)).sum()).collect();
+        let col: Vec<u64> = (0..16)
+            .map(|h| (0..4).map(|g| r.traffic.get(g, h)).sum())
+            .collect();
         let hot = *col.iter().max().expect("cols") as f64;
         let cold = col.iter().copied().filter(|&v| v > 0).min().unwrap_or(1) as f64;
         hot / cold
     };
     let (ik, ic) = (imbalance(&kmn), imbalance(&cgs));
-    assert!(ic > ik, "CG.S ({ic:.2}x) must be more imbalanced than KMN ({ik:.2}x)");
+    assert!(
+        ic > ik,
+        "CG.S ({ic:.2}x) must be more imbalanced than KMN ({ik:.2}x)"
+    );
 }
 
 /// Fig. 12: the sliced FBFLY halves 4-GPU channel count vs dFBFLY.
@@ -81,14 +90,20 @@ fn fig12_channel_reductions_match_paper() {
         let _ = build_clusters(&mut b, n, 4, 8, kind);
         b.count_links(LinkTag::HmcHmc)
     };
-    let sliced = TopologyKind::Sliced { kind: SlicedKind::Fbfly, double: false };
+    let sliced = TopologyKind::Sliced {
+        kind: SlicedKind::Fbfly,
+        double: false,
+    };
     let s4 = count(4, sliced);
     let d4 = count(4, TopologyKind::DistributorFbfly);
     assert_eq!(d4, 2 * s4, "paper: 50% reduction at 4 GPUs");
     let s8 = count(8, sliced);
     let d8 = count(8, TopologyKind::DistributorFbfly);
     let red8 = 1.0 - s8 as f64 / d8 as f64;
-    assert!((red8 - 0.43).abs() < 0.01, "paper: 43% reduction at 8 GPUs, got {red8:.3}");
+    assert!(
+        (red8 - 0.43).abs() < 0.01,
+        "paper: 43% reduction at 8 GPUs, got {red8:.3}"
+    );
 }
 
 /// Fig. 14 (crossover): memcpy dominates SCAN under PCIe, so zero-copy
@@ -96,15 +111,28 @@ fn fig12_channel_reductions_match_paper() {
 #[test]
 fn fig14_zero_copy_crossover() {
     let run = |org, w: Workload| {
-        SimBuilder::new(org).gpus(2).sms_per_gpu(2).workload(w.spec_small()).run()
+        SimBuilder::new(org)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .workload(w.spec_small())
+            .run()
     };
     // SCAN: copy time >> kernel time ⇒ PCIe-ZC total < PCIe total.
     let scan = run(Organization::Pcie, Workload::Scan);
     let scan_zc = run(Organization::PcieZc, Workload::Scan);
-    assert!(scan.memcpy_ns > scan.kernel_ns, "SCAN must be memcpy-dominated under PCIe");
-    assert!(scan_zc.total_ns() < scan.total_ns(), "zero-copy must win for SCAN");
+    assert!(
+        scan.memcpy_ns > scan.kernel_ns,
+        "SCAN must be memcpy-dominated under PCIe"
+    );
+    assert!(
+        scan_zc.total_ns() < scan.total_ns(),
+        "zero-copy must win for SCAN"
+    );
     // Zero-copy slows the kernel itself (all accesses cross PCIe).
-    assert!(scan_zc.kernel_ns > scan.kernel_ns, "ZC kernels pay PCIe on every access");
+    assert!(
+        scan_zc.kernel_ns > scan.kernel_ns,
+        "ZC kernels pay PCIe on every access"
+    );
 }
 
 /// Fig. 16/17: sFBFLY is no slower than sMESH and uses less energy for
@@ -115,16 +143,30 @@ fn fig16_17_sfbfly_beats_smesh() {
         SimBuilder::new(Organization::Gmn)
             .gpus(4)
             .sms_per_gpu(2)
-            .topology(TopologyKind::Sliced { kind, double: false })
+            .topology(TopologyKind::Sliced {
+                kind,
+                double: false,
+            })
             .workload(Workload::Bp.spec_small())
             .run()
     };
     let mesh = run(SlicedKind::Mesh);
     let fbfly = run(SlicedKind::Fbfly);
     assert!(!mesh.timed_out && !fbfly.timed_out);
-    assert!(fbfly.kernel_ns <= mesh.kernel_ns, "sFBFLY kernel {} vs sMESH {}", fbfly.kernel_ns, mesh.kernel_ns);
-    assert!(fbfly.avg_hops <= mesh.avg_hops, "sFBFLY must have lower hop count");
-    assert!(fbfly.energy_mj <= mesh.energy_mj, "lower runtime at similar power ⇒ less energy");
+    assert!(
+        fbfly.kernel_ns <= mesh.kernel_ns,
+        "sFBFLY kernel {} vs sMESH {}",
+        fbfly.kernel_ns,
+        mesh.kernel_ns
+    );
+    assert!(
+        fbfly.avg_hops <= mesh.avg_hops,
+        "sFBFLY must have lower hop count"
+    );
+    assert!(
+        fbfly.energy_mj <= mesh.energy_mj,
+        "lower runtime at similar power ⇒ less energy"
+    );
 }
 
 /// Section III-B: static chunked CTA assignment beats round-robin on
@@ -147,5 +189,10 @@ fn sec3b_static_assignment_has_better_locality_than_round_robin() {
     // `ablation_cta_sched` bench target. Here we only require that static
     // chunking is competitive.
     assert!(!st.timed_out && !rr.timed_out);
-    assert!(st.kernel_ns <= rr.kernel_ns * 1.15, "static {} vs rr {}", st.kernel_ns, rr.kernel_ns);
+    assert!(
+        st.kernel_ns <= rr.kernel_ns * 1.15,
+        "static {} vs rr {}",
+        st.kernel_ns,
+        rr.kernel_ns
+    );
 }

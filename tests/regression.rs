@@ -11,7 +11,11 @@ use memnet::sim::{Organization, SimBuilder, SimReport};
 use memnet::workloads::Workload;
 
 fn run(org: Organization, w: Workload) -> SimReport {
-    SimBuilder::new(org).gpus(2).sms_per_gpu(2).workload(w.spec_small()).run()
+    SimBuilder::new(org)
+        .gpus(2)
+        .sms_per_gpu(2)
+        .workload(w.spec_small())
+        .run()
 }
 
 #[test]
@@ -19,7 +23,11 @@ fn vecadd_umn_magnitudes() {
     let r = run(Organization::Umn, Workload::VecAdd);
     assert!(!r.timed_out);
     // A few thousand ns at this scale — catch 10× regressions either way.
-    assert!((500.0..50_000.0).contains(&r.kernel_ns), "kernel {}", r.kernel_ns);
+    assert!(
+        (500.0..50_000.0).contains(&r.kernel_ns),
+        "kernel {}",
+        r.kernel_ns
+    );
     // VECADD issues 2 reads + 1 write per phase; traffic is within sane
     // bounds for the small footprint (~1.5 MB touched, wire overheads in).
     let mb = r.traffic.total() as f64 / 1e6;
@@ -33,18 +41,32 @@ fn pcie_memcpy_bandwidth_is_near_link_rate() {
     let spec = Workload::Scan.spec_small();
     let bytes = (spec.h2d_bytes + spec.d2h_bytes) as f64;
     let gbs = bytes / r.memcpy_ns; // bytes per ns == GB/s
-    // Must be below the 15.75 GB/s PCIe link but within 4× of it
-    // (protocol overheads, DMA window, round trips).
-    assert!(gbs < 15.75, "memcpy cannot beat the PCIe link: {gbs:.2} GB/s");
-    assert!(gbs > 15.75 / 4.0, "memcpy far below link rate: {gbs:.2} GB/s");
+                                   // Must be below the 15.75 GB/s PCIe link but within 4× of it
+                                   // (protocol overheads, DMA window, round trips).
+    assert!(
+        gbs < 15.75,
+        "memcpy cannot beat the PCIe link: {gbs:.2} GB/s"
+    );
+    assert!(
+        gbs > 15.75 / 4.0,
+        "memcpy far below link rate: {gbs:.2} GB/s"
+    );
 }
 
 #[test]
 fn network_latency_is_physically_plausible() {
     let r = run(Organization::Umn, Workload::Kmn);
     // Minimum: pipeline + SerDes + serialization ≈ >8 ns for one hop.
-    assert!(r.avg_pkt_latency_ns > 8.0, "latency {}", r.avg_pkt_latency_ns);
-    assert!(r.avg_pkt_latency_ns < 2_000.0, "latency {}", r.avg_pkt_latency_ns);
+    assert!(
+        r.avg_pkt_latency_ns > 8.0,
+        "latency {}",
+        r.avg_pkt_latency_ns
+    );
+    assert!(
+        r.avg_pkt_latency_ns < 2_000.0,
+        "latency {}",
+        r.avg_pkt_latency_ns
+    );
     // 4 HMCs per cluster × 3 clusters: 1–4 router-to-router hops typical.
     assert!((1.0..4.0).contains(&r.avg_hops), "hops {}", r.avg_hops);
 }
@@ -52,7 +74,11 @@ fn network_latency_is_physically_plausible() {
 #[test]
 fn dram_row_hits_exist_for_streaming() {
     let r = run(Organization::Umn, Workload::Scan);
-    assert!(r.row_hit_rate > 0.01, "streaming should produce row hits: {}", r.row_hit_rate);
+    assert!(
+        r.row_hit_rate > 0.01,
+        "streaming should produce row hits: {}",
+        r.row_hit_rate
+    );
 }
 
 #[test]
@@ -79,7 +105,10 @@ fn cta_work_is_balanced_across_gpus_with_static_chunking() {
 fn channel_utilization_is_a_fraction() {
     let r = run(Organization::Gmn, Workload::Bp);
     assert!((0.0..=1.0).contains(&r.channel_utilization));
-    assert!(r.channel_utilization > 0.0, "a running kernel must use channels");
+    assert!(
+        r.channel_utilization > 0.0,
+        "a running kernel must use channels"
+    );
 }
 
 #[test]
@@ -90,5 +119,8 @@ fn exact_determinism_pin() {
     let b = run(Organization::Umn, Workload::Bfs);
     assert_eq!(a.kernel_ns.to_bits(), b.kernel_ns.to_bits());
     assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
-    assert_eq!(a.avg_pkt_latency_ns.to_bits(), b.avg_pkt_latency_ns.to_bits());
+    assert_eq!(
+        a.avg_pkt_latency_ns.to_bits(),
+        b.avg_pkt_latency_ns.to_bits()
+    );
 }

@@ -1,0 +1,3 @@
+//! Intentionally empty: this crate exists only to host the extended
+//! proptest suites (`tests/`) and criterion benchmarks (`benches/`).
+//! See the README for why it lives outside the workspace.

@@ -1,0 +1,143 @@
+//! Property-based tests for the network: on randomized connected graphs
+//! with randomized traffic, every packet is delivered, the network drains
+//! completely, and replays are deterministic.
+
+use memnet_common::{AccessKind, Agent, GpuId, MemReq, NodeId, Payload, ReqId};
+use memnet_noc::{LinkSpec, LinkTag, MsgClass, Network, NetworkBuilder, NocParams, RoutingPolicy};
+use proptest::prelude::*;
+
+/// Builds a connected random graph: a ring of `n` routers (guarantees
+/// connectivity) plus arbitrary chords, one endpoint per router.
+fn build(n: usize, chords: &[(usize, usize)], policy: RoutingPolicy) -> (Network, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new(NocParams::default());
+    let routers: Vec<NodeId> = (0..n).map(|_| b.router()).collect();
+    for i in 0..n {
+        b.link(routers[i], routers[(i + 1) % n], LinkSpec::default(), LinkTag::HmcHmc);
+    }
+    for &(a, c) in chords {
+        let (a, c) = (a % n, c % n);
+        if a != c && (a + 1) % n != c && (c + 1) % n != a {
+            b.link(routers[a], routers[c], LinkSpec::default(), LinkTag::HmcHmc);
+        }
+    }
+    let eps: Vec<NodeId> = routers.iter().map(|&r| b.endpoint(r)).collect();
+    b.routing(policy);
+    (b.build(), eps)
+}
+
+fn payload(i: u64, write: bool) -> Payload {
+    Payload::Req(MemReq {
+        id: ReqId(i),
+        addr: i * 128,
+        bytes: 128,
+        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        src: Agent::Gpu(GpuId(0)),
+    })
+}
+
+/// Injects `traffic`, drains everything, and returns (delivered, cycles).
+fn run(net: &mut Network, eps: &[NodeId], traffic: &[(usize, usize, bool)]) -> (u64, u64) {
+    let mut delivered = 0u64;
+    let mut queued: std::collections::VecDeque<_> = traffic.iter().copied().collect();
+    let mut i = 0u64;
+    let limit = 2_000_000u64;
+    while (net.has_work() || !queued.is_empty()) && net.cycle() < limit {
+        while let Some(&(s, d, w)) = queued.front() {
+            let (s, d) = (s % eps.len(), d % eps.len());
+            if s == d {
+                queued.pop_front();
+                continue;
+            }
+            if !net.inject_ready(eps[s]) {
+                break;
+            }
+            net.inject(eps[s], eps[d], MsgClass::Req, payload(i, w), false);
+            i += 1;
+            queued.pop_front();
+        }
+        net.tick();
+        for &e in eps {
+            while net.poll_eject(e).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    assert!(net.cycle() < limit, "network failed to drain (possible deadlock)");
+    (delivered, net.cycle())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_packet_is_delivered_minimal(
+        n in 3usize..8,
+        chords in prop::collection::vec((0usize..8, 0usize..8), 0..6),
+        traffic in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 1..120),
+    ) {
+        let (mut net, eps) = build(n, &chords, RoutingPolicy::Minimal);
+        let expected = traffic
+            .iter()
+            .filter(|&&(s, d, _)| s % n != d % n)
+            .count() as u64;
+        let (delivered, _) = run(&mut net, &eps, &traffic);
+        prop_assert_eq!(delivered, expected);
+        prop_assert!(!net.has_work(), "network must drain completely");
+    }
+
+    #[test]
+    fn every_packet_is_delivered_ugal(
+        n in 3usize..8,
+        chords in prop::collection::vec((0usize..8, 0usize..8), 0..6),
+        traffic in prop::collection::vec((0usize..8, 0usize..8, any::<bool>()), 1..120),
+    ) {
+        let (mut net, eps) = build(n, &chords, RoutingPolicy::Ugal);
+        let expected = traffic
+            .iter()
+            .filter(|&&(s, d, _)| s % n != d % n)
+            .count() as u64;
+        let (delivered, _) = run(&mut net, &eps, &traffic);
+        prop_assert_eq!(delivered, expected);
+        prop_assert!(!net.has_work());
+    }
+
+    #[test]
+    fn replays_are_bit_identical(
+        n in 3usize..6,
+        traffic in prop::collection::vec((0usize..6, 0usize..6, any::<bool>()), 1..60),
+    ) {
+        let once = || {
+            let (mut net, eps) = build(n, &[], RoutingPolicy::Minimal);
+            let out = run(&mut net, &eps, &traffic);
+            (out, net.stats().latency.mean(), net.stats().hops.mean(), net.energy_mj())
+        };
+        prop_assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn latency_is_at_least_topological_distance(
+        n in 3usize..8,
+        src in 0usize..8,
+        dst in 0usize..8,
+    ) {
+        let (src, dst) = (src % n, dst % n);
+        prop_assume!(src != dst);
+        let (mut net, eps) = build(n, &[], RoutingPolicy::Minimal);
+        net.inject(eps[src], eps[dst], MsgClass::Req, payload(0, false), false);
+        let mut got = None;
+        for _ in 0..100_000 {
+            net.tick();
+            if let Some(p) = net.poll_eject(eps[dst]) {
+                got = Some(p);
+                break;
+            }
+        }
+        let p = got.expect("delivered");
+        // Ring distance between src and dst.
+        let d = (dst + n - src) % n;
+        let hops = d.min(n - d) as u32;
+        prop_assert_eq!(p.hops, hops, "minimal routing takes the shortest ring path");
+        // Each hop costs at least SerDes (4) + pipeline (4) cycles.
+        prop_assert!(p.latency_cycles >= 8 * hops as u64);
+    }
+}
