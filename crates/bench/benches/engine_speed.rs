@@ -1,0 +1,151 @@
+//! Engine wall-clock benchmark (PR 2 artifact).
+//!
+//! Two measurements:
+//!
+//! 1. **Idle fast-forward** — SCAN on PCIe (memcpy- and host-dominated,
+//!    so most clock edges are no-ops) simulated under the cycle-stepped
+//!    reference loop and under the event-driven calendar. The event
+//!    engine must win by skipping the idle stretches.
+//! 2. **Sweep scaling** — a fixed workload × organization subset run on
+//!    the `memnet-engine` pool with 1 worker and with all cores.
+//!
+//! Results go to `BENCH_pr2.json` at the repository root.
+//!
+//! With `MEMNET_CHECK=1` the target instead acts as a CI guard: it runs
+//! a quick version of measurement 1 and exits non-zero if the
+//! event-driven engine is slower than 1.25× the cycle-stepped baseline
+//! (no JSON is written, so CI never dirties the committed artifact).
+
+use memnet_core::{EngineMode, Organization, SimBuilder};
+use memnet_engine::PoolConfig;
+use memnet_obs::JsonWriter;
+use memnet_workloads::Workload;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock for one closure, in milliseconds.
+fn best_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn idle_heavy(small: bool) -> SimBuilder {
+    // SCAN stages large buffers over PCIe and computes on the host between
+    // kernels: the network, DRAM and GPU domains idle through most of the
+    // run — the fast-forward sweet spot.
+    let spec = if small {
+        Workload::Scan.spec_small()
+    } else {
+        Workload::Scan.spec()
+    };
+    SimBuilder::new(Organization::Pcie)
+        .workload(spec)
+        .phase_budget_ns(30e6)
+}
+
+fn time_mode(mode: EngineMode, reps: u32, small: bool) -> f64 {
+    best_ms(reps, || {
+        let r = idle_heavy(small).engine(mode).run();
+        assert!(!r.timed_out, "{} run timed out", mode.name());
+    })
+}
+
+fn sweep_ms(workers: usize) -> f64 {
+    let cells: Vec<(Workload, Organization)> = [Workload::Kmn, Workload::Bp, Workload::Scan]
+        .into_iter()
+        .flat_map(|w| {
+            [Organization::Pcie, Organization::Gmn, Organization::Umn]
+                .into_iter()
+                .map(move |o| (w, o))
+        })
+        .collect();
+    let cfg = PoolConfig {
+        workers,
+        ..PoolConfig::default()
+    };
+    best_ms(2, || {
+        let sims: Vec<_> = cells
+            .iter()
+            .map(|&(w, org)| {
+                move || {
+                    SimBuilder::new(org)
+                        .workload(w.spec_small())
+                        .phase_budget_ns(30e6)
+                        .run()
+                }
+            })
+            .collect();
+        for r in memnet_engine::run_jobs(&cfg, sims) {
+            r.expect("sweep job failed");
+        }
+    })
+}
+
+fn main() {
+    let check = std::env::var("MEMNET_CHECK").is_ok_and(|v| v == "1");
+    memnet_bench::header("Engine: event-driven fast-forward vs cycle-stepped wall-clock");
+
+    // CI guard mode: quick run, loose bound, no artifact.
+    if check {
+        let cycle = time_mode(EngineMode::CycleStepped, 2, true);
+        let event = time_mode(EngineMode::EventDriven, 2, true);
+        println!("  cycle-stepped: {cycle:>8.1} ms");
+        println!("  event-driven : {event:>8.1} ms  ({:.2}x)", cycle / event);
+        if event > cycle * 1.25 {
+            eprintln!("FAIL: event-driven engine slower than 1.25x the cycle-stepped baseline");
+            std::process::exit(1);
+        }
+        println!("  OK: event-driven within the 1.25x guard");
+        return;
+    }
+
+    let small = memnet_bench::fast_mode();
+    let reps = 3;
+    let cycle = time_mode(EngineMode::CycleStepped, reps, small);
+    let event = time_mode(EngineMode::EventDriven, reps, small);
+    let speedup = cycle / event;
+    println!("  SCAN on PCIe (idle-heavy), best of {reps}:");
+    println!("    cycle-stepped: {cycle:>8.1} ms");
+    println!("    event-driven : {event:>8.1} ms  ({speedup:.2}x)");
+
+    let workers = memnet_engine::pool::default_workers();
+    let sweep1 = sweep_ms(1);
+    let sweep_n = sweep_ms(0);
+    let scaling = sweep1 / sweep_n;
+    println!("  sweep subset (9 sims), event-driven engine:");
+    println!("    1 worker     : {sweep1:>8.1} ms");
+    println!("    {workers:>2} workers   : {sweep_n:>8.1} ms  ({scaling:.2}x)");
+
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field("bench", "engine_speed");
+    w.field("workload", "SCAN");
+    w.field("org", "PCIe");
+    w.field("small", &small);
+    w.key("engine");
+    w.begin_object();
+    w.field("cycle_stepped_ms", &cycle);
+    w.field("event_driven_ms", &event);
+    w.field("speedup", &speedup);
+    w.end_object();
+    w.key("sweep");
+    w.begin_object();
+    w.field("sims", &9u64);
+    w.field("jobs_1_ms", &sweep1);
+    w.field("workers", &(workers as u64));
+    w.field("jobs_n_ms", &sweep_n);
+    w.field("scaling", &scaling);
+    w.end_object();
+    w.end_object();
+
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_pr2.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_pr2.json");
+    println!("[wrote {}]", path.display());
+}

@@ -51,33 +51,34 @@ pub fn eval_builder(org: Organization, w: Workload) -> SimBuilder {
     b
 }
 
-/// Runs `jobs` in parallel (bounded by available cores) and returns the
-/// results in submission order.
+/// Runs `jobs` in parallel on the shared `memnet-engine` pool (bounded by
+/// available cores) and returns the results in submission order.
+///
+/// # Panics
+///
+/// Propagates the first job panic — the harness should fail loudly.
 pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(jobs.len().max(1));
-    let jobs: Vec<_> = jobs.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(jobs);
-    let n = queue.lock().expect("fresh mutex").len();
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(n, || None);
-    let results = std::sync::Mutex::new(slots);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
-                let Some((i, f)) = job else { break };
-                let out = f();
-                results.lock().expect("results lock")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("threads joined")
+    // The pool wants `Fn` so it can retry; the harness hands out `FnOnce`
+    // closures, so each rides in a take-once cell and retries stay off.
+    let cells: Vec<_> = jobs
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .map(|f| std::sync::Mutex::new(Some(f)))
+        .collect();
+    let once = |cell: &std::sync::Mutex<Option<Box<dyn FnOnce() -> T + Send>>>| {
+        let f = cell
+            .lock()
+            .expect("job cell")
+            .take()
+            .expect("job runs once");
+        f()
+    };
+    let cfg = memnet_engine::PoolConfig {
+        retries: 0,
+        ..Default::default()
+    };
+    memnet_engine::run_jobs(&cfg, cells.iter().map(|c| move || once(c)).collect())
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("bench job failed: {e}")))
         .collect()
 }
 

@@ -162,7 +162,7 @@ impl Default for Histogram {
 /// Source × destination traffic accumulation in bytes (Fig. 10).
 ///
 /// Rows are traffic sources (GPUs), columns are HMCs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrafficMatrix {
     rows: usize,
     cols: usize,

@@ -99,6 +99,34 @@ impl Clock {
     pub fn cycles_to_fs(&self, cycles: u64) -> Fs {
         cycles * self.period_fs
     }
+
+    /// Fast-forwards the clock so its next tick is the first edge at or
+    /// after `t` (or leaves it alone if already there). Returns the number
+    /// of edges skipped — edges the domain would have ticked through as
+    /// no-ops had it been stepped cycle by cycle.
+    ///
+    /// Relies on the invariant `next_fs == cycles * period_fs`, which
+    /// [`Clock::new`] establishes and [`Clock::advance`] preserves.
+    pub fn fast_forward_at_or_after(&mut self, t: Fs) -> u64 {
+        let target = self
+            .next_fs
+            .max(t.div_ceil(self.period_fs) * self.period_fs);
+        let skipped = (target - self.next_fs) / self.period_fs;
+        self.cycles += skipped;
+        self.next_fs = target;
+        skipped
+    }
+
+    /// Fast-forwards the clock so its next tick is the first edge strictly
+    /// after `t`. Returns the number of edges skipped (the edge at exactly
+    /// `t`, if any, counts as skipped).
+    pub fn fast_forward_after(&mut self, t: Fs) -> u64 {
+        let target = self.next_fs.max((t / self.period_fs + 1) * self.period_fs);
+        let skipped = (target - self.next_fs) / self.period_fs;
+        self.cycles += skipped;
+        self.next_fs = target;
+        skipped
+    }
 }
 
 impl Default for Clock {
@@ -152,6 +180,49 @@ mod tests {
         a.advance();
         assert_eq!(earliest_tick([&a, &b]), 0);
         assert_eq!(earliest_tick(std::iter::empty()), Fs::MAX);
+    }
+
+    #[test]
+    fn fast_forward_at_or_after_lands_on_edges() {
+        // Period 10, next edge at 0.
+        let mut c = Clock::new(10);
+        // t on an edge: the edge itself is kept (not skipped).
+        assert_eq!(c.fast_forward_at_or_after(30), 3);
+        assert_eq!(c.next_fs(), 30);
+        assert_eq!(c.cycles(), 3);
+        // t between edges: round up.
+        assert_eq!(c.fast_forward_at_or_after(41), 2);
+        assert_eq!(c.next_fs(), 50);
+        assert_eq!(c.cycles(), 5);
+        // t in the past: no-op.
+        assert_eq!(c.fast_forward_at_or_after(12), 0);
+        assert_eq!(c.next_fs(), 50);
+    }
+
+    #[test]
+    fn fast_forward_after_skips_the_exact_edge() {
+        let mut c = Clock::new(10);
+        // t exactly on an edge: that edge counts as skipped.
+        assert_eq!(c.fast_forward_after(30), 4);
+        assert_eq!(c.next_fs(), 40);
+        assert_eq!(c.cycles(), 4);
+        // t between edges: same result as at-or-after.
+        assert_eq!(c.fast_forward_after(55), 2);
+        assert_eq!(c.next_fs(), 60);
+        // t in the past: no-op.
+        assert_eq!(c.fast_forward_after(5), 0);
+        assert_eq!(c.next_fs(), 60);
+    }
+
+    #[test]
+    fn fast_forward_preserves_edge_invariant() {
+        let mut ff = Clock::new(7);
+        let mut stepped = Clock::new(7);
+        ff.fast_forward_at_or_after(100);
+        while stepped.next_fs() < 100 {
+            stepped.advance();
+        }
+        assert_eq!(ff, stepped);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod system;
 
 pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
 pub use ske::CtaPolicy;
-pub use system::{GpuSummary, Organization, SimBuilder, SimReport};
+pub use system::{EngineMode, GpuSummary, Organization, SimBuilder, SimError, SimReport};

@@ -17,6 +17,7 @@ use memnet_common::stats::TrafficMatrix;
 use memnet_common::time::{fs_to_ns, Fs};
 use memnet_common::{Agent, Clock, CpuId, GpuId, MemResp, NodeId, Payload, SystemConfig};
 use memnet_cpu::{CpuCore, CpuStream, DmaEngine};
+use memnet_engine::Calendar;
 use memnet_gpu::Gpu;
 use memnet_hmc::mapping::Location;
 use memnet_hmc::HmcDevice;
@@ -95,6 +96,51 @@ impl Organization {
         )
     }
 }
+
+/// How the engine advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Tick every clock domain at every one of its edges, idle or not —
+    /// the original engine behavior. Wall-clock cost scales with
+    /// simulated time.
+    CycleStepped,
+    /// Park clock domains whose components report idle and fast-forward
+    /// their clocks when work arrives, so quiescent stretches cost
+    /// O(events) instead of O(cycles). Produces bit-identical
+    /// [`SimReport`]s (and trace/metric streams) to `CycleStepped`.
+    #[default]
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Display name (`"cycle-stepped"` / `"event-driven"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::CycleStepped => "cycle-stepped",
+            EngineMode::EventDriven => "event-driven",
+        }
+    }
+}
+
+/// Why a simulation could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The [`SystemConfig`] failed validation.
+    InvalidConfig(String),
+    /// [`SimBuilder::workload`] was never called.
+    MissingWorkload,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid system configuration: {why}"),
+            SimError::MissingWorkload => write!(f, "SimBuilder requires a workload"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Per-GPU digest for detailed reporting.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +224,8 @@ pub struct SimBuilder {
     co_workloads: Vec<WorkloadSpec>,
     trace_capacity: Option<usize>,
     metrics_every: Option<u64>,
+    engine_mode: EngineMode,
+    trace_engine: bool,
 }
 
 impl SimBuilder {
@@ -201,7 +249,26 @@ impl SimBuilder {
             co_workloads: Vec::new(),
             trace_capacity: None,
             metrics_every: None,
+            engine_mode: EngineMode::default(),
+            trace_engine: false,
         }
+    }
+
+    /// Selects how the engine advances time (default:
+    /// [`EngineMode::EventDriven`]). Both modes produce bit-identical
+    /// reports; `CycleStepped` exists as the reference for equivalence
+    /// tests and wall-clock baselines.
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
+    }
+
+    /// Also records engine scheduling events (domain wakes with their
+    /// skipped-edge counts) into the trace. Off by default so traces stay
+    /// identical across [`EngineMode`]s; requires [`SimBuilder::trace`].
+    pub fn trace_engine(mut self, on: bool) -> Self {
+        self.trace_engine = on;
+        self
     }
 
     /// Enables event tracing into a ring buffer of `capacity` events; the
@@ -316,8 +383,42 @@ impl SimBuilder {
     /// # Panics
     ///
     /// Panics if no workload was set or the configuration is invalid.
+    /// Use [`SimBuilder::try_run`] for a typed error instead.
     pub fn run(self) -> SimReport {
-        System::build(self).run()
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the system and runs every phase, returning a typed error
+    /// instead of panicking when the builder is unusable.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingWorkload`] when no workload was set,
+    /// [`SimError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn try_run(self) -> Result<SimReport, SimError> {
+        Ok(System::try_build(self)?.run())
+    }
+}
+
+/// Clock-domain indices in intra-timestep tick (priority) order. A domain
+/// earlier in this order ticks first within one timestep, which decides
+/// whether work it produces is visible to a later domain at the *same*
+/// timestep (it is) or only at the consumer's next edge (work flowing
+/// "backwards" to an earlier domain).
+mod domain {
+    pub const CORE: usize = 0;
+    pub const L2: usize = 1;
+    pub const CPU: usize = 2;
+    pub const NET: usize = 3;
+    pub const DRAM: usize = 4;
+    pub const COUNT: usize = 5;
+
+    pub fn name(d: usize) -> &'static str {
+        ["core", "l2", "cpu", "net", "dram"][d]
     }
 }
 
@@ -351,11 +452,12 @@ struct System {
     hmc_ports: Vec<HmcPort>,
     layout: MemoryLayout,
 
-    clk_core: Clock,
-    clk_l2: Clock,
-    clk_cpu: Clock,
-    clk_net: Clock,
-    clk_dram: Clock,
+    /// Clock domains indexed by the [`domain`] constants.
+    cal: Calendar,
+    /// True when idle domains may be parked ([`EngineMode::EventDriven`]).
+    park: bool,
+    /// Record engine wake events into the trace.
+    trace_engine: bool,
     now: Fs,
 
     traffic: TrafficMatrix,
@@ -371,10 +473,10 @@ struct System {
 }
 
 impl System {
-    fn build(b: SimBuilder) -> System {
+    fn try_build(b: SimBuilder) -> Result<System, SimError> {
         let cfg = b.cfg.clone();
-        cfg.validate().expect("invalid system configuration");
-        let workload = b.workload.expect("SimBuilder requires a workload");
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        let workload = b.workload.clone().ok_or(SimError::MissingWorkload)?;
         let n_gpus = cfg.n_gpus as usize;
         let local = cfg.hmcs_per_gpu as usize;
         let cpu_cluster = n_gpus as u32;
@@ -561,17 +663,16 @@ impl System {
         });
         let metrics_every = b.metrics_every.unwrap_or(0);
 
-        System {
+        Ok(System {
             active_gpus: b.active_gpus.unwrap_or(cfg.n_gpus).min(cfg.n_gpus),
             use_overlay: b.overlay,
             phase_budget: (b.phase_budget_ns * 1e6) as Fs,
             cpu: CpuCore::new(CpuId(0), &cfg.cpu),
             dma: DmaEngine::new(CpuId(0), 32),
-            clk_core,
-            clk_l2,
-            clk_cpu,
-            clk_net,
-            clk_dram,
+            // Domain order must match the `domain` constants.
+            cal: Calendar::new(vec![clk_core, clk_l2, clk_cpu, clk_net, clk_dram]),
+            park: b.engine_mode == EngineMode::EventDriven,
+            trace_engine: b.trace_engine,
             now: 0,
             timed_out: false,
             tracer,
@@ -593,7 +694,7 @@ impl System {
             hmc_ports,
             layout,
             traffic,
-        }
+        })
     }
 
     fn run(mut self) -> SimReport {
@@ -637,9 +738,24 @@ impl System {
             host_fs += self.run_host_phase(&post);
             self.emit_phase("host-post", t0);
         }
+        // Domains still parked at the end never saw a wake: bring their
+        // clocks (and per-cycle counters — network idle energy and
+        // utilization denominators) up to the final timestep, as the
+        // cycle-stepped loop would have by ticking through the idle tail.
+        for d in 0..domain::COUNT {
+            let skipped = self.cal.catch_up_parked(d, self.now);
+            self.apply_skip(d, skipped);
+        }
         if self.metrics.is_some() {
             // Close the run with a final epoch so short runs get at least one.
             self.snapshot_metrics();
+        }
+        if std::env::var_os("MEMNET_ENGINE_STATS").is_some() {
+            let s = self.cal.stats();
+            eprintln!(
+                "[engine] park={} timesteps={} parks={} wakes={} skipped_edges={}",
+                self.park, s.timesteps, s.parks, s.wakes, s.skipped_edges
+            );
         }
 
         let mut l1 = memnet_gpu::CacheStats::default();
@@ -663,7 +779,7 @@ impl System {
             row_hits += s.row_hits;
             row_total += s.served;
         }
-        let ns = self.clk_net.period_fs() as f64 / 1e6;
+        let ns = self.cal.clock(domain::NET).period_fs() as f64 / 1e6;
         SimReport {
             org: self.org,
             workload: self.workload.abbr,
@@ -727,7 +843,11 @@ impl System {
     fn run_phase(&mut self, done: impl Fn(&System) -> bool) -> Fs {
         let start = self.now;
         while !done(self) {
-            self.step();
+            if !self.advance() {
+                // Every domain parked: nothing can make progress, which
+                // the phase-done predicates all imply.
+                break;
+            }
             if self.now - start > self.phase_budget {
                 self.timed_out = true;
                 break;
@@ -794,9 +914,12 @@ impl System {
             if done {
                 break;
             }
-            self.step();
-            if steals && self.clk_core.cycles() > last_steal + 2000 {
-                last_steal = self.clk_core.cycles();
+            if !self.advance() {
+                break;
+            }
+            let core_cycles = self.cal.clock(domain::CORE).cycles();
+            if steals && core_cycles > last_steal + 2000 {
+                last_steal = core_cycles;
                 self.steal_ctas();
             }
             if self.now - start > self.phase_budget {
@@ -828,7 +951,7 @@ impl System {
                         if let Some(t) = self.tracer.as_mut() {
                             t.emit_instant(
                                 ClockDomain::Core,
-                                self.clk_core.cycles(),
+                                self.cal.clock(domain::CORE).cycles(),
                                 TraceEventKind::CtaSteal {
                                     victim: victim as u32,
                                     thief: thief as u32,
@@ -843,59 +966,175 @@ impl System {
         }
     }
 
-    /// Advances simulated time to the earliest pending clock edge and ticks
-    /// every due domain once.
-    fn step(&mut self) {
-        let next = [
-            self.clk_core.next_fs(),
-            self.clk_l2.next_fs(),
-            self.clk_cpu.next_fs(),
-            self.clk_net.next_fs(),
-            self.clk_dram.next_fs(),
-        ]
-        .into_iter()
-        .min()
-        .expect("five clocks");
-        self.now = next;
+    /// True while ticking domain `d` can do real work. Parking is only
+    /// legal when this is false *and* stays false until some other domain
+    /// (or phase setup) hands the components new work — every predicate
+    /// below is monotone in that sense.
+    fn domain_active(&self, d: usize) -> bool {
+        match d {
+            // A GPU stays busy from kernel launch until its last response
+            // is consumed (`Gpu::busy` covers outstanding routes), so the
+            // core domain is never parked while replies are in flight —
+            // crossbar release times computed from `core_cycle` stay
+            // exact. The L2 services the same work, on the same signal.
+            domain::CORE | domain::L2 => self.gpus.iter().any(|g| !g.is_idle()),
+            domain::CPU => !self.cpu.is_idle() || !self.dma.is_idle(),
+            // The net domain also hosts the metrics heartbeat: epoch
+            // snapshots ride net ticks and sample *live* gauges of other
+            // components, so with metrics enabled the domain is pinned
+            // active — synthesized catch-up epochs could not be
+            // bit-identical.
+            domain::NET => {
+                self.metrics.is_some()
+                    || !self.net.is_quiescent()
+                    || self
+                        .hmc_ports
+                        .iter()
+                        .any(|p| p.deferred.is_some() || !p.resp_q.is_empty())
+                    || self.gpus.iter().any(Gpu::has_mem_request)
+                    || self.cpu.has_mem_request()
+                    || self.dma.has_mem_request()
+            }
+            domain::DRAM => self.hmcs.iter().any(HmcDevice::has_work),
+            _ => unreachable!("unknown clock domain {d}"),
+        }
+    }
 
-        if self.clk_core.due(self.now) {
-            for g in &mut self.gpus {
-                g.tick_core_traced(self.tracer.as_mut());
+    /// Catches per-tick counters up over `skipped` no-op edges of a woken
+    /// domain, so downstream figures (crossbar timestamps, idle channel
+    /// energy, utilization denominators, epoch numbering) match a run
+    /// that ticked through the idle stretch.
+    fn apply_skip(&mut self, d: usize, skipped: u64) {
+        if skipped == 0 {
+            return;
+        }
+        match d {
+            domain::CORE => {
+                for g in &mut self.gpus {
+                    g.skip_idle_cycles(skipped);
+                }
             }
-            self.clk_core.advance();
+            domain::NET => self.net.skip_idle_cycles(skipped),
+            // L2 and DRAM keep no counter of their own (they read the
+            // core clock and the DRAM clock's cycle count respectively),
+            // and the CPU core's internal cycle is purely relative.
+            domain::L2 | domain::CPU | domain::DRAM => {}
+            _ => unreachable!("unknown clock domain {d}"),
         }
-        if self.clk_l2.due(self.now) {
-            for g in &mut self.gpus {
-                g.tick_l2();
+        if self.trace_engine {
+            let (now, tracer) = (self.now, self.tracer.as_mut());
+            if let Some(t) = tracer {
+                t.emit_fs(
+                    now,
+                    0,
+                    TraceEventKind::EngineWake {
+                        domain: domain::name(d),
+                        skipped,
+                    },
+                );
             }
-            self.clk_l2.advance();
         }
-        if self.clk_cpu.due(self.now) {
-            self.cpu.tick();
-            self.dma.tick();
-            self.clk_cpu.advance();
-        }
-        if self.clk_net.due(self.now) {
-            self.pump_into_network();
-            self.net.tick_traced(self.tracer.as_mut());
-            self.pump_out_of_network();
-            if self.metrics.is_some() && self.net.cycle() >= self.next_epoch {
-                self.next_epoch = self.net.cycle() + self.metrics_every;
-                self.snapshot_metrics();
+    }
+
+    /// Wakes domain `d` at its first edge strictly after `self.now`.
+    /// Used at the top of a timestep for work produced by a
+    /// later-priority domain in an earlier timestep, or by phase setup:
+    /// in the cycle-stepped loop, `d`'s edges at or before that point had
+    /// already ticked (as no-ops) when the work appeared.
+    fn wake_after_now(&mut self, d: usize) {
+        let skipped = self.cal.wake_after(d, self.now);
+        self.apply_skip(d, skipped);
+    }
+
+    /// Wakes domain `d` at its first edge at or after `self.now`. Used
+    /// within a timestep, before `d`'s tick slot, for work produced by an
+    /// earlier-priority domain at this very timestep: if `d` has an edge
+    /// here, the cycle-stepped loop would have it act on the work now.
+    fn wake_at_or_after_now(&mut self, d: usize) {
+        let skipped = self.cal.wake_at_or_after(d, self.now);
+        self.apply_skip(d, skipped);
+    }
+
+    /// Advances simulated time to the earliest pending clock edge of an
+    /// armed domain and ticks every due domain once, re-arming parked
+    /// domains that have work and parking domains that report idle.
+    /// Returns false when every domain is parked (the system quiesced).
+    ///
+    /// With parking disabled this is exactly the original cycle-stepped
+    /// loop: all five domains stay armed and tick at every edge.
+    fn advance(&mut self) -> bool {
+        // Re-arm parked domains that acquired work since their last
+        // edge — from a later-priority producer last timestep, or from
+        // phase setup (kernel launch, `start_copy`, `run_program`).
+        for d in 0..domain::COUNT {
+            if self.cal.is_parked(d) && self.domain_active(d) {
+                self.wake_after_now(d);
             }
-            self.clk_net.advance();
         }
-        if self.clk_dram.due(self.now) {
-            let tck = self.clk_dram.cycles();
-            for (i, h) in self.hmcs.iter_mut().enumerate() {
-                h.tick_traced(tck, i as u32, self.tracer.as_mut());
-                while let Some(req) = h.pop_completed(tck) {
-                    if req.kind.returns_data() {
-                        self.hmc_ports[i].resp_q.push_back(req.response());
+        let Some(next) = self.cal.earliest() else {
+            return false;
+        };
+        self.now = next;
+        self.cal.count_timestep();
+
+        for d in 0..domain::COUNT {
+            // Work produced earlier in this same timestep (by a
+            // higher-priority domain) re-arms `d` in time for a
+            // coincident edge.
+            if self.cal.is_parked(d) && self.domain_active(d) {
+                self.wake_at_or_after_now(d);
+            }
+            if !self.cal.due(d, self.now) {
+                continue;
+            }
+            self.tick_domain(d);
+            self.cal.advance(d);
+            if self.park && !self.domain_active(d) && !self.cal.is_parked(d) {
+                self.cal.park(d);
+            }
+        }
+        true
+    }
+
+    /// One tick of one clock domain, in priority order within a timestep:
+    /// GPU cores, GPU L2s, CPU+DMA, network, DRAM.
+    fn tick_domain(&mut self, d: usize) {
+        match d {
+            domain::CORE => {
+                for g in &mut self.gpus {
+                    g.tick_core_traced(self.tracer.as_mut());
+                }
+            }
+            domain::L2 => {
+                for g in &mut self.gpus {
+                    g.tick_l2();
+                }
+            }
+            domain::CPU => {
+                self.cpu.tick();
+                self.dma.tick();
+            }
+            domain::NET => {
+                self.pump_into_network();
+                self.net.tick_traced(self.tracer.as_mut());
+                self.pump_out_of_network();
+                if self.metrics.is_some() && self.net.cycle() >= self.next_epoch {
+                    self.next_epoch = self.net.cycle() + self.metrics_every;
+                    self.snapshot_metrics();
+                }
+            }
+            domain::DRAM => {
+                let tck = self.cal.clock(domain::DRAM).cycles();
+                for (i, h) in self.hmcs.iter_mut().enumerate() {
+                    h.tick_traced(tck, i as u32, self.tracer.as_mut());
+                    while let Some(req) = h.pop_completed(tck) {
+                        if req.kind.returns_data() {
+                            self.hmc_ports[i].resp_q.push_back(req.response());
+                        }
                     }
                 }
             }
-            self.clk_dram.advance();
+            _ => unreachable!("unknown clock domain {d}"),
         }
     }
 
@@ -1009,8 +1248,10 @@ impl System {
                 }
             }
             // Inject completed responses back toward the requester.
-            while !self.hmc_ports[i].resp_q.is_empty() && self.net.inject_ready(self.hmc_eps[i]) {
-                let resp = self.hmc_ports[i].resp_q.pop_front().expect("nonempty");
+            while self.net.inject_ready(self.hmc_eps[i]) {
+                let Some(resp) = self.hmc_ports[i].resp_q.pop_front() else {
+                    break;
+                };
                 let (dest, overlay) = match resp.src {
                     Agent::Gpu(g) => (self.gpu_eps[g.index()], false),
                     Agent::Cpu(_) => (self.cpu_ep, self.use_overlay),

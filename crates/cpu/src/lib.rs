@@ -128,6 +128,21 @@ impl CpuCore {
             || !self.local_completions.is_empty()
     }
 
+    /// True when a tick would be a no-op (idle signal for the
+    /// event-driven engine). The core's internal cycle counter is purely
+    /// relative — compute deadlines are re-based against it on issue — so
+    /// no catch-up is needed after an idle stretch.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        !self.busy()
+    }
+
+    /// True while issued requests await network injection.
+    #[inline]
+    pub fn has_mem_request(&self) -> bool {
+        !self.mem_out.is_empty()
+    }
+
     /// Current core cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -301,6 +316,20 @@ impl DmaEngine {
     /// True while any copy is unfinished.
     pub fn busy(&self) -> bool {
         !self.jobs.is_empty() || !self.mem_out.is_empty()
+    }
+
+    /// True when a tick would be a no-op (idle signal for the
+    /// event-driven engine). The DMA engine keeps no clock of its own, so
+    /// idle stretches need no catch-up.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        !self.busy()
+    }
+
+    /// True while issued requests await network injection.
+    #[inline]
+    pub fn has_mem_request(&self) -> bool {
+        !self.mem_out.is_empty()
     }
 
     /// Total bytes whose writes have been issued.

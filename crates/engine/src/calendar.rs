@@ -1,0 +1,236 @@
+//! Event calendar over a fixed set of clock domains.
+//!
+//! Each domain is a periodic [`Clock`]. The calendar tracks which domains
+//! are *parked* (descheduled because their components reported idle) and
+//! fast-forwards a parked domain's clock when it is woken, preserving the
+//! clock's `next_fs == cycles * period_fs` invariant so a wake is
+//! indistinguishable from having ticked through the skipped edges as
+//! no-ops.
+//!
+//! With no domain parked the calendar degenerates to the classic
+//! cycle-stepped loop: [`Calendar::earliest`] is the min over all
+//! `next_fs` and every due domain ticks at every one of its edges. That
+//! degenerate mode is exactly what `EngineMode::CycleStepped` in
+//! `memnet-core` runs, which makes equivalence tests between the two
+//! modes a real check of the park/fast-forward math.
+
+use memnet_common::time::{Clock, Fs};
+
+/// Counters describing how much work the calendar avoided.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Timesteps executed (distinct values of `now` with ≥1 active tick).
+    pub timesteps: u64,
+    /// Times a domain was descheduled.
+    pub parks: u64,
+    /// Times a parked domain was re-armed.
+    pub wakes: u64,
+    /// Clock edges skipped across all wakes — each would have been a
+    /// no-op tick of every component in the domain.
+    pub skipped_edges: u64,
+}
+
+/// A set of clock domains with park/wake scheduling.
+#[derive(Debug, Clone)]
+pub struct Calendar {
+    clocks: Vec<Clock>,
+    parked: Vec<bool>,
+    stats: CalendarStats,
+}
+
+impl Calendar {
+    /// Creates a calendar over `clocks`; all domains start armed.
+    pub fn new(clocks: Vec<Clock>) -> Self {
+        let n = clocks.len();
+        Calendar {
+            clocks,
+            parked: vec![false; n],
+            stats: CalendarStats::default(),
+        }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the calendar has no domains.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The clock of domain `d` (parked or not).
+    #[inline]
+    pub fn clock(&self, d: usize) -> &Clock {
+        &self.clocks[d]
+    }
+
+    /// Earliest pending edge across all *armed* domains, or `None` when
+    /// every domain is parked (the simulation has quiesced).
+    pub fn earliest(&self) -> Option<Fs> {
+        self.clocks
+            .iter()
+            .zip(&self.parked)
+            .filter(|&(_, &p)| !p)
+            .map(|(c, _)| c.next_fs())
+            .min()
+    }
+
+    /// True if armed domain `d` has an edge at or before `now`.
+    #[inline]
+    pub fn due(&self, d: usize, now: Fs) -> bool {
+        !self.parked[d] && self.clocks[d].due(now)
+    }
+
+    /// Consumes one tick of domain `d`.
+    #[inline]
+    pub fn advance(&mut self, d: usize) {
+        self.clocks[d].advance();
+    }
+
+    /// Counts a timestep in the stats.
+    #[inline]
+    pub fn count_timestep(&mut self) {
+        self.stats.timesteps += 1;
+    }
+
+    /// True if domain `d` is currently descheduled.
+    #[inline]
+    pub fn is_parked(&self, d: usize) -> bool {
+        self.parked[d]
+    }
+
+    /// Deschedules domain `d`; its clock stops contributing to
+    /// [`Calendar::earliest`] until a wake re-arms it.
+    pub fn park(&mut self, d: usize) {
+        debug_assert!(!self.parked[d], "parking an already-parked domain");
+        self.parked[d] = true;
+        self.stats.parks += 1;
+    }
+
+    /// Re-arms parked domain `d` at its first edge **at or after** `t`,
+    /// returning the number of edges skipped. Use when the work arriving
+    /// at `t` was produced by a domain that ticks *before* `d` within a
+    /// timestep: the cycle-stepped loop would have `d` act on it at `t`
+    /// itself if `d` has an edge there.
+    ///
+    /// No-op (returns 0) when `d` is not parked.
+    pub fn wake_at_or_after(&mut self, d: usize, t: Fs) -> u64 {
+        if !self.parked[d] {
+            return 0;
+        }
+        self.parked[d] = false;
+        self.stats.wakes += 1;
+        let skipped = self.clocks[d].fast_forward_at_or_after(t);
+        self.stats.skipped_edges += skipped;
+        skipped
+    }
+
+    /// Re-arms parked domain `d` at its first edge **strictly after** `t`,
+    /// returning the number of edges skipped. Use when the work was
+    /// produced by a domain that ticks *after* `d` (or at an unknown point
+    /// of timestep `t`): the cycle-stepped loop would have `d` first see
+    /// it on `d`'s next edge past `t`.
+    ///
+    /// No-op (returns 0) when `d` is not parked.
+    pub fn wake_after(&mut self, d: usize, t: Fs) -> u64 {
+        if !self.parked[d] {
+            return 0;
+        }
+        self.parked[d] = false;
+        self.stats.wakes += 1;
+        let skipped = self.clocks[d].fast_forward_after(t);
+        self.stats.skipped_edges += skipped;
+        skipped
+    }
+
+    /// Fast-forwards a parked domain's clock past `t` **without**
+    /// re-arming it, returning the edges skipped. End-of-run accounting:
+    /// per-cycle counters (idle channel energy, utilization denominators)
+    /// must reflect idle stretches that were still in progress when the
+    /// simulation finished.
+    pub fn catch_up_parked(&mut self, d: usize, t: Fs) -> u64 {
+        if !self.parked[d] {
+            return 0;
+        }
+        let skipped = self.clocks[d].fast_forward_after(t);
+        self.stats.skipped_edges += skipped;
+        skipped
+    }
+
+    /// Scheduling counters accumulated so far.
+    pub fn stats(&self) -> CalendarStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calendar {
+        // Periods 10 and 7 — coprime-ish so edges interleave.
+        Calendar::new(vec![Clock::new(10), Clock::new(7)])
+    }
+
+    #[test]
+    fn earliest_ignores_parked_domains() {
+        let mut c = cal();
+        assert_eq!(c.earliest(), Some(0));
+        c.advance(0); // next edges: 10 and 0
+        c.advance(1); // next edges: 10 and 7
+        assert_eq!(c.earliest(), Some(7));
+        c.park(1);
+        assert_eq!(c.earliest(), Some(10));
+        c.park(0);
+        assert_eq!(c.earliest(), None, "all parked ⇒ quiesced");
+    }
+
+    #[test]
+    fn wake_fast_forwards_and_counts_skips() {
+        let mut c = cal();
+        c.park(0);
+        // Domain 0 parked at edge 0; work appears at t = 35 from a
+        // later-priority producer ⇒ first edge strictly after 35 is 40,
+        // skipping edges 0, 10, 20, 30.
+        assert_eq!(c.wake_after(0, 35), 4);
+        assert!(!c.is_parked(0));
+        assert_eq!(c.clock(0).next_fs(), 40);
+        assert_eq!(c.clock(0).cycles(), 4);
+        let s = c.stats();
+        assert_eq!((s.parks, s.wakes, s.skipped_edges), (1, 1, 4));
+    }
+
+    #[test]
+    fn wake_at_or_after_keeps_a_coincident_edge() {
+        let mut c = cal();
+        c.park(0);
+        // Work produced at t = 30 by an earlier-priority domain: domain 0
+        // still gets to act at its own edge 30 within the same timestep.
+        assert_eq!(c.wake_at_or_after(0, 30), 3);
+        assert_eq!(c.clock(0).next_fs(), 30);
+    }
+
+    #[test]
+    fn waking_an_armed_domain_is_a_no_op() {
+        let mut c = cal();
+        assert_eq!(c.wake_after(0, 100), 0);
+        assert_eq!(c.clock(0).next_fs(), 0, "armed clock untouched");
+        assert_eq!(c.stats().wakes, 0);
+    }
+
+    #[test]
+    fn parked_then_woken_matches_stepping_through_idle_edges() {
+        // The bit-identity property in miniature: a domain that parks and
+        // wakes must end in the same clock state as one that no-op ticked
+        // through the idle stretch.
+        let mut fast = cal();
+        let mut slow = cal();
+        fast.park(0);
+        fast.wake_at_or_after(0, 63);
+        while slow.clock(0).next_fs() < 63 {
+            slow.advance(0);
+        }
+        assert_eq!(fast.clock(0), slow.clock(0));
+    }
+}

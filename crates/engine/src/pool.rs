@@ -1,0 +1,245 @@
+//! A std-only parallel job pool.
+//!
+//! `std::thread::scope` workers drain a shared `Mutex<VecDeque>` of job
+//! indices. Each job runs under `catch_unwind`, so one panicking
+//! configuration cannot take down a sweep; failed attempts (panic or soft
+//! timeout) are retried up to [`PoolConfig::retries`] times. Results come
+//! back in **submission order** regardless of which worker finished first,
+//! so sweeps stay deterministic.
+//!
+//! No registry dependencies: the workspace's hermetic `--offline` build is
+//! preserved.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pool sizing and failure policy.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads; 0 means [`default_workers`].
+    pub workers: usize,
+    /// Extra attempts after a failed one (panic or timeout).
+    pub retries: u32,
+    /// Soft per-attempt wall-clock budget. Jobs are cooperative — a
+    /// running attempt is never killed — but an attempt observed to
+    /// exceed the budget counts as failed and is retried or reported.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 0,
+            retries: 1,
+            timeout: None,
+        }
+    }
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Every attempt panicked; `message` is from the last panic payload.
+    Panicked {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Panic payload of the final attempt, when it was a string.
+        message: String,
+    },
+    /// Every attempt exceeded the soft timeout.
+    TimedOut {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Wall-clock time of the final attempt.
+        elapsed: Duration,
+        /// The configured budget it exceeded.
+        budget: Duration,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { attempts, message } => {
+                write!(f, "panicked on all {attempts} attempt(s): {message}")
+            }
+            JobError::TimedOut {
+                attempts,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "exceeded the {budget:?} soft timeout on all {attempts} attempt(s) (last took {elapsed:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Worker count matching the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` on the pool and returns one result per job, in submission
+/// order. Jobs must be `Fn` (not `FnOnce`) so a panicked or timed-out
+/// attempt can be retried.
+pub fn run_jobs<T, F>(cfg: &PoolConfig, jobs: Vec<F>) -> Vec<Result<T, JobError>>
+where
+    T: Send,
+    F: Fn() -> T + Send + Sync,
+{
+    let n = jobs.len();
+    let workers = match cfg.workers {
+        0 => default_workers(),
+        w => w,
+    }
+    .min(n.max(1));
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    let results: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Some(i) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
+                let outcome = run_one(&jobs[i], cfg);
+                *results[i].lock().expect("result lock") = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every queued job ran")
+        })
+        .collect()
+}
+
+/// One job with retry: first failure mode of the final attempt wins.
+fn run_one<T>(job: &(impl Fn() -> T + Sync), cfg: &PoolConfig) -> Result<T, JobError> {
+    let attempts = cfg.retries + 1;
+    let mut last_err = None;
+    for _ in 0..attempts {
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(v) => {
+                let elapsed = started.elapsed();
+                match cfg.timeout {
+                    Some(budget) if elapsed > budget => {
+                        last_err = Some(JobError::TimedOut {
+                            attempts,
+                            elapsed,
+                            budget,
+                        });
+                    }
+                    _ => return Ok(v),
+                }
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                last_err = Some(JobError::Panicked { attempts, message });
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn cfg(workers: usize) -> PoolConfig {
+        PoolConfig {
+            workers,
+            retries: 1,
+            timeout: None,
+        }
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        // Jobs finish in scrambled order (later jobs sleep less), but the
+        // result vector must still line up with the inputs.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis((16 - i) % 4));
+                    i * i
+                }
+            })
+            .collect();
+        let out = run_jobs(&cfg(4), jobs);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in job 1")),
+            Box::new(|| 3),
+        ];
+        let out = run_jobs(&cfg(2), jobs);
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3), "jobs after the panic still run");
+        match &out[1] {
+            Err(JobError::Panicked { attempts, message }) => {
+                assert_eq!(*attempts, 2, "one retry configured");
+                assert!(message.contains("boom"), "payload surfaced: {message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_retry() {
+        let tries = AtomicU32::new(0);
+        let jobs = vec![|| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            42u32
+        }];
+        let out = run_jobs(&cfg(1), jobs);
+        assert_eq!(out[0], Ok(42));
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn slow_job_trips_the_soft_timeout() {
+        let c = PoolConfig {
+            workers: 1,
+            retries: 0,
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let out = run_jobs(&c, vec![|| std::thread::sleep(Duration::from_millis(20))]);
+        assert!(matches!(out[0], Err(JobError::TimedOut { .. })));
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        let out = run_jobs(&PoolConfig::default(), vec![|| 7u8, || 8u8]);
+        assert_eq!(out, vec![Ok(7), Ok(8)]);
+        assert!(default_workers() >= 1);
+    }
+}

@@ -62,6 +62,11 @@ pub struct Gpu {
     pending_ctas: VecDeque<(Arc<dyn KernelModel>, u32)>,
     core_cycle: u64,
     mem_reqs: u64,
+    // O(1) mirror of `busy()`: refreshed by a full scan at the end of
+    // every tick, forced true by external work arrivals. The engine polls
+    // the idle signal once or twice per timestep, which must not cost a
+    // per-SM scan on an idle GPU.
+    busy_cache: bool,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -96,6 +101,7 @@ impl Gpu {
             pending_ctas: VecDeque::new(),
             core_cycle: 0,
             mem_reqs: 0,
+            busy_cache: false,
         }
     }
 
@@ -111,6 +117,7 @@ impl Gpu {
     pub fn launch(&mut self, model: Arc<dyn KernelModel>, ctas: impl IntoIterator<Item = u32>) {
         self.pending_ctas
             .extend(ctas.into_iter().map(|c| (model.clone(), c)));
+        self.busy_cache = true;
     }
 
     /// Interleaves the pending queue round-robin across kernels so that
@@ -146,6 +153,9 @@ impl Gpu {
 
     /// Adds stolen CTAs to this GPU's queue.
     pub fn donate(&mut self, ctas: Vec<(Arc<dyn KernelModel>, u32)>) {
+        if !ctas.is_empty() {
+            self.busy_cache = true;
+        }
         self.pending_ctas.extend(ctas);
     }
 
@@ -169,6 +179,30 @@ impl Gpu {
             || self.sms.iter().any(Sm::busy)
     }
 
+    /// True when ticking this GPU would be a no-op (the idle signal the
+    /// event-driven engine uses to park the core and L2 clock domains).
+    ///
+    /// Answered in O(1) from the cached flag rather than [`Gpu::busy`]'s
+    /// per-SM scan. The flag can lag conservatively on the busy side
+    /// (e.g. right after a steal empties the pending queue), which at
+    /// worst delays a park by one tick; it can never report idle while
+    /// work is outstanding.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        !self.busy_cache
+    }
+
+    /// Advances the core-cycle counter over `cycles` core ticks the GPU
+    /// spent idle, without executing them. The event-driven engine calls
+    /// this when it wakes a parked core domain — the GPU may already hold
+    /// the work that triggered the wake, but the caller guarantees every
+    /// *skipped* edge would have been a no-op — so timestamps derived
+    /// from `core_cycle` (crossbar-latency release times, trace instants)
+    /// match a run that no-op ticked through the same stretch.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        self.core_cycle += cycles;
+    }
+
     /// One core-clock cycle: SMs execute; CTA dispatch; SM→L2 drain.
     pub fn tick_core(&mut self) {
         self.tick_core_traced(None);
@@ -180,8 +214,10 @@ impl Gpu {
         let now = self.core_cycle;
         for i in 0..self.sms.len() {
             // Dispatch pending CTAs into free slots.
-            while !self.pending_ctas.is_empty() && self.sms[i].has_free_slot() {
-                let (model, cta) = self.pending_ctas.pop_front().expect("nonempty");
+            while self.sms[i].has_free_slot() {
+                let Some((model, cta)) = self.pending_ctas.pop_front() else {
+                    break;
+                };
                 self.sms[i].assign_tagged(model.cta_stream(cta), cta as u64, now);
                 if let Some(tr) = tracer.as_deref_mut() {
                     tr.emit_instant(
@@ -208,6 +244,7 @@ impl Gpu {
             }
         }
         self.core_cycle += 1;
+        self.busy_cache = self.busy();
     }
 
     /// One L2-clock cycle: services up to `l2_banks` requests.
@@ -225,6 +262,7 @@ impl Gpu {
             }
             self.l2_in.pop_front();
         }
+        self.busy_cache = self.busy();
     }
 
     /// Services one request at the L2; `false` on structural stall.
@@ -323,6 +361,7 @@ impl Gpu {
     ///
     /// Write acknowledgements need not be delivered (writes are posted).
     pub fn push_mem_response(&mut self, resp: MemResp) {
+        self.busy_cache = true;
         let Some(route) = self.resp_routes.remove(&resp.id) else {
             debug_assert!(
                 resp.kind == AccessKind::Write,

@@ -113,12 +113,16 @@ impl HmcDevice {
 
     /// Pops one request whose data transfer finished by `now_tck`.
     pub fn pop_completed(&mut self, now_tck: u64) -> Option<MemReq> {
-        if self.completions.peek().map(|Reverse(c)| c.at <= now_tck)? {
-            self.inflight -= 1;
-            Some(self.completions.pop().expect("peeked").0.req)
-        } else {
-            None
+        if self
+            .completions
+            .peek()
+            .is_none_or(|Reverse(c)| c.at > now_tck)
+        {
+            return None;
         }
+        let Reverse(c) = self.completions.pop()?;
+        self.inflight -= 1;
+        Some(c.req)
     }
 
     /// Requests accepted but not yet returned.
@@ -129,6 +133,16 @@ impl HmcDevice {
     /// True while any vault or the completion queue holds work.
     pub fn has_work(&self) -> bool {
         self.inflight > 0
+    }
+
+    /// True when a tick would be a no-op (idle signal for the
+    /// event-driven engine). Vault timing — including the tREFI refresh
+    /// cadence — is keyed off the externally supplied `now_tck`, and
+    /// vaults with empty queues are skipped inside [`HmcDevice::tick`],
+    /// so idle stretches need no catch-up.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        !self.has_work()
     }
 
     /// Merged statistics over all vaults.

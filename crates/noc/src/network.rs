@@ -517,6 +517,25 @@ impl Network {
         self.in_network > 0
     }
 
+    /// True when a tick would be a pure no-op: nothing buffered or in
+    /// flight *and* no scheduled event (a credit return can outlive its
+    /// packet by a cycle). Stricter than [`Network::has_work`]; this is
+    /// the idle signal the event-driven engine parks the net domain on.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        self.in_network == 0 && self.events.is_empty()
+    }
+
+    /// Advances the cycle counter over `cycles` quiescent ticks without
+    /// executing them. Idle cycles still count toward channel idle energy
+    /// and utilization denominators, so the event-driven engine calls
+    /// this when it wakes a parked net domain to keep those figures
+    /// bit-identical with a cycle-stepped run.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.is_quiescent(), "skipping cycles on a busy network");
+        self.cycle += cycles;
+    }
+
     /// Effective virtual channels per message class (may exceed the
     /// configured value if the topology diameter required it).
     pub fn vcs_per_class(&self) -> u32 {
@@ -638,11 +657,14 @@ impl Network {
     /// [`TraceEventKind::PacketHop`] spans.
     pub fn tick_traced(&mut self, mut tracer: Option<&mut Tracer>) {
         // 1. Deliver due events.
-        while let Some(Reverse(t)) = self.events.peek() {
-            if t.cycle > self.cycle {
-                break;
+        loop {
+            match self.events.peek() {
+                Some(Reverse(t)) if t.cycle <= self.cycle => {}
+                _ => break,
             }
-            let Reverse(t) = self.events.pop().expect("peeked");
+            let Some(Reverse(t)) = self.events.pop() else {
+                break;
+            };
             match t.ev {
                 Ev::ArriveRouter {
                     router,

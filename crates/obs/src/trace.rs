@@ -129,6 +129,16 @@ pub enum TraceEventKind {
         /// Phase name (`"host"`, `"memcpy-h2d"`, `"kernel"`, ...).
         name: &'static str,
     },
+    /// The event-driven engine re-armed a parked clock domain, skipping
+    /// idle edges. Only recorded when engine-event tracing is explicitly
+    /// enabled, so default traces stay identical across engine modes.
+    EngineWake {
+        /// Clock-domain name (`"core"`, `"l2"`, `"cpu"`, `"net"`,
+        /// `"dram"`).
+        domain: &'static str,
+        /// Idle edges fast-forwarded over.
+        skipped: u64,
+    },
 }
 
 /// One recorded event, timestamped in femtoseconds of simulated time.
@@ -308,6 +318,7 @@ const PID: u64 = 1;
 const TID_PHASES: u64 = 0;
 const TID_NET_ENDPOINTS: u64 = 1;
 const TID_SKE: u64 = 2;
+const TID_ENGINE: u64 = 3;
 const TID_ROUTER_BASE: u64 = 100;
 const TID_GPU_BASE: u64 = 10_000;
 const TID_HMC_BASE: u64 = 20_000;
@@ -328,6 +339,7 @@ fn tid_of(kind: &TraceEventKind) -> (u64, &'static str, Option<u64>) {
             (TID_GPU_BASE + *gpu as u64, "gpu ", Some(*gpu as u64))
         }
         TraceEventKind::CtaSteal { .. } => (TID_SKE, "ske", None),
+        TraceEventKind::EngineWake { .. } => (TID_ENGINE, "engine", None),
         TraceEventKind::VaultService { hmc, .. } => {
             (TID_HMC_BASE + *hmc as u64, "hmc ", Some(*hmc as u64))
         }
@@ -466,6 +478,15 @@ fn write_event(w: &mut JsonWriter, ev: &TraceEvent) {
             w.field("dur", &dur);
             w.key("args");
             w.begin_object();
+            w.end_object();
+        }
+        TraceEventKind::EngineWake { domain, skipped } => {
+            event_head(w, "engine-wake", "engine", "i", ts, tid);
+            w.field("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field("domain", domain);
+            w.field("skipped", skipped);
             w.end_object();
         }
     }

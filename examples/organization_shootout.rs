@@ -10,6 +10,7 @@
 //!
 //! `WORKLOAD` is a Table II abbreviation (default: BP).
 
+use memnet::engine::{run_jobs, PoolConfig};
 use memnet::sim::{Organization, SimBuilder};
 use memnet::workloads::Workload;
 
@@ -32,13 +33,25 @@ fn main() {
         "{:<9} {:>12} {:>12} {:>12} {:>12}  {:>9}",
         "org", "kernel ns", "memcpy ns", "host ns", "total ns", "vs PCIe"
     );
+    // All seven organizations simulate concurrently on the engine pool;
+    // results come back in submission order, so the table stays stable.
+    let orgs = Organization::all();
+    let sims: Vec<_> = orgs
+        .iter()
+        .map(|&org| {
+            let spec = spec.clone();
+            move || {
+                SimBuilder::new(org)
+                    .gpus(4)
+                    .sms_per_gpu(4)
+                    .workload(spec.clone())
+                    .run()
+            }
+        })
+        .collect();
     let mut pcie_total = None;
-    for org in Organization::all() {
-        let r = SimBuilder::new(org)
-            .gpus(4)
-            .sms_per_gpu(4)
-            .workload(spec.clone())
-            .run();
+    for (outcome, org) in run_jobs(&PoolConfig::default(), sims).into_iter().zip(orgs) {
+        let r = outcome.unwrap_or_else(|e| panic!("{} failed: {e}", org.name()));
         assert!(!r.timed_out, "{} timed out", org.name());
         let total = r.total_ns();
         let base = *pcie_total.get_or_insert(total);

@@ -15,6 +15,8 @@
 //! * [`cpu`] — host CPU and DMA model
 //! * [`workloads`] — the Table II workload models
 //! * [`sim`] — SKE runtime, system organizations, full-system simulator
+//! * [`engine`] — event-calendar scheduler (idle fast-forward) and the
+//!   parallel job pool behind `memnet sweep --jobs`
 //! * [`obs`] — observability: metrics registry, event tracer (Chrome
 //!   trace JSON), and the hand-rolled JSON writer/parser
 //!
@@ -37,6 +39,7 @@
 pub use memnet_common as common;
 pub use memnet_core as sim;
 pub use memnet_cpu as cpu;
+pub use memnet_engine as engine;
 pub use memnet_gpu as gpu;
 pub use memnet_hmc as hmc;
 pub use memnet_noc as noc;

@@ -10,6 +10,7 @@
 //! memnet list
 //! ```
 
+use memnet::engine::{run_jobs, PoolConfig};
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
 use memnet::obs::JsonWriter;
@@ -24,8 +25,11 @@ fn usage() -> ExitCode {
 USAGE:
   memnet list                      list workloads and organizations
   memnet run [OPTIONS]             run one simulation
-  memnet sweep [--small]           run every workload on every organization
-                                   and print a Fig. 14-style table
+  memnet sweep [--small] [--jobs N]
+                                   run every workload on every organization
+                                   (in parallel across N worker threads;
+                                   default: all cores) and print a
+                                   Fig. 14-style table
 
 OPTIONS:
   --org <ORG>          pcie | pcie-zc | cmn | cmn-zc | gmn | gmn-zc | umn | pcn   (default umn)
@@ -184,24 +188,82 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_cmd(&args[1..]),
-        Some("sweep") => sweep_cmd(args.iter().any(|a| a == "--small")),
+        Some("sweep") => sweep_cmd(&args[1..]),
         _ => usage(),
     }
 }
 
-fn sweep_cmd(small: bool) -> ExitCode {
+fn sweep_cmd(args: &[String]) -> ExitCode {
+    let small = args.iter().any(|a| a == "--small");
+    let mut jobs = 0usize; // 0 = pool default (available parallelism)
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => {}
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown option {a}");
+                return usage();
+            }
+        }
+    }
+
+    // Simulations run on the pool; the table prints afterwards in the
+    // fixed workload × organization order, so output is deterministic
+    // regardless of --jobs.
+    let cells: Vec<(Workload, Organization)> = Workload::table2()
+        .into_iter()
+        .flat_map(|w| {
+            Organization::all_extended()
+                .into_iter()
+                .map(move |o| (w, o))
+        })
+        .collect();
+    let sims: Vec<_> = cells
+        .iter()
+        .map(|&(w, org)| {
+            move || {
+                let spec = if small { w.spec_small() } else { w.spec() };
+                SimBuilder::new(org)
+                    .workload(spec)
+                    .phase_budget_ns(30e6)
+                    .try_run()
+            }
+        })
+        .collect();
+    let cfg = PoolConfig {
+        workers: jobs,
+        ..PoolConfig::default()
+    };
+    let mut results = Vec::with_capacity(cells.len());
+    for (outcome, (w, org)) in run_jobs(&cfg, sims).into_iter().zip(&cells) {
+        match outcome {
+            Ok(Ok(r)) => results.push(r),
+            Ok(Err(e)) => {
+                eprintln!("sweep {}/{} failed: {e}", w.abbr(), org.name());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("sweep {}/{} worker failed: {e}", w.abbr(), org.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "", "PCIe", "PCIe-ZC", "CMN", "CMN-ZC", "GMN", "GMN-ZC", "UMN", "PCN"
     );
-    for w in Workload::table2() {
+    let orgs = Organization::all_extended().len();
+    for (row, w) in Workload::table2().into_iter().enumerate() {
         print!("{:<8}", w.abbr());
-        for org in Organization::all_extended() {
-            let spec = if small { w.spec_small() } else { w.spec() };
-            let r = SimBuilder::new(org)
-                .workload(spec)
-                .phase_budget_ns(30e6)
-                .run();
+        for r in &results[row * orgs..(row + 1) * orgs] {
             print!(
                 " {:>11.0}{}",
                 r.total_ns(),
@@ -327,7 +389,13 @@ fn run_cmd(args: &[String]) -> ExitCode {
     if let Some(n) = metrics_every {
         b = b.metrics_every(n);
     }
-    let r = b.run();
+    let r = match b.try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("memnet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if json {
         print_json(&r);
     } else {

@@ -1,0 +1,214 @@
+//! Bit-identity between the two engine modes.
+//!
+//! The event-driven engine (idle fast-forward) must be observationally
+//! indistinguishable from the cycle-stepped reference loop: same-seed
+//! runs produce bit-identical [`SimReport`]s — every float compared with
+//! `==`, no tolerances — and, when tracing/metrics are on, byte-identical
+//! trace and metrics JSON. Anything less means a parked domain woke on
+//! the wrong edge or a skipped counter drifted.
+
+use memnet::noc::topo::{SlicedKind, TopologyKind};
+use memnet::sim::{CtaPolicy, EngineMode, Organization, SimBuilder, SimReport};
+use memnet::workloads::Workload;
+
+/// Runs the same builder under both engine modes.
+fn both(b: SimBuilder) -> (SimReport, SimReport) {
+    let cycle = b.clone().engine(EngineMode::CycleStepped).run();
+    let event = b.engine(EngineMode::EventDriven).run();
+    (cycle, event)
+}
+
+/// Field-by-field equality, floats compared exactly.
+fn assert_identical(cycle: &SimReport, event: &SimReport, label: &str) {
+    assert_eq!(cycle.workload, event.workload, "{label}: workload");
+    assert_eq!(cycle.memcpy_ns, event.memcpy_ns, "{label}: memcpy_ns");
+    assert_eq!(cycle.kernel_ns, event.kernel_ns, "{label}: kernel_ns");
+    assert_eq!(cycle.host_ns, event.host_ns, "{label}: host_ns");
+    assert_eq!(cycle.energy_mj, event.energy_mj, "{label}: energy_mj");
+    assert_eq!(cycle.l1_hit_rate, event.l1_hit_rate, "{label}: l1_hit_rate");
+    assert_eq!(cycle.l2_hit_rate, event.l2_hit_rate, "{label}: l2_hit_rate");
+    assert_eq!(
+        cycle.avg_pkt_latency_ns, event.avg_pkt_latency_ns,
+        "{label}: avg_pkt_latency_ns"
+    );
+    assert_eq!(cycle.avg_hops, event.avg_hops, "{label}: avg_hops");
+    assert_eq!(
+        cycle.row_hit_rate, event.row_hit_rate,
+        "{label}: row_hit_rate"
+    );
+    assert_eq!(cycle.traffic, event.traffic, "{label}: traffic matrix");
+    assert_eq!(cycle.passthrough, event.passthrough, "{label}: passthrough");
+    assert_eq!(cycle.nonminimal, event.nonminimal, "{label}: nonminimal");
+    assert_eq!(cycle.timed_out, event.timed_out, "{label}: timed_out");
+    assert_eq!(
+        cycle.channel_utilization, event.channel_utilization,
+        "{label}: channel_utilization"
+    );
+    assert_eq!(cycle.per_gpu.len(), event.per_gpu.len(), "{label}: per_gpu");
+    for (i, (c, e)) in cycle.per_gpu.iter().zip(&event.per_gpu).enumerate() {
+        assert_eq!(c.l1_hit_rate, e.l1_hit_rate, "{label}: gpu{i} l1");
+        assert_eq!(c.l2_hit_rate, e.l2_hit_rate, "{label}: gpu{i} l2");
+        assert_eq!(c.ctas_done, e.ctas_done, "{label}: gpu{i} ctas_done");
+        assert_eq!(c.mem_reqs, e.mem_reqs, "{label}: gpu{i} mem_reqs");
+    }
+}
+
+fn small(org: Organization, w: Workload) -> SimBuilder {
+    SimBuilder::new(org)
+        .gpus(2)
+        .sms_per_gpu(2)
+        .workload(w.spec_small())
+}
+
+#[test]
+fn every_organization_is_bit_identical() {
+    // The tier-1 matrix: all eight organizations (Table III + PCN), each
+    // with a memcpy phase where applicable — the idle-heavy stretch where
+    // fast-forward does the most work and has the most room to go wrong.
+    for org in Organization::all_extended() {
+        let (c, e) = both(small(org, Workload::VecAdd));
+        assert!(!c.timed_out, "{} cycle-stepped run timed out", org.name());
+        assert_identical(&c, &e, org.name());
+    }
+}
+
+#[test]
+fn table2_workloads_on_pcie_and_umn_are_bit_identical() {
+    // PCIe exercises memcpy phases (DMA + network + DRAM while the GPU
+    // domains park); UMN exercises the all-shared path.
+    for w in Workload::table2() {
+        for org in [Organization::Pcie, Organization::Umn] {
+            let (c, e) = both(small(org, w));
+            assert_identical(&c, &e, &format!("{}/{}", w.abbr(), org.name()));
+        }
+    }
+}
+
+#[test]
+fn host_phase_workload_is_bit_identical() {
+    // CG.S computes on the host between kernels: during pure host compute
+    // every domain except the CPU parks, the deepest fast-forward case.
+    let shrink = |mut spec: memnet::workloads::WorkloadSpec| {
+        spec.kernel = std::sync::Arc::new({
+            let mut k = (*spec.kernel).clone();
+            k.ctas = 8;
+            k.iters = 2;
+            k
+        });
+        spec
+    };
+    for org in [Organization::Pcie, Organization::Umn] {
+        let b = SimBuilder::new(org)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .workload(shrink(Workload::CgS.spec_small()));
+        let (c, e) = both(b);
+        assert!(c.host_ns > 0.0, "CG.S must compute on the host");
+        assert_identical(&c, &e, &format!("CG.S/{}", org.name()));
+    }
+}
+
+#[test]
+fn alternate_topologies_are_bit_identical() {
+    for (name, topo) in [
+        (
+            "smesh",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Mesh,
+                double: false,
+            },
+        ),
+        (
+            "storus2x",
+            TopologyKind::Sliced {
+                kind: SlicedKind::Torus,
+                double: true,
+            },
+        ),
+        ("dfbfly", TopologyKind::DistributorFbfly),
+    ] {
+        for org in [Organization::Gmn, Organization::Umn] {
+            let b = small(org, Workload::VecAdd).topology(topo);
+            let (c, e) = both(b);
+            assert_identical(&c, &e, &format!("{}/{}", org.name(), name));
+        }
+    }
+}
+
+#[test]
+fn stealing_policy_and_co_kernels_are_bit_identical() {
+    let steal = small(Organization::Umn, Workload::Bp).cta_policy(CtaPolicy::Stealing);
+    let (c, e) = both(steal);
+    assert_identical(&c, &e, "stealing");
+
+    let co = small(Organization::Umn, Workload::Cp).co_workload(Workload::Scan.spec_small());
+    let (c, e) = both(co);
+    assert_identical(&c, &e, "co-kernels");
+}
+
+#[test]
+fn trace_and_metrics_streams_are_byte_identical() {
+    // With tracing and periodic metrics on, the full observability
+    // payloads must match byte for byte: same events, same order, same
+    // epoch numbering.
+    for org in [Organization::Pcie, Organization::Umn] {
+        let b = small(org, Workload::VecAdd)
+            .trace(1 << 16)
+            .metrics_every(500);
+        let (c, e) = both(b);
+        assert_identical(&c, &e, &format!("traced/{}", org.name()));
+        assert_eq!(
+            c.trace_json,
+            e.trace_json,
+            "{}: trace streams differ",
+            org.name()
+        );
+        assert_eq!(
+            c.metrics_json,
+            e.metrics_json,
+            "{}: metrics streams differ",
+            org.name()
+        );
+    }
+}
+
+#[test]
+fn engine_wake_events_only_appear_when_asked() {
+    let plain = small(Organization::Pcie, Workload::VecAdd)
+        .trace(1 << 16)
+        .run();
+    let verbose = small(Organization::Pcie, Workload::VecAdd)
+        .trace(1 << 16)
+        .trace_engine(true)
+        .run();
+    let plain_json = plain.trace_json.expect("trace enabled");
+    let verbose_json = verbose.trace_json.expect("trace enabled");
+    assert!(
+        !plain_json.contains("engine-wake"),
+        "default traces must stay engine-agnostic"
+    );
+    assert!(
+        verbose_json.contains("engine-wake"),
+        "opt-in engine tracing records wake events"
+    );
+    // The physics must not care about the extra instrumentation.
+    assert_eq!(plain.kernel_ns, verbose.kernel_ns);
+    assert_eq!(plain.traffic, verbose.traffic);
+}
+
+#[test]
+fn builder_errors_are_typed_not_panics() {
+    use memnet::sim::SimError;
+    let err = SimBuilder::new(Organization::Umn)
+        .try_run()
+        .expect_err("no workload set");
+    assert_eq!(err, SimError::MissingWorkload);
+
+    let err = SimBuilder::new(Organization::Umn)
+        .gpus(0)
+        .workload(Workload::VecAdd.spec_small())
+        .try_run()
+        .expect_err("zero GPUs is invalid");
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+    assert!(err.to_string().contains("invalid system configuration"));
+}
