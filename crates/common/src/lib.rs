@@ -10,7 +10,8 @@
 //!   policies ([`rng`]),
 //! * statistics helpers — running means, histograms and the GPU×HMC traffic
 //!   matrix of Fig. 10 ([`stats`]),
-//! * the Table I system configuration ([`config`]).
+//! * the Table I system configuration ([`config`]),
+//! * deterministic fault plans for chaos and resilience runs ([`faults`]).
 //!
 //! # Example
 //!
@@ -27,6 +28,7 @@
 //! ```
 
 pub mod config;
+pub mod faults;
 pub mod ids;
 pub mod mem;
 pub mod rng;
@@ -34,6 +36,7 @@ pub mod stats;
 pub mod time;
 
 pub use config::SystemConfig;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, LinkClass};
 pub use ids::{Agent, CpuId, GpuId, HmcId, NodeId, ReqId, SmId, VaultId};
 pub use mem::{AccessKind, MemReq, MemResp, Payload};
 pub use rng::SplitMix64;

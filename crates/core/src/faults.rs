@@ -1,0 +1,313 @@
+//! Fault-plan resolution and the on-disk JSON plan format.
+//!
+//! A [`FaultPlan`](memnet_common::FaultPlan) is abstract — link *classes*
+//! plus ordinals, HMC/vault indices, GPU ids. This module resolves it
+//! against the concrete system a [`SimBuilder`](crate::SimBuilder) built:
+//! each event becomes a [`ResolvedFault`] pinned to the first clock edge
+//! of its owning domain at or after the event timestamp. Because that
+//! edge is pure clock arithmetic, both engine modes apply every fault at
+//! the identical simulated instant and produce bit-identical reports.
+//!
+//! The JSON format (for `memnet run --faults plan.json`):
+//!
+//! ```json
+//! { "events": [
+//!   { "at_fs": 1000000, "kind": "link-down", "class": "hmc-hmc", "ordinal": 0 },
+//!   { "at_ns": 2.5, "kind": "link-degrade", "class": "pcie", "ordinal": 1, "factor": 4 },
+//!   { "at_fs": 3000000, "kind": "vault-stall", "hmc": 0, "vault": 3, "stall_tcks": 512 },
+//!   { "at_fs": 4000000, "kind": "gpu-loss", "gpu": 1 }
+//! ] }
+//! ```
+//!
+//! Timestamps are femtoseconds (`at_fs`) or nanoseconds (`at_ns`);
+//! `link-up` takes the same fields as `link-down`.
+
+use memnet_common::faults::{FaultKind, LinkClass};
+use memnet_common::time::{ns_to_fs, Fs};
+use memnet_common::FaultPlan;
+use memnet_noc::Network;
+use memnet_obs::json::{parse, JsonValue};
+use memnet_obs::JsonWriter;
+
+/// What a resolved fault does to the live system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Cut network link (dense link index).
+    LinkDown(usize),
+    /// Restore network link.
+    LinkUp(usize),
+    /// Multiply a link's serialization latency (1 restores it).
+    LinkDegrade(usize, u32),
+    /// Freeze one vault of one cube for a stretch of DRAM clocks.
+    VaultStall {
+        hmc: usize,
+        vault: u64,
+        stall_tcks: u64,
+    },
+    /// Kill a GPU and rebalance its CTAs onto survivors.
+    GpuLoss(usize),
+}
+
+/// A fault pinned to a concrete target and an owner-domain clock edge.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedFault {
+    /// First owner-domain edge at or after the plan timestamp.
+    pub edge_fs: Fs,
+    /// Owning clock domain (`domain::NET`, `domain::DRAM`, `domain::CORE`).
+    pub owner: usize,
+    pub action: FaultAction,
+    /// Stable kind name for trace events.
+    pub kind: &'static str,
+    /// Kind-specific target for trace events (link index, HMC id, GPU id).
+    pub target: u64,
+    /// Kind-specific detail for trace events (factor, stall tCKs, vault).
+    pub detail: u64,
+}
+
+/// Owning clock domain per fault category: link faults apply on network
+/// edges, vault stalls on DRAM edges, GPU loss on core edges.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultOwners {
+    pub net: usize,
+    pub dram: usize,
+    pub core: usize,
+}
+
+/// Resolves `plan` against a built system. `periods[d]` is the period of
+/// clock domain `d`; `owners` maps each fault category to its owning
+/// domain. Events whose link class has no population in this
+/// organization are dropped and counted in the returned skip tally.
+pub(crate) fn resolve_plan(
+    plan: &FaultPlan,
+    net: &Network,
+    n_hmcs: usize,
+    n_gpus: usize,
+    owners: FaultOwners,
+    periods: &[Fs],
+) -> (Vec<ResolvedFault>, u64) {
+    let mut out = Vec::with_capacity(plan.events().len());
+    let mut skipped = 0u64;
+    for ev in plan.events() {
+        let (owner, action, target, detail) = match &ev.kind {
+            FaultKind::LinkDown { class, ordinal } => {
+                let Some(li) = net.resolve_link(*class, *ordinal) else {
+                    skipped += 1;
+                    continue;
+                };
+                (owners.net, FaultAction::LinkDown(li), li as u64, 0)
+            }
+            FaultKind::LinkUp { class, ordinal } => {
+                let Some(li) = net.resolve_link(*class, *ordinal) else {
+                    skipped += 1;
+                    continue;
+                };
+                (owners.net, FaultAction::LinkUp(li), li as u64, 0)
+            }
+            FaultKind::LinkDegrade {
+                class,
+                ordinal,
+                factor,
+            } => {
+                let Some(li) = net.resolve_link(*class, *ordinal) else {
+                    skipped += 1;
+                    continue;
+                };
+                (
+                    owners.net,
+                    FaultAction::LinkDegrade(li, *factor),
+                    li as u64,
+                    u64::from(*factor),
+                )
+            }
+            FaultKind::VaultStall {
+                hmc,
+                vault,
+                stall_tcks,
+            } => {
+                let h = (*hmc % n_hmcs.max(1) as u64) as usize;
+                (
+                    owners.dram,
+                    FaultAction::VaultStall {
+                        hmc: h,
+                        vault: *vault,
+                        stall_tcks: *stall_tcks,
+                    },
+                    h as u64,
+                    *stall_tcks,
+                )
+            }
+            FaultKind::GpuLoss { gpu } => {
+                let g = (*gpu % n_gpus.max(1) as u64) as usize;
+                (owners.core, FaultAction::GpuLoss(g), g as u64, 0)
+            }
+        };
+        let period = periods[owner];
+        out.push(ResolvedFault {
+            edge_fs: ev.at_fs.div_ceil(period) * period,
+            owner,
+            action,
+            kind: ev.kind.name(),
+            target,
+            detail,
+        });
+    }
+    // The plan is sorted by at_fs; snapping to owner edges can reorder
+    // events across domains with different periods. Stable sort keeps
+    // same-edge events in plan order.
+    out.sort_by_key(|f| f.edge_fs);
+    (out, skipped)
+}
+
+/// Serializes a plan to the JSON format accepted by [`plan_from_json`].
+pub fn plan_to_json(plan: &FaultPlan) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("events");
+    w.begin_array();
+    for ev in plan.events() {
+        w.begin_object();
+        w.field("at_fs", &ev.at_fs);
+        w.field("kind", ev.kind.name());
+        match &ev.kind {
+            FaultKind::LinkDown { class, ordinal } | FaultKind::LinkUp { class, ordinal } => {
+                w.field("class", class.name());
+                w.field("ordinal", ordinal);
+            }
+            FaultKind::LinkDegrade {
+                class,
+                ordinal,
+                factor,
+            } => {
+                w.field("class", class.name());
+                w.field("ordinal", ordinal);
+                w.field("factor", &u64::from(*factor));
+            }
+            FaultKind::VaultStall {
+                hmc,
+                vault,
+                stall_tcks,
+            } => {
+                w.field("hmc", hmc);
+                w.field("vault", vault);
+                w.field("stall_tcks", stall_tcks);
+            }
+            FaultKind::GpuLoss { gpu } => {
+                w.field("gpu", gpu);
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn get_u64(ev: &JsonValue, key: &str) -> Result<u64, String> {
+    ev.get(key)
+        .and_then(JsonValue::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("fault event missing numeric field '{key}'"))
+}
+
+fn get_class(ev: &JsonValue) -> Result<LinkClass, String> {
+    let s = ev
+        .get("class")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "link fault missing 'class'".to_string())?;
+    LinkClass::parse(s).ok_or_else(|| format!("unknown link class '{s}'"))
+}
+
+/// Parses a JSON fault plan.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON, unknown kinds or
+/// classes, and missing fields.
+pub fn plan_from_json(s: &str) -> Result<FaultPlan, String> {
+    let v = parse(s).map_err(|e| format!("fault plan: {e}"))?;
+    let events = v
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "fault plan must have an 'events' array".to_string())?;
+    let mut plan = FaultPlan::new();
+    for ev in events {
+        let at_fs = if let Some(fs) = ev.get("at_fs").and_then(JsonValue::as_f64) {
+            fs as Fs
+        } else if let Some(ns) = ev.get("at_ns").and_then(JsonValue::as_f64) {
+            ns_to_fs(ns)
+        } else {
+            return Err("fault event needs 'at_fs' or 'at_ns'".to_string());
+        };
+        let kind = ev
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "fault event missing 'kind'".to_string())?;
+        let kind = match kind {
+            "link-down" => FaultKind::LinkDown {
+                class: get_class(ev)?,
+                ordinal: get_u64(ev, "ordinal")?,
+            },
+            "link-up" => FaultKind::LinkUp {
+                class: get_class(ev)?,
+                ordinal: get_u64(ev, "ordinal")?,
+            },
+            "link-degrade" => FaultKind::LinkDegrade {
+                class: get_class(ev)?,
+                ordinal: get_u64(ev, "ordinal")?,
+                factor: get_u64(ev, "factor")?.clamp(1, u64::from(u32::MAX)) as u32,
+            },
+            "vault-stall" => FaultKind::VaultStall {
+                hmc: get_u64(ev, "hmc")?,
+                vault: get_u64(ev, "vault")?,
+                stall_tcks: get_u64(ev, "stall_tcks")?,
+            },
+            "gpu-loss" => FaultKind::GpuLoss {
+                gpu: get_u64(ev, "gpu")?,
+            },
+            other => return Err(format!("unknown fault kind '{other}'")),
+        };
+        plan.push(at_fs, kind);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_json_round_trips() {
+        let plan = FaultPlan::random(7, 12, 4, 1_000_000_000);
+        let json = plan_to_json(&plan);
+        let back = plan_from_json(&json).expect("valid");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn at_ns_is_accepted() {
+        let plan = plan_from_json(r#"{"events":[{"at_ns":1.5,"kind":"gpu-loss","gpu":2}]}"#)
+            .expect("valid");
+        assert_eq!(plan.events()[0].at_fs, 1_500_000);
+        assert_eq!(plan.events()[0].kind, FaultKind::GpuLoss { gpu: 2 });
+    }
+
+    #[test]
+    fn malformed_plans_are_typed_errors() {
+        assert!(plan_from_json("not json").is_err());
+        assert!(
+            plan_from_json(r#"{"events":[{"kind":"gpu-loss","gpu":0}]}"#)
+                .unwrap_err()
+                .contains("at_fs")
+        );
+        assert!(
+            plan_from_json(r#"{"events":[{"at_fs":1,"kind":"meteor"}]}"#)
+                .unwrap_err()
+                .contains("meteor")
+        );
+        assert!(plan_from_json(
+            r#"{"events":[{"at_fs":1,"kind":"link-down","class":"warp","ordinal":0}]}"#
+        )
+        .unwrap_err()
+        .contains("warp"));
+    }
+}

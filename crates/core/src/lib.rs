@@ -27,10 +27,12 @@
 //! assert_eq!(report.memcpy_ns, 0.0); // UMN shares memory — no copies
 //! ```
 
+pub mod faults;
 pub mod memory;
 pub mod ske;
 pub mod system;
 
+pub use faults::{plan_from_json, plan_to_json};
 pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
 pub use ske::CtaPolicy;
 pub use system::{EngineMode, GpuSummary, Organization, SimBuilder, SimError, SimReport};

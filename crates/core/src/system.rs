@@ -11,11 +11,14 @@
 //! Clusters are indexed `0..n_gpus` for GPUs and `n_gpus` for the CPU; HMC
 //! global ids are cluster-major (`cluster * hmcs_per_cluster + local`).
 
+use crate::faults::{resolve_plan, FaultAction, FaultOwners, ResolvedFault};
 use crate::memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
 use crate::ske::{self, CtaPolicy};
 use memnet_common::stats::TrafficMatrix;
 use memnet_common::time::{fs_to_ns, Fs};
-use memnet_common::{Agent, Clock, CpuId, GpuId, MemResp, NodeId, Payload, SystemConfig};
+use memnet_common::{
+    Agent, Clock, CpuId, FaultPlan, GpuId, MemReq, MemResp, NodeId, Payload, SystemConfig,
+};
 use memnet_cpu::{CpuCore, CpuStream, DmaEngine};
 use memnet_engine::Calendar;
 use memnet_gpu::Gpu;
@@ -120,6 +123,18 @@ impl EngineMode {
             EngineMode::EventDriven => "event-driven",
         }
     }
+
+    /// The default mode, overridable through the `MEMNET_ENGINE`
+    /// environment variable (`cycle-stepped`/`cycle` or
+    /// `event-driven`/`event`) so CI can run whole test suites under
+    /// either engine. An explicit [`SimBuilder::engine`] call wins.
+    pub fn from_env() -> EngineMode {
+        match std::env::var("MEMNET_ENGINE").ok().as_deref() {
+            Some("cycle-stepped" | "cycle") => EngineMode::CycleStepped,
+            Some("event-driven" | "event") => EngineMode::EventDriven,
+            _ => EngineMode::default(),
+        }
+    }
 }
 
 /// Why a simulation could not be built.
@@ -188,6 +203,25 @@ pub struct SimReport {
     pub nonminimal: u64,
     /// True if any phase hit its simulation-time budget.
     pub timed_out: bool,
+    /// Fault-plan events applied to the live system.
+    pub faults_injected: u64,
+    /// Fault-plan events dropped because their link class has no
+    /// population in this organization.
+    pub faults_skipped: u64,
+    /// Packets re-pointed onto surviving minimal paths after a link cut.
+    pub reroutes: u64,
+    /// Extra serialization passes paid on BER-degraded links.
+    pub retries: u64,
+    /// Packets dead-lettered because no route survived.
+    pub dead_letters: u64,
+    /// Requests that could not complete over the network and finished
+    /// through the fail-fast recovery path (dead-lettered, unroutable at
+    /// injection, or addressed to a lost GPU).
+    pub failed_requests: u64,
+    /// CTAs reassigned from lost GPUs onto survivors.
+    pub rebalanced_ctas: u64,
+    /// GPUs lost to injected faults.
+    pub lost_gpus: u64,
     /// Per-GPU digests (load balance, cache behavior).
     pub per_gpu: Vec<GpuSummary>,
     /// Mean busy fraction of the external network channels.
@@ -226,6 +260,7 @@ pub struct SimBuilder {
     metrics_every: Option<u64>,
     engine_mode: EngineMode,
     trace_engine: bool,
+    faults: FaultPlan,
 }
 
 impl SimBuilder {
@@ -249,9 +284,18 @@ impl SimBuilder {
             co_workloads: Vec::new(),
             trace_capacity: None,
             metrics_every: None,
-            engine_mode: EngineMode::default(),
+            engine_mode: EngineMode::from_env(),
             trace_engine: false,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Installs a deterministic fault plan. Events resolve against the
+    /// built system and apply on owning-domain clock edges, so the same
+    /// plan yields bit-identical reports under both [`EngineMode`]s.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// Selects how the engine advances time (default:
@@ -463,6 +507,15 @@ struct System {
     traffic: TrafficMatrix,
     timed_out: bool,
 
+    /// Pending resolved faults per owning clock domain, each queue sorted
+    /// by edge time (ties in plan order).
+    fault_q: [VecDeque<ResolvedFault>; domain::COUNT],
+    faults_injected: u64,
+    faults_skipped: u64,
+    failed_requests: u64,
+    rebalanced_ctas: u64,
+    lost_gpus: u64,
+
     tracer: Option<Tracer>,
     metrics: Option<MetricsRegistry>,
     /// Network cycles between metrics epochs; 0 disables snapshots.
@@ -663,6 +716,33 @@ impl System {
         });
         let metrics_every = b.metrics_every.unwrap_or(0);
 
+        // Pin every fault-plan event to the first clock edge of its
+        // owning domain at or after its timestamp — pure clock
+        // arithmetic, identical under both engine modes.
+        let periods = [
+            clk_core.period_fs(),
+            clk_l2.period_fs(),
+            clk_cpu.period_fs(),
+            clk_net.period_fs(),
+            clk_dram.period_fs(),
+        ];
+        let (resolved, faults_skipped) = resolve_plan(
+            &b.faults,
+            &net,
+            hmc_eps.len(),
+            n_gpus,
+            FaultOwners {
+                net: domain::NET,
+                dram: domain::DRAM,
+                core: domain::CORE,
+            },
+            &periods,
+        );
+        let mut fault_q: [VecDeque<ResolvedFault>; domain::COUNT] = Default::default();
+        for f in resolved {
+            fault_q[f.owner].push_back(f);
+        }
+
         Ok(System {
             active_gpus: b.active_gpus.unwrap_or(cfg.n_gpus).min(cfg.n_gpus),
             use_overlay: b.overlay,
@@ -675,6 +755,12 @@ impl System {
             trace_engine: b.trace_engine,
             now: 0,
             timed_out: false,
+            fault_q,
+            faults_injected: 0,
+            faults_skipped,
+            failed_requests: 0,
+            rebalanced_ctas: 0,
+            lost_gpus: 0,
             tracer,
             metrics: (metrics_every > 0).then(MetricsRegistry::new),
             metrics_every,
@@ -800,6 +886,14 @@ impl System {
             passthrough: self.net.stats().passthrough,
             nonminimal: self.net.stats().nonminimal,
             timed_out: self.timed_out,
+            faults_injected: self.faults_injected,
+            faults_skipped: self.faults_skipped,
+            reroutes: self.net.stats().reroutes,
+            retries: self.net.stats().retries,
+            dead_letters: self.net.stats().dead_letters,
+            failed_requests: self.failed_requests,
+            rebalanced_ctas: self.rebalanced_ctas,
+            lost_gpus: self.lost_gpus,
             per_gpu,
             channel_utilization: self.net.channel_utilization(),
             trace_json: self
@@ -828,6 +922,18 @@ impl System {
         m.add("net.flits_injected", delta);
         let delta = self.steal_events - m.counter("ske.cta_steals");
         m.add("ske.cta_steals", delta);
+        let delta = self.faults_injected - m.counter("faults.injected");
+        m.add("faults.injected", delta);
+        let delta = self.net.stats().reroutes - m.counter("net.reroutes");
+        m.add("net.reroutes", delta);
+        let delta = self.net.stats().retries - m.counter("net.retries");
+        m.add("net.retries", delta);
+        let delta = self.net.stats().dead_letters - m.counter("net.dead_letters");
+        m.add("net.dead_letters", delta);
+        let delta = self.failed_requests - m.counter("faults.failed_requests");
+        m.add("faults.failed_requests", delta);
+        let delta = self.rebalanced_ctas - m.counter("ske.rebalanced_ctas");
+        m.add("ske.rebalanced_ctas", delta);
         for (i, g) in self.gpus.iter().enumerate() {
             m.set(&format!("gpu{i}.occupancy"), g.occupancy());
         }
@@ -885,9 +991,21 @@ impl System {
     }
 
     fn run_kernel_phase(&mut self) -> Fs {
-        let queues = ske::partition(self.workload.kernel.ctas, self.active_gpus, self.cta_policy);
-        for (g, q) in queues.into_iter().enumerate() {
-            self.gpus[g].launch(self.workload.kernel.clone(), q);
+        // Launch across the GPUs still alive — a GPU lost in an earlier
+        // phase is simply excluded from the partition (SKE degraded mode).
+        let live: Vec<usize> = (0..self.active_gpus as usize)
+            .filter(|&g| !self.gpus[g].is_dead())
+            .collect();
+        if live.is_empty() {
+            return 0;
+        }
+        let queues = ske::partition(
+            self.workload.kernel.ctas,
+            live.len() as u32,
+            self.cta_policy,
+        );
+        for (qi, q) in queues.into_iter().enumerate() {
+            self.gpus[live[qi]].launch(self.workload.kernel.clone(), q);
         }
         // Concurrent kernel execution: co-launch the extra kernels with
         // offset address spaces and interleave CTA queues so they share
@@ -897,13 +1015,13 @@ impl System {
                 cw.kernel.clone(),
                 *base,
             ));
-            let queues = ske::partition(cw.kernel.ctas, self.active_gpus, self.cta_policy);
-            for (g, q) in queues.into_iter().enumerate() {
-                self.gpus[g].launch(model.clone(), q);
+            let queues = ske::partition(cw.kernel.ctas, live.len() as u32, self.cta_policy);
+            for (qi, q) in queues.into_iter().enumerate() {
+                self.gpus[live[qi]].launch(model.clone(), q);
             }
         }
         let n_kernels = 1 + self.co_workloads.len();
-        for g in 0..self.active_gpus as usize {
+        for &g in &live {
             self.gpus[g].interleave_pending(n_kernels);
         }
         let steals = self.cta_policy.steals();
@@ -938,7 +1056,7 @@ impl System {
             .map(|g| g.pending_ctas())
             .collect();
         for thief in 0..active {
-            if pending[thief] > 0 {
+            if pending[thief] > 0 || self.gpus[thief].is_dead() {
                 continue;
             }
             if let Some((victim, count)) = ske::pick_steal(&pending) {
@@ -1055,6 +1173,115 @@ impl System {
         self.apply_skip(d, skipped);
     }
 
+    /// Applies every pending fault owned by domain `d` whose edge has
+    /// arrived. Called just before `d`'s tick so the fault's effect is
+    /// visible to that very tick — in both engine modes, at the same edge.
+    fn apply_due_faults(&mut self, d: usize) {
+        while self.fault_q[d]
+            .front()
+            .is_some_and(|f| f.edge_fs <= self.now)
+        {
+            let f = self.fault_q[d].pop_front().expect("checked front");
+            self.apply_fault(&f);
+        }
+    }
+
+    fn apply_fault(&mut self, f: &ResolvedFault) {
+        match f.action {
+            FaultAction::LinkDown(li) => self.net.set_link_state(li, false),
+            FaultAction::LinkUp(li) => self.net.set_link_state(li, true),
+            FaultAction::LinkDegrade(li, factor) => self.net.degrade_link(li, factor),
+            FaultAction::VaultStall {
+                hmc,
+                vault,
+                stall_tcks,
+            } => {
+                let tck = self.cal.clock(domain::DRAM).cycles();
+                self.hmcs[hmc].stall_vault(vault, tck + stall_tcks);
+            }
+            FaultAction::GpuLoss(g) => self.apply_gpu_loss(g),
+        }
+        self.faults_injected += 1;
+        let (now, tracer) = (self.now, self.tracer.as_mut());
+        if let Some(t) = tracer {
+            t.emit_fs(
+                now,
+                0,
+                TraceEventKind::Fault {
+                    kind: f.kind,
+                    target: f.target,
+                    detail: f.detail,
+                },
+            );
+        }
+    }
+
+    /// Kills GPU `g` and rebalances its unfinished CTAs onto surviving
+    /// active GPUs — contiguous re-chunks for the static policies
+    /// (preserving what locality is left), round-robin for the stealing
+    /// policy (whose steal loop keeps the balance dynamic afterwards).
+    fn apply_gpu_loss(&mut self, g: usize) {
+        if self.gpus[g].is_dead() {
+            return;
+        }
+        let orphans = self.gpus[g].fail();
+        self.lost_gpus += 1;
+        let survivors: Vec<usize> = (0..self.active_gpus as usize)
+            .filter(|&i| !self.gpus[i].is_dead())
+            .collect();
+        if survivors.is_empty() || orphans.is_empty() {
+            return;
+        }
+        self.rebalanced_ctas += orphans.len() as u64;
+        let k = survivors.len();
+        match self.cta_policy {
+            CtaPolicy::StaticChunk | CtaPolicy::RoundRobin => {
+                let per = orphans.len().div_ceil(k);
+                let mut it = orphans.into_iter();
+                for &s in &survivors {
+                    let chunk: Vec<_> = it.by_ref().take(per).collect();
+                    self.gpus[s].donate(chunk);
+                }
+            }
+            CtaPolicy::Stealing => {
+                let mut queues: Vec<Vec<_>> = (0..k).map(|_| Vec::new()).collect();
+                for (i, o) in orphans.into_iter().enumerate() {
+                    queues[i % k].push(o);
+                }
+                for (&s, q) in survivors.iter().zip(queues) {
+                    self.gpus[s].donate(q);
+                }
+            }
+        }
+    }
+
+    /// Completes a request the network could not deliver through the
+    /// fail-fast recovery path: reads get an immediate synthesized
+    /// response (so waiters make progress instead of hanging), writes
+    /// just drop, and everything is counted in `failed_requests`.
+    fn fail_request(&mut self, req: MemReq) {
+        self.failed_requests += 1;
+        if !req.kind.returns_data() {
+            return;
+        }
+        self.deliver_response(req.response());
+    }
+
+    /// Hands a response straight to its requester, bypassing the network
+    /// (recovery delivery for dead-lettered packets). Responses to dead
+    /// GPUs are dropped — the requester no longer exists.
+    fn deliver_response(&mut self, resp: MemResp) {
+        match resp.src {
+            Agent::Gpu(g) => {
+                if !self.gpus[g.index()].is_dead() {
+                    self.gpus[g.index()].push_mem_response(resp);
+                }
+            }
+            Agent::Cpu(_) => self.cpu.push_mem_response(resp),
+            Agent::Dma(_) => self.dma.push_mem_response(resp),
+        }
+    }
+
     /// Advances simulated time to the earliest pending clock edge of an
     /// armed domain and ticks every due domain once, re-arming parked
     /// domains that have work and parking domains that report idle.
@@ -1071,9 +1298,34 @@ impl System {
                 self.wake_after_now(d);
             }
         }
-        let Some(next) = self.cal.earliest() else {
-            return false;
+        // Never let time jump past a pending fault's owner edge. The next
+        // timestep is the earlier of the next armed clock edge and the
+        // earliest pending fault edge; parked owners whose fault lands at
+        // exactly that timestep are woken there (and only there — waking
+        // an owner at a *later* fault edge would skip edges where work
+        // produced this timestep should tick). Re-evaluated every
+        // advance, so a fault inside a fast-forwarded idle window still
+        // fires on its exact edge and both engine modes apply it at the
+        // same simulated instant.
+        let fault_next = self
+            .fault_q
+            .iter()
+            .filter_map(|q| q.front().map(|f| f.edge_fs))
+            .min();
+        let next = match (self.cal.earliest(), fault_next) {
+            (Some(a), Some(f)) => a.min(f),
+            (Some(a), None) => a,
+            (None, Some(f)) => f,
+            (None, None) => return false,
         };
+        for d in 0..domain::COUNT {
+            // A pending fault edge below `next` is impossible (time never
+            // passes one), so a front edge ≤ `next` means == `next`.
+            if self.cal.is_parked(d) && self.fault_q[d].front().is_some_and(|f| f.edge_fs <= next) {
+                let skipped = self.cal.wake_at_or_after(d, next);
+                self.apply_skip(d, skipped);
+            }
+        }
         self.now = next;
         self.cal.count_timestep();
 
@@ -1087,6 +1339,7 @@ impl System {
             if !self.cal.due(d, self.now) {
                 continue;
             }
+            self.apply_due_faults(d);
             self.tick_domain(d);
             self.cal.advance(d);
             if self.park && !self.domain_active(d) && !self.cal.is_parked(d) {
@@ -1151,6 +1404,10 @@ impl System {
                 };
                 let (_, loc) = self.layout.locate(req.addr);
                 let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
+                if !self.net.route_exists(self.gpu_eps[g], self.hmc_eps[hmc]) {
+                    self.fail_request(req);
+                    continue;
+                }
                 let bytes = req.packet_bytes() as u64;
                 self.traffic.add(g, hmc, bytes);
                 self.net.inject(
@@ -1170,6 +1427,10 @@ impl System {
             };
             let (_, loc) = self.layout.locate(req.addr);
             let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
+            if !self.net.route_exists(self.cpu_ep, self.hmc_eps[hmc]) {
+                self.fail_request(req);
+                continue;
+            }
             let bytes = req.packet_bytes() as u64;
             self.traffic.add(n_gpus, hmc, bytes);
             self.net.inject(
@@ -1187,6 +1448,10 @@ impl System {
             };
             let (_, loc) = self.layout.locate(req.addr);
             let hmc = loc.hmc_global(self.cfg.hmcs_per_gpu) as usize;
+            if !self.net.route_exists(self.cpu_ep, self.hmc_eps[hmc]) {
+                self.fail_request(req);
+                continue;
+            }
             let bytes = req.packet_bytes() as u64;
             self.traffic.add(n_gpus, hmc, bytes);
             self.net.inject(
@@ -1219,6 +1484,18 @@ impl System {
 
     /// Delivers ejected packets: requests into vaults, responses to devices.
     fn pump_out_of_network(&mut self) {
+        // Dead-lettered packets (no surviving route after a link cut)
+        // complete through the fail-fast recovery path: requests get a
+        // synthesized response, responses are delivered out-of-band.
+        while let Some(fp) = self.net.poll_failed() {
+            match fp.payload {
+                Payload::Req(req) => self.fail_request(req),
+                Payload::Resp(resp) => {
+                    self.failed_requests += 1;
+                    self.deliver_response(resp);
+                }
+            }
+        }
         for i in 0..self.hmcs.len() {
             // Retry a vault-rejected request before accepting more.
             if let Some((req, loc)) = self.hmc_ports[i].deferred.take() {
@@ -1247,7 +1524,8 @@ impl System {
                     self.hmc_ports[i].deferred = Some((r, loc));
                 }
             }
-            // Inject completed responses back toward the requester.
+            // Inject completed responses back toward the requester; when a
+            // cut stranded the return path, deliver out-of-band instead.
             while self.net.inject_ready(self.hmc_eps[i]) {
                 let Some(resp) = self.hmc_ports[i].resp_q.pop_front() else {
                     break;
@@ -1257,6 +1535,11 @@ impl System {
                     Agent::Cpu(_) => (self.cpu_ep, self.use_overlay),
                     Agent::Dma(_) => (self.cpu_ep, false),
                 };
+                if !self.net.route_exists(self.hmc_eps[i], dest) {
+                    self.failed_requests += 1;
+                    self.deliver_response(resp);
+                    continue;
+                }
                 self.net.inject(
                     self.hmc_eps[i],
                     dest,
@@ -1273,6 +1556,11 @@ impl System {
                     debug_assert!(false, "request ejected at a GPU endpoint");
                     continue;
                 };
+                if self.gpus[g].is_dead() {
+                    // In-flight reply raced the GPU's death: account it.
+                    self.failed_requests += 1;
+                    continue;
+                }
                 self.gpus[g].push_mem_response(resp);
             }
         }
@@ -1595,6 +1883,172 @@ mod tests {
         let r = small(Organization::Umn);
         assert!(r.trace_json.is_none());
         assert!(r.metrics_json.is_none());
+    }
+
+    #[test]
+    fn gpu_loss_rebalances_ctas_onto_survivor() {
+        use memnet_common::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new();
+        plan.push(1, FaultKind::GpuLoss { gpu: 1 });
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert!(!r.timed_out, "degraded run must complete, not hang");
+        assert_eq!(r.lost_gpus, 1);
+        assert_eq!(r.faults_injected, 1);
+        assert!(r.rebalanced_ctas > 0, "GPU 1's CTAs must move to GPU 0");
+        let clean = small(Organization::Umn);
+        assert!(
+            r.per_gpu[0].ctas_done > clean.per_gpu[0].ctas_done,
+            "survivor must absorb the lost GPU's work"
+        );
+        assert!(
+            r.kernel_ns > clean.kernel_ns,
+            "one GPU doing all the work is slower"
+        );
+    }
+
+    #[test]
+    fn gpu_loss_with_stealing_policy_completes() {
+        use memnet_common::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new();
+        plan.push(1, FaultKind::GpuLoss { gpu: 0 });
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .cta_policy(CtaPolicy::Stealing)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert!(!r.timed_out);
+        assert_eq!(r.lost_gpus, 1);
+        assert!(r.rebalanced_ctas > 0);
+    }
+
+    #[test]
+    fn pcie_with_lost_gpu_completes_via_rebalancing() {
+        use memnet_common::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new();
+        plan.push(
+            memnet_common::time::ns_to_fs(50.0),
+            FaultKind::GpuLoss { gpu: 1 },
+        );
+        let r = SimBuilder::new(Organization::Pcie)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert!(!r.timed_out, "PCIe + lost GPU must complete, not hang");
+        assert_eq!(r.lost_gpus, 1);
+        assert!(r.kernel_ns > 0.0);
+    }
+
+    #[test]
+    fn stalled_vaults_slow_the_kernel_without_losing_requests() {
+        use memnet_common::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new();
+        let vaults = SystemConfig::scaled().hmc.vaults;
+        for v in 0..u64::from(vaults) {
+            plan.push(
+                1,
+                FaultKind::VaultStall {
+                    hmc: 0,
+                    vault: v,
+                    stall_tcks: 50_000,
+                },
+            );
+        }
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        let clean = small(Organization::Umn);
+        assert!(!r.timed_out);
+        assert_eq!(r.faults_injected, u64::from(vaults));
+        assert_eq!(r.failed_requests, 0, "stalls delay, never drop");
+        assert!(
+            r.kernel_ns > clean.kernel_ns,
+            "frozen cube must slow the kernel: {} vs {}",
+            r.kernel_ns,
+            clean.kernel_ns
+        );
+    }
+
+    #[test]
+    fn link_cut_mid_kernel_completes_deterministically() {
+        use memnet_common::faults::{FaultKind, FaultPlan, LinkClass};
+        let run = || {
+            let mut plan = FaultPlan::new();
+            plan.push(
+                memnet_common::time::ns_to_fs(20.0),
+                FaultKind::LinkDown {
+                    class: LinkClass::HmcHmc,
+                    ordinal: 0,
+                },
+            );
+            SimBuilder::new(Organization::Umn)
+                .gpus(2)
+                .sms_per_gpu(2)
+                .faults(plan)
+                .workload(Workload::VecAdd.spec_small())
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.timed_out, "cut network must still complete");
+        assert_eq!(a.faults_injected, 1);
+        assert_eq!(a.kernel_ns, b.kernel_ns, "fault runs stay deterministic");
+        assert_eq!(a.failed_requests, b.failed_requests);
+        assert_eq!(a.reroutes, b.reroutes);
+    }
+
+    #[test]
+    fn absent_link_classes_are_skipped_not_applied() {
+        use memnet_common::faults::{FaultKind, FaultPlan, LinkClass};
+        let mut plan = FaultPlan::new();
+        plan.push(
+            1,
+            FaultKind::LinkDown {
+                class: LinkClass::Pcie,
+                ordinal: 0,
+            },
+        );
+        // UMN has no PCIe links: the event is dropped, counted, harmless.
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        assert!(!r.timed_out);
+        assert_eq!(r.faults_injected, 0);
+        assert_eq!(r.faults_skipped, 1);
+    }
+
+    #[test]
+    fn fault_trace_records_the_injection() {
+        use memnet_common::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new();
+        plan.push(1, FaultKind::GpuLoss { gpu: 1 });
+        let r = SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .trace(1 << 16)
+            .metrics_every(1000)
+            .faults(plan)
+            .workload(Workload::VecAdd.spec_small())
+            .run();
+        let trace = r.trace_json.expect("trace enabled");
+        assert!(trace.contains("gpu-loss"), "fault instant in the trace");
+        let metrics = r.metrics_json.expect("metrics enabled");
+        assert!(metrics.contains("faults.injected"));
+        assert!(metrics.contains("ske.rebalanced_ctas"));
     }
 
     #[test]

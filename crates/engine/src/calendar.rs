@@ -220,6 +220,54 @@ mod tests {
     }
 
     #[test]
+    fn fault_edge_inside_an_idle_window_wakes_on_the_exact_edge() {
+        // The fault-injection protocol in miniature: domain 0 (period 10)
+        // parks at edge 0 while domain 1 keeps the sim alive far in the
+        // future. A fault timestamped t = 42 inside that idle window snaps
+        // to domain 0's first edge at or after t (42.div_ceil(10) * 10 =
+        // 50); the engine must wake domain 0 exactly there — not at
+        // domain 1's next armed edge — with the clock invariant intact.
+        let mut c = Calendar::new(vec![Clock::new(10), Clock::new(7_000)]);
+        c.advance(1); // domain 1's next edge: 7 000 — the far end of the window
+        c.park(0);
+        assert_eq!(c.earliest(), Some(7_000), "armed domain 1 keeps time alive");
+
+        let fault_at: Fs = 42;
+        let period = c.clock(0).period_fs();
+        let edge = fault_at.div_ceil(period) * period;
+        assert_eq!(edge, 50);
+
+        let skipped = c.wake_at_or_after(0, edge);
+        assert!(!c.is_parked(0), "the fault woke the domain");
+        assert_eq!(c.clock(0).next_fs(), edge, "woken on the fault edge");
+        assert_eq!(skipped, 5, "edges 0..50 were idle no-ops");
+        // The invariant a fast-forward must never break: the clock still
+        // looks as if it ticked through every skipped edge.
+        assert_eq!(
+            c.clock(0).next_fs(),
+            c.clock(0).cycles() * c.clock(0).period_fs()
+        );
+        // And the woken edge now drives the calendar, beating domain 1.
+        assert_eq!(c.earliest(), Some(edge));
+    }
+
+    #[test]
+    fn fault_edge_coinciding_with_park_point_is_not_skipped() {
+        // Degenerate window: the fault lands on the very edge the domain
+        // parked at. wake_at_or_after must keep that edge (skip nothing),
+        // because the cycle-stepped reference applies the fault there.
+        let mut c = cal();
+        c.advance(0); // next edge 10
+        c.park(0);
+        assert_eq!(c.wake_at_or_after(0, 10), 0);
+        assert_eq!(c.clock(0).next_fs(), 10);
+        assert_eq!(
+            c.clock(0).next_fs(),
+            c.clock(0).cycles() * c.clock(0).period_fs()
+        );
+    }
+
+    #[test]
     fn parked_then_woken_matches_stepping_through_idle_edges() {
         // The bit-identity property in miniature: a domain that parks and
         // wakes must end in the same clock state as one that no-op ticked

@@ -237,6 +237,97 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_durations_still_come_back_in_submission_order() {
+        // Worst case for ordering bugs: job 0 is by far the slowest, the
+        // rest finish immediately and in reverse queue order across many
+        // workers. The result vector must still be index-aligned.
+        let jobs: Vec<Box<dyn Fn() -> usize + Send + Sync>> = (0..24usize)
+            .map(|i| {
+                let sleep_ms = if i == 0 { 30 } else { (24 - i as u64) % 3 };
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(sleep_ms));
+                    i
+                }) as Box<dyn Fn() -> usize + Send + Sync>
+            })
+            .collect();
+        let out = run_jobs(&cfg(8), jobs);
+        let got: Vec<usize> = out.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(got, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timed_out_attempt_is_retried_and_can_succeed() {
+        // First attempt busts the budget, the retry is instant: the job
+        // must come back Ok, proving a soft timeout consumes an attempt
+        // rather than condemning the job.
+        let tries = AtomicU32::new(0);
+        let c = PoolConfig {
+            workers: 1,
+            retries: 1,
+            timeout: Some(Duration::from_millis(10)),
+        };
+        let out = run_jobs(
+            &c,
+            vec![|| {
+                if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                9u32
+            }],
+        );
+        assert_eq!(out[0], Ok(9));
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn exhausted_timeout_reports_attempts_and_budget() {
+        let c = PoolConfig {
+            workers: 1,
+            retries: 2,
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let out = run_jobs(&c, vec![|| std::thread::sleep(Duration::from_millis(15))]);
+        match &out[0] {
+            Err(JobError::TimedOut {
+                attempts,
+                elapsed,
+                budget,
+            }) => {
+                assert_eq!(*attempts, 3, "1 + 2 retries");
+                assert_eq!(*budget, Duration::from_millis(1));
+                assert!(*elapsed >= *budget);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_then_timeout_reports_the_final_attempts_failure() {
+        // Mixed failure modes across attempts: the error reflects the
+        // *last* attempt (timeout), not the first (panic).
+        let tries = AtomicU32::new(0);
+        let c = PoolConfig {
+            workers: 1,
+            retries: 1,
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let out = run_jobs(
+            &c,
+            vec![|| {
+                if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first attempt dies loudly");
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }],
+        );
+        assert!(
+            matches!(out[0], Err(JobError::TimedOut { .. })),
+            "final attempt's failure mode wins: {:?}",
+            out[0]
+        );
+    }
+
+    #[test]
     fn zero_workers_means_available_parallelism() {
         let out = run_jobs(&PoolConfig::default(), vec![|| 7u8, || 8u8]);
         assert_eq!(out, vec![Ok(7), Ok(8)]);

@@ -236,6 +236,12 @@ impl MshrTable {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Drops every outstanding entry (fault injection: the owning device
+    /// died and its waiters will never be completed).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
 }
 
 #[cfg(test)]

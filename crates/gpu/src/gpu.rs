@@ -67,6 +67,9 @@ pub struct Gpu {
     // the idle signal once or twice per timestep, which must not cost a
     // per-SM scan on an idle GPU.
     busy_cache: bool,
+    /// Fault injection: a dead GPU ticks as a no-op, accepts no launches,
+    /// and drops incoming responses.
+    dead: bool,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -102,7 +105,37 @@ impl Gpu {
             core_cycle: 0,
             mem_reqs: 0,
             busy_cache: false,
+            dead: false,
         }
+    }
+
+    /// Fault injection: kills this GPU. Every undispatched and resident
+    /// CTA is returned as (kernel, cta) pairs so the SKE runtime can
+    /// re-execute them from scratch on surviving devices; all in-flight
+    /// internal state (crossbar, memory port, response routes, MSHRs) is
+    /// dropped. Afterward the GPU ticks as a no-op, reports idle, and
+    /// drops any response still routed to it.
+    pub fn fail(&mut self) -> Vec<(Arc<dyn KernelModel>, u32)> {
+        let mut orphans: Vec<(Arc<dyn KernelModel>, u32)> = self.pending_ctas.drain(..).collect();
+        for sm in &mut self.sms {
+            orphans.extend(
+                sm.fail_all()
+                    .into_iter()
+                    .map(|(model, tag)| (model, tag as u32)),
+            );
+        }
+        self.l2_in.clear();
+        self.mem_out.clear();
+        self.resp_routes.clear();
+        self.l2_mshr.clear();
+        self.dead = true;
+        self.busy_cache = false;
+        orphans
+    }
+
+    /// True after [`Gpu::fail`].
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// This GPU's id.
@@ -115,6 +148,7 @@ impl Gpu {
     /// called multiple times before/while running: later launches
     /// co-execute with earlier ones (concurrent kernel execution).
     pub fn launch(&mut self, model: Arc<dyn KernelModel>, ctas: impl IntoIterator<Item = u32>) {
+        debug_assert!(!self.dead, "launch on a failed GPU");
         self.pending_ctas
             .extend(ctas.into_iter().map(|c| (model.clone(), c)));
         self.busy_cache = true;
@@ -153,6 +187,10 @@ impl Gpu {
 
     /// Adds stolen CTAs to this GPU's queue.
     pub fn donate(&mut self, ctas: Vec<(Arc<dyn KernelModel>, u32)>) {
+        debug_assert!(
+            !self.dead || ctas.is_empty(),
+            "donating CTAs to a failed GPU"
+        );
         if !ctas.is_empty() {
             self.busy_cache = true;
         }
@@ -211,6 +249,13 @@ impl Gpu {
     /// [`Gpu::tick_core`] with optional tracing of the CTA lifecycle
     /// (launch instants at dispatch, retire spans from the SMs).
     pub fn tick_core_traced(&mut self, mut tracer: Option<&mut Tracer>) {
+        if self.dead {
+            // A failed GPU's clock still runs (the silicon is dead, the
+            // domain isn't); keeping the cycle count moving matches the
+            // idle fast-forward of the event-driven engine.
+            self.core_cycle += 1;
+            return;
+        }
         let now = self.core_cycle;
         for i in 0..self.sms.len() {
             // Dispatch pending CTAs into free slots.
@@ -218,7 +263,7 @@ impl Gpu {
                 let Some((model, cta)) = self.pending_ctas.pop_front() else {
                     break;
                 };
-                self.sms[i].assign_tagged(model.cta_stream(cta), cta as u64, now);
+                self.sms[i].assign_cta(model.cta_stream(cta), cta as u64, now, Some(model.clone()));
                 if let Some(tr) = tracer.as_deref_mut() {
                     tr.emit_instant(
                         ClockDomain::Core,
@@ -249,6 +294,9 @@ impl Gpu {
 
     /// One L2-clock cycle: services up to `l2_banks` requests.
     pub fn tick_l2(&mut self) {
+        if self.dead {
+            return;
+        }
         let now = self.core_cycle;
         for _ in 0..self.l2_banks {
             let Some(&(ready, req)) = self.l2_in.front() else {
@@ -361,6 +409,11 @@ impl Gpu {
     ///
     /// Write acknowledgements need not be delivered (writes are posted).
     pub fn push_mem_response(&mut self, resp: MemResp) {
+        if self.dead {
+            // Responses racing a GPU failure have nowhere to land; the
+            // system accounts them as failed requests.
+            return;
+        }
         self.busy_cache = true;
         let Some(route) = self.resp_routes.remove(&resp.id) else {
             debug_assert!(
@@ -600,6 +653,46 @@ mod tests {
         }
         assert!(!g.busy(), "posted writes must drain");
         assert_eq!(g.stats().ctas_done, 4);
+    }
+
+    #[test]
+    fn failed_gpu_returns_all_unfinished_ctas() {
+        let mut g = gpu(2);
+        let k = Arc::new(StreamKernel {
+            ctas: 40,
+            rounds: 4,
+            gap: 8,
+        });
+        g.launch(k, 0..40);
+        // Dispatch a few CTAs and get memory traffic in flight.
+        for _ in 0..50 {
+            g.tick_core();
+            g.tick_l2();
+        }
+        let done_before = g.stats().ctas_done;
+        let orphans = g.fail();
+        assert!(g.is_dead());
+        assert!(!g.busy(), "dead GPU holds no work");
+        assert!(g.is_idle());
+        assert_eq!(
+            done_before as usize + orphans.len(),
+            40,
+            "every CTA is either retired or handed back"
+        );
+        // Ticks and responses are harmless no-ops now.
+        g.tick_core();
+        g.tick_l2();
+        assert!(g.pop_mem_request().is_none());
+        let resp = MemReq {
+            id: ReqId(1),
+            addr: 0,
+            bytes: 128,
+            kind: AccessKind::Read,
+            src: Agent::Gpu(GpuId(0)),
+        }
+        .response();
+        g.push_mem_response(resp);
+        assert!(g.is_idle(), "dropped response must not wake a dead GPU");
     }
 
     #[test]

@@ -7,12 +7,13 @@
 //! atomics return (writes are posted).
 
 use crate::cache::{Cache, CacheStats, MshrResult, MshrTable};
-use crate::kernel::{CtaOp, CtaStream, MemAccess};
+use crate::kernel::{CtaOp, CtaStream, KernelModel, MemAccess};
 use memnet_common::config::CacheConfig;
 use memnet_common::AccessKind;
 use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// A memory request leaving the SM toward the GPU's shared L2.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +45,10 @@ struct Slot {
     tag: u64,
     /// Core cycle the CTA was installed (start of its lifecycle span).
     launched_at: u64,
+    /// The kernel that produced the stream, kept so a failed device can
+    /// hand its resident CTAs back for re-execution elsewhere. `None`
+    /// for streams assigned without a model (bare [`Sm::assign`]).
+    model: Option<Arc<dyn KernelModel>>,
 }
 
 impl std::fmt::Debug for Slot {
@@ -92,6 +97,7 @@ impl Sm {
                     state: SlotState::Empty,
                     tag: 0,
                     launched_at: 0,
+                    model: None,
                 })
                 .collect(),
             l1: Cache::new(l1_cfg),
@@ -125,6 +131,19 @@ impl Sm {
     /// [`Sm::assign`] carrying the CTA's flattened index and the launch
     /// cycle, so retirement can emit a full lifecycle span.
     pub fn assign_tagged(&mut self, stream: CtaStream, cta: u64, now: u64) {
+        self.assign_cta(stream, cta, now, None);
+    }
+
+    /// [`Sm::assign_tagged`] that also remembers the producing kernel, so
+    /// [`Sm::fail_all`] can return the CTA for re-execution on a survivor
+    /// after the owning GPU is fault-injected dead.
+    pub fn assign_cta(
+        &mut self,
+        stream: CtaStream,
+        cta: u64,
+        now: u64,
+        model: Option<Arc<dyn KernelModel>>,
+    ) {
         let slot = self
             .slots
             .iter_mut()
@@ -134,6 +153,30 @@ impl Sm {
         slot.state = SlotState::Ready;
         slot.tag = cta;
         slot.launched_at = now;
+        slot.model = model;
+    }
+
+    /// Fault injection: aborts every resident CTA and drops all in-flight
+    /// SM state (LSU queue, outbound requests, completions, MSHRs).
+    /// Returns the aborted CTAs whose kernel is known, as (kernel, cta)
+    /// pairs for from-scratch re-execution on surviving devices. Aborted
+    /// CTAs never count as retired.
+    pub fn fail_all(&mut self) -> Vec<(Arc<dyn KernelModel>, u64)> {
+        let mut orphans = Vec::new();
+        for slot in &mut self.slots {
+            if !matches!(slot.state, SlotState::Empty) {
+                if let Some(m) = slot.model.take() {
+                    orphans.push((m, slot.tag));
+                }
+                slot.stream = None;
+                slot.state = SlotState::Empty;
+            }
+        }
+        self.lsu_q.clear();
+        self.to_l2.clear();
+        self.completions.clear();
+        self.mshr.clear();
+        orphans
     }
 
     /// Number of slots currently holding a CTA (occupancy numerator).
@@ -251,6 +294,7 @@ impl Sm {
                         match op {
                             None => {
                                 self.slots[i].stream = None;
+                                self.slots[i].model = None;
                                 self.slots[i].state = SlotState::Empty;
                                 self.stats.ctas_done += 1;
                                 if let Some(tr) = tracer.as_deref_mut() {
@@ -512,6 +556,30 @@ mod tests {
             s.tick(now);
         }
         assert!(!s.busy());
+    }
+
+    #[test]
+    fn fail_all_returns_resident_ctas_and_clears_state() {
+        let mut s = sm();
+        let k: Arc<dyn KernelModel> = Arc::new(StreamKernel {
+            ctas: 4,
+            rounds: 8,
+            gap: 2,
+        });
+        for c in 0..3u32 {
+            s.assign_cta(k.cta_stream(c), c as u64, 0, Some(k.clone()));
+        }
+        // Get some transactions in flight before the failure.
+        for now in 0..20 {
+            s.tick(now);
+        }
+        assert!(s.busy());
+        let orphans = s.fail_all();
+        let mut tags: Vec<u64> = orphans.iter().map(|(_, t)| *t).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1, 2], "all resident CTAs handed back");
+        assert!(!s.busy(), "failed SM holds no residual work");
+        assert_eq!(s.stats().ctas_done, 0, "aborted CTAs never retire");
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct HmcDevice {
     completions: BinaryHeap<Reverse<Completion>>,
     seq: u64,
     inflight: usize,
+    /// Fault injection: vault `v` is frozen until `stalled_until[v]` tCK
+    /// (exclusive). Queued requests wait the stall out; nothing is lost.
+    stalled_until: Vec<u64>,
+    /// Cumulative vault-stall events injected into this cube.
+    stalls: u64,
 }
 
 impl HmcDevice {
@@ -55,7 +60,29 @@ impl HmcDevice {
             completions: BinaryHeap::new(),
             seq: 0,
             inflight: 0,
+            stalled_until: vec![0; cfg.vaults as usize],
+            stalls: 0,
         }
+    }
+
+    /// Number of vault controllers in this cube.
+    pub fn vault_count(&self) -> usize {
+        self.vaults.len()
+    }
+
+    /// Fault injection: freezes vault `vault % vault_count` until
+    /// `until_tck` (exclusive). The vault keeps accepting requests into
+    /// its queue but services nothing while stalled; overlapping stalls
+    /// extend to the later deadline.
+    pub fn stall_vault(&mut self, vault: u64, until_tck: u64) {
+        let v = (vault % self.vaults.len() as u64) as usize;
+        self.stalled_until[v] = self.stalled_until[v].max(until_tck);
+        self.stalls += 1;
+    }
+
+    /// Vault-stall events injected so far.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
     }
 
     /// True if `vault` can accept another request.
@@ -90,7 +117,7 @@ impl HmcDevice {
     /// this cube's global index for the trace track.
     pub fn tick_traced(&mut self, now_tck: u64, hmc: u32, mut tracer: Option<&mut Tracer>) {
         for (vi, v) in self.vaults.iter_mut().enumerate() {
-            if v.queue_len() == 0 {
+            if v.queue_len() == 0 || now_tck < self.stalled_until[vi] {
                 continue;
             }
             if let Some((req, done)) = v.tick_traced(now_tck, hmc, vi as u32, tracer.as_deref_mut())
@@ -255,6 +282,63 @@ mod tests {
             spread_time * 2 < single_time,
             "vault parallelism: spread {spread_time} vs single {single_time}"
         );
+    }
+
+    #[test]
+    fn stalled_vault_delays_but_never_drops() {
+        let cfg = SystemConfig::paper().hmc;
+        let serve = |stall_until: u64| -> u64 {
+            let mut d = HmcDevice::new(&cfg);
+            if stall_until > 0 {
+                d.stall_vault(0, stall_until);
+            }
+            for i in 0..8 {
+                d.try_accept(req(i), 0, 0, 0).unwrap();
+            }
+            let mut done = 0;
+            for now in 0..100_000 {
+                d.tick(now);
+                while d.pop_completed(now).is_some() {
+                    done += 1;
+                }
+                if done == 8 {
+                    return now;
+                }
+            }
+            panic!("requests lost in stalled vault");
+        };
+        let clean = serve(0);
+        let stalled = serve(2_000);
+        assert!(
+            stalled >= 2_000 && stalled > clean,
+            "stall must delay service: clean {clean}, stalled {stalled}"
+        );
+    }
+
+    #[test]
+    fn overlapping_stalls_keep_the_later_deadline() {
+        let cfg = SystemConfig::paper().hmc;
+        let mut d = HmcDevice::new(&cfg);
+        d.stall_vault(3, 5_000);
+        d.stall_vault(3, 1_000);
+        assert_eq!(d.stall_count(), 2);
+        d.try_accept(req(0), 3, 0, 0).unwrap();
+        for now in 0..4_999 {
+            d.tick(now);
+            assert!(
+                d.pop_completed(now).is_none(),
+                "nothing may complete before the later stall deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_vault_wraps_out_of_range_indices() {
+        let cfg = SystemConfig::paper().hmc;
+        let mut d = HmcDevice::new(&cfg);
+        let n = d.vault_count() as u64;
+        d.stall_vault(n + 2, 100); // targets vault 2, no panic
+        assert_eq!(d.stall_count(), 1);
     }
 
     #[test]

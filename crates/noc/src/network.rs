@@ -7,6 +7,7 @@
 
 use crate::builder::{LinkSpec, LinkTag, NetworkBuilder, NodeRec};
 use crate::packet::{MsgClass, Packet, PacketId};
+use memnet_common::faults::LinkClass;
 use memnet_common::stats::RunningStats;
 use memnet_common::{NodeId, Payload, SplitMix64};
 use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
@@ -39,6 +40,20 @@ pub struct EjectedPacket {
     pub hops: u32,
 }
 
+/// A packet the network could not deliver: after a link cut its current
+/// router had no surviving path to the destination, so it was pulled out
+/// of the fabric (credits returned) and parked here for the consumer to
+/// account for. Nothing is silently dropped.
+#[derive(Debug, Clone)]
+pub struct FailedPacket {
+    /// The carried memory message.
+    pub payload: Payload,
+    /// Injecting endpoint.
+    pub src: NodeId,
+    /// Destination it could not reach.
+    pub dest: NodeId,
+}
+
 /// Aggregate network statistics.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
@@ -57,6 +72,15 @@ pub struct NetStats {
     /// Flits that left endpoint injection queues onto the wire (drives the
     /// injected-flits/cycle metric epoch series).
     pub flits_injected: u64,
+    /// Head packets re-routed after a link cut invalidated their chosen
+    /// output port.
+    pub reroutes: u64,
+    /// Extra serialization slots paid to retransmits on degraded-BER
+    /// channels (factor − 1 per traversal).
+    pub retries: u64,
+    /// Packets pulled from the fabric because no surviving path to their
+    /// destination existed (drained via [`Network::poll_failed`]).
+    pub dead_letters: u64,
 }
 
 #[derive(Debug)]
@@ -66,6 +90,11 @@ struct Channel {
     powered: bool,
     #[allow(dead_code)]
     tag: LinkTag,
+    /// False while the owning link is fault-injected down.
+    up: bool,
+    /// Serialization multiplier modeling retransmits on a degraded-BER
+    /// link; 1 = clean.
+    degrade: u32,
     busy_until: u64,
     bytes_moved: u64,
     busy_cycles: u64,
@@ -78,6 +107,8 @@ impl Channel {
             serdes_cycles: spec.serdes_cycles,
             powered: spec.powered,
             tag,
+            up: true,
+            degrade: 1,
             busy_until: 0,
             bytes_moved: 0,
             busy_cycles: 0,
@@ -85,7 +116,7 @@ impl Channel {
     }
 
     fn ser_cycles(&self, bytes: u32) -> u64 {
-        ((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1)
+        ((bytes as f64 / self.bytes_per_cycle).ceil() as u64).max(1) * self.degrade as u64
     }
 }
 
@@ -216,6 +247,16 @@ pub struct Network {
     min_ports_rtr: Vec<Vec<Vec<u8>>>,
     /// Home router of each endpoint.
     home: Vec<u32>,
+
+    /// Per builder link: tag, router pair (dense indices), port pair, and
+    /// whether the link is currently up. Index = builder link order, so
+    /// fault targets are stable for a given topology.
+    link_tags: Vec<LinkTag>,
+    link_rtrs: Vec<(u32, u32)>,
+    link_ports: Vec<(u8, u8)>,
+    link_up: Vec<bool>,
+    /// Undeliverable packets awaiting [`Network::poll_failed`].
+    failed_q: VecDeque<PacketId>,
 
     events: BinaryHeap<Reverse<Timed>>,
     seq: u64,
@@ -477,6 +518,10 @@ impl Network {
             routers[r].overlay_next = map;
         }
 
+        let link_tags: Vec<LinkTag> = b.links.iter().map(|l| l.tag).collect();
+        let link_rtrs: Vec<(u32, u32)> = b.links.iter().map(|l| (ridx(l.a), ridx(l.b))).collect();
+        let link_up = vec![true; b.links.len()];
+
         Network {
             flit_bytes: p.flit_bytes,
             pipeline_cycles: p.pipeline_cycles,
@@ -494,6 +539,11 @@ impl Network {
             min_ports_ep,
             min_ports_rtr,
             home,
+            link_tags,
+            link_rtrs,
+            link_ports,
+            link_up,
+            failed_q: VecDeque::new(),
             events: BinaryHeap::new(),
             seq: 0,
             cycle: 0,
@@ -511,10 +561,11 @@ impl Network {
         self.cycle
     }
 
-    /// True while any packet is buffered or in flight.
+    /// True while any packet is buffered or in flight, or an undeliverable
+    /// packet awaits [`Network::poll_failed`].
     #[inline]
     pub fn has_work(&self) -> bool {
-        self.in_network > 0
+        self.in_network > 0 || !self.failed_q.is_empty()
     }
 
     /// True when a tick would be a pure no-op: nothing buffered or in
@@ -523,7 +574,7 @@ impl Network {
     /// the idle signal the event-driven engine parks the net domain on.
     #[inline]
     pub fn is_quiescent(&self) -> bool {
-        self.in_network == 0 && self.events.is_empty()
+        self.in_network == 0 && self.events.is_empty() && self.failed_q.is_empty()
     }
 
     /// Advances the cycle counter over `cycles` quiescent ticks without
@@ -579,6 +630,235 @@ impl Network {
             pj += idle_cycles * ch.bytes_per_cycle * 8.0 * self.idle_pj_per_bit;
         }
         pj * 1e-9
+    }
+
+    /// Maps an abstract fault-plan link class onto this network's tags.
+    fn tag_of_class(class: LinkClass) -> LinkTag {
+        match class {
+            LinkClass::HmcHmc => LinkTag::HmcHmc,
+            LinkClass::DeviceHmc => LinkTag::DeviceHmc,
+            LinkClass::Pcie => LinkTag::Pcie,
+            LinkClass::Nvlink => LinkTag::Nvlink,
+        }
+    }
+
+    /// Number of builder links carrying the given class's tag.
+    pub fn count_links_of(&self, class: LinkClass) -> usize {
+        let tag = Self::tag_of_class(class);
+        self.link_tags.iter().filter(|&&t| t == tag).count()
+    }
+
+    /// Resolves (class, ordinal) to a concrete link index, wrapping the
+    /// ordinal over the class population so seeded plans stay valid on any
+    /// topology. `None` when the topology has no links of that class.
+    pub fn resolve_link(&self, class: LinkClass, ordinal: u64) -> Option<usize> {
+        let tag = Self::tag_of_class(class);
+        let pop: Vec<usize> = (0..self.link_tags.len())
+            .filter(|&li| self.link_tags[li] == tag)
+            .collect();
+        if pop.is_empty() {
+            None
+        } else {
+            Some(pop[(ordinal % pop.len() as u64) as usize])
+        }
+    }
+
+    /// True while the link is not fault-injected down.
+    pub fn link_is_up(&self, li: usize) -> bool {
+        self.link_up[li]
+    }
+
+    /// Number of links currently down.
+    pub fn links_down(&self) -> usize {
+        self.link_up.iter().filter(|&&u| !u).count()
+    }
+
+    /// Takes a link down (`up == false`) or restores it. Both directed
+    /// channels flip, minimal-route tables recompute over the survivors,
+    /// and on a cut every head packet that had chosen the dead port is
+    /// re-routed (or dead-lettered when no surviving path exists).
+    /// Packets already committed to the wire still arrive — the flits
+    /// were physically in flight. No-op if the link is already in the
+    /// requested state.
+    pub fn set_link_state(&mut self, li: usize, up: bool) {
+        if self.link_up[li] == up {
+            return;
+        }
+        self.link_up[li] = up;
+        let (a, b) = self.link_rtrs[li];
+        let (pa, pb) = self.link_ports[li];
+        for (r, p) in [(a, pa), (b, pb)] {
+            let ch = self.routers[r as usize].ports[p as usize].out_channel as usize;
+            self.channels[ch].up = up;
+        }
+        self.recompute_routes();
+        if !up {
+            for (r, p) in [(a, pa), (b, pb)] {
+                let stranded: Vec<Cand> = self.routers[r as usize].ports[p as usize]
+                    .pending
+                    .drain(..)
+                    .collect();
+                for cand in stranded {
+                    self.stats.reroutes += 1;
+                    self.route_head(r as usize, cand.in_port as usize, cand.vc as usize);
+                }
+            }
+        }
+    }
+
+    /// Sets the retransmit multiplier on both directed channels of a link
+    /// (elevated BER model): every traversal pays `factor`× serialization.
+    /// `factor = 1` restores the clean channel.
+    pub fn degrade_link(&mut self, li: usize, factor: u32) {
+        let factor = factor.max(1);
+        let (a, b) = self.link_rtrs[li];
+        let (pa, pb) = self.link_ports[li];
+        for (r, p) in [(a, pa), (b, pb)] {
+            let ch = self.routers[r as usize].ports[p as usize].out_channel as usize;
+            self.channels[ch].degrade = factor;
+        }
+    }
+
+    /// True if the current route tables have a path between two endpoints.
+    /// Producers check this before injecting so requests toward an
+    /// unreachable destination can be failed at the source instead of
+    /// dead-lettering mid-fabric.
+    pub fn route_exists(&self, src: NodeId, dest: NodeId) -> bool {
+        let s = self.home[self.ep_idx(src) as usize] as usize;
+        let d = self.home[self.ep_idx(dest) as usize] as usize;
+        self.dist[s][d] != u16::MAX
+    }
+
+    /// Takes the next undeliverable packet, if any. Consumers must drain
+    /// this and account each packet (e.g. synthesize an error response)
+    /// or the request would be lost.
+    pub fn poll_failed(&mut self) -> Option<FailedPacket> {
+        let pid = self.failed_q.pop_front()?;
+        let pkt = self.free(pid);
+        Some(FailedPacket {
+            payload: pkt.payload,
+            src: pkt.src,
+            dest: pkt.dest,
+        })
+    }
+
+    /// Rebuilds `dist` and the minimal-port tables over the links that are
+    /// currently up. Unreachable destinations get empty port sets (route
+    /// attempts toward them dead-letter) rather than panicking like the
+    /// construction-time connectivity check.
+    fn recompute_routes(&mut self) {
+        let nr = self.routers.len();
+        let ne = self.endpoints.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nr];
+        for (li, &(a, b)) in self.link_rtrs.iter().enumerate() {
+            if self.link_up[li] {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        let mut dist = vec![vec![u16::MAX; nr]; nr];
+        for (s, row) in dist.iter_mut().enumerate() {
+            let mut q = VecDeque::new();
+            row[s] = 0;
+            q.push_back(s as u32);
+            while let Some(u) = q.pop_front() {
+                for &v in &adj[u as usize] {
+                    if row[v as usize] == u16::MAX {
+                        row[v as usize] = row[u as usize] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        self.dist = dist;
+        self.min_ports_rtr = (0..nr)
+            .map(|r| {
+                (0..nr)
+                    .map(|d| {
+                        if r == d || self.dist[r][d] == u16::MAX {
+                            return Vec::new();
+                        }
+                        self.routers[r]
+                            .ports
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(pi, port)| match port.peer {
+                                Peer::Router { idx, .. }
+                                    if self.channels[port.out_channel as usize].up
+                                        && self.dist[idx as usize][d] != u16::MAX
+                                        && self.dist[idx as usize][d] + 1 == self.dist[r][d] =>
+                                {
+                                    Some(pi as u8)
+                                }
+                                _ => None,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        self.min_ports_ep = (0..nr)
+            .map(|r| {
+                (0..ne)
+                    .map(|e| {
+                        let h = self.home[e] as usize;
+                        if r == h {
+                            vec![self.endpoints[e].router_port]
+                        } else {
+                            self.min_ports_rtr[r][h].clone()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Pulls the head packet of an input VC buffer out of the fabric:
+    /// credits return upstream exactly as if it had been forwarded, the
+    /// packet lands in the failed queue, and the next head (if any) gets
+    /// routed.
+    fn dead_letter_head(&mut self, r: usize, in_port: usize, vc: usize) {
+        let (pid, flits) = {
+            let buf = &mut self.routers[r].ports[in_port].vcs[vc];
+            let Some(pid) = buf.q.pop_front() else {
+                return;
+            };
+            let flits = self.packets[pid as usize]
+                .as_ref()
+                .map(|p| p.flits)
+                .unwrap_or(0);
+            buf.occ -= flits;
+            (pid, flits)
+        };
+        match self.routers[r].ports[in_port].peer {
+            Peer::Router { idx, port } => {
+                self.push_event(
+                    self.cycle + 1,
+                    Ev::Credit {
+                        router: idx,
+                        port,
+                        vc: vc as u8,
+                        flits,
+                    },
+                );
+            }
+            Peer::Endpoint { idx } => {
+                self.push_event(
+                    self.cycle + 1,
+                    Ev::CreditEp {
+                        ep: idx,
+                        vc: vc as u8,
+                        flits,
+                    },
+                );
+            }
+        }
+        self.in_network -= 1;
+        self.stats.dead_letters += 1;
+        self.failed_q.push_back(pid);
+        if !self.routers[r].ports[in_port].vcs[vc].q.is_empty() {
+            self.route_head(r, in_port, vc);
+        }
     }
 
     /// Dense endpoint index for a node id.
@@ -672,7 +952,13 @@ impl Network {
                     vc,
                     pid,
                 } => {
-                    let pkt = self.packets[pid as usize].as_mut().expect("live packet");
+                    // A packet slot can legitimately be empty under fault
+                    // injection (the packet was dead-lettered while its
+                    // arrival was in flight); drop the stale event rather
+                    // than panicking.
+                    let Some(pkt) = self.packets[pid as usize].as_mut() else {
+                        continue;
+                    };
                     pkt.arrived_cycle = self.cycle;
                     let flits = pkt.flits;
                     let buf =
@@ -684,15 +970,17 @@ impl Network {
                     }
                 }
                 Ev::ArriveEndpoint { ep, pid } => {
-                    self.endpoints[ep as usize].eject_q.push_back(pid);
-                    self.in_network -= 1;
-                    let pkt = self.packets[pid as usize].as_ref().expect("live packet");
+                    let Some(pkt) = self.packets[pid as usize].as_ref() else {
+                        continue;
+                    };
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += pkt.bytes as u64;
                     self.stats
                         .latency
                         .record((self.cycle - pkt.injected_cycle) as f64);
                     self.stats.hops.record(pkt.hops as f64);
+                    self.endpoints[ep as usize].eject_q.push_back(pid);
+                    self.in_network -= 1;
                 }
                 Ev::Credit {
                     router,
@@ -782,17 +1070,22 @@ impl Network {
             (p.dest, p.class, p.hops, p.overlay, p.via)
         };
 
-        // Overlay pass-through takes precedence for flagged packets.
+        // Overlay pass-through takes precedence for flagged packets — but
+        // only while the chain port's channel is alive; a cut chain falls
+        // back to ordinary minimal routing.
         if overlay {
             if let Some(&port) = self.routers[r].overlay_next.get(&dest) {
-                self.routers[r].ports[port as usize]
-                    .pending
-                    .push_back(Cand {
-                        in_port: in_port as u8,
-                        vc: vc as u8,
-                        passthrough: true,
-                    });
-                return;
+                let ch = self.routers[r].ports[port as usize].out_channel as usize;
+                if self.channels[ch].up {
+                    self.routers[r].ports[port as usize]
+                        .pending
+                        .push_back(Cand {
+                            in_port: in_port as u8,
+                            vc: vc as u8,
+                            passthrough: true,
+                        });
+                    return;
+                }
             }
         }
 
@@ -826,21 +1119,29 @@ impl Network {
             }
         }
 
-        // Candidate minimal ports toward the current objective.
-        let ports: &[u8] = match via {
-            Some(v) => {
-                let vi = match self.kind[v.index()] {
-                    Peer::Router { idx, .. } => idx as usize,
-                    Peer::Endpoint { .. } => unreachable!("via is always a router"),
-                };
-                &self.min_ports_rtr[r][vi]
+        // Candidate minimal ports toward the current objective. A Valiant
+        // intermediate severed by a fault is abandoned in favor of the
+        // direct minimal path; if the destination itself is unreachable
+        // the packet is dead-lettered rather than stranded.
+        let via_rtr = via.map(|v| match self.kind[v.index()] {
+            Peer::Router { idx, .. } => idx as usize,
+            Peer::Endpoint { .. } => unreachable!("via is always a router"),
+        });
+        if let Some(vi) = via_rtr {
+            if self.min_ports_rtr[r][vi].is_empty() {
+                self.packets[pid as usize].as_mut().expect("live").via = None;
+                self.stats.reroutes += 1;
+                via = None;
             }
-            None => &self.min_ports_ep[r][e],
+        }
+        let ports: &[u8] = match (via, via_rtr) {
+            (Some(_), Some(vi)) => &self.min_ports_rtr[r][vi],
+            _ => &self.min_ports_ep[r][e],
         };
-        assert!(
-            !ports.is_empty(),
-            "no route from router {r} to endpoint {dest}"
-        );
+        if ports.is_empty() {
+            self.dead_letter_head(r, in_port, vc);
+            return;
+        }
         let out = if ports.len() == 1 {
             ports[0]
         } else {
@@ -873,16 +1174,29 @@ impl Network {
             return;
         }
         let ch_idx = self.routers[r].ports[p].out_channel as usize;
-        if self.channels[ch_idx].busy_until > self.cycle {
+        if !self.channels[ch_idx].up || self.channels[ch_idx].busy_until > self.cycle {
             return;
         }
         let n = self.routers[r].ports[p].pending.len();
         for _ in 0..n {
-            let cand = *self.routers[r].ports[p].pending.front().expect("nonempty");
-            let pid = self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize].q[0];
-            let (flits, bytes, class, hops) = {
-                let pkt = self.packets[pid as usize].as_ref().expect("live");
-                (pkt.flits, pkt.bytes, pkt.class, pkt.hops)
+            let Some(&cand) = self.routers[r].ports[p].pending.front() else {
+                return;
+            };
+            // Under fault injection a candidate can go stale: its head was
+            // dead-lettered or already moved. Drop it instead of panicking.
+            let Some(&pid) = self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize]
+                .q
+                .front()
+            else {
+                self.routers[r].ports[p].pending.pop_front();
+                continue;
+            };
+            let Some((flits, bytes, class, hops)) = self.packets[pid as usize]
+                .as_ref()
+                .map(|pkt| (pkt.flits, pkt.bytes, pkt.class, pkt.hops))
+            else {
+                self.routers[r].ports[p].pending.pop_front();
+                continue;
             };
             let peer = self.routers[r].ports[p].peer;
             let out_vc = match peer {
@@ -897,11 +1211,7 @@ impl Network {
             };
             if self.routers[r].ports[p].credits[out_vc] < flits as i32 {
                 // Blocked: rotate and try the next candidate.
-                let c = self.routers[r].ports[p]
-                    .pending
-                    .pop_front()
-                    .expect("nonempty");
-                self.routers[r].ports[p].pending.push_back(c);
+                self.routers[r].ports[p].pending.rotate_left(1);
                 continue;
             }
 
@@ -922,6 +1232,9 @@ impl Network {
             self.channels[ch_idx].busy_until = self.cycle + ser;
             self.channels[ch_idx].bytes_moved += bytes as u64;
             self.channels[ch_idx].busy_cycles += ser;
+            if self.channels[ch_idx].degrade > 1 {
+                self.stats.retries += self.channels[ch_idx].degrade as u64 - 1;
+            }
 
             if let Some(tr) = tracer.as_deref_mut() {
                 let arrived = self.packets[pid as usize]
@@ -966,9 +1279,11 @@ impl Network {
             // Remove from the input buffer and return a credit upstream.
             {
                 let buf = &mut self.routers[r].ports[cand.in_port as usize].vcs[cand.vc as usize];
-                let popped = buf.q.pop_front().expect("head exists");
-                debug_assert_eq!(popped, pid);
-                buf.occ -= flits;
+                let popped = buf.q.pop_front();
+                debug_assert_eq!(popped, Some(pid));
+                if popped.is_some() {
+                    buf.occ -= flits;
+                }
             }
             let upstream = self.routers[r].ports[cand.in_port as usize].peer;
             match upstream {
@@ -1011,9 +1326,12 @@ impl Network {
             let Some(&pid) = self.endpoints[e].inject_q.front() else {
                 return;
             };
-            let (flits, bytes, class) = {
-                let pkt = self.packets[pid as usize].as_ref().expect("live");
-                (pkt.flits, pkt.bytes, pkt.class)
+            let Some((flits, bytes, class)) = self.packets[pid as usize]
+                .as_ref()
+                .map(|pkt| (pkt.flits, pkt.bytes, pkt.class))
+            else {
+                self.endpoints[e].inject_q.pop_front();
+                continue;
             };
             let vc = self.class_base(class); // hop 0
             let ch_idx = self.endpoints[e].inj_channel as usize;
@@ -1380,6 +1698,169 @@ mod tests {
             !net.inject_ready(eps[0]),
             "deep injection queue should report not-ready"
         );
+    }
+
+    /// A diamond: r0 reaches r3 via r1 or r2 (path diversity).
+    fn diamond() -> (Network, Vec<NodeId>) {
+        let mut b = NetworkBuilder::new(NocParams::default());
+        let rs: Vec<NodeId> = (0..4).map(|_| b.router()).collect();
+        b.link(rs[0], rs[1], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[1], rs[3], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[0], rs[2], LinkSpec::default(), LinkTag::HmcHmc);
+        b.link(rs[2], rs[3], LinkSpec::default(), LinkTag::HmcHmc);
+        let eps: Vec<NodeId> = rs.iter().map(|&r| b.endpoint(r)).collect();
+        (b.build(), eps)
+    }
+
+    #[test]
+    fn link_cut_reroutes_over_surviving_path() {
+        use memnet_common::faults::LinkClass;
+        let (mut net, eps) = diamond();
+        assert_eq!(net.count_links_of(LinkClass::HmcHmc), 4);
+        // Cut r0–r1; everything must flow r0→r2→r3.
+        net.set_link_state(0, false);
+        assert!(!net.link_is_up(0));
+        assert_eq!(net.links_down(), 1);
+        assert!(net.route_exists(eps[0], eps[3]));
+        for i in 0..50u64 {
+            net.inject(
+                eps[0],
+                eps[3],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
+        }
+        let mut delivered = 0;
+        while net.has_work() && net.cycle() < 100_000 {
+            net.tick();
+            while net.poll_eject(eps[3]).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 50, "all packets arrive over the survivor path");
+        assert_eq!(net.stats().dead_letters, 0);
+        assert!(net.poll_failed().is_none());
+    }
+
+    #[test]
+    fn mid_flight_cut_reroutes_pending_heads() {
+        let (mut net, eps) = diamond();
+        for i in 0..100u64 {
+            net.inject(
+                eps[0],
+                eps[3],
+                MsgClass::Req,
+                payload(256, AccessKind::Write, i),
+                false,
+            );
+        }
+        // Let traffic spread over both paths, then cut one mid-stream.
+        for _ in 0..40 {
+            net.tick();
+        }
+        net.set_link_state(1, false); // r1–r3 dies with heads en route
+        let mut delivered = 0;
+        while net.has_work() && net.cycle() < 200_000 {
+            net.tick();
+            while net.poll_eject(eps[3]).is_some() {
+                delivered += 1;
+            }
+            while net.poll_eject(eps[1]).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 100, "cut must not strand committed traffic");
+        assert!(!net.has_work());
+    }
+
+    #[test]
+    fn full_cut_dead_letters_instead_of_hanging() {
+        let (mut net, eps) = line(2);
+        for i in 0..10u64 {
+            net.inject(
+                eps[0],
+                eps[1],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
+        }
+        net.set_link_state(0, false);
+        assert!(!net.route_exists(eps[0], eps[1]));
+        while net.has_work() && net.cycle() < 100_000 {
+            net.tick();
+            while net.poll_eject(eps[1]).is_some() {}
+            while net.poll_failed().is_some() {}
+        }
+        assert!(!net.has_work(), "network must drain via dead-letters");
+        let total = net.stats().delivered + net.stats().dead_letters;
+        assert_eq!(total, 10, "every packet delivered or accounted as failed");
+        assert!(net.stats().dead_letters > 0, "the cut must fail some");
+    }
+
+    #[test]
+    fn link_up_restores_service() {
+        let (mut net, eps) = line(2);
+        net.set_link_state(0, false);
+        net.set_link_state(0, true);
+        assert!(net.route_exists(eps[0], eps[1]));
+        net.inject(
+            eps[0],
+            eps[1],
+            MsgClass::Req,
+            payload(128, AccessKind::Read, 1),
+            false,
+        );
+        let mut ok = false;
+        for _ in 0..500 {
+            net.tick();
+            if net.poll_eject(eps[1]).is_some() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "restored link must carry traffic again");
+        assert_eq!(net.stats().dead_letters, 0);
+    }
+
+    #[test]
+    fn degraded_link_pays_retransmit_latency() {
+        let run = |factor: u32| -> (u64, u64) {
+            let (mut net, eps) = line(2);
+            net.degrade_link(0, factor);
+            net.inject(
+                eps[0],
+                eps[1],
+                MsgClass::Req,
+                payload(256, AccessKind::Write, 1),
+                false,
+            );
+            for _ in 0..10_000 {
+                net.tick();
+                if let Some(p) = net.poll_eject(eps[1]) {
+                    return (p.latency_cycles, net.stats().retries);
+                }
+            }
+            panic!("not delivered");
+        };
+        let (clean, retries_clean) = run(1);
+        let (degraded, retries_deg) = run(4);
+        assert!(
+            degraded > clean,
+            "BER 4x ({degraded}) must be slower than clean ({clean})"
+        );
+        assert_eq!(retries_clean, 0);
+        assert!(retries_deg > 0, "degraded traversals count retries");
+    }
+
+    #[test]
+    fn resolve_link_wraps_ordinal_over_population() {
+        use memnet_common::faults::LinkClass;
+        let (net, _) = diamond();
+        assert_eq!(net.resolve_link(LinkClass::HmcHmc, 1), Some(1));
+        assert_eq!(net.resolve_link(LinkClass::HmcHmc, 5), Some(1));
+        assert_eq!(net.resolve_link(LinkClass::Pcie, 0), None);
     }
 
     #[test]

@@ -139,6 +139,18 @@ pub enum TraceEventKind {
         /// Idle edges fast-forwarded over.
         skipped: u64,
     },
+    /// A fault-plan event was applied to the live system (instant on a
+    /// dedicated "faults" track).
+    Fault {
+        /// Fault kind name (`"link-down"`, `"vault-stall"`,
+        /// `"gpu-loss"`, ...).
+        kind: &'static str,
+        /// Kind-specific target (link index, HMC id, GPU id).
+        target: u64,
+        /// Kind-specific detail (degrade factor, stall tCKs, vault
+        /// index; 0 when not applicable).
+        detail: u64,
+    },
 }
 
 /// One recorded event, timestamped in femtoseconds of simulated time.
@@ -319,6 +331,7 @@ const TID_PHASES: u64 = 0;
 const TID_NET_ENDPOINTS: u64 = 1;
 const TID_SKE: u64 = 2;
 const TID_ENGINE: u64 = 3;
+const TID_FAULTS: u64 = 4;
 const TID_ROUTER_BASE: u64 = 100;
 const TID_GPU_BASE: u64 = 10_000;
 const TID_HMC_BASE: u64 = 20_000;
@@ -340,6 +353,7 @@ fn tid_of(kind: &TraceEventKind) -> (u64, &'static str, Option<u64>) {
         }
         TraceEventKind::CtaSteal { .. } => (TID_SKE, "ske", None),
         TraceEventKind::EngineWake { .. } => (TID_ENGINE, "engine", None),
+        TraceEventKind::Fault { .. } => (TID_FAULTS, "faults", None),
         TraceEventKind::VaultService { hmc, .. } => {
             (TID_HMC_BASE + *hmc as u64, "hmc ", Some(*hmc as u64))
         }
@@ -489,6 +503,19 @@ fn write_event(w: &mut JsonWriter, ev: &TraceEvent) {
             w.field("skipped", skipped);
             w.end_object();
         }
+        TraceEventKind::Fault {
+            kind,
+            target,
+            detail,
+        } => {
+            event_head(w, kind, "fault", "i", ts, tid);
+            w.field("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field("target", target);
+            w.field("detail", detail);
+            w.end_object();
+        }
     }
     w.end_object();
 }
@@ -574,6 +601,37 @@ mod tests {
             timed += 1;
         }
         assert_eq!(timed, 3);
+    }
+
+    #[test]
+    fn fault_events_land_on_their_own_track() {
+        let mut t = Tracer::new(4);
+        t.emit_fs(
+            5_000_000,
+            0,
+            TraceEventKind::Fault {
+                kind: "link-down",
+                target: 3,
+                detail: 0,
+            },
+        );
+        let json = t.to_chrome_json(None);
+        let v = parse(&json).expect("valid JSON");
+        let evs = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        let fault = evs
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("link-down"))
+            .expect("fault event present");
+        assert_eq!(fault.get("cat").and_then(JsonValue::as_str), Some("fault"));
+        assert!(
+            evs.iter()
+                .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                    && e.get("tid").and_then(JsonValue::as_f64) == Some(4.0)),
+            "faults thread-name metadata present"
+        );
     }
 
     #[test]

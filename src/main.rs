@@ -10,11 +10,15 @@
 //! memnet list
 //! ```
 
+use memnet::common::time::ns_to_fs;
+use memnet::common::FaultPlan;
 use memnet::engine::{run_jobs, PoolConfig};
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
 use memnet::obs::JsonWriter;
-use memnet::sim::{CtaPolicy, Organization, PlacementPolicy, SimBuilder, SimReport};
+use memnet::sim::{
+    plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, SimBuilder, SimReport,
+};
 use memnet::workloads::Workload;
 use std::process::ExitCode;
 
@@ -44,6 +48,12 @@ OPTIONS:
   --small              use the tiny workload variant
   --seconds-budget <S> simulated-time budget per phase in ms (default 20)
   --json               print the report as JSON
+  --faults <FILE>      inject a JSON fault plan (link cuts, BER degradation,
+                       vault stalls, GPU loss — see DESIGN.md, Fault model)
+  --chaos-seed <N>     inject a seeded random fault plan; the same seed
+                       always produces the same failures
+  --engine <E>         cycle | event — simulation engine (default event;
+                       the MEMNET_ENGINE env var sets the fallback)
   --trace <FILE>       write a Chrome trace (chrome://tracing / Perfetto)
   --trace-events <N>   tracer ring-buffer capacity in events (default 1M)
   --metrics-every <N>  snapshot metrics every N network cycles (with
@@ -136,6 +146,22 @@ fn print_table(r: &SimReport) {
             g.l2_hit_rate * 100.0
         );
     }
+    if r.faults_injected + r.faults_skipped > 0 {
+        println!(
+            "faults           : {:>14} injected ({} skipped)",
+            r.faults_injected, r.faults_skipped
+        );
+        println!(
+            "  recovery       : {} reroutes, {} retries, {} dead letters, {} failed requests",
+            r.reroutes, r.retries, r.dead_letters, r.failed_requests
+        );
+        if r.lost_gpus > 0 {
+            println!(
+                "  degraded mode  : {} GPU(s) lost, {} CTAs rebalanced",
+                r.lost_gpus, r.rebalanced_ctas
+            );
+        }
+    }
     if r.timed_out {
         println!("WARNING: simulation hit its phase budget before finishing");
     }
@@ -159,6 +185,14 @@ fn print_json(r: &SimReport) {
     w.field("avg_hops", &r.avg_hops);
     w.field("row_hit_rate", &r.row_hit_rate);
     w.field("timed_out", &r.timed_out);
+    w.field("faults_injected", &r.faults_injected);
+    w.field("faults_skipped", &r.faults_skipped);
+    w.field("reroutes", &r.reroutes);
+    w.field("retries", &r.retries);
+    w.field("dead_letters", &r.dead_letters);
+    w.field("failed_requests", &r.failed_requests);
+    w.field("rebalanced_ctas", &r.rebalanced_ctas);
+    w.field("lost_gpus", &r.lost_gpus);
     // Keep stdout one valid JSON document: metrics nest under the
     // report instead of being printed as a second top-level object.
     if let Some(m) = &r.metrics_json {
@@ -292,6 +326,9 @@ fn run_cmd(args: &[String]) -> ExitCode {
     let mut trace_file: Option<String> = None;
     let mut trace_events = 1_000_000usize;
     let mut metrics_every: Option<u64> = None;
+    let mut faults = FaultPlan::new();
+    let mut chaos_seed: Option<u64> = None;
+    let mut engine: Option<EngineMode> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -359,6 +396,38 @@ fn run_cmd(args: &[String]) -> ExitCode {
                 Some(n) if n > 0 => metrics_every = Some(n),
                 _ => return usage(),
             },
+            "--faults" => match value("--faults") {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read fault plan {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match plan_from_json(&text) {
+                        Ok(plan) => {
+                            for ev in plan.events() {
+                                faults.push(ev.at_fs, ev.kind.clone());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("bad fault plan {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => return usage(),
+            },
+            "--chaos-seed" => match value("--chaos-seed").and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_seed = Some(n),
+                None => return usage(),
+            },
+            "--engine" => match value("--engine").as_deref() {
+                Some("cycle" | "cycle-stepped") => engine = Some(EngineMode::CycleStepped),
+                Some("event" | "event-driven") => engine = Some(EngineMode::EventDriven),
+                _ => return usage(),
+            },
             _ => {
                 eprintln!("unknown option {a}");
                 return usage();
@@ -388,6 +457,21 @@ fn run_cmd(args: &[String]) -> ExitCode {
     }
     if let Some(n) = metrics_every {
         b = b.metrics_every(n);
+    }
+    if let Some(seed) = chaos_seed {
+        // Seeded chaos: a dozen failures spread over the first couple of
+        // simulated microseconds, early enough to land while even the
+        // --small workloads are still in flight.
+        let plan = FaultPlan::random(seed, 12, gpus as usize, ns_to_fs(2_000.0));
+        for ev in plan.events() {
+            faults.push(ev.at_fs, ev.kind.clone());
+        }
+    }
+    if !faults.is_empty() {
+        b = b.faults(faults);
+    }
+    if let Some(mode) = engine {
+        b = b.engine(mode);
     }
     let r = match b.try_run() {
         Ok(r) => r,

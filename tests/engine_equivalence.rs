@@ -41,6 +41,29 @@ fn assert_identical(cycle: &SimReport, event: &SimReport, label: &str) {
     assert_eq!(cycle.nonminimal, event.nonminimal, "{label}: nonminimal");
     assert_eq!(cycle.timed_out, event.timed_out, "{label}: timed_out");
     assert_eq!(
+        cycle.faults_injected, event.faults_injected,
+        "{label}: faults_injected"
+    );
+    assert_eq!(
+        cycle.faults_skipped, event.faults_skipped,
+        "{label}: faults_skipped"
+    );
+    assert_eq!(cycle.reroutes, event.reroutes, "{label}: reroutes");
+    assert_eq!(cycle.retries, event.retries, "{label}: retries");
+    assert_eq!(
+        cycle.dead_letters, event.dead_letters,
+        "{label}: dead_letters"
+    );
+    assert_eq!(
+        cycle.failed_requests, event.failed_requests,
+        "{label}: failed_requests"
+    );
+    assert_eq!(
+        cycle.rebalanced_ctas, event.rebalanced_ctas,
+        "{label}: rebalanced_ctas"
+    );
+    assert_eq!(cycle.lost_gpus, event.lost_gpus, "{label}: lost_gpus");
+    assert_eq!(
         cycle.channel_utilization, event.channel_utilization,
         "{label}: channel_utilization"
     );
@@ -174,10 +197,14 @@ fn trace_and_metrics_streams_are_byte_identical() {
 
 #[test]
 fn engine_wake_events_only_appear_when_asked() {
+    // Pinned to the event engine: wake events only exist where domains
+    // park, and the MEMNET_ENGINE env var may override the default.
     let plain = small(Organization::Pcie, Workload::VecAdd)
+        .engine(EngineMode::EventDriven)
         .trace(1 << 16)
         .run();
     let verbose = small(Organization::Pcie, Workload::VecAdd)
+        .engine(EngineMode::EventDriven)
         .trace(1 << 16)
         .trace_engine(true)
         .run();
@@ -194,6 +221,55 @@ fn engine_wake_events_only_appear_when_asked() {
     // The physics must not care about the extra instrumentation.
     assert_eq!(plain.kernel_ns, verbose.kernel_ns);
     assert_eq!(plain.traffic, verbose.traffic);
+}
+
+#[test]
+fn fault_plans_are_bit_identical_across_engines() {
+    // Acceptance criterion: an identical fault plan plus seed must yield
+    // bit-identical reports from both engines. Faults are pinned to owner
+    // clock edges, so the event-driven engine must wake parked domains
+    // exactly there — any drift shows up as differing counters here.
+    use memnet::common::time::ns_to_fs;
+    use memnet::common::{FaultKind, FaultPlan, LinkClass};
+
+    let mut plan = FaultPlan::new();
+    plan.push(
+        ns_to_fs(20.0),
+        FaultKind::LinkDown {
+            class: LinkClass::HmcHmc,
+            ordinal: 0,
+        },
+    );
+    plan.push(
+        ns_to_fs(40.0),
+        FaultKind::VaultStall {
+            hmc: 0,
+            vault: 3,
+            stall_tcks: 2_000,
+        },
+    );
+    plan.push(ns_to_fs(60.0), FaultKind::GpuLoss { gpu: 1 });
+    for org in [Organization::Umn, Organization::Gmn, Organization::Pcie] {
+        let (c, e) = both(small(org, Workload::VecAdd).faults(plan.clone()));
+        assert!(!c.timed_out, "{}: faulted run timed out", org.name());
+        assert!(c.faults_injected > 0, "{}: plan never fired", org.name());
+        assert_identical(&c, &e, &format!("faulted/{}", org.name()));
+    }
+
+    // Seeded chaos plans must agree too, including the trace/metrics
+    // streams that record the injections.
+    let chaos = FaultPlan::random(0xC0FFEE, 8, 2, ns_to_fs(500.0));
+    let b = small(Organization::Umn, Workload::Bp)
+        .faults(chaos)
+        .trace(1 << 16)
+        .metrics_every(500);
+    let (c, e) = both(b);
+    assert_identical(&c, &e, "chaos/umn");
+    assert_eq!(c.trace_json, e.trace_json, "chaos trace streams differ");
+    assert_eq!(
+        c.metrics_json, e.metrics_json,
+        "chaos metrics streams differ"
+    );
 }
 
 #[test]
