@@ -100,6 +100,16 @@ impl Clock {
         cycles * self.period_fs
     }
 
+    /// True while the clock sits on the invariant `next_fs == cycles *
+    /// period_fs` that [`Clock::new`] establishes and every mutator must
+    /// preserve. The runtime sanitizer audits this after each engine
+    /// timestep; a violation means a fast-forward or wake desynchronized
+    /// the edge grid.
+    #[inline]
+    pub fn edge_aligned(&self) -> bool {
+        self.next_fs == self.cycles * self.period_fs
+    }
+
     /// Fast-forwards the clock so its next tick is the first edge at or
     /// after `t` (or leaves it alone if already there). Returns the number
     /// of edges skipped — edges the domain would have ticked through as
@@ -134,6 +144,16 @@ impl Default for Clock {
     fn default() -> Self {
         Clock::new(FS_PER_NS)
     }
+}
+
+/// Narrows a 64-bit count to `u32`, panicking with a labelled message on
+/// overflow instead of silently truncating. Use this at domain edges where
+/// a wire format or stats field is narrower than the internal counter; the
+/// `memnet-lint` `fs-narrowing` rule rejects the bare `as` cast this
+/// replaces.
+#[inline]
+pub fn narrow_u32(v: u64, what: &str) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("{what} overflows u32: {v}"))
 }
 
 /// Finds the time of the earliest pending tick across several clocks.
@@ -223,6 +243,29 @@ mod tests {
             stepped.advance();
         }
         assert_eq!(ff, stepped);
+    }
+
+    #[test]
+    fn edge_alignment_survives_all_mutators() {
+        let mut c = Clock::new(7);
+        assert!(c.edge_aligned());
+        c.advance();
+        assert!(c.edge_aligned());
+        c.fast_forward_at_or_after(100);
+        assert!(c.edge_aligned());
+        c.fast_forward_after(200);
+        assert!(c.edge_aligned());
+    }
+
+    #[test]
+    fn narrow_u32_passes_in_range() {
+        assert_eq!(narrow_u32(u32::MAX as u64, "x"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop count overflows u32")]
+    fn narrow_u32_panics_on_overflow() {
+        let _ = narrow_u32(u32::MAX as u64 + 1, "hop count");
     }
 
     #[test]

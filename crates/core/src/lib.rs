@@ -29,10 +29,12 @@
 
 pub mod faults;
 pub mod memory;
+pub mod sanitize;
 pub mod ske;
 pub mod system;
 
 pub use faults::{plan_from_json, plan_to_json};
 pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
+pub use sanitize::{SanitizeMode, SanitizerReport};
 pub use ske::CtaPolicy;
 pub use system::{EngineMode, GpuSummary, Organization, SimBuilder, SimError, SimReport};

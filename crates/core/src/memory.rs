@@ -18,7 +18,7 @@
 
 use memnet_common::{SplitMix64, SystemConfig};
 use memnet_hmc::mapping::{AddressMap, Location};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How fresh pages pick a cluster from their region's allowed set.
 ///
@@ -53,7 +53,7 @@ struct Region {
 pub struct MemoryLayout {
     map: AddressMap,
     regions: Vec<Region>,
-    page_table: HashMap<u64, u64>,
+    page_table: BTreeMap<u64, u64>,
     next_seq: Vec<u64>,
     page_bytes: u64,
     rng: SplitMix64,
@@ -67,7 +67,7 @@ impl MemoryLayout {
         MemoryLayout {
             map: AddressMap::with_clusters(cfg, n_clusters),
             regions: Vec::new(),
-            page_table: HashMap::new(),
+            page_table: BTreeMap::new(),
             next_seq: vec![0; n_clusters as usize],
             page_bytes: cfg.page_bytes,
             rng: SplitMix64::new(cfg.seed ^ 0x9A6E),

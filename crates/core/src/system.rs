@@ -13,6 +13,7 @@
 
 use crate::faults::{resolve_plan, FaultAction, FaultOwners, ResolvedFault};
 use crate::memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
+use crate::sanitize::{SanitizeMode, Sanitizer, SanitizerReport};
 use crate::ske::{self, CtaPolicy};
 use memnet_common::stats::TrafficMatrix;
 use memnet_common::time::{fs_to_ns, Fs};
@@ -26,7 +27,9 @@ use memnet_hmc::mapping::Location;
 use memnet_hmc::HmcDevice;
 use memnet_noc::topo::{add_cpu_overlay, add_pcie_tree, build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::{LinkSpec, LinkTag, MsgClass, Network, NetworkBuilder, NocParams, RoutingPolicy};
-use memnet_obs::{ClockDomain, MetricSink, MetricsRegistry, ToJson, TraceEventKind, Tracer};
+use memnet_obs::{
+    ClockDomain, JsonWriter, MetricSink, MetricsRegistry, ToJson, TraceEventKind, Tracer,
+};
 use memnet_workloads::{HostWork, WorkloadSpec};
 use std::collections::VecDeque;
 
@@ -232,12 +235,70 @@ pub struct SimReport {
     /// Metrics-registry JSON (counters, gauges, epochs), when periodic
     /// snapshots were enabled with [`SimBuilder::metrics_every`].
     pub metrics_json: Option<String>,
+    /// Invariant-audit results, when the runtime sanitizer was enabled
+    /// with [`SimBuilder::sanitize`] or `MEMNET_SANITIZE`.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl SimReport {
     /// Total runtime (memcpy + kernel + host), ns.
     pub fn total_ns(&self) -> f64 {
         self.memcpy_ns + self.kernel_ns + self.host_ns
+    }
+
+    /// Serializes the report as one pretty-printed JSON document.
+    ///
+    /// Uses `memnet_obs::JsonWriter`, which keeps this struct free of
+    /// serde bounds while still escaping strings and mapping non-finite
+    /// floats to null. Metrics epochs (when recorded) nest under
+    /// `"metrics"` and sanitizer findings under `"sanitizer"`, so stdout
+    /// consumers always get a single top-level object.
+    pub fn to_json_string(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field("workload", self.workload);
+        w.field("org", self.org.name());
+        w.field("kernel_ns", &self.kernel_ns);
+        w.field("memcpy_ns", &self.memcpy_ns);
+        w.field("host_ns", &self.host_ns);
+        w.field("total_ns", &self.total_ns());
+        w.field("energy_mj", &self.energy_mj);
+        w.field("l1_hit_rate", &self.l1_hit_rate);
+        w.field("l2_hit_rate", &self.l2_hit_rate);
+        w.field("avg_pkt_latency_ns", &self.avg_pkt_latency_ns);
+        w.field("avg_hops", &self.avg_hops);
+        w.field("row_hit_rate", &self.row_hit_rate);
+        w.field("timed_out", &self.timed_out);
+        w.field("faults_injected", &self.faults_injected);
+        w.field("faults_skipped", &self.faults_skipped);
+        w.field("reroutes", &self.reroutes);
+        w.field("retries", &self.retries);
+        w.field("dead_letters", &self.dead_letters);
+        w.field("failed_requests", &self.failed_requests);
+        w.field("rebalanced_ctas", &self.rebalanced_ctas);
+        w.field("lost_gpus", &self.lost_gpus);
+        if let Some(s) = &self.sanitizer {
+            w.key("sanitizer");
+            w.begin_object();
+            w.field("checks", &s.checks);
+            w.field("clean", &s.is_clean());
+            w.key("violations");
+            w.begin_array();
+            for v in &s.violations {
+                w.value(v.as_str());
+            }
+            w.end_array();
+            w.field("violations_dropped", &s.dropped);
+            w.end_object();
+        }
+        if let Some(m) = &self.metrics_json {
+            if let Ok(v) = memnet_obs::parse(m) {
+                w.key("metrics");
+                w.value(&v);
+            }
+        }
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -261,6 +322,7 @@ pub struct SimBuilder {
     engine_mode: EngineMode,
     trace_engine: bool,
     faults: FaultPlan,
+    sanitize: SanitizeMode,
 }
 
 impl SimBuilder {
@@ -287,7 +349,18 @@ impl SimBuilder {
             engine_mode: EngineMode::from_env(),
             trace_engine: false,
             faults: FaultPlan::new(),
+            sanitize: SanitizeMode::from_env(),
         }
+    }
+
+    /// Enables the runtime invariant sanitizer (default: resolved from
+    /// `MEMNET_SANITIZE` — see [`SanitizeMode::from_env`]). Conservation
+    /// laws are audited at domain edges while the simulation runs and the
+    /// findings land in [`SimReport::sanitizer`]; [`SanitizeMode::Fatal`]
+    /// panics at the end of a run that violated any invariant.
+    pub fn sanitize(mut self, mode: SanitizeMode) -> Self {
+        self.sanitize = mode;
+        self
     }
 
     /// Installs a deterministic fault plan. Events resolve against the
@@ -517,6 +590,8 @@ struct System {
     lost_gpus: u64,
 
     tracer: Option<Tracer>,
+    /// Runtime invariant auditor; `None` unless sanitizing.
+    san: Option<Sanitizer>,
     metrics: Option<MetricsRegistry>,
     /// Network cycles between metrics epochs; 0 disables snapshots.
     metrics_every: u64,
@@ -762,6 +837,10 @@ impl System {
             rebalanced_ctas: 0,
             lost_gpus: 0,
             tracer,
+            san: b
+                .sanitize
+                .enabled()
+                .then(|| Sanitizer::new(b.sanitize == SanitizeMode::Fatal)),
             metrics: (metrics_every > 0).then(MetricsRegistry::new),
             metrics_every,
             next_epoch: metrics_every,
@@ -832,6 +911,7 @@ impl System {
             let skipped = self.cal.catch_up_parked(d, self.now);
             self.apply_skip(d, skipped);
         }
+        self.sanitize_checkpoint("end-of-run");
         if self.metrics.is_some() {
             // Close the run with a final epoch so short runs get at least one.
             self.snapshot_metrics();
@@ -901,6 +981,7 @@ impl System {
                 .as_ref()
                 .map(|t| t.to_chrome_json(self.metrics.as_ref())),
             metrics_json: self.metrics.as_ref().map(ToJson::to_json_pretty),
+            sanitizer: self.san.take().map(Sanitizer::into_report),
         }
     }
 
@@ -910,6 +991,43 @@ impl System {
         if let Some(t) = tracer {
             t.emit_fs(start, now - start, TraceEventKind::Phase { name });
         }
+    }
+
+    /// Full structural audit at a phase boundary: fabric credit and packet
+    /// conservation plus calendar edge alignment. The only place the
+    /// sanitizer's check counter advances — phase boundaries are reached
+    /// identically under both [`EngineMode`]s, so clean reports stay
+    /// bit-identical across engines (per-tick audit *counts* would not be:
+    /// the event-driven engine skips idle ticks).
+    fn sanitize_checkpoint(&mut self, phase: &'static str) {
+        let Some(mut s) = self.san.take() else {
+            return;
+        };
+        s.checkpoint();
+        let mut found: Vec<String> = self
+            .net
+            .audit()
+            .into_iter()
+            .map(|v| format!("{phase}: net: {v}"))
+            .collect();
+        for d in self.cal.misaligned() {
+            found.push(format!(
+                "{phase}: clock domain {} fell off its edge grid (next_fs != cycles * period_fs)",
+                domain::name(d)
+            ));
+        }
+        for v in found {
+            let (now, tracer) = (self.now, self.tracer.as_mut());
+            if let Some(t) = tracer {
+                t.emit_fs(
+                    now,
+                    0,
+                    TraceEventKind::SanitizerViolation { message: v.clone() },
+                );
+            }
+            s.record(v);
+        }
+        self.san = Some(s);
     }
 
     /// Publishes live gauges plus cumulative counters and records one epoch.
@@ -979,15 +1097,33 @@ impl System {
         }
         let stream: CpuStream = w.stream();
         self.cpu.run_program(stream);
-        self.run_phase(|s| !s.cpu.busy() && Self::memory_system_idle(s))
+        let t = self.run_phase(|s| !s.cpu.busy() && Self::memory_system_idle(s));
+        self.sanitize_checkpoint("host");
+        t
     }
 
     fn run_memcpy_phase(&mut self, src: u64, dst: u64, bytes: u64) -> Fs {
         if bytes == 0 {
             return 0;
         }
+        let copied_before = self.dma.bytes_copied();
         self.dma.start_copy(src, dst, bytes);
-        self.run_phase(|s| !s.dma.busy() && Self::memory_system_idle(s))
+        let t = self.run_phase(|s| !s.dma.busy() && Self::memory_system_idle(s));
+        self.sanitize_checkpoint("memcpy");
+        if let Some(s) = self.san.as_mut() {
+            // Byte conservation: a completed copy moved exactly what was
+            // asked for, even when fail-fast recovery synthesized some of
+            // the read responses. Skipped if any phase ran out of budget —
+            // a truncated copy is reported via `timed_out`, not here.
+            let copied = self.dma.bytes_copied() - copied_before;
+            if !self.timed_out && copied != bytes {
+                s.record(format!(
+                    "memcpy: byte conservation broken: copied {copied} of {bytes} \
+                     requested ({src:#x} -> {dst:#x})"
+                ));
+            }
+        }
+        t
     }
 
     fn run_kernel_phase(&mut self) -> Fs {
@@ -1005,6 +1141,9 @@ impl System {
             self.cta_policy,
         );
         for (qi, q) in queues.into_iter().enumerate() {
+            if let Some(s) = self.san.as_mut() {
+                s.ctas_launched += q.len() as u64;
+            }
             self.gpus[live[qi]].launch(self.workload.kernel.clone(), q);
         }
         // Concurrent kernel execution: co-launch the extra kernels with
@@ -1017,6 +1156,9 @@ impl System {
             ));
             let queues = ske::partition(cw.kernel.ctas, live.len() as u32, self.cta_policy);
             for (qi, q) in queues.into_iter().enumerate() {
+                if let Some(s) = self.san.as_mut() {
+                    s.ctas_launched += q.len() as u64;
+                }
                 self.gpus[live[qi]].launch(model.clone(), q);
             }
         }
@@ -1043,6 +1185,22 @@ impl System {
             if self.now - start > self.phase_budget {
                 self.timed_out = true;
                 break;
+            }
+        }
+        self.sanitize_checkpoint("kernel");
+        if let Some(s) = self.san.as_mut() {
+            // CTA conservation: every CTA handed to a GPU either retired
+            // or was dropped with a dead GPU when no survivor could adopt
+            // it (rebalanced CTAs retire on their adoptive GPU). Skipped
+            // on budget exhaustion — an unfinished kernel legitimately
+            // leaves CTAs resident.
+            let done: u64 = self.gpus.iter().map(|g| g.stats().ctas_done).sum();
+            if !self.timed_out && done + s.ctas_dropped != s.ctas_launched {
+                s.record(format!(
+                    "kernel: CTA conservation broken: launched {} != completed {} \
+                     + dropped-with-dead-gpu {}",
+                    s.ctas_launched, done, s.ctas_dropped
+                ));
             }
         }
         self.now - start
@@ -1181,6 +1339,7 @@ impl System {
             .front()
             .is_some_and(|f| f.edge_fs <= self.now)
         {
+            // memnet-lint: allow(tick-unwrap, the pop follows a front() check in the loop condition)
             let f = self.fault_q[d].pop_front().expect("checked front");
             self.apply_fault(&f);
         }
@@ -1230,6 +1389,11 @@ impl System {
             .filter(|&i| !self.gpus[i].is_dead())
             .collect();
         if survivors.is_empty() || orphans.is_empty() {
+            if let Some(s) = self.san.as_mut() {
+                // No adoptive GPU: the orphans are gone for good, and the
+                // CTA conservation law must account for them.
+                s.ctas_dropped += orphans.len() as u64;
+            }
             return;
         }
         self.rebalanced_ctas += orphans.len() as u64;
@@ -1371,6 +1535,24 @@ impl System {
                 self.pump_into_network();
                 self.net.tick_traced(self.tracer.as_mut());
                 self.pump_out_of_network();
+                if let Some(s) = self.san.as_mut() {
+                    // O(1) per-tick law (the full credit audit is saved
+                    // for phase boundaries): nothing the fabric accepted
+                    // may leak or duplicate, at any cycle.
+                    let st = self.net.stats();
+                    let accounted = st.delivered + self.net.in_flight() + st.dead_letters;
+                    if st.packets_injected != accounted {
+                        s.record(format!(
+                            "net cycle {}: packet conservation broken: injected {} != \
+                             delivered {} + in-flight {} + dead-letters {}",
+                            self.net.cycle(),
+                            st.packets_injected,
+                            st.delivered,
+                            self.net.in_flight(),
+                            st.dead_letters
+                        ));
+                    }
+                }
                 if self.metrics.is_some() && self.net.cycle() >= self.next_epoch {
                     self.next_epoch = self.net.cycle() + self.metrics_every;
                     self.snapshot_metrics();

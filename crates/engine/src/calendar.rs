@@ -162,6 +162,18 @@ impl Calendar {
     pub fn stats(&self) -> CalendarStats {
         self.stats
     }
+
+    /// Domains whose clocks have fallen off the `next_fs == cycles *
+    /// period_fs` edge grid. Always empty unless a fast-forward or wake
+    /// has a bug; the runtime sanitizer polls this after every timestep.
+    pub fn misaligned(&self) -> Vec<usize> {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.edge_aligned())
+            .map(|(d, _)| d)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +277,18 @@ mod tests {
             c.clock(0).next_fs(),
             c.clock(0).cycles() * c.clock(0).period_fs()
         );
+    }
+
+    #[test]
+    fn misaligned_is_empty_through_park_wake_cycles() {
+        let mut c = cal();
+        assert!(c.misaligned().is_empty());
+        c.advance(0);
+        c.park(0);
+        c.wake_after(0, 123);
+        c.park(1);
+        c.catch_up_parked(1, 456);
+        assert!(c.misaligned().is_empty());
     }
 
     #[test]

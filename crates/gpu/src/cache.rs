@@ -6,7 +6,7 @@
 //! cache is timing-only (tags, no data).
 
 use memnet_common::config::CacheConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hit/miss counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -185,7 +185,7 @@ pub type Waiter = u32;
 /// bounds outstanding misses.
 #[derive(Debug)]
 pub struct MshrTable {
-    map: HashMap<u64, Vec<Waiter>>,
+    map: BTreeMap<u64, Vec<Waiter>>,
     cap: usize,
 }
 
@@ -204,7 +204,7 @@ impl MshrTable {
     /// Creates a table with capacity for `cap` distinct lines.
     pub fn new(cap: usize) -> Self {
         MshrTable {
-            map: HashMap::with_capacity(cap),
+            map: BTreeMap::new(),
             cap,
         }
     }

@@ -13,7 +13,7 @@ use crate::sm::{L2Req, Sm, SmStats};
 use memnet_common::config::GpuConfig;
 use memnet_common::{AccessKind, Agent, GpuId, MemReq, MemResp, ReqId};
 use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Where a memory response must be delivered inside the GPU.
@@ -54,7 +54,7 @@ pub struct Gpu {
     /// Off-chip requests awaiting the memory port (virtual addresses).
     mem_out: VecDeque<MemReq>,
     mem_out_cap: usize,
-    resp_routes: HashMap<ReqId, RespRoute>,
+    resp_routes: BTreeMap<ReqId, RespRoute>,
     next_req: u64,
     /// CTAs assigned by the SKE runtime, not yet dispatched. Each entry
     /// carries its kernel so several kernels can be co-resident
@@ -99,7 +99,7 @@ impl Gpu {
             xbar_latency: cfg.xbar_latency as u64,
             mem_out: VecDeque::new(),
             mem_out_cap: 64,
-            resp_routes: HashMap::new(),
+            resp_routes: BTreeMap::new(),
             next_req: 0,
             pending_ctas: VecDeque::new(),
             core_cycle: 0,
@@ -706,7 +706,7 @@ mod tests {
             gap: 1,
         });
         g.launch(k, 0..4);
-        let mut ids = std::collections::HashSet::new();
+        let mut ids = std::collections::BTreeSet::new();
         let mut now = 0u64;
         let mut pending: VecDeque<(u64, MemReq)> = VecDeque::new();
         while g.busy() && now < 1_000_000 {

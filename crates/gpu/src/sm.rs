@@ -289,6 +289,7 @@ impl Sm {
                         let op = self.slots[i]
                             .stream
                             .as_mut()
+                            // memnet-lint: allow(tick-unwrap, a Ready slot always carries its CTA stream until retirement)
                             .expect("ready slot has stream")
                             .next();
                         match op {

@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn page_for_cluster_is_injective() {
         let m = map();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for cluster in 0..4 {
             for seq in 0..1000u64 {
                 assert!(

@@ -1,0 +1,732 @@
+//! memnet-lint: a determinism and hygiene lint for the memnet workspace.
+//!
+//! The repo's core guarantee — bit-identical reports and traces for the
+//! same seed under both engine modes (DESIGN §5) — dies quietly the first
+//! time someone iterates a `HashMap` in a tick path or reads the wall
+//! clock inside the simulation. This crate is the static half of the
+//! defense (the runtime half is `MEMNET_SANITIZE` in `memnet-core`): a
+//! zero-registry-dependency, line-oriented scanner over the workspace
+//! source, in the same hermetic-build spirit as `memnet-obs`'s hand-rolled
+//! JSON. It is *not* a Rust parser; it strips comments and string
+//! literals, tracks brace depth to skip `#[cfg(test)]` modules, tracks the
+//! enclosing `fn` name, and pattern-matches the rest. That is enough to
+//! enforce the rules below with zero false positives on this codebase,
+//! and the suppression syntax covers the rest.
+//!
+//! # Rules
+//!
+//! | rule | what it flags |
+//! |------|---------------|
+//! | `hash-collection` | any `HashMap`/`HashSet` mention in non-test sim code (random SipHash seeds ⇒ nondeterministic iteration order); use `BTreeMap`/`BTreeSet` or prove lookup-only use and suppress |
+//! | `wall-clock` | `Instant::now`/`SystemTime` outside the engine pool allowlist (benches live under `benches/`, which is not scanned) |
+//! | `fs-narrowing` | a bare `as` cast of a `*_fs`/cycle value to a narrower integer type; use the checked helpers in `memnet_common::time` |
+//! | `tick-unwrap` | `.unwrap()` anywhere in non-test code, and `.expect(` inside tick-path functions (names starting with `tick`/`pump`/`advance`/`route`/`alloc`/`poll`/`apply_due`) |
+//! | `bad-allow` | a `memnet-lint: allow(...)` directive naming an unknown rule or missing its reason |
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // memnet-lint: allow(tick-unwrap, pid in a VC queue always names a live packet)
+//! ```
+//!
+//! An `allow` applies to its own line and the next line, so it works both
+//! as a trailing comment and as a standalone comment above the flagged
+//! line. The reason is mandatory; an `allow` without one (or naming a rule
+//! that does not exist) is itself a violation, so suppressions stay
+//! auditable.
+//!
+//! # Scope
+//!
+//! `src/` of every workspace crate except `memnet-lint` itself (its
+//! fixtures mention the forbidden names), plus the root `src/`. Test
+//! modules (`#[cfg(test)]`, `#[test]`), `tests/`, `benches/` and
+//! `examples/` directories are exempt: tests may hash, time and unwrap at
+//! will.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every rule the scanner knows, in report order.
+pub const RULES: &[&str] = &[
+    "hash-collection",
+    "wall-clock",
+    "fs-narrowing",
+    "tick-unwrap",
+    "bad-allow",
+];
+
+/// Files (workspace-relative) where wall-clock reads are legitimate: the
+/// run pool times real threads, not simulated ones.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs"];
+
+/// Function-name prefixes that mark a tick path (per-cycle simulation
+/// code, where a panic takes down the whole run with no context).
+const TICK_PATH_PREFIXES: &[&str] = &[
+    "tick",
+    "pump",
+    "advance",
+    "route",
+    "alloc",
+    "poll",
+    "apply_due",
+];
+
+/// Integer types narrower than the 64-bit femtosecond/cycle domain.
+const NARROW_INT_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (or the label passed to [`lint_source`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a whole-workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// All findings, ordered by file then line.
+    pub violations: Vec<Violation>,
+}
+
+/// A validated suppression directive.
+struct Allow {
+    rule: String,
+    line: usize,
+}
+
+/// Comment/string stripper state carried across lines of one file.
+///
+/// Handles `//` comments, nested `/* */` blocks (Rust block comments
+/// nest), plain and raw string literals spanning lines, char literals,
+/// and lifetimes. Stripped string literals are replaced by `""` so that
+/// code on either side still abuts sanely.
+#[derive(Default)]
+struct Stripper {
+    block_depth: usize,
+    in_string: Option<StrKind>,
+}
+
+enum StrKind {
+    Normal,
+    Raw(usize),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+impl Stripper {
+    /// Splits one source line into (code, comment-text).
+    fn strip(&mut self, line: &str) -> (String, String) {
+        let chars: Vec<char> = line.chars().collect();
+        let n = chars.len();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < n {
+            // Inside a multi-line string literal: look for its end.
+            match self.in_string {
+                Some(StrKind::Normal) => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        self.in_string = None;
+                        code.push_str("\"\"");
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                Some(StrKind::Raw(hashes)) => {
+                    if chars[i] == '"' {
+                        let mut k = i + 1;
+                        let mut h = 0;
+                        while k < n && h < hashes && chars[k] == '#' {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            self.in_string = None;
+                            code.push_str("\"\"");
+                            i = k;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                None => {}
+            }
+            // Inside a (possibly nested) block comment.
+            if self.block_depth > 0 {
+                if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            let c = chars[i];
+            if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                comment.extend(&chars[i + 2..]);
+                break;
+            }
+            if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                self.block_depth += 1;
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                self.in_string = Some(StrKind::Normal);
+                i += 1;
+                continue;
+            }
+            // Raw string r"..." / r#"..."# (only when `r` is not the tail
+            // of an identifier).
+            if c == 'r' && (i == 0 || !is_ident(chars[i - 1])) && i + 1 < n {
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    self.in_string = Some(StrKind::Raw(hashes));
+                    i = j + 1;
+                    continue;
+                }
+            }
+            if c == '\'' {
+                // Char literal or lifetime.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    code.push(' ');
+                    continue;
+                }
+                if i + 2 < n && chars[i + 2] == '\'' {
+                    code.push(' ');
+                    i += 3;
+                    continue;
+                }
+                // Lifetime: drop the quote, keep the identifier.
+                i += 1;
+                continue;
+            }
+            code.push(c);
+            i += 1;
+        }
+        (code, comment)
+    }
+}
+
+/// Parses a `memnet-lint:` directive out of comment text.
+///
+/// Returns `None` when the comment has no directive, `Some(Ok(rule))` for
+/// a valid `allow(rule, reason)`, and `Some(Err(message))` for a
+/// malformed one.
+fn parse_directive(comment: &str) -> Option<Result<String, String>> {
+    let at = comment.find("memnet-lint:")?;
+    let rest = comment[at + "memnet-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Some(Err(format!(
+            "unknown directive {:?}; expected allow(<rule>, <reason>)",
+            rest.split_whitespace().next().unwrap_or("")
+        )));
+    };
+    let Some(close) = body.rfind(')') else {
+        return Some(Err("unclosed allow(...) directive".to_string()));
+    };
+    let inner = &body[..close];
+    let (rule, reason) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    if !RULES.contains(&rule) {
+        return Some(Err(format!(
+            "allow names unknown rule {rule:?} (known: {})",
+            RULES.join(", ")
+        )));
+    }
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "allow({rule}) must carry a reason: allow({rule}, <why this is safe>)"
+        )));
+    }
+    Some(Ok(rule.to_string()))
+}
+
+/// Finds a `fn <name>` declaration in stripped code, if any.
+fn find_fn_name(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(p) = code[from..].find("fn ") {
+        let at = from + p;
+        let prev_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        if prev_ok {
+            let name: String = code[at + 3..]
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident(c))
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        from = at + 3;
+    }
+    None
+}
+
+/// Yields `(lhs-token, rhs-type)` for every `<expr> as <ty>` in stripped
+/// code. The lhs token is the identifier chain immediately left of `as`
+/// (alphanumerics, `_`, `.`, `(`, `)`).
+fn casts(code: &str) -> Vec<(String, String)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(" as ") {
+        let at = from + p;
+        let rhs: String = code[at + 4..]
+            .trim_start()
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .collect();
+        let upto = code[..at].chars().count();
+        let mut j = upto;
+        while j > 0 && chars[j - 1] == ' ' {
+            j -= 1;
+        }
+        let mut start = j;
+        while start > 0 {
+            let c = chars[start - 1];
+            if is_ident(c) || c == '.' || c == '(' || c == ')' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let lhs: String = chars[start..j].iter().collect();
+        out.push((lhs, rhs));
+        from = at + 4;
+    }
+    out
+}
+
+fn is_tick_path(fn_name: &str) -> bool {
+    TICK_PATH_PREFIXES.iter().any(|p| fn_name.starts_with(p))
+}
+
+/// Lints one file's source text. `file` is the label used in reports and
+/// matched against the wall-clock allowlist (pass workspace-relative
+/// paths).
+pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
+    let wall_clock_allowed = WALL_CLOCK_ALLOWLIST
+        .iter()
+        .any(|p| file == *p || file.ends_with(&format!("/{p}")));
+    let mut stripper = Stripper::default();
+    let mut found: Vec<Violation> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut depth: i64 = 0;
+    // Brace depths at which `#[cfg(test)]`/`#[test]` scopes opened; any
+    // nonempty stack means the current line is test code.
+    let mut test_scopes: Vec<i64> = Vec::new();
+    let mut pending_test_attr = false;
+    // Enclosing-function tracking: (entry depth, name).
+    let mut fn_stack: Vec<(i64, String)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = idx + 1;
+        let (code, comment) = stripper.strip(raw_line);
+
+        match parse_directive(&comment) {
+            Some(Ok(rule)) => allows.push(Allow { rule, line }),
+            Some(Err(message)) => found.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "bad-allow",
+                message,
+            }),
+            None => {}
+        }
+
+        if code.contains("cfg(test") || code.contains("#[test]") {
+            pending_test_attr = true;
+        }
+        if let Some(name) = find_fn_name(&code) {
+            pending_fn = Some(name);
+        }
+
+        let in_test = pending_test_attr || !test_scopes.is_empty();
+        if !in_test {
+            let current_fn = pending_fn
+                .as_deref()
+                .or_else(|| fn_stack.last().map(|(_, n)| n.as_str()));
+            check_line(
+                file,
+                line,
+                &code,
+                current_fn,
+                wall_clock_allowed,
+                &mut found,
+            );
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr {
+                        test_scopes.push(depth);
+                        pending_test_attr = false;
+                    }
+                    if let Some(name) = pending_fn.take() {
+                        fn_stack.push((depth, name));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while test_scopes.last().is_some_and(|&d| depth <= d) {
+                        test_scopes.pop();
+                    }
+                    while fn_stack.last().is_some_and(|&(d, _)| depth <= d) {
+                        fn_stack.pop();
+                    }
+                }
+                ';' => {
+                    // A pending attribute/fn is consumed by the first `{`;
+                    // hitting `;` first means the item was braceless
+                    // (e.g. `#[cfg(test)] use …;` or a trait method
+                    // declaration) and must not leak onto the next item.
+                    pending_test_attr = false;
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    found.retain(|v| {
+        v.rule == "bad-allow"
+            || !allows
+                .iter()
+                .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line))
+    });
+    found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    found
+}
+
+fn check_line(
+    file: &str,
+    line: usize,
+    code: &str,
+    current_fn: Option<&str>,
+    wall_clock_allowed: bool,
+    out: &mut Vec<Violation>,
+) {
+    let mut push = |rule: &'static str, message: String| {
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        })
+    };
+
+    if code.contains("HashMap") || code.contains("HashSet") {
+        push(
+            "hash-collection",
+            "HashMap/HashSet iteration order is nondeterministic (random SipHash seed); \
+             use BTreeMap/BTreeSet, or prove lookup-only use and suppress with a reason"
+                .to_string(),
+        );
+    }
+
+    if !wall_clock_allowed && (code.contains("Instant::now") || code.contains("SystemTime")) {
+        push(
+            "wall-clock",
+            "wall-clock reads leak host time into the simulation; only the engine run pool \
+             and benches may time real threads"
+                .to_string(),
+        );
+    }
+
+    for (lhs, rhs) in casts(code) {
+        if NARROW_INT_TYPES.contains(&rhs.as_str())
+            && (lhs.contains("_fs") || lhs.contains("cycle"))
+        {
+            push(
+                "fs-narrowing",
+                format!(
+                    "bare `{lhs} as {rhs}` silently truncates a femtosecond/cycle value; \
+                     use the checked narrowing helpers in memnet_common::time"
+                ),
+            );
+        }
+    }
+
+    if code.contains(".unwrap()") {
+        push(
+            "tick-unwrap",
+            "unwrap() panics without context; return an error, use a checked accessor, \
+             or suppress with the invariant that makes this infallible"
+                .to_string(),
+        );
+    } else if code.contains(".expect(") && current_fn.is_some_and(is_tick_path) {
+        push(
+            "tick-unwrap",
+            format!(
+                "expect() in tick path `{}` takes down the whole run on a model bug; \
+                 suppress with the invariant that makes this infallible",
+                current_fn.unwrap_or("?")
+            ),
+        );
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// report order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace rooted at `root`: `src/` of every crate under
+/// `crates/` except `lint`, plus the root `src/`.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        dirs.sort();
+        for dir in dirs {
+            if dir.file_name().is_some_and(|n| n == "lint") {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let mut result = ScanResult::default();
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        result.violations.extend(lint_source(&label, &text));
+        result.files += 1;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(vs: &[Violation]) -> Vec<(&'static str, usize)> {
+        vs.iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn flags_hash_collections_in_sim_code() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S {\n\
+                       m: HashMap<u32, u32>,\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("hash-collection", 1), ("hash-collection", 3)]
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "struct S;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashSet;\n\
+                       #[test]\n\
+                       fn t() {\n\
+                           let s: HashSet<u32> = HashSet::new();\n\
+                           let _ = s.iter().next().unwrap();\n\
+                       }\n\
+                   }\n\
+                   struct After;\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_item_does_not_exempt_what_follows() {
+        let src = "#[cfg(test)]\n\
+                   use std::fmt;\n\
+                   fn f() {\n\
+                       let x: Option<u32> = None;\n\
+                       let _ = x.unwrap();\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(rules_at(&vs), vec![("tick-unwrap", 5)]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "fn f() {\n\
+                       let s = \"HashMap is banned\"; // HashMap in a comment\n\
+                       let r = r#\"Instant::now in a raw string\"#;\n\
+                       /* SystemTime in a block\n\
+                          comment spanning lines */\n\
+                   }\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let trailing = "fn f(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<&u32> {\n\
+                        m.get(&k) // lookup only\n\
+                        }\n";
+        // Without an allow the signature line is flagged…
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", trailing)),
+            vec![("hash-collection", 1)]
+        );
+        // …with a standalone allow above, it is clean.
+        let above = format!(
+            "// memnet-lint: allow(hash-collection, lookup-only map, never iterated)\n{trailing}"
+        );
+        assert!(lint_source("crates/x/src/lib.rs", &above).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_flagged_and_does_not_suppress() {
+        let src = "// memnet-lint: allow(hash-collection)\n\
+                   use std::collections::HashMap;\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("bad-allow", 1), ("hash-collection", 2)]
+        );
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_flagged() {
+        let src = "// memnet-lint: allow(no-such-rule, because)\nstruct S;\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(rules_at(&vs), vec![("bad-allow", 1)]);
+        assert!(vs[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_except_in_pool_allowlist() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", src)),
+            vec![("wall-clock", 2)]
+        );
+        assert!(lint_source("crates/engine/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_on_fs_and_cycle_values_flagged() {
+        let src = "fn f(t_fs: u64, cycles: u64, len: u64) {\n\
+                       let a = t_fs as u32;\n\
+                       let b = cycles as u16;\n\
+                       let c = len as u32;\n\
+                       let d = t_fs as f64;\n\
+                       let e = self.clock.next_fs() as i32;\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![
+                ("fs-narrowing", 2),
+                ("fs-narrowing", 3),
+                ("fs-narrowing", 6)
+            ],
+            "len and f64 casts are fine; fs/cycle narrowings are not: {vs:#?}"
+        );
+    }
+
+    #[test]
+    fn unwrap_flagged_everywhere_expect_only_in_tick_paths() {
+        let src = "fn build() {\n\
+                       let a: Option<u32> = None;\n\
+                       let _ = a.expect(\"fine outside tick paths\");\n\
+                       let _ = a.unwrap();\n\
+                   }\n\
+                   fn tick_core() {\n\
+                       let b: Option<u32> = None;\n\
+                       let _ = b.expect(\"not fine here\");\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(rules_at(&vs), vec![("tick-unwrap", 4), ("tick-unwrap", 8)]);
+        assert!(vs[1].message.contains("tick_core"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_unwrap() {
+        let src = "fn tick(x: Option<u32>) -> u32 {\n\
+                       x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1)\n\
+                   }\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn display_format_is_file_line_rule() {
+        let v = Violation {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: "wall-clock",
+            message: "m".to_string(),
+        };
+        assert_eq!(v.to_string(), "crates/x/src/lib.rs:7: wall-clock: m");
+    }
+}

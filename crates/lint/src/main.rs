@@ -1,0 +1,48 @@
+//! CLI for memnet-lint: scans the workspace and reports violations.
+//!
+//! ```text
+//! cargo run -p memnet-lint            # scan the workspace this binary lives in
+//! cargo run -p memnet-lint -- <root>  # scan an explicit workspace root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root: PathBuf = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // crates/lint -> crates -> workspace root.
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate lives two levels below the workspace root")
+            .to_path_buf(),
+    };
+    match memnet_lint::scan_workspace(&root) {
+        Err(e) => {
+            eprintln!("memnet-lint: i/o error scanning {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+        Ok(res) if res.violations.is_empty() => {
+            println!(
+                "memnet-lint: {} files clean ({} rules)",
+                res.files,
+                memnet_lint::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(res) => {
+            for v in &res.violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "memnet-lint: {} violation(s) in {} files scanned",
+                res.violations.len(),
+                res.files
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The CI gate in test form: the workspace must lint clean, so that
+//! `cargo test` alone (tier-1) already enforces the determinism rules.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let res = memnet_lint::scan_workspace(root).expect("scan workspace");
+    assert!(
+        res.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        res.violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        res.files >= 20,
+        "suspiciously few files scanned ({}); did the walker lose the tree?",
+        res.files
+    );
+}

@@ -12,7 +12,7 @@ use memnet_common::stats::RunningStats;
 use memnet_common::{NodeId, Payload, SplitMix64};
 use memnet_obs::{ClockDomain, TraceEventKind, Tracer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// How packets choose among paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +81,10 @@ pub struct NetStats {
     /// Packets pulled from the fabric because no surviving path to their
     /// destination existed (drained via [`Network::poll_failed`]).
     pub dead_letters: u64,
+    /// Packets accepted by [`Network::inject`]. The sanitizer's
+    /// conservation law: `packets_injected == delivered + in-flight +
+    /// dead_letters` at every cycle.
+    pub packets_injected: u64,
 }
 
 #[derive(Debug)]
@@ -157,7 +161,7 @@ struct Port {
 struct Router {
     ports: Vec<Port>,
     /// Overlay pass-through next-hop: destination endpoint → output port.
-    overlay_next: HashMap<NodeId, u8>,
+    overlay_next: BTreeMap<NodeId, u8>,
 }
 
 #[derive(Debug)]
@@ -266,6 +270,9 @@ pub struct Network {
     free_pids: Vec<PacketId>,
     rng: SplitMix64,
     stats: NetStats,
+    /// Injection-credit capacity per VC at every endpoint (uniform; the
+    /// audit's upper bound and quiescent-restore target).
+    ep_inj_cap: i32,
 }
 
 impl Network {
@@ -352,7 +359,7 @@ impl Network {
         let mut routers: Vec<Router> = (0..nr)
             .map(|_| Router {
                 ports: Vec::new(),
-                overlay_next: HashMap::new(),
+                overlay_next: BTreeMap::new(),
             })
             .collect();
         let new_vcs = |n: usize| -> Vec<VcBuf> {
@@ -479,7 +486,7 @@ impl Network {
         // Overlay chains: for each router on a chain, destination endpoints
         // homed further along the chain (in either direction) are reached
         // through the chain port toward them.
-        let mut overlay: Vec<HashMap<NodeId, u8>> = vec![HashMap::new(); nr];
+        let mut overlay: Vec<BTreeMap<NodeId, u8>> = vec![BTreeMap::new(); nr];
         for chain in &b.overlay_chains {
             let idxs: Vec<u32> = chain.iter().map(|&n| ridx(n)).collect();
             // Port used to go from chain[i] to chain[i+1] and back.
@@ -552,6 +559,7 @@ impl Network {
             free_pids: Vec::new(),
             rng: SplitMix64::new(p.seed),
             stats: NetStats::default(),
+            ep_inj_cap: p.vc_buffer_flits as i32,
         }
     }
 
@@ -596,6 +604,90 @@ impl Network {
     /// Aggregate statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Packets currently owned by the fabric (buffered or on the wire).
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        self.in_network
+    }
+
+    /// Checks the fabric's conservation invariants, returning one message
+    /// per violation (empty = clean). Safe to call at any cycle:
+    ///
+    /// * **Packet conservation** — every packet ever injected is delivered,
+    ///   in flight, or dead-lettered; nothing is duplicated or leaked.
+    /// * **Credit bounds** — no credit counter is negative (overdraw) or
+    ///   above its buffer capacity (double return). Endpoint-facing router
+    ///   ports carry eject credits in VC 0 only.
+    /// * **Credit restoration** — once the fabric is quiescent and every
+    ///   eject queue has been drained, every credit counter must be back
+    ///   at its capacity; a shortfall means credits leaked with a packet.
+    pub fn audit(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let cyc = self.cycle;
+
+        let accounted = self.stats.delivered + self.in_network + self.stats.dead_letters;
+        if self.stats.packets_injected != accounted {
+            out.push(format!(
+                "cycle {cyc}: packet conservation broken: injected {} != \
+                 delivered {} + in-flight {} + dead-letters {}",
+                self.stats.packets_injected,
+                self.stats.delivered,
+                self.in_network,
+                self.stats.dead_letters
+            ));
+        }
+
+        // Quiescent + drained eject queues ⇒ every credit is home.
+        let settled = self.is_quiescent() && self.endpoints.iter().all(|e| e.eject_q.is_empty());
+        for (r, router) in self.routers.iter().enumerate() {
+            for (pi, port) in router.ports.iter().enumerate() {
+                let ep_facing = matches!(port.peer, Peer::Endpoint { .. });
+                for (vc, &cr) in port.credits.iter().enumerate() {
+                    // Eject credits live in VC 0 only on endpoint-facing
+                    // ports; the other VCs must stay pinned at 0.
+                    let cap = if ep_facing && vc != 0 { 0 } else { port.cap };
+                    if cr < 0 || cr > cap {
+                        out.push(format!(
+                            "cycle {cyc}: router {r} port {pi} vc {vc}: credits {cr} \
+                             outside [0, {cap}]"
+                        ));
+                    } else if settled && cr != cap {
+                        out.push(format!(
+                            "cycle {cyc}: router {r} port {pi} vc {vc}: credits {cr} \
+                             not restored to {cap} at quiescence"
+                        ));
+                    }
+                }
+            }
+        }
+        for (e, ep) in self.endpoints.iter().enumerate() {
+            for (vc, &cr) in ep.inj_credits.iter().enumerate() {
+                if cr < 0 || cr > self.ep_inj_cap {
+                    out.push(format!(
+                        "cycle {cyc}: endpoint {e} vc {vc}: inject credits {cr} \
+                         outside [0, {}]",
+                        self.ep_inj_cap
+                    ));
+                } else if settled && cr != self.ep_inj_cap {
+                    out.push(format!(
+                        "cycle {cyc}: endpoint {e} vc {vc}: inject credits {cr} \
+                         not restored to {} at quiescence",
+                        self.ep_inj_cap
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Test hook: corrupts one credit counter by `delta` so sanitizer
+    /// drills can prove the audit pinpoints the damage. Not part of the
+    /// simulation model.
+    #[doc(hidden)]
+    pub fn debug_corrupt_credit(&mut self, router: usize, port: usize, vc: usize, delta: i32) {
+        self.routers[router].ports[port].credits[vc] += delta;
     }
 
     /// Mean utilization of powered channels: busy cycles over elapsed
@@ -905,6 +997,7 @@ impl Network {
         let e = self.ep_idx(src) as usize;
         self.endpoints[e].inject_q.push_back(pid);
         self.in_network += 1;
+        self.stats.packets_injected += 1;
         self.try_inject(e);
     }
 
@@ -1066,6 +1159,7 @@ impl Network {
     fn route_head(&mut self, r: usize, in_port: usize, vc: usize) {
         let pid = self.routers[r].ports[in_port].vcs[vc].q[0];
         let (dest, class, hops, overlay, mut via) = {
+            // memnet-lint: allow(tick-unwrap, a pid queued in a VC buffer always names a live packet)
             let p = self.packets[pid as usize].as_ref().expect("live packet");
             (p.dest, p.class, p.hops, p.overlay, p.via)
         };
@@ -1092,6 +1186,7 @@ impl Network {
         // Valiant intermediate handling.
         if via == Some(self.node_of_router[r]) {
             via = None;
+            // memnet-lint: allow(tick-unwrap, a pid queued in a VC buffer always names a live packet)
             self.packets[pid as usize].as_mut().expect("live").via = None;
         }
 
@@ -1112,6 +1207,7 @@ impl Network {
                     const UGAL_THRESHOLD: i64 = 96;
                     if q_min * h_min > q_non * h_non + UGAL_THRESHOLD {
                         via = Some(self.node_of_router[x]);
+                        // memnet-lint: allow(tick-unwrap, a pid queued in a VC buffer always names a live packet)
                         self.packets[pid as usize].as_mut().expect("live").via = via;
                         self.stats.nonminimal += 1;
                     }
@@ -1129,6 +1225,7 @@ impl Network {
         });
         if let Some(vi) = via_rtr {
             if self.min_ports_rtr[r][vi].is_empty() {
+                // memnet-lint: allow(tick-unwrap, a pid queued in a VC buffer always names a live packet)
                 self.packets[pid as usize].as_mut().expect("live").via = None;
                 self.stats.reroutes += 1;
                 via = None;
@@ -1157,6 +1254,7 @@ impl Network {
                     *ports
                         .iter()
                         .min_by_key(|&&p| self.port_pressure(r, p, class))
+                        // memnet-lint: allow(tick-unwrap, guarded by the routing-policy match; the candidate port list is nonempty here)
                         .expect("nonempty")
                 }
             }
@@ -1239,6 +1337,7 @@ impl Network {
             if let Some(tr) = tracer.as_deref_mut() {
                 let arrived = self.packets[pid as usize]
                     .as_ref()
+                    // memnet-lint: allow(tick-unwrap, a pid holding an allocated crossbar slot is live by construction)
                     .expect("live")
                     .arrived_cycle;
                 let queue_cycles = self.cycle - arrived;
@@ -1260,6 +1359,7 @@ impl Network {
 
             match peer {
                 Peer::Router { idx, port } => {
+                    // memnet-lint: allow(tick-unwrap, a pid holding an allocated crossbar slot is live by construction)
                     self.packets[pid as usize].as_mut().expect("live").hops += 1;
                     self.push_event(
                         self.cycle + lat,
@@ -1797,6 +1897,84 @@ mod tests {
         let total = net.stats().delivered + net.stats().dead_letters;
         assert_eq!(total, 10, "every packet delivered or accounted as failed");
         assert!(net.stats().dead_letters > 0, "the cut must fail some");
+    }
+
+    #[test]
+    fn audit_is_clean_in_flight_and_after_drain() {
+        let (mut net, eps) = diamond();
+        for i in 0..60u64 {
+            net.inject(
+                eps[0],
+                eps[3],
+                MsgClass::Req,
+                payload(256, AccessKind::Write, i),
+                false,
+            );
+        }
+        let mut step = 0u64;
+        while net.has_work() && net.cycle() < 100_000 {
+            net.tick();
+            step += 1;
+            // Mid-flight audits must pass at every cycle, not just at rest.
+            if step.is_multiple_of(7) {
+                assert!(
+                    net.audit().is_empty(),
+                    "mid-flight audit: {:?}",
+                    net.audit()
+                );
+            }
+            while net.poll_eject(eps[3]).is_some() {}
+        }
+        net.tick(); // drain trailing credit events
+        net.tick();
+        assert!(net.is_quiescent());
+        assert!(net.audit().is_empty(), "settled audit: {:?}", net.audit());
+        assert_eq!(net.stats().packets_injected, 60);
+        assert_eq!(net.stats().delivered, 60);
+    }
+
+    #[test]
+    fn audit_is_clean_after_dead_letter_drain() {
+        let (mut net, eps) = line(2);
+        for i in 0..10u64 {
+            net.inject(
+                eps[0],
+                eps[1],
+                MsgClass::Req,
+                payload(128, AccessKind::Write, i),
+                false,
+            );
+        }
+        net.set_link_state(0, false);
+        while net.has_work() && net.cycle() < 100_000 {
+            net.tick();
+            while net.poll_eject(eps[1]).is_some() {}
+            while net.poll_failed().is_some() {}
+        }
+        net.tick();
+        net.tick();
+        assert!(
+            net.audit().is_empty(),
+            "fault-path audit: {:?}",
+            net.audit()
+        );
+        assert_eq!(
+            net.stats().packets_injected,
+            net.stats().delivered + net.stats().dead_letters
+        );
+    }
+
+    #[test]
+    fn audit_pinpoints_a_corrupted_credit() {
+        let (mut net, _eps) = line(2);
+        net.debug_corrupt_credit(0, 0, 0, -1);
+        let viol = net.audit();
+        assert_eq!(viol.len(), 1, "exactly the damaged counter: {viol:?}");
+        assert!(
+            viol[0].contains("router 0 port 0 vc 0"),
+            "message must name the link: {}",
+            viol[0]
+        );
     }
 
     #[test]

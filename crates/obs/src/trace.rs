@@ -139,6 +139,13 @@ pub enum TraceEventKind {
         /// Idle edges fast-forwarded over.
         skipped: u64,
     },
+    /// The runtime sanitizer recorded an invariant violation (instant on
+    /// a dedicated "sanitizer" track). Never emitted on a clean run, so
+    /// enabling the sanitizer leaves clean traces bit-identical.
+    SanitizerViolation {
+        /// The violation message (law broken, location, cycle).
+        message: String,
+    },
     /// A fault-plan event was applied to the live system (instant on a
     /// dedicated "faults" track).
     Fault {
@@ -332,6 +339,7 @@ const TID_NET_ENDPOINTS: u64 = 1;
 const TID_SKE: u64 = 2;
 const TID_ENGINE: u64 = 3;
 const TID_FAULTS: u64 = 4;
+const TID_SANITIZER: u64 = 5;
 const TID_ROUTER_BASE: u64 = 100;
 const TID_GPU_BASE: u64 = 10_000;
 const TID_HMC_BASE: u64 = 20_000;
@@ -354,6 +362,7 @@ fn tid_of(kind: &TraceEventKind) -> (u64, &'static str, Option<u64>) {
         TraceEventKind::CtaSteal { .. } => (TID_SKE, "ske", None),
         TraceEventKind::EngineWake { .. } => (TID_ENGINE, "engine", None),
         TraceEventKind::Fault { .. } => (TID_FAULTS, "faults", None),
+        TraceEventKind::SanitizerViolation { .. } => (TID_SANITIZER, "sanitizer", None),
         TraceEventKind::VaultService { hmc, .. } => {
             (TID_HMC_BASE + *hmc as u64, "hmc ", Some(*hmc as u64))
         }
@@ -501,6 +510,14 @@ fn write_event(w: &mut JsonWriter, ev: &TraceEvent) {
             w.begin_object();
             w.field("domain", domain);
             w.field("skipped", skipped);
+            w.end_object();
+        }
+        TraceEventKind::SanitizerViolation { message } => {
+            event_head(w, "sanitizer-violation", "sanitizer", "i", ts, tid);
+            w.field("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field("message", message);
             w.end_object();
         }
         TraceEventKind::Fault {

@@ -15,9 +15,9 @@ use memnet::common::FaultPlan;
 use memnet::engine::{run_jobs, PoolConfig};
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
-use memnet::obs::JsonWriter;
 use memnet::sim::{
-    plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, SimBuilder, SimReport,
+    plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, SanitizeMode, SimBuilder,
+    SimReport,
 };
 use memnet::workloads::Workload;
 use std::process::ExitCode;
@@ -54,6 +54,11 @@ OPTIONS:
                        always produces the same failures
   --engine <E>         cycle | event — simulation engine (default event;
                        the MEMNET_ENGINE env var sets the fallback)
+  --sanitize           audit runtime invariants (credit/packet/CTA/byte
+                       conservation, clock alignment) and report findings;
+                       nonzero exit on any violation. MEMNET_SANITIZE=1
+                       sets the fallback; MEMNET_SANITIZE=fatal panics
+                       at the first dirty run instead
   --trace <FILE>       write a Chrome trace (chrome://tracing / Perfetto)
   --trace-events <N>   tracer ring-buffer capacity in events (default 1M)
   --metrics-every <N>  snapshot metrics every N network cycles (with
@@ -162,47 +167,28 @@ fn print_table(r: &SimReport) {
             );
         }
     }
+    if let Some(s) = &r.sanitizer {
+        if s.is_clean() {
+            println!("sanitizer        : clean ({} checkpoints)", s.checks);
+        } else {
+            println!(
+                "sanitizer        : {} violation(s) (+{} beyond cap), {} checkpoints",
+                s.violations.len(),
+                s.dropped,
+                s.checks
+            );
+            for v in &s.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+    }
     if r.timed_out {
         println!("WARNING: simulation hit its phase budget before finishing");
     }
 }
 
 fn print_json(r: &SimReport) {
-    // memnet_obs::JsonWriter keeps the report struct free of serde bounds
-    // while still escaping strings and mapping non-finite floats to null.
-    let mut w = JsonWriter::pretty();
-    w.begin_object();
-    w.field("workload", r.workload);
-    w.field("org", r.org.name());
-    w.field("kernel_ns", &r.kernel_ns);
-    w.field("memcpy_ns", &r.memcpy_ns);
-    w.field("host_ns", &r.host_ns);
-    w.field("total_ns", &r.total_ns());
-    w.field("energy_mj", &r.energy_mj);
-    w.field("l1_hit_rate", &r.l1_hit_rate);
-    w.field("l2_hit_rate", &r.l2_hit_rate);
-    w.field("avg_pkt_latency_ns", &r.avg_pkt_latency_ns);
-    w.field("avg_hops", &r.avg_hops);
-    w.field("row_hit_rate", &r.row_hit_rate);
-    w.field("timed_out", &r.timed_out);
-    w.field("faults_injected", &r.faults_injected);
-    w.field("faults_skipped", &r.faults_skipped);
-    w.field("reroutes", &r.reroutes);
-    w.field("retries", &r.retries);
-    w.field("dead_letters", &r.dead_letters);
-    w.field("failed_requests", &r.failed_requests);
-    w.field("rebalanced_ctas", &r.rebalanced_ctas);
-    w.field("lost_gpus", &r.lost_gpus);
-    // Keep stdout one valid JSON document: metrics nest under the
-    // report instead of being printed as a second top-level object.
-    if let Some(m) = &r.metrics_json {
-        if let Ok(v) = memnet::obs::parse(m) {
-            w.key("metrics");
-            w.value(&v);
-        }
-    }
-    w.end_object();
-    println!("{}", w.finish());
+    println!("{}", r.to_json_string());
 }
 
 fn main() -> ExitCode {
@@ -329,6 +315,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
     let mut faults = FaultPlan::new();
     let mut chaos_seed: Option<u64> = None;
     let mut engine: Option<EngineMode> = None;
+    let mut sanitize = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -380,6 +367,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
             "--overlay" => overlay = true,
             "--small" => small = true,
             "--json" => json = true,
+            "--sanitize" => sanitize = true,
             "--seconds-budget" => match value("--seconds-budget").and_then(|v| v.parse().ok()) {
                 Some(ms) => budget_ms = ms,
                 None => return usage(),
@@ -473,6 +461,9 @@ fn run_cmd(args: &[String]) -> ExitCode {
     if let Some(mode) = engine {
         b = b.engine(mode);
     }
+    if sanitize {
+        b = b.sanitize(SanitizeMode::Record);
+    }
     let r = match b.try_run() {
         Ok(r) => r,
         Err(e) => {
@@ -498,7 +489,8 @@ fn run_cmd(args: &[String]) -> ExitCode {
             println!("{m}");
         }
     }
-    if r.timed_out {
+    let dirty = r.sanitizer.as_ref().is_some_and(|s| !s.is_clean());
+    if r.timed_out || dirty {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

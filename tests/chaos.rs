@@ -18,7 +18,7 @@
 
 use memnet::common::time::ns_to_fs;
 use memnet::common::{FaultKind, FaultPlan};
-use memnet::sim::{CtaPolicy, EngineMode, Organization, SimBuilder, SimReport};
+use memnet::sim::{CtaPolicy, EngineMode, Organization, SanitizeMode, SimBuilder, SimReport};
 use memnet::workloads::Workload;
 
 const GPUS: usize = 2;
@@ -31,6 +31,7 @@ fn chaos_builder(org: Organization, w: Workload, seed: u64) -> SimBuilder {
         .sms_per_gpu(2)
         .workload(w.spec_small())
         .faults(FaultPlan::random(seed, EVENTS, GPUS, ns_to_fs(HORIZON_NS)))
+        .sanitize(SanitizeMode::Record)
 }
 
 /// The chaos invariants every faulted run must satisfy.
@@ -63,6 +64,18 @@ fn assert_invariants(r: &SimReport, seed: u64, label: &str) {
     // survivors account for every CTA the kernel phase completed.
     let total_ctas: u64 = r.per_gpu.iter().map(|g| g.ctas_done).sum();
     assert!(total_ctas > 0, "{label}: no CTAs retired anywhere");
+    // The runtime sanitizer audits credit/packet/CTA/byte conservation at
+    // every phase boundary; faults must never leak resources.
+    let san = r
+        .sanitizer
+        .as_ref()
+        .expect("chaos runs enable the sanitizer");
+    assert!(san.checks > 0, "{label}: sanitizer never checked anything");
+    assert!(
+        san.is_clean(),
+        "{label}: sanitizer violations under chaos: {:?}",
+        san.violations
+    );
 }
 
 #[test]
@@ -132,8 +145,15 @@ fn forced_gpu_loss_rebalances_under_chaos_load() {
         .sms_per_gpu(2)
         .workload(Workload::VecAdd.spec_small())
         .faults(plan)
+        .sanitize(SanitizeMode::Record)
         .run();
     assert!(!r.timed_out, "run hung after forced GPU loss");
+    let san = r.sanitizer.as_ref().expect("sanitizer enabled");
+    assert!(
+        san.is_clean(),
+        "GPU loss leaked resources: {:?}",
+        san.violations
+    );
     assert_eq!(r.lost_gpus, 1, "exactly the forced loss lands");
     assert!(
         r.rebalanced_ctas > 0,

@@ -7,7 +7,7 @@
 //! a broken clock ratio, a dropped backpressure path, a routing change —
 //! get caught immediately.
 
-use memnet::sim::{Organization, SimBuilder, SimReport};
+use memnet::sim::{EngineMode, Organization, SanitizeMode, SimBuilder, SimReport};
 use memnet::workloads::Workload;
 
 fn run(org: Organization, w: Workload) -> SimReport {
@@ -108,6 +108,35 @@ fn channel_utilization_is_a_fraction() {
     assert!(
         r.channel_utilization > 0.0,
         "a running kernel must use channels"
+    );
+}
+
+#[test]
+fn double_run_reports_are_byte_identical_json() {
+    // The strongest determinism smoke: build two fresh Systems from the
+    // same seed and demand byte-identical serialized reports — floats,
+    // sanitizer findings and all — under each engine mode, and then across
+    // the two modes. Any nondeterminism (hash-order iteration, wall-clock
+    // leakage, engine-variant sanitizer counts) shows up as a diff here.
+    let run = |mode: EngineMode| -> String {
+        SimBuilder::new(Organization::Umn)
+            .gpus(2)
+            .sms_per_gpu(2)
+            .workload(Workload::Kmn.spec_small())
+            .engine(mode)
+            .sanitize(SanitizeMode::Fatal)
+            .run()
+            .to_json_string()
+    };
+    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+        let a = run(mode);
+        let b = run(mode);
+        assert_eq!(a, b, "same-seed double run diverged under {mode:?}");
+    }
+    assert_eq!(
+        run(EngineMode::CycleStepped),
+        run(EngineMode::EventDriven),
+        "engine modes must serialize identically"
     );
 }
 
