@@ -1,0 +1,122 @@
+//! Profiling cost model (PR 6 artifact).
+//!
+//! Runs the SCAN-on-PCIe reference config under the self-profiler in both
+//! engine modes and reduces each [`ProfileReport`] to three cost figures:
+//!
+//! * **cycles/flit-hop** — wall time per flit committed onto a channel,
+//!   in cycles of a 1 GHz host reference clock (1 cycle ≡ 1 ns), i.e. how
+//!   much simulator work each unit of network traffic costs;
+//! * **cycles/CTA** — wall time per retired CTA, same reference clock;
+//! * **allocs/run** — allocator calls per simulation, counted by the
+//!   [`CountingAlloc`] this bench installs as its global allocator.
+//!
+//! Results go to `BENCH_pr6.json` at the repository root.
+//!
+//! With `MEMNET_CHECK=1` the target instead acts as a CI guard: it runs
+//! the same config with and without profiling in both engine modes and
+//! exits non-zero if the SimReport JSON differs by a byte — the profiler
+//! observing a run must never change the run. No JSON is written, so CI
+//! never dirties the committed artifact.
+
+use memnet_core::{EngineMode, Organization, ProfileReport, SimBuilder, SimReport};
+use memnet_obs::prof::alloc_stats;
+use memnet_obs::{CountingAlloc, JsonWriter};
+use memnet_workloads::Workload;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn base(small: bool) -> SimBuilder {
+    let spec = if small {
+        Workload::Scan.spec_small()
+    } else {
+        Workload::Scan.spec()
+    };
+    SimBuilder::new(Organization::Pcie)
+        .workload(spec)
+        .phase_budget_ns(30e6)
+}
+
+fn profiled(mode: EngineMode, small: bool) -> (SimReport, ProfileReport, u64) {
+    let before = alloc_stats().allocs;
+    let (r, p) = base(small)
+        .engine(mode)
+        .profile(true)
+        .try_run_profiled()
+        .expect("profiled run failed");
+    let allocs = alloc_stats().allocs - before;
+    assert!(!r.timed_out, "{} run timed out", mode.name());
+    (r, p.expect("profiling was enabled"), allocs)
+}
+
+fn main() {
+    let check = std::env::var("MEMNET_CHECK").is_ok_and(|v| v == "1");
+    memnet_bench::header("Profile: wall-clock per flit-hop / CTA and allocations per run");
+
+    // CI guard mode: profiling must not perturb simulation results.
+    if check {
+        for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+            let plain = base(true).engine(mode).run().to_json_string();
+            let (r, _, _) = profiled(mode, true);
+            if r.to_json_string() != plain {
+                eprintln!("FAIL: {} SimReport changed under --profile", mode.name());
+                std::process::exit(1);
+            }
+            println!(
+                "  {:>14}: report byte-identical under profiling",
+                mode.name()
+            );
+        }
+        println!("  OK: profiler is observation-only in both engine modes");
+        return;
+    }
+
+    let small = memnet_bench::fast_mode();
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field("bench", "profile_cost");
+    w.field("workload", "SCAN");
+    w.field("org", "PCIe");
+    w.field("small", &small);
+    w.field("reference_clock_ghz", &1.0f64);
+    w.key("modes");
+    w.begin_object();
+    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+        let (_, p, allocs) = profiled(mode, small);
+        // 1 GHz reference clock: one cycle per wall nanosecond.
+        let per_hop = p.wall_ns_per_flit_hop().unwrap_or(f64::NAN);
+        let per_cta = p.wall_ns_per_cta().unwrap_or(f64::NAN);
+        println!("  {} ({:.1} ms wall):", mode.name(), p.wall_ns as f64 / 1e6);
+        println!(
+            "    cycles/flit-hop: {per_hop:>10.1}  ({} hops)",
+            p.flit_hops
+        );
+        println!(
+            "    cycles/CTA     : {per_cta:>10.1}  ({} CTAs)",
+            p.ctas_done
+        );
+        println!(
+            "    allocs/run     : {allocs:>10}  (peak {} bytes)",
+            p.alloc.peak_bytes
+        );
+        w.key(p.engine);
+        w.begin_object();
+        w.field("wall_ms", &(p.wall_ns as f64 / 1e6));
+        w.field("flit_hops", &p.flit_hops);
+        w.field("ctas_done", &p.ctas_done);
+        w.field("cycles_per_flit_hop", &per_hop);
+        w.field("cycles_per_cta", &per_cta);
+        w.field("allocs_per_run", &allocs);
+        w.field("peak_bytes", &p.alloc.peak_bytes);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_pr6.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_pr6.json");
+    println!("[wrote {}]", path.display());
+}

@@ -29,12 +29,14 @@
 
 pub mod faults;
 pub mod memory;
+pub mod profile;
 pub mod sanitize;
 pub mod ske;
 pub mod system;
 
 pub use faults::{plan_from_json, plan_to_json};
 pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
+pub use profile::{DomainProfile, Heatmap, ProfileHist, ProfileReport};
 pub use sanitize::{SanitizeMode, SanitizerReport};
 pub use ske::CtaPolicy;
 pub use system::{EngineMode, GpuSummary, Organization, SimBuilder, SimError, SimReport};

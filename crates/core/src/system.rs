@@ -13,6 +13,7 @@
 
 use crate::faults::{resolve_plan, FaultAction, FaultOwners, ResolvedFault};
 use crate::memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
+use crate::profile::{Heatmap, ProfileHist, ProfileReport};
 use crate::sanitize::{SanitizeMode, Sanitizer, SanitizerReport};
 use crate::ske::{self, CtaPolicy};
 use memnet_common::stats::TrafficMatrix;
@@ -27,8 +28,11 @@ use memnet_hmc::mapping::Location;
 use memnet_hmc::HmcDevice;
 use memnet_noc::topo::{add_cpu_overlay, add_pcie_tree, build_clusters, SlicedKind, TopologyKind};
 use memnet_noc::{LinkSpec, LinkTag, MsgClass, Network, NetworkBuilder, NocParams, RoutingPolicy};
+use memnet_obs::metrics::Histogram;
+use memnet_obs::prof::{ProfCat, Profiler};
 use memnet_obs::{
-    ClockDomain, JsonWriter, MetricSink, MetricsRegistry, ToJson, TraceEventKind, Tracer,
+    ClockDomain, HistSnapshot, JsonWriter, MetricSink, MetricsRegistry, ToJson, TraceEventKind,
+    Tracer,
 };
 use memnet_workloads::{HostWork, WorkloadSpec};
 use std::collections::VecDeque;
@@ -238,6 +242,13 @@ pub struct SimReport {
     /// Invariant-audit results, when the runtime sanitizer was enabled
     /// with [`SimBuilder::sanitize`] or `MEMNET_SANITIZE`.
     pub sanitizer: Option<SanitizerReport>,
+    /// Trace-ring events evicted on overflow (0 without tracing).
+    /// Deliberately *not* serialized by [`SimReport::to_json_string`]:
+    /// the determinism oracles compare that JSON byte-for-byte and drop
+    /// counts depend only on ring capacity, but keeping it out means a
+    /// capacity change can never perturb the compared document. The CLI
+    /// reads it to warn about lossy traces at export time.
+    pub trace_dropped: u64,
 }
 
 impl SimReport {
@@ -323,6 +334,7 @@ pub struct SimBuilder {
     trace_engine: bool,
     faults: FaultPlan,
     sanitize: SanitizeMode,
+    profile: bool,
 }
 
 impl SimBuilder {
@@ -350,7 +362,19 @@ impl SimBuilder {
             trace_engine: false,
             faults: FaultPlan::new(),
             sanitize: SanitizeMode::from_env(),
+            profile: false,
         }
+    }
+
+    /// Enables the self-profiler: wall-clock attribution per clock
+    /// domain, per-phase allocation deltas, latency/occupancy histograms
+    /// and utilization heatmaps, returned as the [`ProfileReport`] half
+    /// of [`SimBuilder::try_run_profiled`]. The profiler observes the
+    /// driver loop from outside simulation state, so the [`SimReport`]
+    /// stays byte-identical with profiling on or off.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
     }
 
     /// Enables the runtime invariant sanitizer (default: resolved from
@@ -519,6 +543,16 @@ impl SimBuilder {
     pub fn try_run(self) -> Result<SimReport, SimError> {
         Ok(System::try_build(self)?.run())
     }
+
+    /// Like [`SimBuilder::try_run`], but also returns the
+    /// [`ProfileReport`] when [`SimBuilder::profile`] was enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimBuilder::try_run`].
+    pub fn try_run_profiled(self) -> Result<(SimReport, Option<ProfileReport>), SimError> {
+        Ok(System::try_build(self)?.run_profiled())
+    }
 }
 
 /// Clock-domain indices in intra-timestep tick (priority) order. A domain
@@ -536,6 +570,43 @@ mod domain {
 
     pub fn name(d: usize) -> &'static str {
         ["core", "l2", "cpu", "net", "dram"][d]
+    }
+}
+
+/// Profiling state owned by the engine driver, fully outside simulation
+/// state. The [`Profiler`] is written only from the driver loop
+/// ([`System::advance`], [`System::apply_skip`], [`System::emit_phase`]);
+/// the histograms record values the simulation already computed
+/// (latencies, queue depths) without feeding anything back, so enabling
+/// profiling cannot change a single simulated outcome.
+struct ProfPack {
+    profiler: Profiler,
+    /// Packet injection-to-ejection latency, network cycles.
+    lat_hist: Histogram,
+    /// Router input-VC occupancy, flits, sampled every
+    /// [`ProfPack::sample_every`] network cycles.
+    vc_hist: Histogram,
+    /// Vault controller queue depth, requests, same cadence.
+    vault_hist: Histogram,
+    /// Network cycle at which the next occupancy sample is due.
+    next_sample: u64,
+    /// Network cycles between occupancy samples.
+    sample_every: u64,
+}
+
+impl ProfPack {
+    /// Default occupancy-sampling cadence, network cycles.
+    const SAMPLE_EVERY: u64 = 1_000;
+
+    fn new(sample_every: u64) -> Self {
+        ProfPack {
+            profiler: Profiler::new(),
+            lat_hist: Histogram::default(),
+            vc_hist: Histogram::default(),
+            vault_hist: Histogram::default(),
+            next_sample: sample_every,
+            sample_every,
+        }
     }
 }
 
@@ -593,6 +664,8 @@ struct System {
     /// Runtime invariant auditor; `None` unless sanitizing.
     san: Option<Sanitizer>,
     metrics: Option<MetricsRegistry>,
+    /// Driver-loop profiling state; `None` unless profiling.
+    prof: Option<ProfPack>,
     /// Network cycles between metrics epochs; 0 disables snapshots.
     metrics_every: u64,
     /// Network cycle at which the next epoch is due.
@@ -842,6 +915,13 @@ impl System {
                 .enabled()
                 .then(|| Sanitizer::new(b.sanitize == SanitizeMode::Fatal)),
             metrics: (metrics_every > 0).then(MetricsRegistry::new),
+            prof: b.profile.then(|| {
+                ProfPack::new(if metrics_every > 0 {
+                    metrics_every
+                } else {
+                    ProfPack::SAMPLE_EVERY
+                })
+            }),
             metrics_every,
             next_epoch: metrics_every,
             steal_events: 0,
@@ -862,7 +942,11 @@ impl System {
         })
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(self) -> SimReport {
+        self.run_profiled().0
+    }
+
+    fn run_profiled(mut self) -> (SimReport, Option<ProfileReport>) {
         let w = self.workload.clone();
         let mut host_fs: Fs = 0;
         let mut memcpy_fs: Fs = 0;
@@ -907,10 +991,12 @@ impl System {
         // clocks (and per-cycle counters — network idle energy and
         // utilization denominators) up to the final timestep, as the
         // cycle-stepped loop would have by ticking through the idle tail.
+        self.prof_begin(ProfCat::FastForward);
         for d in 0..domain::COUNT {
             let skipped = self.cal.catch_up_parked(d, self.now);
             self.apply_skip(d, skipped);
         }
+        self.prof_end(ProfCat::FastForward);
         self.sanitize_checkpoint("end-of-run");
         if self.metrics.is_some() {
             // Close the run with a final epoch so short runs get at least one.
@@ -945,8 +1031,40 @@ impl System {
             row_hits += s.row_hits;
             row_total += s.served;
         }
+        let trace_dropped = self.tracer.as_ref().map_or(0, Tracer::dropped);
+        let prof_report = self.prof.take().map(|pack| {
+            let engine = if self.park {
+                "event-driven"
+            } else {
+                "cycle-stepped"
+            };
+            let mut pr = ProfileReport::from_profiler(&pack.profiler, engine);
+            pr.hists = vec![
+                ProfileHist {
+                    name: "net.pkt_latency_cycles",
+                    snap: HistSnapshot::of(&pack.lat_hist),
+                },
+                ProfileHist {
+                    name: "net.vc_occupancy_flits",
+                    snap: HistSnapshot::of(&pack.vc_hist),
+                },
+                ProfileHist {
+                    name: "hmc.vault_queue_depth",
+                    snap: HistSnapshot::of(&pack.vault_hist),
+                },
+            ];
+            pr.net_cycles = self.net.cycle();
+            pr.flit_hops = self.net.stats().flit_hops;
+            pr.ctas_done = per_gpu.iter().map(|g| g.ctas_done).sum();
+            pr.trace_dropped = trace_dropped;
+            pr.heatmap = Heatmap {
+                routers: self.net.router_utilization(),
+                links: self.net.link_utilization(),
+            };
+            pr
+        });
         let ns = self.cal.clock(domain::NET).period_fs() as f64 / 1e6;
-        SimReport {
+        let report = SimReport {
             org: self.org,
             workload: self.workload.abbr,
             memcpy_ns: fs_to_ns(memcpy_fs),
@@ -982,14 +1100,20 @@ impl System {
                 .map(|t| t.to_chrome_json(self.metrics.as_ref())),
             metrics_json: self.metrics.as_ref().map(ToJson::to_json_pretty),
             sanitizer: self.san.take().map(Sanitizer::into_report),
-        }
+            trace_dropped,
+        };
+        (report, prof_report)
     }
 
-    /// Records a phase span from `start` to now (no-op without a tracer).
+    /// Records a phase span from `start` to now (no-op without a tracer)
+    /// and a profiler phase mark (no-op unless profiling).
     fn emit_phase(&mut self, name: &'static str, start: Fs) {
         let (now, tracer) = (self.now, self.tracer.as_mut());
         if let Some(t) = tracer {
             t.emit_fs(start, now - start, TraceEventKind::Phase { name });
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.profiler.phase_mark(name);
         }
     }
 
@@ -1052,14 +1176,24 @@ impl System {
         m.add("faults.failed_requests", delta);
         let delta = self.rebalanced_ctas - m.counter("ske.rebalanced_ctas");
         m.add("ske.rebalanced_ctas", delta);
+        if let Some(t) = self.tracer.as_ref() {
+            let delta = t.dropped() - m.counter("trace.dropped");
+            m.add("trace.dropped", delta);
+        }
         for (i, g) in self.gpus.iter().enumerate() {
-            m.set(&format!("gpu{i}.occupancy"), g.occupancy());
+            m.set_entity("gpu", i, "occupancy", g.occupancy());
         }
         for (i, h) in self.hmcs.iter().enumerate() {
-            m.set(&format!("hmc{i}.vault_queue"), h.queued() as f64);
+            m.set_entity("hmc", i, "vault_queue", h.queued() as f64);
         }
         m.set("cpu.outstanding", f64::from(self.cpu.outstanding()));
         m.set("dma.reads_inflight", f64::from(self.dma.reads_inflight()));
+        // Queue-depth distributions, one sample per entity per epoch.
+        self.net
+            .sample_vc_occupancy(|occ| m.record_hist("net.vc_occupancy_flits", occ));
+        for h in &self.hmcs {
+            h.sample_vault_depths(|d| m.record_hist("hmc.vault_queue_depth", d));
+        }
         m.snapshot(self.now);
     }
 
@@ -1457,11 +1591,16 @@ impl System {
         // Re-arm parked domains that acquired work since their last
         // edge — from a later-priority producer last timestep, or from
         // phase setup (kernel launch, `start_copy`, `run_program`).
+        // Waking replays the skipped idle window, so this is the
+        // fast-forward cost bucket.
+        self.prof_begin(ProfCat::FastForward);
         for d in 0..domain::COUNT {
             if self.cal.is_parked(d) && self.domain_active(d) {
                 self.wake_after_now(d);
             }
         }
+        self.prof_end(ProfCat::FastForward);
+        self.prof_begin(ProfCat::CalendarAdvance);
         // Never let time jump past a pending fault's owner edge. The next
         // timestep is the earlier of the next armed clock edge and the
         // earliest pending fault edge; parked owners whose fault lands at
@@ -1480,7 +1619,10 @@ impl System {
             (Some(a), Some(f)) => a.min(f),
             (Some(a), None) => a,
             (None, Some(f)) => f,
-            (None, None) => return false,
+            (None, None) => {
+                self.prof_end(ProfCat::CalendarAdvance);
+                return false;
+            }
         };
         for d in 0..domain::COUNT {
             // A pending fault edge below `next` is impossible (time never
@@ -1492,6 +1634,7 @@ impl System {
         }
         self.now = next;
         self.cal.count_timestep();
+        self.prof_end(ProfCat::CalendarAdvance);
 
         for d in 0..domain::COUNT {
             // Work produced earlier in this same timestep (by a
@@ -1504,13 +1647,44 @@ impl System {
                 continue;
             }
             self.apply_due_faults(d);
+            let cat = Self::prof_cat(d);
+            self.prof_begin(cat);
             self.tick_domain(d);
+            self.prof_end(cat);
             self.cal.advance(d);
             if self.park && !self.domain_active(d) && !self.cal.is_parked(d) {
                 self.cal.park(d);
             }
         }
         true
+    }
+
+    /// Profiler category for one clock domain's tick.
+    fn prof_cat(d: usize) -> ProfCat {
+        match d {
+            domain::CORE => ProfCat::CoreTick,
+            domain::L2 => ProfCat::L2Tick,
+            domain::CPU => ProfCat::CpuTick,
+            domain::NET => ProfCat::NetTick,
+            domain::DRAM => ProfCat::DramTick,
+            _ => unreachable!("unknown clock domain {d}"),
+        }
+    }
+
+    /// Opens a profiler scope (no-op unless profiling).
+    #[inline]
+    fn prof_begin(&mut self, cat: ProfCat) {
+        if let Some(p) = self.prof.as_mut() {
+            p.profiler.begin(cat);
+        }
+    }
+
+    /// Closes a profiler scope (no-op unless profiling).
+    #[inline]
+    fn prof_end(&mut self, cat: ProfCat) {
+        if let Some(p) = self.prof.as_mut() {
+            p.profiler.end(cat);
+        }
     }
 
     /// One tick of one clock domain, in priority order within a timestep:
@@ -1556,6 +1730,19 @@ impl System {
                 if self.metrics.is_some() && self.net.cycle() >= self.next_epoch {
                     self.next_epoch = self.net.cycle() + self.metrics_every;
                     self.snapshot_metrics();
+                }
+                // Profiler occupancy sampling: pure reads of queue state
+                // into driver-owned histograms, never sim-visible.
+                if let Some(p) = self.prof.as_mut() {
+                    if self.net.cycle() >= p.next_sample {
+                        p.next_sample = self.net.cycle() + p.sample_every;
+                        let vc = &mut p.vc_hist;
+                        self.net.sample_vc_occupancy(|occ| vc.record(occ));
+                        let vault = &mut p.vault_hist;
+                        for h in &self.hmcs {
+                            h.sample_vault_depths(|d| vault.record(d));
+                        }
+                    }
                 }
             }
             domain::DRAM => {
@@ -1761,7 +1948,8 @@ impl System {
     }
 
     /// Records a response-ejection instant at device endpoint `dst`
-    /// (no-op without a tracer).
+    /// (no-op without a tracer), plus the latency sample for the
+    /// profiling and metrics histograms when either is enabled.
     fn trace_eject(&mut self, dst: u16, latency_cycles: u64, hops: u32) {
         let cycle = self.net.cycle();
         if let Some(t) = self.tracer.as_mut() {
@@ -1774,6 +1962,12 @@ impl System {
                     hops,
                 },
             );
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.lat_hist.record(latency_cycles);
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.record_hist("net.pkt_latency_cycles", latency_cycles);
         }
     }
 }

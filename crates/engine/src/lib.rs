@@ -19,4 +19,4 @@ pub mod calendar;
 pub mod pool;
 
 pub use calendar::{Calendar, CalendarStats};
-pub use pool::{run_jobs, JobError, PoolConfig};
+pub use pool::{run_jobs, run_jobs_observed, JobError, PoolConfig, PoolEvent, PoolObs, PoolStats};

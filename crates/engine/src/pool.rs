@@ -87,10 +87,68 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// One observable job-lifecycle event. Timestamps are wall-clock
+/// milliseconds from pool start — the pool is host-side machinery, so
+/// its trace lives on the wall clock, not simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolEvent {
+    /// Milliseconds since the pool started.
+    pub at_ms: u64,
+    /// What happened: `"panic"`, `"timeout"` (a failed attempt),
+    /// `"retry"` (another attempt follows a failure), or `"done"`.
+    pub what: &'static str,
+    /// Submission-order job index.
+    pub job: usize,
+    /// 1-based attempt number the event belongs to.
+    pub attempt: u32,
+}
+
+/// Aggregate counters over one pool run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that returned a value.
+    pub succeeded: usize,
+    /// Jobs that exhausted every attempt.
+    pub failed: usize,
+    /// Extra attempts made after failures.
+    pub retries: u64,
+    /// Attempts that panicked.
+    pub panics: u64,
+    /// Attempts that exceeded the soft timeout.
+    pub timeouts: u64,
+}
+
+/// What [`run_jobs_observed`] saw: counters plus the event log, sorted
+/// by time (ties by job then attempt) for stable export.
+#[derive(Debug, Clone, Default)]
+pub struct PoolObs {
+    /// Aggregate counters.
+    pub stats: PoolStats,
+    /// Per-attempt lifecycle events.
+    pub events: Vec<PoolEvent>,
+}
+
 /// Runs `jobs` on the pool and returns one result per job, in submission
 /// order. Jobs must be `Fn` (not `FnOnce`) so a panicked or timed-out
 /// attempt can be retried.
 pub fn run_jobs<T, F>(cfg: &PoolConfig, jobs: Vec<F>) -> Vec<Result<T, JobError>>
+where
+    T: Send,
+    F: Fn() -> T + Send + Sync,
+{
+    run_jobs_observed(cfg, jobs).0
+}
+
+/// Like [`run_jobs`], but also returns what happened: retries, timeouts
+/// and panic isolations that [`run_jobs`] absorbs silently. Feed
+/// [`PoolObs::events`] to a tracer and [`PoolObs::stats`] to a metrics
+/// registry to make sweep failures observable.
+pub fn run_jobs_observed<T, F>(
+    cfg: &PoolConfig,
+    jobs: Vec<F>,
+) -> (Vec<Result<T, JobError>>, PoolObs)
 where
     T: Send,
     F: Fn() -> T + Send + Sync,
@@ -102,9 +160,11 @@ where
     }
     .min(n.max(1));
 
+    let started = Instant::now();
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
     let results: Vec<Mutex<Option<Result<T, JobError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
+    let events: Mutex<Vec<PoolEvent>> = Mutex::new(Vec::new());
 
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -112,43 +172,76 @@ where
                 let Some(i) = queue.lock().expect("queue lock").pop_front() else {
                     return;
                 };
-                let outcome = run_one(&jobs[i], cfg);
+                let outcome = run_one(&jobs[i], cfg, |what, attempt| {
+                    events.lock().expect("event lock").push(PoolEvent {
+                        at_ms: started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+                        what,
+                        job: i,
+                        attempt,
+                    });
+                });
                 *results[i].lock().expect("result lock") = Some(outcome);
             });
         }
     });
 
-    results
+    let results: Vec<Result<T, JobError>> = results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result lock")
                 .expect("every queued job ran")
         })
-        .collect()
+        .collect();
+    let mut events = events.into_inner().expect("event lock");
+    events.sort_by_key(|e| (e.at_ms, e.job, e.attempt));
+    let count = |what: &str| events.iter().filter(|e| e.what == what).count() as u64;
+    let stats = PoolStats {
+        jobs: n,
+        succeeded: results.iter().filter(|r| r.is_ok()).count(),
+        failed: results.iter().filter(|r| r.is_err()).count(),
+        retries: count("retry"),
+        panics: count("panic"),
+        timeouts: count("timeout"),
+    };
+    (results, PoolObs { stats, events })
 }
 
 /// One job with retry: first failure mode of the final attempt wins.
-fn run_one<T>(job: &(impl Fn() -> T + Sync), cfg: &PoolConfig) -> Result<T, JobError> {
+/// `observe` is called with (`what`, 1-based attempt) for every failed
+/// attempt, every retry, and the successful completion.
+fn run_one<T>(
+    job: &(impl Fn() -> T + Sync),
+    cfg: &PoolConfig,
+    mut observe: impl FnMut(&'static str, u32),
+) -> Result<T, JobError> {
     let attempts = cfg.retries + 1;
     let mut last_err = None;
-    for _ in 0..attempts {
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            observe("retry", attempt);
+        }
         let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(job)) {
             Ok(v) => {
                 let elapsed = started.elapsed();
                 match cfg.timeout {
                     Some(budget) if elapsed > budget => {
+                        observe("timeout", attempt);
                         last_err = Some(JobError::TimedOut {
                             attempts,
                             elapsed,
                             budget,
                         });
                     }
-                    _ => return Ok(v),
+                    _ => {
+                        observe("done", attempt);
+                        return Ok(v);
+                    }
                 }
             }
             Err(payload) => {
+                observe("panic", attempt);
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(ToString::to_string)
@@ -325,6 +418,55 @@ mod tests {
             "final attempt's failure mode wins: {:?}",
             out[0]
         );
+    }
+
+    #[test]
+    fn observed_run_reports_retries_and_panics() {
+        let tries = AtomicU32::new(0);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                2
+            }),
+        ];
+        let (out, obs) = run_jobs_observed(&cfg(2), jobs);
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Ok(2));
+        assert_eq!(obs.stats.jobs, 2);
+        assert_eq!(obs.stats.succeeded, 2);
+        assert_eq!(obs.stats.failed, 0);
+        assert_eq!(obs.stats.panics, 1, "first attempt of job 1 panicked");
+        assert_eq!(obs.stats.retries, 1);
+        assert_eq!(obs.stats.timeouts, 0);
+        // The panic event names job 1, attempt 1; a retry follows.
+        let panic = obs
+            .events
+            .iter()
+            .find(|e| e.what == "panic")
+            .expect("panic recorded");
+        assert_eq!((panic.job, panic.attempt), (1, 1));
+        assert!(obs.events.iter().any(|e| e.what == "retry" && e.job == 1));
+        assert_eq!(obs.events.iter().filter(|e| e.what == "done").count(), 2);
+    }
+
+    #[test]
+    fn observed_timeout_exhaustion_counts_every_attempt() {
+        let c = PoolConfig {
+            workers: 1,
+            retries: 1,
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let (out, obs) =
+            run_jobs_observed(&c, vec![|| std::thread::sleep(Duration::from_millis(10))]);
+        assert!(matches!(out[0], Err(JobError::TimedOut { .. })));
+        assert_eq!(obs.stats.failed, 1);
+        assert_eq!(obs.stats.timeouts, 2, "both attempts busted the budget");
+        assert_eq!(obs.stats.retries, 1);
+        // Events come back time-sorted.
+        assert!(obs.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
     }
 
     #[test]

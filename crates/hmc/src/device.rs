@@ -138,6 +138,14 @@ impl HmcDevice {
         self.vaults.iter().map(Vault::queue_len).sum()
     }
 
+    /// Visits each vault's current queue depth in vault order, for
+    /// occupancy histogram sampling.
+    pub fn sample_vault_depths(&self, mut f: impl FnMut(u64)) {
+        for v in &self.vaults {
+            f(v.queue_len() as u64);
+        }
+    }
+
     /// Pops one request whose data transfer finished by `now_tck`.
     pub fn pop_completed(&mut self, now_tck: u64) -> Option<MemReq> {
         if self

@@ -21,6 +21,7 @@
 //! | `wall-clock` | `Instant::now`/`SystemTime` outside the engine pool allowlist (benches live under `benches/`, which is not scanned) |
 //! | `fs-narrowing` | a bare `as` cast of a `*_fs`/cycle value to a narrower integer type; use the checked helpers in `memnet_common::time` |
 //! | `tick-unwrap` | `.unwrap()` anywhere in non-test code, and `.expect(` inside tick-path functions (names starting with `tick`/`pump`/`advance`/`route`/`alloc`/`poll`/`apply_due`) |
+//! | `metric-name-literal` | a `format!` feeding a metric-sink call (`.add(`/`.set(`/`.observe(`/`.record_hist(`) — those take `&'static str` names so series identity is stable and hot paths stay allocation-free; dynamic names must go through the explicit `add_dyn`/`set_dyn` escape hatch or `set_entity` for indexed series |
 //! | `bad-allow` | a `memnet-lint: allow(...)` directive naming an unknown rule or missing its reason |
 //!
 //! # Suppressions
@@ -54,12 +55,19 @@ pub const RULES: &[&str] = &[
     "wall-clock",
     "fs-narrowing",
     "tick-unwrap",
+    "metric-name-literal",
     "bad-allow",
 ];
 
 /// Files (workspace-relative) where wall-clock reads are legitimate: the
-/// run pool times real threads, not simulated ones.
-pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs"];
+/// run pool times real threads, and the self-profiler attributes
+/// driver-loop wall time — neither feeds simulated state.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs", "crates/obs/src/prof.rs"];
+
+/// Metric-sink calls whose name argument must be a `'static` literal.
+/// `add_dyn`/`set_dyn` deliberately do not match: they are the audited
+/// escape hatch for genuinely dynamic series names.
+const METRIC_SINK_CALLS: &[&str] = &[".add(", ".set(", ".observe(", ".record_hist("];
 
 /// Function-name prefixes that mark a tick path (per-cycle simulation
 /// code, where a panic takes down the whole run with no context).
@@ -494,6 +502,16 @@ fn check_line(
         }
     }
 
+    if code.contains("format!") && METRIC_SINK_CALLS.iter().any(|m| code.contains(m)) {
+        push(
+            "metric-name-literal",
+            "metric names must be 'static literals (stable series identity, no per-sample \
+             allocation); route dynamic names through add_dyn/set_dyn, or use set_entity \
+             for indexed per-component series"
+                .to_string(),
+        );
+    }
+
     if code.contains(".unwrap()") {
         push(
             "tick-unwrap",
@@ -717,6 +735,46 @@ mod tests {
                        x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1)\n\
                    }\n";
         assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn format_into_metric_sink_calls_is_flagged() {
+        let src = "fn snapshot(m: &mut M, i: usize) {\n\
+                       m.add(&format!(\"gpu{i}.reqs\"), 1);\n\
+                       m.set(&format!(\"gpu{i}.occ\"), 0.5);\n\
+                       m.observe(&format!(\"lat{i}\"), &s);\n\
+                       m.record_hist(&format!(\"h{i}\"), 3);\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![
+                ("metric-name-literal", 2),
+                ("metric-name-literal", 3),
+                ("metric-name-literal", 4),
+                ("metric-name-literal", 5)
+            ]
+        );
+        assert!(vs[0].message.contains("add_dyn"));
+    }
+
+    #[test]
+    fn literal_names_and_dyn_escape_hatch_are_clean() {
+        let src = "fn snapshot(m: &mut M, i: usize) {\n\
+                       m.add(\"net.flits\", 1);\n\
+                       m.set(\"gpu.occupancy\", 0.5);\n\
+                       m.set_entity(\"gpu\", i, \"occupancy\", 0.5);\n\
+                       m.add_dyn(&format!(\"gpu{i}.reqs\"), 1);\n\
+                       m.set_dyn(&format!(\"gpu{i}.occ\"), 0.5);\n\
+                       let s = format!(\"unrelated {i}\");\n\
+                   }\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn profiler_module_may_read_the_wall_clock() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert!(lint_source("crates/obs/src/prof.rs", src).is_empty());
     }
 
     #[test]

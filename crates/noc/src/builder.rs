@@ -137,6 +137,19 @@ pub enum LinkTag {
     Internal,
 }
 
+impl LinkTag {
+    /// Stable lowercase name for JSON exports (heatmap link classes).
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkTag::HmcHmc => "hmc-hmc",
+            LinkTag::DeviceHmc => "device-hmc",
+            LinkTag::Pcie => "pcie",
+            LinkTag::Nvlink => "nvlink",
+            LinkTag::Internal => "internal",
+        }
+    }
+}
+
 /// A recorded bidirectional link.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct LinkRec {

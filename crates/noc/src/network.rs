@@ -85,6 +85,33 @@ pub struct NetStats {
     /// conservation law: `packets_injected == delivered + in-flight +
     /// dead_letters` at every cycle.
     pub packets_injected: u64,
+    /// Flit-hops: flits committed onto any channel (endpoint injection or
+    /// router crossbar). The denominator for the cycles/flit-hop cost
+    /// metric in the profiling bench.
+    pub flit_hops: u64,
+}
+
+/// Utilization of one builder link (both directed channels), as reported
+/// by [`Network::link_utilization`] for the heatmap export. "fwd" is the
+/// builder-order direction (`routers.0` → `routers.1`); "rev" the
+/// opposite. Busy fractions are serialization-busy cycles over elapsed
+/// network cycles.
+#[derive(Debug, Clone)]
+pub struct LinkUtilization {
+    /// The link's class tag (PCIe, NVLink, HMC-HMC, ...).
+    pub tag: LinkTag,
+    /// Dense router indices of the two ends, builder order.
+    pub routers: (u32, u32),
+    /// False while fault-injected down.
+    pub up: bool,
+    /// Busy fraction of the `routers.0 → routers.1` channel.
+    pub fwd_busy_frac: f64,
+    /// Busy fraction of the `routers.1 → routers.0` channel.
+    pub rev_busy_frac: f64,
+    /// Bytes moved `routers.0 → routers.1`.
+    pub fwd_bytes: u64,
+    /// Bytes moved `routers.1 → routers.0`.
+    pub rev_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -92,7 +119,6 @@ struct Channel {
     bytes_per_cycle: f64,
     serdes_cycles: u32,
     powered: bool,
-    #[allow(dead_code)]
     tag: LinkTag,
     /// False while the owning link is fault-injected down.
     up: bool,
@@ -706,6 +732,71 @@ impl Network {
             .map(|c| c.busy_cycles as f64 / self.cycle as f64)
             .sum::<f64>()
             / powered.len() as f64
+    }
+
+    /// Per-builder-link utilization snapshot for the heatmap export:
+    /// one entry per link in builder order, with both directed channels'
+    /// busy fraction and bytes moved. See [`LinkUtilization`].
+    pub fn link_utilization(&self) -> Vec<LinkUtilization> {
+        let cycles = self.cycle.max(1) as f64;
+        let mut out = Vec::with_capacity(self.link_rtrs.len());
+        for (i, &(a, b)) in self.link_rtrs.iter().enumerate() {
+            let (pa, pb) = self.link_ports[i];
+            // Channel owned by a's port pa carries a→b traffic; b's port
+            // pb carries the reverse direction.
+            let fwd =
+                &self.channels[self.routers[a as usize].ports[pa as usize].out_channel as usize];
+            let rev =
+                &self.channels[self.routers[b as usize].ports[pb as usize].out_channel as usize];
+            out.push(LinkUtilization {
+                tag: fwd.tag,
+                routers: (a, b),
+                up: self.link_up[i],
+                fwd_busy_frac: fwd.busy_cycles as f64 / cycles,
+                rev_busy_frac: rev.busy_cycles as f64 / cycles,
+                fwd_bytes: fwd.bytes_moved,
+                rev_bytes: rev.bytes_moved,
+            });
+        }
+        out
+    }
+
+    /// Per-router utilization: mean busy fraction over each router's
+    /// powered output channels (0 for routers with none). Index = dense
+    /// router index, matching [`Network::link_utilization`] endpoints.
+    pub fn router_utilization(&self) -> Vec<f64> {
+        let cycles = self.cycle.max(1) as f64;
+        self.routers
+            .iter()
+            .map(|r| {
+                let mut busy = 0.0;
+                let mut n = 0u32;
+                for p in &r.ports {
+                    let ch = &self.channels[p.out_channel as usize];
+                    if ch.powered {
+                        busy += ch.busy_cycles as f64 / cycles;
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    busy / n as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Visits the current occupancy (flits) of every router input VC
+    /// buffer, for queue-depth histogram sampling.
+    pub fn sample_vc_occupancy(&self, mut f: impl FnMut(u64)) {
+        for r in &self.routers {
+            for p in &r.ports {
+                for vc in &p.vcs {
+                    f(vc.occ as u64);
+                }
+            }
+        }
     }
 
     /// Network energy in millijoules under the paper's model: 2.0 pJ/bit
@@ -1330,6 +1421,7 @@ impl Network {
             self.channels[ch_idx].busy_until = self.cycle + ser;
             self.channels[ch_idx].bytes_moved += bytes as u64;
             self.channels[ch_idx].busy_cycles += ser;
+            self.stats.flit_hops += flits as u64;
             if self.channels[ch_idx].degrade > 1 {
                 self.stats.retries += self.channels[ch_idx].degrade as u64 - 1;
             }
@@ -1443,6 +1535,7 @@ impl Network {
             self.endpoints[e].inject_q.pop_front();
             self.endpoints[e].inj_credits[vc] -= flits as i32;
             self.stats.flits_injected += flits as u64;
+            self.stats.flit_hops += flits as u64;
             let ser = self.channels[ch_idx].ser_cycles(bytes);
             self.channels[ch_idx].busy_until = self.cycle + ser;
             self.channels[ch_idx].bytes_moved += bytes as u64;

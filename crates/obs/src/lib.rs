@@ -20,15 +20,24 @@
 //! Instrumented code takes `Option<&mut Tracer>` so the disabled path is a
 //! single branch; `memnet run --trace out.json` turns it on.
 //!
+//! - [`prof`] — the self-profiler: wall-clock attribution per clock
+//!   domain ([`prof::Profiler`], sampled only from the engine driver
+//!   loop so simulated results stay byte-identical) and a counting
+//!   global allocator ([`prof::CountingAlloc`]) for allocations/run.
+//!   This is the *only* module allowed to read wall clocks on the tick
+//!   path (enforced by `memnet-lint`'s `wall-clock` rule allowlist).
+//!
 //! [`config`] binds the shared `memnet-common` configuration and
 //! statistics types to the JSON layer (export + [`config::parse_system_config`]).
 
 pub mod config;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod trace;
 
 pub use config::parse_system_config;
 pub use json::{parse, JsonValue, JsonWriter, ToJson};
-pub use metrics::{Epoch, MetricSink, MetricsRegistry, NullSink};
+pub use metrics::{Epoch, HistSnapshot, MetricSink, MetricsRegistry, NullSink};
+pub use prof::{alloc_stats, AllocStats, CountingAlloc, PhaseMark, ProfCat, Profiler};
 pub use trace::{ClockDomain, TraceEvent, TraceEventKind, Tracer};

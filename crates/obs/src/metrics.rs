@@ -1,5 +1,5 @@
-//! Metrics registry: hierarchically-named counters and gauges with
-//! periodic epoch snapshots.
+//! Metrics registry: hierarchically-named counters, gauges and
+//! log-bucketed histograms with periodic epoch snapshots.
 //!
 //! Names are dotted paths (`net.flits_injected`, `gpu0.sm_occupancy`,
 //! `hmc3.vault_queue`), kept sorted so exports are deterministic. The
@@ -7,10 +7,21 @@
 //! code never depends on the concrete registry; [`NullSink`] makes the
 //! disabled path free.
 //!
-//! Counters are cumulative (monotonic); gauges are point-in-time samples.
-//! [`MetricsRegistry::snapshot`] records the current value of everything
-//! under a timestamp, turning the run into a time series (injected
-//! flits/cycle, SM occupancy, vault queue depths, CTA-steal events, ...).
+//! Name discipline (enforced by `memnet-lint`'s `metric-name-literal`
+//! rule): instrumented code passes `&'static str` literals to
+//! [`MetricSink::add`]/[`MetricSink::set`]/[`MetricsRegistry::record_hist`].
+//! Per-entity series (`gpu3.occupancy`) go through
+//! [`MetricSink::set_entity`], which builds the dotted name *inside* the
+//! observability layer — call sites never `format!` a metric name, so the
+//! registry cannot be fragmented by ad-hoc name construction.
+//!
+//! Counters are cumulative (monotonic, wrapping on u64 overflow so a
+//! hot counter can never panic the run); gauges are point-in-time
+//! samples; histograms are power-of-two bucketed distributions
+//! ([`Histogram`]). [`MetricsRegistry::snapshot`] records the current
+//! value of everything under a timestamp, turning the run into a time
+//! series (injected flits/cycle, SM occupancy, vault queue depths,
+//! latency percentiles, ...).
 
 use crate::json::{JsonWriter, ToJson};
 use memnet_common::stats::RunningStats;
@@ -22,21 +33,44 @@ use std::collections::BTreeMap;
 pub use memnet_common::stats::{Histogram, RunningStats as Stats};
 
 /// Destination for metric updates from instrumented code.
+///
+/// `add`/`set` take `&'static str` so every series name is a literal
+/// registered at the call site; dynamic per-entity names are built only
+/// by the provided helpers, keeping the namespace auditable.
 pub trait MetricSink {
-    /// Adds `delta` to the counter `name`.
-    fn add(&mut self, name: &str, delta: u64);
+    /// Adds `delta` to the counter `name` (wrapping on overflow).
+    fn add(&mut self, name: &'static str, delta: u64) {
+        self.add_dyn(name, delta);
+    }
 
     /// Sets the gauge `name` to `value`.
-    fn set(&mut self, name: &str, value: f64);
+    fn set(&mut self, name: &'static str, value: f64) {
+        self.set_dyn(name, value);
+    }
+
+    /// Counter update with a runtime-built name. Implementation detail of
+    /// the entity helpers — instrumented code should use [`MetricSink::add`].
+    fn add_dyn(&mut self, name: &str, delta: u64);
+
+    /// Gauge update with a runtime-built name. Implementation detail of
+    /// the entity helpers — instrumented code should use [`MetricSink::set`].
+    fn set_dyn(&mut self, name: &str, value: f64);
+
+    /// Sets the per-entity gauge `{class}{index}.{field}` (e.g.
+    /// `gpu3.occupancy`). The only sanctioned way to produce an indexed
+    /// series name.
+    fn set_entity(&mut self, class: &'static str, index: usize, field: &'static str, value: f64) {
+        self.set_dyn(&format!("{class}{index}.{field}"), value);
+    }
 
     /// Publishes a [`RunningStats`] accumulator as `name.count/mean/min/max`
     /// gauges.
-    fn observe(&mut self, name: &str, stats: &RunningStats) {
-        self.set(&format!("{name}.count"), stats.count() as f64);
-        self.set(&format!("{name}.mean"), stats.mean());
+    fn observe(&mut self, name: &'static str, stats: &RunningStats) {
+        self.set_dyn(&format!("{name}.count"), stats.count() as f64);
+        self.set_dyn(&format!("{name}.mean"), stats.mean());
         if let (Some(min), Some(max)) = (stats.min(), stats.max()) {
-            self.set(&format!("{name}.min"), min);
-            self.set(&format!("{name}.max"), max);
+            self.set_dyn(&format!("{name}.min"), min);
+            self.set_dyn(&format!("{name}.max"), max);
         }
     }
 }
@@ -46,11 +80,40 @@ pub trait MetricSink {
 pub struct NullSink;
 
 impl MetricSink for NullSink {
-    fn add(&mut self, _name: &str, _delta: u64) {}
-    fn set(&mut self, _name: &str, _value: f64) {}
+    fn add_dyn(&mut self, _name: &str, _delta: u64) {}
+    fn set_dyn(&mut self, _name: &str, _value: f64) {}
 }
 
-/// One periodic snapshot of every counter and gauge.
+/// Digest of a [`Histogram`] at snapshot time: sample count plus
+/// log-bucket percentile estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded so far.
+    pub count: u64,
+    /// Median estimate (lower bound of the crossing bucket).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Upper-tail estimate (lower bound of the last nonempty bucket).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Digests a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSnapshot {
+            count: h.count(),
+            p50: h.percentile(50.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+            max: h.percentile(100.0),
+        }
+    }
+}
+
+/// One periodic snapshot of every counter, gauge and histogram.
 #[derive(Debug, Clone)]
 pub struct Epoch {
     /// Simulated time of the snapshot, femtoseconds.
@@ -59,6 +122,8 @@ pub struct Epoch {
     pub counters: Vec<(String, u64)>,
     /// Gauge values at the snapshot.
     pub gauges: Vec<(String, f64)>,
+    /// Histogram digests at the snapshot.
+    pub hists: Vec<(String, HistSnapshot)>,
 }
 
 /// The concrete metrics store: current values plus the epoch time series.
@@ -66,6 +131,7 @@ pub struct Epoch {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
     epochs: Vec<Epoch>,
 }
 
@@ -95,37 +161,73 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Records one sample into the histogram `name`, creating it on first
+    /// use.
+    pub fn record_hist(&mut self, name: &'static str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `name`, if any sample was ever recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// The recorded epoch snapshots, oldest first.
     pub fn epochs(&self) -> &[Epoch] {
         &self.epochs
     }
 
-    /// Records a snapshot of every current counter and gauge at `at_fs`.
+    /// Records a snapshot of every current counter, gauge and histogram
+    /// at `at_fs`. An empty registry still records a (empty) epoch, so
+    /// consumers can count heartbeats.
     pub fn snapshot(&mut self, at_fs: u64) {
         self.epochs.push(Epoch {
             at_fs,
             counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             gauges: self.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), HistSnapshot::of(h)))
+                .collect(),
         });
     }
 }
 
 impl MetricSink for MetricsRegistry {
-    fn add(&mut self, name: &str, delta: u64) {
+    fn add_dyn(&mut self, name: &str, delta: u64) {
         if let Some(v) = self.counters.get_mut(name) {
-            *v += delta;
+            *v = v.wrapping_add(delta);
         } else {
             self.counters.insert(name.to_string(), delta);
         }
     }
 
-    fn set(&mut self, name: &str, value: f64) {
+    fn set_dyn(&mut self, name: &str, value: f64) {
         if let Some(v) = self.gauges.get_mut(name) {
             *v = value;
         } else {
             self.gauges.insert(name.to_string(), value);
         }
     }
+}
+
+fn write_hist_snapshot(w: &mut JsonWriter, s: &HistSnapshot) {
+    w.begin_object();
+    w.field("count", &s.count);
+    w.field("p50", &s.p50);
+    w.field("p90", &s.p90);
+    w.field("p99", &s.p99);
+    w.field("max", &s.max);
+    w.end_object();
 }
 
 impl ToJson for MetricsRegistry {
@@ -143,6 +245,34 @@ impl ToJson for MetricsRegistry {
             w.field(k, v);
         }
         w.end_object();
+        if !self.hists.is_empty() {
+            w.key("histograms");
+            w.begin_object();
+            for (k, h) in &self.hists {
+                w.key(k);
+                w.begin_object();
+                let s = HistSnapshot::of(h);
+                w.field("count", &s.count);
+                w.field("p50", &s.p50);
+                w.field("p90", &s.p90);
+                w.field("p99", &s.p99);
+                w.field("max", &s.max);
+                // Sparse bucket dump: (log2 upper bound, count) pairs.
+                w.key("buckets");
+                w.begin_array();
+                for (i, &c) in h.buckets().iter().enumerate() {
+                    if c > 0 {
+                        w.begin_object();
+                        w.field("log2", &(i as u64));
+                        w.field("count", &c);
+                        w.end_object();
+                    }
+                }
+                w.end_array();
+                w.end_object();
+            }
+            w.end_object();
+        }
         w.key("epochs");
         w.begin_array();
         for e in &self.epochs {
@@ -160,6 +290,15 @@ impl ToJson for MetricsRegistry {
                 w.field(k, v);
             }
             w.end_object();
+            if !e.hists.is_empty() {
+                w.key("histograms");
+                w.begin_object();
+                for (k, s) in &e.hists {
+                    w.key(k);
+                    write_hist_snapshot(w, s);
+                }
+                w.end_object();
+            }
             w.end_object();
         }
         w.end_array();
@@ -212,6 +351,13 @@ mod tests {
     }
 
     #[test]
+    fn set_entity_builds_the_indexed_name_internally() {
+        let mut m = MetricsRegistry::new();
+        m.set_entity("gpu", 3, "occupancy", 0.25);
+        assert_eq!(m.gauge("gpu3.occupancy"), Some(0.25));
+    }
+
+    #[test]
     fn json_export_is_valid_and_sorted() {
         let mut m = MetricsRegistry::new();
         m.add("b", 2);
@@ -237,5 +383,69 @@ mod tests {
         let mut s = NullSink;
         s.add("x", 1);
         s.set("y", 2.0);
+        s.set_entity("gpu", 0, "occupancy", 1.0);
+    }
+
+    // --- Epoch edge cases ------------------------------------------------
+
+    #[test]
+    fn empty_registry_still_snapshots_an_empty_epoch() {
+        let mut m = MetricsRegistry::new();
+        m.snapshot(1_000);
+        assert_eq!(m.epochs().len(), 1);
+        let e = &m.epochs()[0];
+        assert!(e.counters.is_empty() && e.gauges.is_empty() && e.hists.is_empty());
+        // And the export is still a valid document.
+        let v = parse(&m.to_json()).expect("valid json");
+        assert_eq!(
+            v.get("epochs").and_then(|e| e.as_array()).expect("a").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn counter_rollover_wraps_across_snapshots_without_panicking() {
+        let mut m = MetricsRegistry::new();
+        m.add("near_max", u64::MAX - 1);
+        m.snapshot(1_000);
+        m.add("near_max", 3); // wraps: MAX-1 + 3 ≡ 1 (mod 2^64)
+        m.snapshot(2_000);
+        assert_eq!(m.epochs()[0].counters[0].1, u64::MAX - 1);
+        assert_eq!(m.epochs()[1].counters[0].1, 1, "wrapping add, not panic");
+        assert_eq!(m.counter("near_max"), 1);
+    }
+
+    #[test]
+    fn gauge_last_write_wins_within_an_epoch() {
+        // Multiple sets between snapshots: only the final value is
+        // visible, matching the engine's "sample at the heartbeat" model.
+        let mut m = MetricsRegistry::new();
+        m.set("q", 4.0);
+        m.set("q", 9.0);
+        m.set("q", 2.0);
+        m.snapshot(1_000);
+        assert_eq!(m.epochs()[0].gauges, vec![("q".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn histograms_snapshot_percentiles_per_epoch() {
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 2, 2, 3, 100] {
+            m.record_hist("lat", v);
+        }
+        m.snapshot(1_000);
+        let (name, s) = &m.epochs()[0].hists[0];
+        assert_eq!(name, "lat");
+        assert_eq!(s.count, 5);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 64, "lower bound of the bucket holding 100");
+        let v = parse(&m.to_json()).expect("valid json");
+        assert!(
+            v.get("histograms")
+                .and_then(|h| h.get("lat"))
+                .and_then(|l| l.get("count"))
+                .and_then(|c| c.as_f64())
+                == Some(5.0)
+        );
     }
 }

@@ -146,6 +146,18 @@ pub enum TraceEventKind {
         /// The violation message (law broken, location, cycle).
         message: String,
     },
+    /// A run-pool job lifecycle event (retry, timeout, panic isolation)
+    /// from `memnet sweep --jobs N`, on a dedicated "pool" track.
+    /// Timestamps are wall-clock offsets from pool start, not simulated
+    /// time — pool traces are exported separately from simulation traces.
+    PoolJob {
+        /// What happened (`"retry"`, `"timeout"`, `"panic"`, `"done"`).
+        what: &'static str,
+        /// Submission-order job index.
+        job: u64,
+        /// 1-based attempt number.
+        attempt: u64,
+    },
     /// A fault-plan event was applied to the live system (instant on a
     /// dedicated "faults" track).
     Fault {
@@ -319,6 +331,11 @@ impl Tracer {
                 for (name, v) in &epoch.gauges {
                     write_counter(&mut w, ts, name, *v);
                 }
+                for (name, h) in &epoch.hists {
+                    write_counter(&mut w, ts, &format!("{name}.p50"), h.p50 as f64);
+                    write_counter(&mut w, ts, &format!("{name}.p90"), h.p90 as f64);
+                    write_counter(&mut w, ts, &format!("{name}.p99"), h.p99 as f64);
+                }
             }
         }
         w.end_array();
@@ -340,6 +357,7 @@ const TID_SKE: u64 = 2;
 const TID_ENGINE: u64 = 3;
 const TID_FAULTS: u64 = 4;
 const TID_SANITIZER: u64 = 5;
+const TID_POOL: u64 = 6;
 const TID_ROUTER_BASE: u64 = 100;
 const TID_GPU_BASE: u64 = 10_000;
 const TID_HMC_BASE: u64 = 20_000;
@@ -361,6 +379,7 @@ fn tid_of(kind: &TraceEventKind) -> (u64, &'static str, Option<u64>) {
         }
         TraceEventKind::CtaSteal { .. } => (TID_SKE, "ske", None),
         TraceEventKind::EngineWake { .. } => (TID_ENGINE, "engine", None),
+        TraceEventKind::PoolJob { .. } => (TID_POOL, "pool", None),
         TraceEventKind::Fault { .. } => (TID_FAULTS, "faults", None),
         TraceEventKind::SanitizerViolation { .. } => (TID_SANITIZER, "sanitizer", None),
         TraceEventKind::VaultService { hmc, .. } => {
@@ -512,6 +531,15 @@ fn write_event(w: &mut JsonWriter, ev: &TraceEvent) {
             w.field("skipped", skipped);
             w.end_object();
         }
+        TraceEventKind::PoolJob { what, job, attempt } => {
+            event_head(w, what, "pool", "i", ts, tid);
+            w.field("s", "t");
+            w.key("args");
+            w.begin_object();
+            w.field("job", job);
+            w.field("attempt", attempt);
+            w.end_object();
+        }
         TraceEventKind::SanitizerViolation { message } => {
             event_head(w, "sanitizer-violation", "sanitizer", "i", ts, tid);
             w.field("s", "t");
@@ -649,6 +677,59 @@ mod tests {
                     && e.get("tid").and_then(JsonValue::as_f64) == Some(4.0)),
             "faults thread-name metadata present"
         );
+    }
+
+    #[test]
+    fn pool_events_land_on_the_pool_track() {
+        let mut t = Tracer::new(4);
+        t.emit_fs(
+            1_000,
+            0,
+            TraceEventKind::PoolJob {
+                what: "retry",
+                job: 2,
+                attempt: 1,
+            },
+        );
+        let json = t.to_chrome_json(None);
+        let v = parse(&json).expect("valid JSON");
+        let evs = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        let ev = evs
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("retry"))
+            .expect("pool event present");
+        assert_eq!(ev.get("cat").and_then(JsonValue::as_str), Some("pool"));
+        assert_eq!(ev.get("tid").and_then(JsonValue::as_f64), Some(6.0));
+    }
+
+    #[test]
+    fn histogram_epochs_become_percentile_counter_tracks() {
+        use crate::metrics::MetricsRegistry;
+        let mut t = Tracer::new(4);
+        t.emit_fs(0, 10, TraceEventKind::Phase { name: "kernel" });
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 8, 64] {
+            m.record_hist("net.pkt_latency", v);
+        }
+        m.snapshot(2_000_000);
+        let json = t.to_chrome_json(Some(&m));
+        let v = parse(&json).expect("valid JSON");
+        let evs = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        for pct in ["p50", "p90", "p99"] {
+            let name = format!("net.pkt_latency.{pct}");
+            assert!(
+                evs.iter()
+                    .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                        && e.get("name").and_then(JsonValue::as_str) == Some(&name)),
+                "missing {name} counter track"
+            );
+        }
     }
 
     #[test]

@@ -12,15 +12,23 @@
 
 use memnet::common::time::ns_to_fs;
 use memnet::common::FaultPlan;
-use memnet::engine::{run_jobs, PoolConfig};
+use memnet::engine::{run_jobs_observed, PoolConfig, PoolObs};
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
+use memnet::obs::{MetricSink, MetricsRegistry, TraceEventKind, Tracer};
 use memnet::sim::{
-    plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, SanitizeMode, SimBuilder,
-    SimReport,
+    plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, ProfileReport,
+    SanitizeMode, SimBuilder, SimReport,
 };
 use memnet::workloads::Workload;
 use std::process::ExitCode;
+
+/// Counting allocator for `memnet profile` (allocations/run, peak bytes).
+/// A pass-through over the system allocator; the counters live outside
+/// simulation state, so reports stay byte-identical with it installed.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static ALLOC: memnet::obs::CountingAlloc = memnet::obs::CountingAlloc::new();
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -29,11 +37,17 @@ fn usage() -> ExitCode {
 USAGE:
   memnet list                      list workloads and organizations
   memnet run [OPTIONS]             run one simulation
-  memnet sweep [--small] [--jobs N]
+  memnet profile [OPTIONS]         run one simulation with the self-profiler
+                                   and report where wall-clock time and
+                                   allocations went (simulation results are
+                                   byte-identical to `memnet run`)
+  memnet sweep [--small] [--jobs N] [--trace FILE]
                                    run every workload on every organization
                                    (in parallel across N worker threads;
                                    default: all cores) and print a
-                                   Fig. 14-style table
+                                   Fig. 14-style table; --trace writes the
+                                   pool schedule (retries, timeouts, panics)
+                                   as a Chrome trace
 
 OPTIONS:
   --org <ORG>          pcie | pcie-zc | cmn | cmn-zc | gmn | gmn-zc | umn | pcn   (default umn)
@@ -63,7 +77,17 @@ OPTIONS:
   --trace-events <N>   tracer ring-buffer capacity in events (default 1M)
   --metrics-every <N>  snapshot metrics every N network cycles (with
                        --trace the epochs become counter tracks; alone
-                       they print as JSON after the report)"
+                       they print as JSON after the report)
+
+PROFILE OPTIONS (memnet profile accepts every run option, plus):
+  --out <FILE>         write the ProfileReport JSON
+  --heatmap <FILE>     write the router/link utilization heatmap JSON
+                       (render it with: cargo run --example traffic_heatmap
+                       -- FILE)
+  --report <FILE>      write the SimReport JSON — byte-identical to what
+                       `memnet run --json` prints, so CI can assert that
+                       profiling never perturbs simulation results
+  --json               print the ProfileReport as JSON instead of a table"
     );
     ExitCode::FAILURE
 }
@@ -208,6 +232,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_cmd(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         _ => usage(),
     }
@@ -216,6 +241,7 @@ fn main() -> ExitCode {
 fn sweep_cmd(args: &[String]) -> ExitCode {
     let small = args.iter().any(|a| a == "--small");
     let mut jobs = 0usize; // 0 = pool default (available parallelism)
+    let mut trace_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -224,6 +250,13 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
                 Some(n) if n > 0 => jobs = n,
                 _ => {
                     eprintln!("--jobs expects a positive integer");
+                    return usage();
+                }
+            },
+            "--trace" => match it.next() {
+                Some(f) => trace_file = Some(f.clone()),
+                None => {
+                    eprintln!("missing value for --trace");
                     return usage();
                 }
             },
@@ -262,7 +295,18 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
         ..PoolConfig::default()
     };
     let mut results = Vec::with_capacity(cells.len());
-    for (outcome, (w, org)) in run_jobs(&cfg, sims).into_iter().zip(&cells) {
+    let (outcomes, obs) = run_jobs_observed(&cfg, sims);
+    if let Some(path) = &trace_file {
+        if let Err(e) = std::fs::write(path, pool_trace_json(&obs)) {
+            eprintln!("failed to write pool trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[wrote pool trace: {path} ({} jobs, {} retries, {} timeouts, {} panics)]",
+            obs.stats.jobs, obs.stats.retries, obs.stats.timeouts, obs.stats.panics
+        );
+    }
+    for (outcome, (w, org)) in outcomes.into_iter().zip(&cells) {
         match outcome {
             Ok(Ok(r)) => results.push(r),
             Ok(Err(e)) => {
@@ -296,7 +340,47 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_cmd(args: &[String]) -> ExitCode {
+/// Renders one pool run's schedule (retries, timeouts, panic isolations)
+/// as a Chrome trace: one instant per lifecycle event on the pool track,
+/// plus `pool.*` counters from the aggregate stats. Pool timestamps are
+/// wall-clock milliseconds since pool start, mapped onto the trace's
+/// femtosecond axis as 1 ms : 1 ms.
+fn pool_trace_json(obs: &PoolObs) -> String {
+    let mut tracer = Tracer::new(obs.events.len().max(1));
+    let mut last_fs = 0u64;
+    for e in &obs.events {
+        let at_fs = e.at_ms.saturating_mul(1_000_000_000_000); // ms → fs
+        last_fs = last_fs.max(at_fs);
+        tracer.emit_fs(
+            at_fs,
+            0,
+            TraceEventKind::PoolJob {
+                what: e.what,
+                job: e.job as u64,
+                attempt: e.attempt as u64,
+            },
+        );
+    }
+    let mut m = MetricsRegistry::new();
+    m.add("pool.jobs", obs.stats.jobs as u64);
+    m.add("pool.succeeded", obs.stats.succeeded as u64);
+    m.add("pool.failed", obs.stats.failed as u64);
+    m.add("pool.retries", obs.stats.retries);
+    m.add("pool.panics", obs.stats.panics);
+    m.add("pool.timeouts", obs.stats.timeouts);
+    m.snapshot(last_fs);
+    tracer.to_chrome_json(Some(&m))
+}
+
+/// Everything `memnet run` and `memnet profile` share: the fully
+/// configured builder plus the presentation flags.
+struct RunOpts {
+    builder: SimBuilder,
+    json: bool,
+    trace_file: Option<String>,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     let mut org = Organization::Umn;
     let mut workload = Workload::Kmn;
     let mut gpus = 4u32;
@@ -329,40 +413,40 @@ fn run_cmd(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--org" => match value("--org").and_then(|v| parse_org(&v)) {
                 Some(o) => org = o,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--workload" => match value("--workload").and_then(|v| parse_workload(&v)) {
                 Some(w) => workload = w,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--gpus" => match value("--gpus").and_then(|v| v.parse().ok()) {
                 Some(n) => gpus = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--sms" => match value("--sms").and_then(|v| v.parse().ok()) {
                 Some(n) => sms = n,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--topology" => match value("--topology").and_then(|v| parse_topology(&v)) {
                 Some(t) => topology = Some(t),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--routing" => match value("--routing").as_deref() {
                 Some("minimal") => routing = RoutingPolicy::Minimal,
                 Some("ugal") => routing = RoutingPolicy::Ugal,
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             "--cta" => match value("--cta").as_deref() {
                 Some("static") => cta = CtaPolicy::StaticChunk,
                 Some("rr") => cta = CtaPolicy::RoundRobin,
                 Some("stealing") => cta = CtaPolicy::Stealing,
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             "--placement" => match value("--placement").as_deref() {
                 Some("random") => placement = PlacementPolicy::Random,
                 Some("round-robin") => placement = PlacementPolicy::RoundRobin,
                 Some("contiguous") => placement = PlacementPolicy::Contiguous,
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             "--overlay" => overlay = true,
             "--small" => small = true,
@@ -370,19 +454,19 @@ fn run_cmd(args: &[String]) -> ExitCode {
             "--sanitize" => sanitize = true,
             "--seconds-budget" => match value("--seconds-budget").and_then(|v| v.parse().ok()) {
                 Some(ms) => budget_ms = ms,
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--trace" => match value("--trace") {
                 Some(f) => trace_file = Some(f),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--trace-events" => match value("--trace-events").and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => trace_events = n,
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             "--metrics-every" => match value("--metrics-every").and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => metrics_every = Some(n),
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             "--faults" => match value("--faults") {
                 Some(path) => {
@@ -390,7 +474,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
                         Ok(t) => t,
                         Err(e) => {
                             eprintln!("cannot read fault plan {path}: {e}");
-                            return ExitCode::FAILURE;
+                            return Err(ExitCode::FAILURE);
                         }
                     };
                     match plan_from_json(&text) {
@@ -401,24 +485,24 @@ fn run_cmd(args: &[String]) -> ExitCode {
                         }
                         Err(e) => {
                             eprintln!("bad fault plan {path}: {e}");
-                            return ExitCode::FAILURE;
+                            return Err(ExitCode::FAILURE);
                         }
                     }
                 }
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--chaos-seed" => match value("--chaos-seed").and_then(|v| v.parse().ok()) {
                 Some(n) => chaos_seed = Some(n),
-                None => return usage(),
+                None => return Err(usage()),
             },
             "--engine" => match value("--engine").as_deref() {
                 Some("cycle" | "cycle-stepped") => engine = Some(EngineMode::CycleStepped),
                 Some("event" | "event-driven") => engine = Some(EngineMode::EventDriven),
-                _ => return usage(),
+                _ => return Err(usage()),
             },
             _ => {
                 eprintln!("unknown option {a}");
-                return usage();
+                return Err(usage());
             }
         }
     }
@@ -464,36 +548,219 @@ fn run_cmd(args: &[String]) -> ExitCode {
     if sanitize {
         b = b.sanitize(SanitizeMode::Record);
     }
-    let r = match b.try_run() {
+    Ok(RunOpts {
+        builder: b,
+        json,
+        trace_file,
+    })
+}
+
+fn run_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_run_opts(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let r = match opts.builder.try_run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("memnet: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if json {
+    if opts.json {
         print_json(&r);
     } else {
         print_table(&r);
     }
-    if let Some(path) = &trace_file {
-        let trace = r.trace_json.as_deref().expect("tracing was enabled");
-        if let Err(e) = std::fs::write(path, trace) {
-            eprintln!("failed to write trace {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("[wrote trace: {path}]");
+    if write_trace(&r, opts.trace_file.as_deref()).is_err() {
+        return ExitCode::FAILURE;
     }
-    if !json && trace_file.is_none() {
+    if !opts.json && opts.trace_file.is_none() {
         if let Some(m) = &r.metrics_json {
             println!("{m}");
         }
     }
+    exit_code(&r)
+}
+
+/// Writes the Chrome trace when `--trace` was given. If the tracer ring
+/// overflowed, says so once — silent event loss makes a trace lie.
+fn write_trace(r: &SimReport, path: Option<&str>) -> Result<(), ()> {
+    let Some(path) = path else { return Ok(()) };
+    let trace = r.trace_json.as_deref().expect("tracing was enabled");
+    if let Err(e) = std::fs::write(path, trace) {
+        eprintln!("failed to write trace {path}: {e}");
+        return Err(());
+    }
+    if r.trace_dropped > 0 {
+        eprintln!(
+            "[trace: dropped {} oldest event(s) — ring full; raise --trace-events]",
+            r.trace_dropped
+        );
+    }
+    eprintln!("[wrote trace: {path}]");
+    Ok(())
+}
+
+fn exit_code(r: &SimReport) -> ExitCode {
     let dirty = r.sanitizer.as_ref().is_some_and(|s| !s.is_clean());
     if r.timed_out || dirty {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn profile_cmd(args: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut heatmap: Option<String> = None;
+    let mut report: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("missing value for {name}");
+            }
+            v.cloned()
+        };
+        match a.as_str() {
+            "--out" => match value("--out") {
+                Some(f) => out = Some(f),
+                None => return usage(),
+            },
+            "--heatmap" => match value("--heatmap") {
+                Some(f) => heatmap = Some(f),
+                None => return usage(),
+            },
+            "--report" => match value("--report") {
+                Some(f) => report = Some(f),
+                None => return usage(),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    let opts = match parse_run_opts(&rest) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let json = opts.json;
+    let (r, prof) = match opts.builder.profile(true).try_run_profiled() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("memnet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prof = prof.expect("profiling was enabled");
+    if json {
+        print!("{}", prof.to_json_string());
+    } else {
+        print_table(&r);
+        println!();
+        print_profile(&prof);
+    }
+    if let Some(path) = &report {
+        // Exactly the bytes `memnet run --json` prints (to_json_string
+        // plus println!'s newline), so CI can `cmp` the two documents.
+        let mut text = r.to_json_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, prof.to_json_string()) {
+            eprintln!("failed to write profile {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &heatmap {
+        if let Err(e) = std::fs::write(path, prof.heatmap.to_json_string()) {
+            eprintln!("failed to write heatmap {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if write_trace(&r, opts.trace_file.as_deref()).is_err() {
+        return ExitCode::FAILURE;
+    }
+    exit_code(&r)
+}
+
+fn print_profile(p: &ProfileReport) {
+    println!("engine           : {}", p.engine);
+    println!("wall time        : {:>14.3} ms", p.wall_ns as f64 / 1e6);
+    let accounted: u64 = p.domains.iter().map(|d| d.wall_ns).sum();
+    println!(
+        "  {:<17} {:>12} {:>12} {:>7}",
+        "category", "wall ms", "scopes", "share"
+    );
+    for d in &p.domains {
+        let share = if p.wall_ns > 0 {
+            100.0 * d.wall_ns as f64 / p.wall_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<17} {:>12.3} {:>12} {:>6.1}%",
+            d.name,
+            d.wall_ns as f64 / 1e6,
+            d.ticks,
+            share
+        );
+    }
+    if p.wall_ns > accounted {
+        println!(
+            "  {:<17} {:>12.3} {:>12} {:>6.1}%",
+            "(driver/other)",
+            (p.wall_ns - accounted) as f64 / 1e6,
+            "-",
+            100.0 * (p.wall_ns - accounted) as f64 / p.wall_ns as f64
+        );
+    }
+    if !p.phases.is_empty() {
+        println!("phases:");
+        for m in &p.phases {
+            println!(
+                "  {:<17} {:>12.3} ms {:>12} allocs {:>14} bytes",
+                m.name,
+                m.wall_ns as f64 / 1e6,
+                m.allocs,
+                m.alloc_bytes
+            );
+        }
+    }
+    if p.alloc.installed {
+        println!(
+            "allocations      : {} calls, {} bytes total, {} peak live",
+            p.alloc.allocs, p.alloc.bytes, p.alloc.peak_bytes
+        );
+    } else {
+        println!("allocations      : not counted (count-alloc feature is off)");
+    }
+    if !p.hists.is_empty() {
+        println!("histograms:");
+        for h in &p.hists {
+            println!(
+                "  {:<26} n={:<10} p50={:<8} p90={:<8} p99={:<8} max={}",
+                h.name, h.snap.count, h.snap.p50, h.snap.p90, h.snap.p99, h.snap.max
+            );
+        }
+    }
+    println!(
+        "cost             : {} net cycles, {} flit-hops, {} CTAs",
+        p.net_cycles, p.flit_hops, p.ctas_done
+    );
+    if let Some(v) = p.wall_ns_per_flit_hop() {
+        println!("  wall ns/flit-hop : {v:.1}");
+    }
+    if let Some(v) = p.wall_ns_per_cta() {
+        println!("  wall ns/CTA      : {v:.1}");
+    }
+    if p.trace_dropped > 0 {
+        println!("trace drops      : {}", p.trace_dropped);
     }
 }
 

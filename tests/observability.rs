@@ -141,6 +141,60 @@ fn packet_hops_break_down_the_pipeline_stages() {
 }
 
 #[test]
+fn trace_event_loss_is_counted_not_silent() {
+    // A ring far too small for a kernel run must drop events — and say so:
+    // in the report, and in the exported document's otherData.
+    let r = SimBuilder::new(Organization::Umn)
+        .gpus(2)
+        .sms_per_gpu(2)
+        .workload(Workload::Kmn.spec_small())
+        .trace(256)
+        .run();
+    assert!(
+        r.trace_dropped > 0,
+        "a 256-event ring cannot hold a kernel run"
+    );
+    let json = r.trace_json.expect("tracing was enabled");
+    let doc = memnet::obs::parse(&json).expect("valid JSON");
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(JsonValue::as_f64)
+        .expect("otherData.dropped_events present");
+    assert_eq!(dropped as u64, r.trace_dropped);
+
+    // An adequately sized ring drops nothing.
+    assert_eq!(traced_report().trace_dropped, 0);
+}
+
+#[test]
+fn histogram_epochs_surface_as_percentile_counter_tracks() {
+    let r = traced_report();
+    let trace = r.trace_json.expect("tracing was enabled");
+    let doc = memnet::obs::parse(&trace).expect("valid JSON");
+    let counter_names: Vec<&str> = events(&doc)
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("C"))
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for series in [
+        "net.pkt_latency_cycles.p50",
+        "net.pkt_latency_cycles.p99",
+        "net.vc_occupancy_flits.p99",
+        "hmc.vault_queue_depth.p99",
+    ] {
+        assert!(
+            counter_names.contains(&series),
+            "missing histogram counter track {series}"
+        );
+    }
+    // The registry carries the same distributions and the drop counter.
+    let metrics = r.metrics_json.expect("metrics were enabled");
+    assert!(metrics.contains("histograms"));
+    assert!(metrics.contains("trace.dropped"));
+}
+
+#[test]
 fn metrics_json_reports_the_instrumented_series() {
     let r = traced_report();
     let json = r.metrics_json.expect("metrics were enabled");
