@@ -1,0 +1,177 @@
+//! Serve-cache and checkpoint economics (PR 7 artifact).
+//!
+//! Two measurements of the sim-as-a-service subsystem:
+//!
+//! * **cache hit vs cold run** — latency of the same `run` request
+//!   through [`Server::handle_line`] on a cold cache (a full simulation)
+//!   and on a warm one (a verbatim splice of the cached report);
+//! * **warm-prefix fork speedup** — a sweep whose cells share a warmup
+//!   prefix (same configuration, both engine modes) run straight vs
+//!   forked from one [`try_run_checkpointed`] snapshot via
+//!   [`try_run_restored`], which skips re-simulating the host/H2D prefix.
+//!
+//! Results go to `BENCH_pr7.json` at the repository root.
+//!
+//! With `MEMNET_CHECK=1` the target instead acts as a CI guard: it
+//! asserts that a cache hit returns the cold run's report byte-for-byte
+//! and that every forked run's report is byte-identical to its straight
+//! counterpart, in both engine modes. No JSON is written.
+
+use memnet_core::{EngineMode, Organization, SimBuilder};
+use memnet_obs::JsonWriter;
+use memnet_serve::{ServeConfig, Server};
+use memnet_workloads::Workload;
+use std::time::Instant;
+
+/// The cache-latency configuration: SCAN on GMN, a kernel-heavy cell
+/// where a cold run is expensive and a hit must stay cheap.
+fn cache_request(id: u32, small: bool) -> String {
+    format!(
+        "{{\"id\":{id},\"method\":\"run\",\"params\":{{\"org\":\"gmn\",\"workload\":\"scan\",\
+         \"small\":{small},\"budget_ms\":30.0}}}}"
+    )
+}
+
+/// The fork configuration: vectorAdd on GMN, whose warmup prefix (host
+/// work + the H2D copy) dominates the short kernel — the regime where
+/// forking a sweep from one snapshot actually saves simulation.
+fn base(small: bool) -> SimBuilder {
+    let spec = if small {
+        Workload::VecAdd.spec_small()
+    } else {
+        Workload::VecAdd.spec()
+    };
+    SimBuilder::new(Organization::Gmn)
+        .workload(spec)
+        .phase_budget_ns(30e6)
+}
+
+fn report_of(response: &str) -> &str {
+    let at = response.find("\"report\":").expect("response has a report");
+    &response[at + "\"report\":".len()..response.len() - "}}".len()]
+}
+
+const MODES: [EngineMode; 2] = [EngineMode::EventDriven, EngineMode::CycleStepped];
+
+fn main() {
+    let check = std::env::var("MEMNET_CHECK").is_ok_and(|v| v == "1");
+    memnet_bench::header("Serve: cache-hit vs cold latency and warm-prefix fork speedup");
+
+    if check {
+        // Guard 1: a cache hit splices the cold run's bytes verbatim.
+        let mut server = Server::new(&ServeConfig::default());
+        let cold = server.handle_line(&cache_request(1, true)).text;
+        let warm = server.handle_line(&cache_request(2, true)).text;
+        if report_of(&cold) != report_of(&warm) {
+            eprintln!("FAIL: cache hit report differs from the cold run");
+            std::process::exit(1);
+        }
+        println!("  cache hit: report byte-identical to the cold run");
+        // Guard 2: forking from a snapshot is invisible in the report.
+        let (straight_report, snap) = base(true)
+            .try_run_checkpointed("serve_cache bench")
+            .expect("checkpointed run");
+        let straight = straight_report.to_json_string();
+        for mode in MODES {
+            let forked = base(true)
+                .engine(mode)
+                .try_run_restored(&snap)
+                .expect("restored run")
+                .to_json_string();
+            if forked != straight {
+                eprintln!(
+                    "FAIL: {} restore differs from the straight run",
+                    mode.name()
+                );
+                std::process::exit(1);
+            }
+            println!("  {:>14}: forked report byte-identical", mode.name());
+        }
+        println!("  OK: cache and checkpoint are result-invisible");
+        return;
+    }
+
+    let small = memnet_bench::fast_mode();
+
+    // Part 1: cold vs hit latency through the protocol layer.
+    let mut server = Server::new(&ServeConfig::default());
+    let t0 = Instant::now();
+    let cold = server.handle_line(&cache_request(1, small)).text;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(cold.contains("\"cached\":false"), "first request misses");
+    let hits = 100u32;
+    let t1 = Instant::now();
+    for i in 0..hits {
+        let warm = server.handle_line(&cache_request(2 + i, small)).text;
+        assert!(warm.contains("\"cached\":true"), "repeat request hits");
+    }
+    let hit_us = t1.elapsed().as_secs_f64() * 1e6 / f64::from(hits);
+    let speedup = cold_ms * 1e3 / hit_us;
+    println!("  cold run      : {cold_ms:>10.2} ms");
+    println!("  cache hit     : {hit_us:>10.1} µs   ({speedup:.0}× faster, n={hits})");
+
+    // Part 2: straight sweep vs forked-from-checkpoint sweep over the
+    // dimensions a snapshot may vary (engine mode), repeated to smooth
+    // scheduler noise.
+    let reps = 3usize;
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        for mode in MODES {
+            base(small).engine(mode).run();
+        }
+    }
+    let straight_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let t3 = Instant::now();
+    let (_, snap) = base(small)
+        .try_run_checkpointed("serve_cache bench")
+        .expect("checkpointed run");
+    let checkpoint_ms = t3.elapsed().as_secs_f64() * 1e3;
+    let t4 = Instant::now();
+    for _ in 0..reps {
+        for mode in MODES {
+            base(small)
+                .engine(mode)
+                .try_run_restored(&snap)
+                .expect("restored run");
+        }
+    }
+    let forked_ms = t4.elapsed().as_secs_f64() * 1e3;
+    let runs = reps * MODES.len();
+    let fork_speedup = straight_ms / (checkpoint_ms + forked_ms);
+    println!("  straight sweep: {straight_ms:>10.2} ms   ({runs} runs)");
+    println!(
+        "  forked sweep  : {:>10.2} ms   (one checkpoint {checkpoint_ms:.2} ms + {runs} restores)",
+        checkpoint_ms + forked_ms
+    );
+    println!("  fork speedup  : {fork_speedup:>10.2}×");
+
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field("bench", "serve_cache");
+    w.field("workload", "SCAN (cache) / VECADD (fork)");
+    w.field("org", "GMN");
+    w.field("small", &small);
+    w.key("cache");
+    w.begin_object();
+    w.field("cold_ms", &cold_ms);
+    w.field("hit_us", &hit_us);
+    w.field("hit_samples", &u64::from(hits));
+    w.field("speedup", &speedup);
+    w.end_object();
+    w.key("fork");
+    w.begin_object();
+    w.field("runs", &(runs as u64));
+    w.field("straight_ms", &straight_ms);
+    w.field("checkpoint_ms", &checkpoint_ms);
+    w.field("restores_ms", &forked_ms);
+    w.field("speedup", &fork_speedup);
+    w.end_object();
+    w.end_object();
+
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_pr7.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_pr7.json");
+    println!("[wrote {}]", path.display());
+}

@@ -68,6 +68,14 @@ impl SplitMix64 {
     pub fn fork(&mut self, stream: u64) -> SplitMix64 {
         SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
+
+    /// The raw internal state. `SplitMix64::new(state)` reconstructs a
+    /// generator that continues the exact same sequence — the snapshot /
+    /// restore hook used by checkpointing.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]

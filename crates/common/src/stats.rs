@@ -74,6 +74,23 @@ impl RunningStats {
             self.max = self.max.max(other.max);
         }
     }
+
+    /// The raw `(count, sum, min, max)` fields, including the ±∞ sentinels
+    /// of an empty accumulator. Checkpoint hook: feed the tuple back
+    /// through [`RunningStats::from_raw`] to reconstruct bit-identically.
+    pub fn raw(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`RunningStats::raw`] output.
+    pub fn from_raw(count: u64, sum: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
 }
 
 // A derived Default would zero-initialize `min`/`max`, silently clamping
@@ -231,6 +248,26 @@ impl TrafficMatrix {
         (0..self.cols)
             .map(|c| (0..self.rows).map(|r| self.get(r, c)).sum())
             .collect()
+    }
+
+    /// The flat row-major cell contents — checkpoint hook.
+    pub fn raw_bytes(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// Overwrites the cell contents from a [`TrafficMatrix::raw_bytes`]
+    /// slice recorded on an identically shaped matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != rows * cols`.
+    pub fn restore_bytes(&mut self, bytes: &[u64]) {
+        assert_eq!(
+            bytes.len(),
+            self.rows * self.cols,
+            "traffic matrix shape mismatch on restore"
+        );
+        self.bytes.copy_from_slice(bytes);
     }
 
     /// Ratio of the hottest to the coldest *nonzero* destination, the

@@ -32,6 +32,7 @@ pub mod memory;
 pub mod profile;
 pub mod sanitize;
 pub mod ske;
+pub mod snapshot;
 pub mod system;
 
 pub use faults::{plan_from_json, plan_to_json};
@@ -39,4 +40,5 @@ pub use memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
 pub use profile::{DomainProfile, Heatmap, ProfileHist, ProfileReport};
 pub use sanitize::{SanitizeMode, SanitizerReport};
 pub use ske::CtaPolicy;
+pub use snapshot::{fnv1a64, SystemSnapshot};
 pub use system::{EngineMode, GpuSummary, Organization, SimBuilder, SimError, SimReport};

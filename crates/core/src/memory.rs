@@ -151,6 +151,52 @@ impl MemoryLayout {
     pub fn pages_allocated(&self) -> usize {
         self.page_table.len()
     }
+
+    /// Captures the mutable placement state for checkpointing. Regions and
+    /// policy are configuration (re-derived on rebuild); what must carry
+    /// over is the first-touch outcome: the page table, per-cluster
+    /// allocation cursors, the placement RNG and the round-robin cursor.
+    pub(crate) fn snapshot_state(&self) -> MemoryState {
+        MemoryState {
+            page_table: self.page_table.iter().map(|(&v, &p)| (v, p)).collect(),
+            next_seq: self.next_seq.clone(),
+            rng_state: self.rng.state(),
+            rr_next: self.rr_next as u64,
+        }
+    }
+
+    /// Overwrites the mutable placement state from a
+    /// [`MemoryLayout::snapshot_state`] taken on an identically configured
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster count does not match.
+    pub(crate) fn restore_state(&mut self, s: &MemoryState) {
+        assert_eq!(
+            s.next_seq.len(),
+            self.next_seq.len(),
+            "memory layout cluster count mismatch on restore"
+        );
+        self.page_table = s.page_table.iter().copied().collect();
+        self.next_seq.clone_from(&s.next_seq);
+        self.rng = SplitMix64::new(s.rng_state);
+        self.rr_next = s.rr_next as usize;
+    }
+}
+
+/// Serializable mutable state of a [`MemoryLayout`] (see
+/// [`MemoryLayout::snapshot_state`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MemoryState {
+    /// `(virtual page, physical page)` pairs in ascending key order.
+    pub(crate) page_table: Vec<(u64, u64)>,
+    /// Next page sequence number per cluster.
+    pub(crate) next_seq: Vec<u64>,
+    /// Placement RNG internal state.
+    pub(crate) rng_state: u64,
+    /// Round-robin placement cursor.
+    pub(crate) rr_next: u64,
 }
 
 #[cfg(test)]

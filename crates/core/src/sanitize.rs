@@ -122,6 +122,29 @@ impl Sanitizer {
         }
     }
 
+    /// Captures accumulated audit state for checkpointing, so a restored
+    /// sanitizing run reports totals identical to an unbroken one.
+    pub(crate) fn snapshot_state(&self) -> SanitizerState {
+        SanitizerState {
+            checks: self.checks,
+            violations: self.violations.clone(),
+            dropped: self.dropped,
+            ctas_launched: self.ctas_launched,
+            ctas_dropped: self.ctas_dropped,
+        }
+    }
+
+    /// Overwrites accumulated audit state from a
+    /// [`Sanitizer::snapshot_state`]. The fatal flag is the restoring
+    /// run's own choice and is left untouched.
+    pub(crate) fn restore_state(&mut self, s: &SanitizerState) {
+        self.checks = s.checks;
+        self.violations.clone_from(&s.violations);
+        self.dropped = s.dropped;
+        self.ctas_launched = s.ctas_launched;
+        self.ctas_dropped = s.ctas_dropped;
+    }
+
     /// Finishes the run: panics in fatal mode if anything was found,
     /// otherwise returns the report.
     pub(crate) fn into_report(self) -> SanitizerReport {
@@ -140,6 +163,21 @@ impl Sanitizer {
         }
         rep
     }
+}
+
+/// Serializable accumulated audit state (see [`Sanitizer::snapshot_state`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SanitizerState {
+    /// Phase-boundary checkpoints executed.
+    pub(crate) checks: u64,
+    /// Recorded violation messages.
+    pub(crate) violations: Vec<String>,
+    /// Violations beyond the message cap.
+    pub(crate) dropped: u64,
+    /// CTAs handed to `Gpu::launch` across all kernels.
+    pub(crate) ctas_launched: u64,
+    /// Orphaned CTAs dropped with a dead GPU.
+    pub(crate) ctas_dropped: u64,
 }
 
 #[cfg(test)]

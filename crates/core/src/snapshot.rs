@@ -1,0 +1,814 @@
+//! Deterministic full-state checkpoints.
+//!
+//! A [`SystemSnapshot`] captures every bit of mutable simulation state at
+//! the quiescent **pre-kernel phase boundary** (after host-pre compute and
+//! the host→device copies, before the first kernel cycle) of one run:
+//! clock-domain cycle counts, warm CPU caches, HMC bank timing, the
+//! network's RNG/packet-slot/fault state, the first-touch page table, the
+//! traffic matrix and the fault/recovery counters. Restoring it onto an
+//! identically configured [`SimBuilder`](crate::SimBuilder) — verified by
+//! the configuration fingerprint — reproduces the rest of the run
+//! bit-identically under either [`EngineMode`](crate::EngineMode), so
+//! sweeps that share a warmup prefix can fork from one snapshot and a
+//! sanitizer violation can be bisected by replay.
+//!
+//! Deliberately **not** in a snapshot:
+//!
+//! * configuration — re-derived by rebuilding from the same builder
+//!   (regions, graphs, resolved fault plan, clock periods);
+//! * pure observers (tracer, metrics registry, profiler) — a restored run
+//!   starts them fresh and observes only its own suffix;
+//! * in-flight work — the boundary is quiescent by construction (empty
+//!   queues, settled credits, drained cubes), which the component
+//!   `snapshot_state` methods assert.
+//!
+//! # Encoding
+//!
+//! Snapshots serialize to a single JSON document through the
+//! `memnet-obs` JSON layer. Every integer is encoded as a **decimal
+//! string** and every float as its **IEEE-754 bit pattern in a decimal
+//! string**: the obs parser stores JSON numbers as `f64`, which would
+//! silently round u64 values above 2^53, and the writer maps non-finite
+//! floats to `null`, which would destroy the `RunningStats` ±∞
+//! sentinels. String-encoding sidesteps both, keeping the round trip
+//! bit-exact.
+
+use memnet_common::stats::RunningStats;
+use memnet_common::time::Fs;
+use memnet_cpu::{CpuState, DmaState};
+use memnet_gpu::cache::CacheState;
+use memnet_gpu::{CacheStats, GpuState};
+use memnet_hmc::{BankState, HmcState, VaultState};
+use memnet_noc::{ChannelState, NetStats, NetworkState};
+use memnet_obs::json::{parse, JsonValue};
+use memnet_obs::JsonWriter;
+
+use crate::memory::MemoryState;
+use crate::sanitize::SanitizerState;
+
+/// Snapshot format version, bumped on any encoding change.
+const FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a over `bytes`, finished with the SplitMix64 avalanche so the low
+/// bits are as well mixed as the high ones. Used for configuration
+/// fingerprints and content-addressed job hashes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Full mutable simulation state at the pre-kernel phase boundary.
+///
+/// Produced by
+/// [`SimBuilder::try_run_checkpointed`](crate::SimBuilder::try_run_checkpointed),
+/// consumed by
+/// [`SimBuilder::try_run_restored`](crate::SimBuilder::try_run_restored).
+/// Serializes losslessly through [`SystemSnapshot::to_json_string`] /
+/// [`SystemSnapshot::from_json`].
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    /// [`SimBuilder::fingerprint`](crate::SimBuilder::fingerprint) of the
+    /// configuration that took the snapshot.
+    pub(crate) fingerprint: u64,
+    /// Opaque caller string (the CLI stores the original run flags here).
+    pub(crate) meta: String,
+    /// Simulated instant of the boundary, fs.
+    pub(crate) now: Fs,
+    /// Clock cycle count per domain, in `domain` index order.
+    pub(crate) clock_cycles: Vec<u64>,
+    /// Elapsed host-compute time of the prefix, fs.
+    pub(crate) host_fs: Fs,
+    /// Elapsed memcpy time of the prefix, fs.
+    pub(crate) memcpy_fs: Fs,
+    pub(crate) faults_injected: u64,
+    pub(crate) failed_requests: u64,
+    pub(crate) rebalanced_ctas: u64,
+    pub(crate) lost_gpus: u64,
+    pub(crate) steal_events: u64,
+    pub(crate) gpus: Vec<GpuState>,
+    pub(crate) cpu: CpuState,
+    pub(crate) dma: DmaState,
+    pub(crate) hmcs: Vec<HmcState>,
+    pub(crate) net: NetworkState,
+    pub(crate) memory: MemoryState,
+    /// Raw traffic-matrix cells, row-major.
+    pub(crate) traffic_bytes: Vec<u64>,
+    /// Accumulated audit state when the checkpointing run sanitized.
+    pub(crate) sanitizer: Option<SanitizerState>,
+}
+
+impl SystemSnapshot {
+    /// The configuration fingerprint the snapshot was taken under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The opaque caller string stored at checkpoint time.
+    pub fn meta(&self) -> &str {
+        &self.meta
+    }
+
+    /// The simulated instant of the snapshot boundary, femtoseconds.
+    pub fn now_fs(&self) -> Fs {
+        self.now
+    }
+
+    /// Serializes the snapshot as one pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("memnet_snapshot");
+        w.string(&FORMAT_VERSION.to_string());
+        wu(&mut w, "fingerprint", self.fingerprint);
+        w.key("meta");
+        w.string(&self.meta);
+        wu(&mut w, "now", self.now);
+        wu_arr(&mut w, "clocks", self.clock_cycles.iter().copied());
+        wu(&mut w, "host_fs", self.host_fs);
+        wu(&mut w, "memcpy_fs", self.memcpy_fs);
+        wu(&mut w, "faults_injected", self.faults_injected);
+        wu(&mut w, "failed_requests", self.failed_requests);
+        wu(&mut w, "rebalanced_ctas", self.rebalanced_ctas);
+        wu(&mut w, "lost_gpus", self.lost_gpus);
+        wu(&mut w, "steal_events", self.steal_events);
+        w.key("gpus");
+        w.begin_array();
+        for g in &self.gpus {
+            write_gpu(&mut w, g);
+        }
+        w.end_array();
+        w.key("cpu");
+        write_cpu(&mut w, &self.cpu);
+        w.key("dma");
+        w.begin_object();
+        wu(&mut w, "next_req", self.dma.next_req);
+        wu(&mut w, "bytes_copied", self.dma.bytes_copied);
+        w.end_object();
+        w.key("hmcs");
+        w.begin_array();
+        for h in &self.hmcs {
+            write_hmc(&mut w, h);
+        }
+        w.end_array();
+        w.key("net");
+        write_net(&mut w, &self.net);
+        w.key("memory");
+        write_memory(&mut w, &self.memory);
+        wu_arr(&mut w, "traffic", self.traffic_bytes.iter().copied());
+        if let Some(s) = &self.sanitizer {
+            w.key("sanitizer");
+            write_sanitizer(&mut w, s);
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a snapshot serialized by [`SystemSnapshot::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON, a missing or
+    /// unsupported format version, or any absent/mistyped field.
+    pub fn from_json(text: &str) -> Result<SystemSnapshot, String> {
+        let v = parse(text).map_err(|e| format!("snapshot: {e}"))?;
+        let version = gu(&v, "memnet_snapshot")?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "snapshot format version {version} is not supported (expected {FORMAT_VERSION})"
+            ));
+        }
+        Ok(SystemSnapshot {
+            fingerprint: gu(&v, "fingerprint")?,
+            meta: field(&v, "meta")?
+                .as_str()
+                .ok_or_else(|| "snapshot field 'meta' is not a string".to_string())?
+                .to_string(),
+            now: gu(&v, "now")?,
+            clock_cycles: gu_arr(&v, "clocks")?,
+            host_fs: gu(&v, "host_fs")?,
+            memcpy_fs: gu(&v, "memcpy_fs")?,
+            faults_injected: gu(&v, "faults_injected")?,
+            failed_requests: gu(&v, "failed_requests")?,
+            rebalanced_ctas: gu(&v, "rebalanced_ctas")?,
+            lost_gpus: gu(&v, "lost_gpus")?,
+            steal_events: gu(&v, "steal_events")?,
+            gpus: garr(&v, "gpus")?
+                .iter()
+                .map(read_gpu)
+                .collect::<Result<_, _>>()?,
+            cpu: read_cpu(field(&v, "cpu")?)?,
+            dma: {
+                let d = field(&v, "dma")?;
+                DmaState {
+                    next_req: gu(d, "next_req")?,
+                    bytes_copied: gu(d, "bytes_copied")?,
+                }
+            },
+            hmcs: garr(&v, "hmcs")?
+                .iter()
+                .map(read_hmc)
+                .collect::<Result<_, _>>()?,
+            net: read_net(field(&v, "net")?)?,
+            memory: read_memory(field(&v, "memory")?)?,
+            traffic_bytes: gu_arr(&v, "traffic")?,
+            sanitizer: match v.get("sanitizer") {
+                Some(s) => Some(read_sanitizer(s)?),
+                None => None,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write helpers — integers as decimal strings, floats as bit patterns.
+// ---------------------------------------------------------------------------
+
+fn wu(w: &mut JsonWriter, key: &str, v: u64) {
+    w.key(key);
+    w.string(&v.to_string());
+}
+
+fn wf(w: &mut JsonWriter, key: &str, v: f64) {
+    w.key(key);
+    w.string(&v.to_bits().to_string());
+}
+
+fn wu_arr(w: &mut JsonWriter, key: &str, vs: impl Iterator<Item = u64>) {
+    w.key(key);
+    w.begin_array();
+    for v in vs {
+        w.string(&v.to_string());
+    }
+    w.end_array();
+}
+
+fn write_running(w: &mut JsonWriter, key: &str, s: &RunningStats) {
+    let (count, sum, min, max) = s.raw();
+    w.key(key);
+    w.begin_object();
+    wu(w, "count", count);
+    wf(w, "sum", sum);
+    wf(w, "min", min);
+    wf(w, "max", max);
+    w.end_object();
+}
+
+fn write_cache_stats(w: &mut JsonWriter, s: &CacheStats) {
+    wu(w, "read_hits", s.read_hits);
+    wu(w, "read_misses", s.read_misses);
+    wu(w, "write_hits", s.write_hits);
+    wu(w, "write_misses", s.write_misses);
+}
+
+fn write_cache(w: &mut JsonWriter, c: &CacheState) {
+    w.begin_object();
+    // (tag, valid, lru) triplets, flattened set-major.
+    w.key("ways");
+    w.begin_array();
+    for &(tag, valid, lru) in &c.ways {
+        w.string(&tag.to_string());
+        w.string(if valid { "1" } else { "0" });
+        w.string(&lru.to_string());
+    }
+    w.end_array();
+    wu(w, "tick", c.tick);
+    write_cache_stats(w, &c.stats);
+    w.end_object();
+}
+
+fn write_gpu(w: &mut JsonWriter, g: &GpuState) {
+    w.begin_object();
+    w.key("dead");
+    w.boolean(g.dead);
+    wu(w, "core_cycle", g.core_cycle);
+    wu(w, "next_req", g.next_req);
+    wu(w, "mem_reqs", g.mem_reqs);
+    w.key("l2");
+    write_cache(w, &g.l2);
+    w.end_object();
+}
+
+fn write_cpu(w: &mut JsonWriter, c: &CpuState) {
+    w.begin_object();
+    wu(w, "cycle", c.cycle);
+    wu(w, "compute_until", c.compute_until);
+    wu(w, "next_req", c.next_req);
+    wu(w, "ops", c.stats.ops);
+    wu(w, "mem_reads", c.stats.mem_reads);
+    wu(w, "busy_cycles", c.stats.busy_cycles);
+    w.key("l1");
+    write_cache(w, &c.l1);
+    w.key("l2");
+    write_cache(w, &c.l2);
+    w.end_object();
+}
+
+fn write_hmc(w: &mut JsonWriter, h: &HmcState) {
+    w.begin_object();
+    wu(w, "seq", h.seq);
+    wu_arr(w, "stalled_until", h.stalled_until.iter().copied());
+    wu(w, "stalls", h.stalls);
+    w.key("vaults");
+    w.begin_array();
+    for v in &h.vaults {
+        w.begin_object();
+        // Per bank: [open_row ("-" = closed), next_cmd, activated_at,
+        // write_recovery_until, next_refresh], flattened.
+        w.key("banks");
+        w.begin_array();
+        for b in &v.banks {
+            match b.open_row {
+                Some(r) => w.string(&r.to_string()),
+                None => w.string("-"),
+            }
+            w.string(&b.next_cmd.to_string());
+            w.string(&b.activated_at.to_string());
+            w.string(&b.write_recovery_until.to_string());
+            w.string(&b.next_refresh.to_string());
+        }
+        w.end_array();
+        wu(w, "bus_free_at", v.bus_free_at);
+        wu(w, "row_hits", v.stats.row_hits);
+        wu(w, "row_misses", v.stats.row_misses);
+        wu(w, "served", v.stats.served);
+        wu(w, "bytes", v.stats.bytes);
+        wu(w, "refreshes", v.stats.refreshes);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn write_net(w: &mut JsonWriter, n: &NetworkState) {
+    w.begin_object();
+    wu(w, "cycle", n.cycle);
+    wu(w, "seq", n.seq);
+    wu(w, "rng_state", n.rng_state);
+    wu(w, "packet_slots", n.packet_slots);
+    wu_arr(w, "free_pids", n.free_pids.iter().map(|&p| u64::from(p)));
+    w.key("link_up");
+    w.begin_array();
+    for &up in &n.link_up {
+        w.boolean(up);
+    }
+    w.end_array();
+    // Per channel: [up, degrade, busy_until, bytes_moved, busy_cycles].
+    w.key("channels");
+    w.begin_array();
+    for c in &n.channels {
+        w.string(if c.up { "1" } else { "0" });
+        w.string(&c.degrade.to_string());
+        w.string(&c.busy_until.to_string());
+        w.string(&c.bytes_moved.to_string());
+        w.string(&c.busy_cycles.to_string());
+    }
+    w.end_array();
+    w.key("stats");
+    w.begin_object();
+    wu(w, "delivered", n.stats.delivered);
+    write_running(w, "latency", &n.stats.latency);
+    write_running(w, "hops", &n.stats.hops);
+    wu(w, "nonminimal", n.stats.nonminimal);
+    wu(w, "passthrough", n.stats.passthrough);
+    wu(w, "bytes_delivered", n.stats.bytes_delivered);
+    wu(w, "flits_injected", n.stats.flits_injected);
+    wu(w, "reroutes", n.stats.reroutes);
+    wu(w, "retries", n.stats.retries);
+    wu(w, "dead_letters", n.stats.dead_letters);
+    wu(w, "packets_injected", n.stats.packets_injected);
+    wu(w, "flit_hops", n.stats.flit_hops);
+    w.end_object();
+    w.end_object();
+}
+
+fn write_memory(w: &mut JsonWriter, m: &MemoryState) {
+    w.begin_object();
+    // (vpage, ppage) pairs, flattened in ascending key order.
+    wu_arr(
+        w,
+        "page_table",
+        m.page_table.iter().flat_map(|&(v, p)| [v, p]),
+    );
+    wu_arr(w, "next_seq", m.next_seq.iter().copied());
+    wu(w, "rng_state", m.rng_state);
+    wu(w, "rr_next", m.rr_next);
+    w.end_object();
+}
+
+fn write_sanitizer(w: &mut JsonWriter, s: &SanitizerState) {
+    w.begin_object();
+    wu(w, "checks", s.checks);
+    w.key("violations");
+    w.begin_array();
+    for v in &s.violations {
+        w.string(v);
+    }
+    w.end_array();
+    wu(w, "dropped", s.dropped);
+    wu(w, "ctas_launched", s.ctas_launched);
+    wu(w, "ctas_dropped", s.ctas_dropped);
+    w.end_object();
+}
+
+// ---------------------------------------------------------------------------
+// Read helpers
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key)
+        .ok_or_else(|| format!("snapshot missing field '{key}'"))
+}
+
+fn gu(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_str()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("snapshot field '{key}' is not a u64 decimal string"))
+}
+
+fn gf(v: &JsonValue, key: &str) -> Result<f64, String> {
+    Ok(f64::from_bits(gu(v, key)?))
+}
+
+fn garr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("snapshot field '{key}' is not an array"))
+}
+
+fn gu_arr(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    garr(v, key)?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("snapshot array '{key}' holds a non-u64 element"))
+        })
+        .collect()
+}
+
+fn read_running(v: &JsonValue, key: &str) -> Result<RunningStats, String> {
+    let s = field(v, key)?;
+    Ok(RunningStats::from_raw(
+        gu(s, "count")?,
+        gf(s, "sum")?,
+        gf(s, "min")?,
+        gf(s, "max")?,
+    ))
+}
+
+fn read_cache_stats(v: &JsonValue) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        read_hits: gu(v, "read_hits")?,
+        read_misses: gu(v, "read_misses")?,
+        write_hits: gu(v, "write_hits")?,
+        write_misses: gu(v, "write_misses")?,
+    })
+}
+
+fn read_cache(v: &JsonValue) -> Result<CacheState, String> {
+    let flat = gu_arr(v, "ways")?;
+    if flat.len() % 3 != 0 {
+        return Err("snapshot cache 'ways' length is not a multiple of 3".into());
+    }
+    Ok(CacheState {
+        ways: flat
+            .chunks_exact(3)
+            .map(|c| (c[0], c[1] != 0, c[2]))
+            .collect(),
+        tick: gu(v, "tick")?,
+        stats: read_cache_stats(v)?,
+    })
+}
+
+fn read_gpu(v: &JsonValue) -> Result<GpuState, String> {
+    Ok(GpuState {
+        dead: field(v, "dead")?
+            .as_bool()
+            .ok_or_else(|| "snapshot field 'dead' is not a bool".to_string())?,
+        core_cycle: gu(v, "core_cycle")?,
+        next_req: gu(v, "next_req")?,
+        mem_reqs: gu(v, "mem_reqs")?,
+        l2: read_cache(field(v, "l2")?)?,
+    })
+}
+
+fn read_cpu(v: &JsonValue) -> Result<CpuState, String> {
+    Ok(CpuState {
+        cycle: gu(v, "cycle")?,
+        compute_until: gu(v, "compute_until")?,
+        next_req: gu(v, "next_req")?,
+        stats: memnet_cpu::CpuStats {
+            ops: gu(v, "ops")?,
+            mem_reads: gu(v, "mem_reads")?,
+            busy_cycles: gu(v, "busy_cycles")?,
+        },
+        l1: read_cache(field(v, "l1")?)?,
+        l2: read_cache(field(v, "l2")?)?,
+    })
+}
+
+fn read_hmc(v: &JsonValue) -> Result<HmcState, String> {
+    let mut vaults = Vec::new();
+    for vv in garr(v, "vaults")? {
+        let flat = gu_arr_opt_rows(vv, "banks")?;
+        if flat.len() % 5 != 0 {
+            return Err("snapshot vault 'banks' length is not a multiple of 5".into());
+        }
+        vaults.push(VaultState {
+            banks: flat
+                .chunks_exact(5)
+                .map(|c| BankState {
+                    open_row: c[0],
+                    next_cmd: c[1].unwrap_or(0),
+                    activated_at: c[2].unwrap_or(0),
+                    write_recovery_until: c[3].unwrap_or(0),
+                    next_refresh: c[4].unwrap_or(0),
+                })
+                .collect(),
+            bus_free_at: gu(vv, "bus_free_at")?,
+            stats: memnet_hmc::vault::VaultStats {
+                row_hits: gu(vv, "row_hits")?,
+                row_misses: gu(vv, "row_misses")?,
+                served: gu(vv, "served")?,
+                bytes: gu(vv, "bytes")?,
+                refreshes: gu(vv, "refreshes")?,
+            },
+        });
+    }
+    Ok(HmcState {
+        seq: gu(v, "seq")?,
+        stalled_until: gu_arr(v, "stalled_until")?,
+        stalls: gu(v, "stalls")?,
+        vaults,
+    })
+}
+
+/// Like [`gu_arr`] but `"-"` elements parse to `None` (closed bank rows).
+fn gu_arr_opt_rows(v: &JsonValue, key: &str) -> Result<Vec<Option<u64>>, String> {
+    garr(v, key)?
+        .iter()
+        .map(|e| match e.as_str() {
+            Some("-") => Ok(None),
+            Some(s) => s
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("snapshot array '{key}' holds a non-u64 element")),
+            None => Err(format!("snapshot array '{key}' holds a non-string element")),
+        })
+        .collect()
+}
+
+fn read_net(v: &JsonValue) -> Result<NetworkState, String> {
+    let chan_flat = gu_arr_opt_rows(v, "channels")?;
+    if chan_flat.len() % 5 != 0 {
+        return Err("snapshot net 'channels' length is not a multiple of 5".into());
+    }
+    let channels = chan_flat
+        .chunks_exact(5)
+        .map(|c| {
+            let deg = c[1].unwrap_or(1);
+            Ok(ChannelState {
+                up: c[0].unwrap_or(0) != 0,
+                degrade: u32::try_from(deg)
+                    .map_err(|_| "snapshot channel degrade out of u32 range".to_string())?,
+                busy_until: c[2].unwrap_or(0),
+                bytes_moved: c[3].unwrap_or(0),
+                busy_cycles: c[4].unwrap_or(0),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let link_up = garr(v, "link_up")?
+        .iter()
+        .map(|e| {
+            e.as_bool()
+                .ok_or_else(|| "snapshot 'link_up' holds a non-bool element".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let s = field(v, "stats")?;
+    Ok(NetworkState {
+        cycle: gu(v, "cycle")?,
+        seq: gu(v, "seq")?,
+        rng_state: gu(v, "rng_state")?,
+        packet_slots: gu(v, "packet_slots")?,
+        free_pids: gu_arr(v, "free_pids")?
+            .into_iter()
+            .map(|p| {
+                u32::try_from(p).map_err(|_| "snapshot packet id out of u32 range".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        link_up,
+        channels,
+        stats: NetStats {
+            delivered: gu(s, "delivered")?,
+            latency: read_running(s, "latency")?,
+            hops: read_running(s, "hops")?,
+            nonminimal: gu(s, "nonminimal")?,
+            passthrough: gu(s, "passthrough")?,
+            bytes_delivered: gu(s, "bytes_delivered")?,
+            flits_injected: gu(s, "flits_injected")?,
+            reroutes: gu(s, "reroutes")?,
+            retries: gu(s, "retries")?,
+            dead_letters: gu(s, "dead_letters")?,
+            packets_injected: gu(s, "packets_injected")?,
+            flit_hops: gu(s, "flit_hops")?,
+        },
+    })
+}
+
+fn read_memory(v: &JsonValue) -> Result<MemoryState, String> {
+    let flat = gu_arr(v, "page_table")?;
+    if flat.len() % 2 != 0 {
+        return Err("snapshot 'page_table' length is not even".into());
+    }
+    Ok(MemoryState {
+        page_table: flat.chunks_exact(2).map(|c| (c[0], c[1])).collect(),
+        next_seq: gu_arr(v, "next_seq")?,
+        rng_state: gu(v, "rng_state")?,
+        rr_next: gu(v, "rr_next")?,
+    })
+}
+
+fn read_sanitizer(v: &JsonValue) -> Result<SanitizerState, String> {
+    Ok(SanitizerState {
+        checks: gu(v, "checks")?,
+        violations: garr(v, "violations")?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "snapshot 'violations' holds a non-string".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        dropped: gu(v, "dropped")?,
+        ctas_launched: gu(v, "ctas_launched")?,
+        ctas_dropped: gu(v, "ctas_dropped")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_is_stable_and_spread() {
+        let a = fnv1a64(b"org=UMN;seed=1");
+        let b = fnv1a64(b"org=UMN;seed=2");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a64(b"org=UMN;seed=1"), "pure function of bytes");
+        // One-byte difference flips roughly half the output bits.
+        assert!((a ^ b).count_ones() > 8);
+    }
+
+    fn sample_snapshot() -> SystemSnapshot {
+        SystemSnapshot {
+            fingerprint: u64::MAX - 3,
+            meta: "run --org UMN \"quoted\"\nline2".into(),
+            now: (1u64 << 60) + 7,
+            clock_cycles: vec![1, 2, 3, 4, 5],
+            host_fs: 42,
+            memcpy_fs: 0,
+            faults_injected: 1,
+            failed_requests: 2,
+            rebalanced_ctas: 3,
+            lost_gpus: 4,
+            steal_events: 5,
+            gpus: vec![GpuState {
+                dead: true,
+                core_cycle: 9,
+                next_req: 1 << 55,
+                mem_reqs: 11,
+                l2: CacheState {
+                    ways: vec![(u64::MAX, true, 3), (7, false, 0)],
+                    tick: 12,
+                    stats: CacheStats {
+                        read_hits: 1,
+                        read_misses: 2,
+                        write_hits: 3,
+                        write_misses: 4,
+                    },
+                },
+            }],
+            cpu: CpuState {
+                cycle: 100,
+                compute_until: 90,
+                next_req: 5,
+                stats: memnet_cpu::CpuStats {
+                    ops: 6,
+                    mem_reads: 7,
+                    busy_cycles: 8,
+                },
+                l1: CacheState::default(),
+                l2: CacheState::default(),
+            },
+            dma: DmaState {
+                next_req: 2,
+                bytes_copied: 1 << 54,
+            },
+            hmcs: vec![HmcState {
+                seq: 3,
+                stalled_until: vec![0, 9],
+                stalls: 1,
+                vaults: vec![VaultState {
+                    banks: vec![
+                        BankState {
+                            open_row: Some(123),
+                            next_cmd: 4,
+                            activated_at: 5,
+                            write_recovery_until: 6,
+                            next_refresh: 7,
+                        },
+                        BankState::default(),
+                    ],
+                    bus_free_at: 77,
+                    stats: memnet_hmc::vault::VaultStats {
+                        row_hits: 1,
+                        row_misses: 2,
+                        served: 3,
+                        bytes: 4,
+                        refreshes: 5,
+                    },
+                }],
+            }],
+            net: NetworkState {
+                cycle: 1000,
+                seq: 2000,
+                rng_state: u64::MAX,
+                packet_slots: 4,
+                free_pids: vec![3, 1, 0, 2],
+                link_up: vec![true, false],
+                channels: vec![ChannelState {
+                    up: false,
+                    degrade: 4,
+                    busy_until: 8,
+                    bytes_moved: 16,
+                    busy_cycles: 32,
+                }],
+                stats: NetStats {
+                    latency: RunningStats::from_raw(2, 30.5, 10.25, 20.25),
+                    ..NetStats::default()
+                },
+            },
+            memory: MemoryState {
+                page_table: vec![(1, 2), (1 << 53, (1 << 53) + 1)],
+                next_seq: vec![4, 5],
+                rng_state: 6,
+                rr_next: 7,
+            },
+            traffic_bytes: vec![0, 1 << 62, 3],
+            sanitizer: Some(SanitizerState {
+                checks: 8,
+                violations: vec!["phase: net: lost a credit".into()],
+                dropped: 0,
+                ctas_launched: 9,
+                ctas_dropped: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_bit_exactly() {
+        let snap = sample_snapshot();
+        let json = snap.to_json_string();
+        let back = SystemSnapshot::from_json(&json).expect("parse back");
+        // Struct has no PartialEq (component states carry stats); compare
+        // through re-serialization, which covers every field.
+        assert_eq!(back.to_json_string(), json);
+        assert_eq!(back.fingerprint(), snap.fingerprint());
+        assert_eq!(back.meta(), snap.meta());
+        assert_eq!(back.now_fs(), snap.now_fs());
+        // Spot-check the hazards the string encoding exists for: u64s
+        // above 2^53 and empty RunningStats ±∞ sentinels.
+        assert_eq!(back.gpus[0].next_req, 1 << 55);
+        assert_eq!(back.traffic_bytes[1], 1 << 62);
+        let (count, _, min, max) = back.net.stats.hops.raw();
+        assert_eq!(count, 0);
+        assert!(min.is_infinite() && min > 0.0, "+∞ sentinel survives");
+        assert!(max.is_infinite() && max < 0.0, "-∞ sentinel survives");
+    }
+
+    #[test]
+    fn malformed_snapshots_are_typed_errors() {
+        assert!(SystemSnapshot::from_json("not json").is_err());
+        assert!(SystemSnapshot::from_json("{}")
+            .unwrap_err()
+            .contains("memnet_snapshot"));
+        let v2 = r#"{"memnet_snapshot":"2"}"#;
+        assert!(SystemSnapshot::from_json(v2)
+            .unwrap_err()
+            .contains("version"));
+        // Numeric fields must be strings, not JSON numbers.
+        let bad = sample_snapshot().to_json_string().replace(
+            "\"now\": \"1152921504606846983\"",
+            "\"now\": 1152921504606846983",
+        );
+        assert!(SystemSnapshot::from_json(&bad).unwrap_err().contains("now"));
+    }
+}

@@ -16,6 +16,7 @@ use crate::memory::{MemoryLayout, PlacementPolicy, HOST_BASE};
 use crate::profile::{Heatmap, ProfileHist, ProfileReport};
 use crate::sanitize::{SanitizeMode, Sanitizer, SanitizerReport};
 use crate::ske::{self, CtaPolicy};
+use crate::snapshot::SystemSnapshot;
 use memnet_common::stats::TrafficMatrix;
 use memnet_common::time::{fs_to_ns, Fs};
 use memnet_common::{
@@ -151,6 +152,9 @@ pub enum SimError {
     InvalidConfig(String),
     /// [`SimBuilder::workload`] was never called.
     MissingWorkload,
+    /// A checkpoint could not be taken (timed-out warmup) or restored
+    /// (configuration fingerprint mismatch, malformed snapshot).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -158,6 +162,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(why) => write!(f, "invalid system configuration: {why}"),
             SimError::MissingWorkload => write!(f, "SimBuilder requires a workload"),
+            SimError::Snapshot(why) => write!(f, "snapshot error: {why}"),
         }
     }
 }
@@ -265,7 +270,18 @@ impl SimReport {
     /// `"metrics"` and sanitizer findings under `"sanitizer"`, so stdout
     /// consumers always get a single top-level object.
     pub fn to_json_string(&self) -> String {
-        let mut w = JsonWriter::pretty();
+        self.render_json(JsonWriter::pretty())
+    }
+
+    /// Serializes the same document as [`SimReport::to_json_string`], but
+    /// compactly on a single line — required by newline-delimited
+    /// protocols (the `memnet serve` daemon frames one JSON document per
+    /// line).
+    pub fn to_json_compact(&self) -> String {
+        self.render_json(JsonWriter::new())
+    }
+
+    fn render_json(&self, mut w: JsonWriter) -> String {
         w.begin_object();
         w.field("workload", self.workload);
         w.field("org", self.org.name());
@@ -552,6 +568,93 @@ impl SimBuilder {
     /// Same conditions as [`SimBuilder::try_run`].
     pub fn try_run_profiled(self) -> Result<(SimReport, Option<ProfileReport>), SimError> {
         Ok(System::try_build(self)?.run_profiled())
+    }
+
+    /// Like [`SimBuilder::try_run`], but also captures a deterministic
+    /// full-state checkpoint at the pre-kernel phase boundary (after
+    /// host-pre compute and the host→device copies, before the first
+    /// kernel cycle). The snapshot restores bit-identically under either
+    /// [`EngineMode`] via [`SimBuilder::try_run_restored`], so sweeps
+    /// sharing a warmup prefix can fork from one snapshot.
+    ///
+    /// `meta` is an opaque caller string carried verbatim inside the
+    /// snapshot (the CLI stores the original run flags there).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimBuilder::try_run`], plus
+    /// [`SimError::Snapshot`] when the warmup prefix hit the phase budget
+    /// — a timed-out prefix is not a meaningful fork point.
+    pub fn try_run_checkpointed(self, meta: &str) -> Result<(SimReport, SystemSnapshot), SimError> {
+        let fp = self.fingerprint();
+        System::try_build(self)?.run_checkpointed(meta, fp)
+    }
+
+    /// Skips the warmup prefix and runs the rest of the simulation from a
+    /// snapshot taken by [`SimBuilder::try_run_checkpointed`] on an
+    /// identically configured builder. The engine mode and the pure
+    /// observers (trace, metrics, profile, sanitize) may differ from the
+    /// checkpointing run; everything else must match.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimBuilder::try_run`], plus
+    /// [`SimError::Snapshot`] when the snapshot's configuration
+    /// fingerprint does not match this builder.
+    pub fn try_run_restored(self, snap: &SystemSnapshot) -> Result<SimReport, SimError> {
+        let fp = self.fingerprint();
+        if snap.fingerprint() != fp {
+            return Err(SimError::Snapshot(format!(
+                "snapshot fingerprint {:016x} does not match this configuration ({fp:016x}); \
+                 a snapshot restores only onto the exact configuration that took it \
+                 (engine mode and observability settings excepted)",
+                snap.fingerprint(),
+            )));
+        }
+        let mut sys = System::try_build(self)?;
+        sys.apply_snapshot(snap);
+        Ok(sys.run_from_snapshot_point(snap.host_fs, snap.memcpy_fs).0)
+    }
+
+    /// Content-address of everything that determines simulated outcomes:
+    /// an FNV-1a hash (SplitMix64-finalized) of
+    /// [`SimBuilder::canonical_string`]. The engine mode and the pure
+    /// observers (trace, metrics, profile, sanitize) are excluded —
+    /// reports are bit-identical across engine modes, so snapshots and
+    /// cached results are shareable across them.
+    pub fn fingerprint(&self) -> u64 {
+        crate::snapshot::fnv1a64(self.canonical_string().as_bytes())
+    }
+
+    /// The canonical configuration string behind
+    /// [`SimBuilder::fingerprint`]: every outcome-determining knob in a
+    /// fixed order, with floats rendered as IEEE-754 bit patterns so two
+    /// builders collide exactly when they simulate the same system.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "org={};", self.org.name());
+        let _ = write!(s, "cfg={};", self.cfg.to_json());
+        let _ = write!(
+            s,
+            "topology={:?};routing={:?};overlay={};",
+            self.topology, self.routing, self.overlay
+        );
+        let _ = write!(
+            s,
+            "cta_policy={:?};placement={:?};",
+            self.cta_policy, self.placement
+        );
+        let _ = write!(s, "workload={:?};", self.workload);
+        let _ = write!(s, "co={:?};", self.co_workloads);
+        let _ = write!(
+            s,
+            "data_clusters={:?};active_gpus={:?};",
+            self.data_clusters, self.active_gpus
+        );
+        let _ = write!(s, "phase_budget_bits={};", self.phase_budget_ns.to_bits());
+        let _ = write!(s, "faults={};", crate::faults::plan_to_json(&self.faults));
+        s
     }
 }
 
@@ -947,6 +1050,15 @@ impl System {
     }
 
     fn run_profiled(mut self) -> (SimReport, Option<ProfileReport>) {
+        let (host_fs, memcpy_fs) = self.run_warmup();
+        self.run_from_snapshot_point(host_fs, memcpy_fs)
+    }
+
+    /// Runs the pre-kernel prefix — host-pre compute plus the host→device
+    /// copies (including co-workload staging) — and returns the elapsed
+    /// `(host_fs, memcpy_fs)`. Ends at the quiescent pre-kernel phase
+    /// boundary, which is also the checkpoint point.
+    fn run_warmup(&mut self) -> (Fs, Fs) {
         let w = self.workload.clone();
         let mut host_fs: Fs = 0;
         let mut memcpy_fs: Fs = 0;
@@ -965,6 +1077,22 @@ impl System {
             }
             self.emit_phase("memcpy-h2d", t0);
         }
+        (host_fs, memcpy_fs)
+    }
+
+    /// Runs everything after the pre-kernel boundary: the SKE kernel, the
+    /// device→host copies, host-post compute, end-of-run normalization and
+    /// report assembly. `host_fs`/`memcpy_fs` carry the warmup phase times
+    /// (from [`System::run_warmup`] or a restored snapshot).
+    fn run_from_snapshot_point(
+        mut self,
+        host_fs: Fs,
+        memcpy_fs: Fs,
+    ) -> (SimReport, Option<ProfileReport>) {
+        let w = self.workload.clone();
+        let co = self.co_workloads.clone();
+        let mut host_fs = host_fs;
+        let mut memcpy_fs = memcpy_fs;
         let t0 = self.now;
         let kernel_fs = self.run_kernel_phase();
         self.emit_phase("kernel", t0);
@@ -1103,6 +1231,137 @@ impl System {
             trace_dropped,
         };
         (report, prof_report)
+    }
+
+    /// Runs the warmup prefix, captures the pre-kernel snapshot, then
+    /// finishes the run normally. The parked clocks are normalized to the
+    /// boundary first so the snapshot is a pure function of simulated
+    /// time, not of engine parking decisions; skip accounting is additive,
+    /// so the report stays bit-identical to an uncheckpointed run (with
+    /// [`SimBuilder::trace_engine`] the normalization adds extra
+    /// `EngineWake` trace events — engine traces are diagnostics, not part
+    /// of the compared document).
+    fn run_checkpointed(
+        mut self,
+        meta: &str,
+        fingerprint: u64,
+    ) -> Result<(SimReport, SystemSnapshot), SimError> {
+        let (host_fs, memcpy_fs) = self.run_warmup();
+        if self.timed_out {
+            return Err(SimError::Snapshot(
+                "warmup prefix hit the phase budget; refusing to checkpoint a timed-out run".into(),
+            ));
+        }
+        self.prof_begin(ProfCat::FastForward);
+        for d in 0..domain::COUNT {
+            let skipped = self.cal.catch_up_parked(d, self.now);
+            self.apply_skip(d, skipped);
+        }
+        self.prof_end(ProfCat::FastForward);
+        let snap = self.take_snapshot(meta, fingerprint, host_fs, memcpy_fs);
+        let (report, _prof) = self.run_from_snapshot_point(host_fs, memcpy_fs);
+        Ok((report, snap))
+    }
+
+    /// Captures the full mutable simulation state at the normalized,
+    /// quiescent pre-kernel boundary. Pure observers (tracer, metrics
+    /// registry, profiler) are deliberately *not* part of a snapshot: a
+    /// restored run starts them fresh, observing only its own suffix.
+    fn take_snapshot(
+        &self,
+        meta: &str,
+        fingerprint: u64,
+        host_fs: Fs,
+        memcpy_fs: Fs,
+    ) -> SystemSnapshot {
+        SystemSnapshot {
+            fingerprint,
+            meta: meta.to_string(),
+            now: self.now,
+            clock_cycles: (0..domain::COUNT)
+                .map(|d| self.cal.clock(d).cycles())
+                .collect(),
+            host_fs,
+            memcpy_fs,
+            faults_injected: self.faults_injected,
+            failed_requests: self.failed_requests,
+            rebalanced_ctas: self.rebalanced_ctas,
+            lost_gpus: self.lost_gpus,
+            steal_events: self.steal_events,
+            gpus: self.gpus.iter().map(Gpu::snapshot_state).collect(),
+            cpu: self.cpu.snapshot_state(),
+            dma: self.dma.snapshot_state(),
+            hmcs: self.hmcs.iter().map(HmcDevice::snapshot_state).collect(),
+            net: self.net.snapshot_state(),
+            memory: self.layout.snapshot_state(),
+            traffic_bytes: self.traffic.raw_bytes().to_vec(),
+            sanitizer: self.san.as_ref().map(Sanitizer::snapshot_state),
+        }
+    }
+
+    /// Overwrites mutable state from a snapshot taken on an identically
+    /// configured system (enforced upstream by the fingerprint check).
+    /// All clock domains come back armed; in event-driven mode idle
+    /// domains tick one no-op edge and re-park, which yields the same
+    /// counter end-state as the checkpointing run's bulk skip accounting.
+    /// Pending resolved faults whose edge lies at or before the snapshot
+    /// instant were already applied by the checkpointing run — their
+    /// effects live in the restored component state — so they are dropped
+    /// from the queue fronts.
+    fn apply_snapshot(&mut self, s: &SystemSnapshot) {
+        assert_eq!(
+            s.clock_cycles.len(),
+            domain::COUNT,
+            "clock domain count mismatch on restore"
+        );
+        assert_eq!(
+            s.gpus.len(),
+            self.gpus.len(),
+            "GPU count mismatch on restore"
+        );
+        assert_eq!(
+            s.hmcs.len(),
+            self.hmcs.len(),
+            "HMC count mismatch on restore"
+        );
+        self.now = s.now;
+        for d in 0..domain::COUNT {
+            self.cal.restore_clock(d, s.clock_cycles[d]);
+        }
+        for (g, gs) in self.gpus.iter_mut().zip(&s.gpus) {
+            g.restore_state(gs);
+        }
+        self.cpu.restore_state(&s.cpu);
+        self.dma.restore_state(&s.dma);
+        for (h, hs) in self.hmcs.iter_mut().zip(&s.hmcs) {
+            h.restore_state(hs);
+        }
+        self.net.restore_state(&s.net);
+        self.layout.restore_state(&s.memory);
+        self.traffic.restore_bytes(&s.traffic_bytes);
+        self.faults_injected = s.faults_injected;
+        self.failed_requests = s.failed_requests;
+        self.rebalanced_ctas = s.rebalanced_ctas;
+        self.lost_gpus = s.lost_gpus;
+        self.steal_events = s.steal_events;
+        for q in &mut self.fault_q {
+            while q.front().is_some_and(|f| f.edge_fs <= s.now) {
+                q.pop_front();
+            }
+        }
+        // The sanitizer's accumulated audit state carries over only when
+        // the restoring run sanitizes too; its totals then match an
+        // unbroken sanitized run. A snapshot from a non-sanitized run
+        // restores with counters starting at the boundary.
+        if let (Some(san), Some(ss)) = (self.san.as_mut(), s.sanitizer.as_ref()) {
+            san.restore_state(ss);
+        }
+        // First epoch lands on the next whole period after the restored
+        // network clock, exactly where the checkpointing run would have
+        // taken it (`None` when metric snapshots are disabled).
+        if let Some(periods) = self.net.cycle().checked_div(self.metrics_every) {
+            self.next_epoch = (periods + 1) * self.metrics_every;
+        }
     }
 
     /// Records a phase span from `start` to now (no-op without a tracer)

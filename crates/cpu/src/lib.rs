@@ -257,6 +257,58 @@ impl CpuCore {
             self.outstanding = self.outstanding.saturating_sub(1);
         }
     }
+
+    /// Captures the mutable state for checkpointing. Only valid while the
+    /// core is idle: no program, no outstanding accesses, no queued
+    /// requests. Cache contents (tags, LRU, counters) are captured so a
+    /// restored run's later host phases see the same warm hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core still holds in-flight work.
+    pub fn snapshot_state(&self) -> CpuState {
+        assert!(
+            !self.busy() && self.mem_out.is_empty(),
+            "CPU snapshot requires a quiescent phase boundary"
+        );
+        CpuState {
+            cycle: self.cycle,
+            compute_until: self.compute_until,
+            next_req: self.next_req,
+            stats: self.stats,
+            l1: self.l1.snapshot_state(),
+            l2: self.l2.snapshot_state(),
+        }
+    }
+
+    /// Overwrites the mutable state from a [`CpuCore::snapshot_state`]
+    /// taken on an identically configured core.
+    pub fn restore_state(&mut self, s: &CpuState) {
+        self.cycle = s.cycle;
+        self.compute_until = s.compute_until;
+        self.next_req = s.next_req;
+        self.stats = s.stats;
+        self.l1.restore_state(&s.l1);
+        self.l2.restore_state(&s.l2);
+    }
+}
+
+/// Serializable mutable state of a quiescent [`CpuCore`] (see
+/// [`CpuCore::snapshot_state`]).
+#[derive(Debug, Clone, Default)]
+pub struct CpuState {
+    /// Core cycle counter.
+    pub cycle: u64,
+    /// Compute-backlog deadline (≤ `cycle` when idle).
+    pub compute_until: u64,
+    /// Last allocated request sequence number.
+    pub next_req: u64,
+    /// Execution counters.
+    pub stats: CpuStats,
+    /// L1 data cache state.
+    pub l1: memnet_gpu::cache::CacheState,
+    /// L2 cache state.
+    pub l2: memnet_gpu::cache::CacheState,
 }
 
 /// A `memcpy` job for the DMA engine.
@@ -377,6 +429,26 @@ impl DmaEngine {
         self.mem_out.pop_front()
     }
 
+    /// Captures the mutable state for checkpointing. Only valid while the
+    /// engine is idle (no jobs, no queued requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a copy is still in flight.
+    pub fn snapshot_state(&self) -> DmaState {
+        assert!(!self.busy(), "DMA snapshot requires a quiescent boundary");
+        DmaState {
+            next_req: self.next_req,
+            bytes_copied: self.bytes_copied,
+        }
+    }
+
+    /// Overwrites the mutable state from a [`DmaEngine::snapshot_state`].
+    pub fn restore_state(&mut self, s: &DmaState) {
+        self.next_req = s.next_req;
+        self.bytes_copied = s.bytes_copied;
+    }
+
     /// Delivers a read response: emits the matching write to the
     /// destination and retires the job when everything is written.
     pub fn push_mem_response(&mut self, resp: MemResp) {
@@ -403,6 +475,16 @@ impl DmaEngine {
             self.jobs.pop_front();
         }
     }
+}
+
+/// Serializable mutable state of an idle [`DmaEngine`] (see
+/// [`DmaEngine::snapshot_state`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DmaState {
+    /// Last allocated request sequence number.
+    pub next_req: u64,
+    /// Total bytes whose writes have been issued.
+    pub bytes_copied: u64,
 }
 
 #[cfg(test)]

@@ -163,6 +163,23 @@ impl Calendar {
         self.stats
     }
 
+    /// Overwrites domain `d`'s clock with one that has ticked exactly
+    /// `cycles` edges (so `next_fs == cycles * period_fs`), re-arming the
+    /// domain. Checkpoint-restore hook: the edge-grid invariant means a
+    /// clock's whole state is `(period, cycles)`, so replaying `cycles`
+    /// edges onto a fresh clock reconstructs it bit-identically. Does not
+    /// touch [`CalendarStats`] — scheduling counters are wall-clock-side
+    /// diagnostics, not simulation state.
+    pub fn restore_clock(&mut self, d: usize, cycles: u64) {
+        let period = self.clocks[d].period_fs();
+        let mut fresh = Clock::new(period);
+        fresh.fast_forward_at_or_after(cycles * period);
+        debug_assert_eq!(fresh.cycles(), cycles);
+        debug_assert!(fresh.edge_aligned());
+        self.clocks[d] = fresh;
+        self.parked[d] = false;
+    }
+
     /// Domains whose clocks have fallen off the `next_fs == cycles *
     /// period_fs` edge grid. Always empty unless a fast-forward or wake
     /// has a bug; the runtime sanitizer polls this after every timestep.

@@ -175,6 +175,55 @@ impl Cache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Captures the full mutable state (tags, validity, LRU stamps, tick,
+    /// counters) for checkpointing. Geometry is not captured — a restored
+    /// cache must be built from the same [`CacheConfig`].
+    pub fn snapshot_state(&self) -> CacheState {
+        let mut ways = Vec::with_capacity(self.sets.len() * self.sets[0].len());
+        for set in &self.sets {
+            for w in set {
+                ways.push((w.tag, w.valid, w.lru));
+            }
+        }
+        CacheState {
+            ways,
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the mutable state from a [`Cache::snapshot_state`] taken
+    /// on an identically configured cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way count does not match this cache's geometry.
+    pub fn restore_state(&mut self, s: &CacheState) {
+        let assoc = self.sets[0].len();
+        assert_eq!(
+            s.ways.len(),
+            self.sets.len() * assoc,
+            "cache geometry mismatch on restore"
+        );
+        for (i, &(tag, valid, lru)) in s.ways.iter().enumerate() {
+            self.sets[i / assoc][i % assoc] = Way { tag, valid, lru };
+        }
+        self.tick = s.tick;
+        self.stats = s.stats;
+    }
+}
+
+/// Serializable mutable state of a [`Cache`] (see
+/// [`Cache::snapshot_state`]). Ways are flattened set-major.
+#[derive(Debug, Clone, Default)]
+pub struct CacheState {
+    /// `(tag, valid, lru)` per way, set-major.
+    pub ways: Vec<(u64, bool, u64)>,
+    /// LRU clock.
+    pub tick: u64,
+    /// Hit/miss counters.
+    pub stats: CacheStats,
 }
 
 /// A waiter for an outstanding miss: opaque token returned to the owner

@@ -438,6 +438,38 @@ impl Gpu {
         }
     }
 
+    /// Captures the mutable state for checkpointing. Only valid at a
+    /// quiescent phase boundary: no pending CTAs, no in-flight requests,
+    /// no crossbar traffic — everything transient must have drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU still holds in-flight work.
+    pub fn snapshot_state(&self) -> GpuState {
+        assert!(
+            !self.busy(),
+            "GPU snapshot requires a quiescent phase boundary"
+        );
+        GpuState {
+            dead: self.dead,
+            core_cycle: self.core_cycle,
+            next_req: self.next_req,
+            mem_reqs: self.mem_reqs,
+            l2: self.l2.snapshot_state(),
+        }
+    }
+
+    /// Overwrites the mutable state from a [`Gpu::snapshot_state`] taken
+    /// on an identically configured GPU at a quiescent boundary.
+    pub fn restore_state(&mut self, s: &GpuState) {
+        self.dead = s.dead;
+        self.core_cycle = s.core_cycle;
+        self.next_req = s.next_req;
+        self.mem_reqs = s.mem_reqs;
+        self.l2.restore_state(&s.l2);
+        self.busy_cache = false;
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> GpuStats {
         let mut s = GpuStats {
@@ -457,6 +489,23 @@ impl Gpu {
         }
         s
     }
+}
+
+/// Serializable mutable state of a quiescent [`Gpu`] (see
+/// [`Gpu::snapshot_state`]). SM-internal state (resident CTAs, L1
+/// contents) is deliberately absent: a quiescent GPU has none.
+#[derive(Debug, Clone, Default)]
+pub struct GpuState {
+    /// True after a [`Gpu::fail`] fault.
+    pub dead: bool,
+    /// Core-clock cycle counter.
+    pub core_cycle: u64,
+    /// Last allocated request sequence number.
+    pub next_req: u64,
+    /// Off-chip requests issued so far.
+    pub mem_reqs: u64,
+    /// Shared L2 tag/LRU/counter state.
+    pub l2: crate::cache::CacheState,
 }
 
 #[cfg(test)]

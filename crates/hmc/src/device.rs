@@ -180,6 +180,50 @@ impl HmcDevice {
         !self.has_work()
     }
 
+    /// Captures the mutable state for checkpointing. Only valid while the
+    /// cube is drained (no queued requests, no pending completions) — a
+    /// quiescent phase boundary. `stalled_until` deadlines are preserved
+    /// verbatim so vault-stall faults injected before the snapshot keep
+    /// acting after restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request is in flight.
+    pub fn snapshot_state(&self) -> HmcState {
+        assert!(
+            !self.has_work() && self.completions.is_empty(),
+            "HMC snapshot requires a drained cube (quiescent phase boundary)"
+        );
+        HmcState {
+            seq: self.seq,
+            stalled_until: self.stalled_until.clone(),
+            stalls: self.stalls,
+            vaults: self.vaults.iter().map(Vault::snapshot_state).collect(),
+        }
+    }
+
+    /// Overwrites the mutable state from a [`HmcDevice::snapshot_state`]
+    /// taken on an identically configured cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vault count does not match.
+    pub fn restore_state(&mut self, s: &HmcState) {
+        assert_eq!(
+            s.vaults.len(),
+            self.vaults.len(),
+            "HMC vault count mismatch on restore"
+        );
+        self.seq = s.seq;
+        self.stalled_until.clone_from(&s.stalled_until);
+        self.stalls = s.stalls;
+        self.completions.clear();
+        self.inflight = 0;
+        for (v, vs) in self.vaults.iter_mut().zip(&s.vaults) {
+            v.restore_state(vs);
+        }
+    }
+
     /// Merged statistics over all vaults.
     pub fn stats(&self) -> VaultStats {
         let mut s = VaultStats::default();
@@ -192,6 +236,20 @@ impl HmcDevice {
         }
         s
     }
+}
+
+/// Serializable mutable state of a drained [`HmcDevice`] (see
+/// [`HmcDevice::snapshot_state`]).
+#[derive(Debug, Clone, Default)]
+pub struct HmcState {
+    /// Completion tie-break sequence counter.
+    pub seq: u64,
+    /// Per-vault fault-stall deadlines (exclusive, absolute tCK).
+    pub stalled_until: Vec<u64>,
+    /// Cumulative vault-stall events injected.
+    pub stalls: u64,
+    /// Per-vault controller state.
+    pub vaults: Vec<crate::vault::VaultState>,
 }
 
 #[cfg(test)]

@@ -33,6 +33,6 @@ pub mod device;
 pub mod mapping;
 pub mod vault;
 
-pub use device::HmcDevice;
+pub use device::{HmcDevice, HmcState};
 pub use mapping::{AddressMap, Location};
-pub use vault::Vault;
+pub use vault::{BankState, Vault, VaultState};

@@ -245,6 +245,86 @@ impl Vault {
         }
         Some((e.req, done))
     }
+
+    /// Captures the mutable state for checkpointing. Only valid while the
+    /// queue is empty (a quiescent phase boundary). Bank timing state —
+    /// open rows, command deadlines, the staggered refresh schedule — and
+    /// the bus deadline are all in absolute tCK, so they restore verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still queued.
+    pub fn snapshot_state(&self) -> VaultState {
+        assert!(
+            self.queue.is_empty(),
+            "vault snapshot requires an empty request queue"
+        );
+        VaultState {
+            banks: self
+                .banks
+                .iter()
+                .map(|b| BankState {
+                    open_row: b.open_row,
+                    next_cmd: b.next_cmd,
+                    activated_at: b.activated_at,
+                    write_recovery_until: b.write_recovery_until,
+                    next_refresh: b.next_refresh,
+                })
+                .collect(),
+            bus_free_at: self.bus_free_at,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the mutable state from a [`Vault::snapshot_state`] taken
+    /// on an identically configured vault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank count does not match.
+    pub fn restore_state(&mut self, s: &VaultState) {
+        assert_eq!(
+            s.banks.len(),
+            self.banks.len(),
+            "vault bank count mismatch on restore"
+        );
+        for (b, bs) in self.banks.iter_mut().zip(&s.banks) {
+            b.open_row = bs.open_row;
+            b.next_cmd = bs.next_cmd;
+            b.activated_at = bs.activated_at;
+            b.write_recovery_until = bs.write_recovery_until;
+            b.next_refresh = bs.next_refresh;
+        }
+        self.bus_free_at = s.bus_free_at;
+        self.stats = s.stats;
+    }
+}
+
+/// Serializable timing state of one DRAM bank (see
+/// [`Vault::snapshot_state`]). All deadlines are absolute tCK.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankState {
+    /// The open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest tCK the next command may issue.
+    pub next_cmd: u64,
+    /// When the current row was activated.
+    pub activated_at: u64,
+    /// End of write recovery.
+    pub write_recovery_until: u64,
+    /// Next scheduled refresh.
+    pub next_refresh: u64,
+}
+
+/// Serializable mutable state of a quiescent [`Vault`].
+#[derive(Debug, Clone, Default)]
+pub struct VaultState {
+    /// Per-bank timing state.
+    pub banks: Vec<BankState>,
+    /// TSV data-bus deadline, absolute tCK.
+    pub bus_free_at: u64,
+    /// Scheduling counters.
+    pub stats: VaultStats,
 }
 
 #[cfg(test)]

@@ -36,6 +36,12 @@
 //! that does not exist) is itself a violation, so suppressions stay
 //! auditable.
 //!
+//! Whole crates whose charter conflicts with one rule are exempted from
+//! exactly that rule via [`CRATE_RULE_EXEMPTIONS`] — e.g. `crates/serve/`
+//! may read the wall clock (the daemon times real work, like the engine
+//! pool) but remains subject to every other rule. `bad-allow` is never
+//! exemptable.
+//!
 //! # Scope
 //!
 //! `src/` of every workspace crate except `memnet-lint` itself (its
@@ -63,6 +69,16 @@ pub const RULES: &[&str] = &[
 /// run pool times real threads, and the self-profiler attributes
 /// driver-loop wall time — neither feeds simulated state.
 pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs", "crates/obs/src/prof.rs"];
+
+/// Per-crate rule exemptions: `(path prefix, rule)` pairs. Every file
+/// whose workspace-relative path starts with the prefix is exempt from
+/// that one rule; all other rules still apply there. This is for crates
+/// whose *charter* conflicts with a rule — the serve daemon, like the
+/// engine pool, times real work (`busy_ms`) and may read the wall clock
+/// anywhere, but it must still avoid hash collections, unwraps, and the
+/// rest. Prefer the file-level [`WALL_CLOCK_ALLOWLIST`] or a line-level
+/// `allow` for anything narrower.
+pub const CRATE_RULE_EXEMPTIONS: &[(&str, &str)] = &[("crates/serve/", "wall-clock")];
 
 /// Metric-sink calls whose name argument must be a `'static` literal.
 /// `add_dyn`/`set_dyn` deliberately do not match: they are the audited
@@ -357,9 +373,15 @@ fn is_tick_path(fn_name: &str) -> bool {
 /// matched against the wall-clock allowlist (pass workspace-relative
 /// paths).
 pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
-    let wall_clock_allowed = WALL_CLOCK_ALLOWLIST
+    let exempt: Vec<&str> = CRATE_RULE_EXEMPTIONS
         .iter()
-        .any(|p| file == *p || file.ends_with(&format!("/{p}")));
+        .filter(|(prefix, _)| file.starts_with(prefix))
+        .map(|&(_, rule)| rule)
+        .collect();
+    let wall_clock_allowed = exempt.contains(&"wall-clock")
+        || WALL_CLOCK_ALLOWLIST
+            .iter()
+            .any(|p| file == *p || file.ends_with(&format!("/{p}")));
     let mut stripper = Stripper::default();
     let mut found: Vec<Violation> = Vec::new();
     let mut allows: Vec<Allow> = Vec::new();
@@ -445,9 +467,10 @@ pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
 
     found.retain(|v| {
         v.rule == "bad-allow"
-            || !allows
-                .iter()
-                .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line))
+            || (!exempt.contains(&v.rule)
+                && !allows
+                    .iter()
+                    .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line)))
     });
     found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     found
@@ -775,6 +798,40 @@ mod tests {
     fn profiler_module_may_read_the_wall_clock() {
         let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
         assert!(lint_source("crates/obs/src/prof.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_exemption_lifts_exactly_one_rule() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        // The serve crate's charter includes timing real work…
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        assert!(lint_source("crates/serve/src/cache.rs", src).is_empty());
+        // …but the same code in any other crate is still flagged…
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", src)),
+            vec![("wall-clock", 2)]
+        );
+        // …and the exemption is not a blanket pass: every other rule
+        // still applies inside the exempted crate.
+        let hashy = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/server.rs", hashy)),
+            vec![("hash-collection", 1)]
+        );
+        let unwrappy = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/job.rs", unwrappy)),
+            vec![("tick-unwrap", 2)]
+        );
+    }
+
+    #[test]
+    fn crate_exemption_does_not_lift_bad_allow() {
+        let src = "// memnet-lint: allow(wall-clock)\nstruct S;\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/server.rs", src)),
+            vec![("bad-allow", 1)]
+        );
     }
 
     #[test]

@@ -252,6 +252,45 @@ impl Ord for Timed {
     }
 }
 
+/// Serializable mutable state of one directed channel (see
+/// [`Network::snapshot_state`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelState {
+    /// False while the owning link is fault-injected down.
+    pub up: bool,
+    /// Retransmit serialization multiplier; 1 = clean.
+    pub degrade: u32,
+    /// Serialization deadline, absolute network cycles.
+    pub busy_until: u64,
+    /// Bytes moved (utilization/energy numerator).
+    pub bytes_moved: u64,
+    /// Serialization-busy cycles (utilization numerator).
+    pub busy_cycles: u64,
+}
+
+/// Serializable mutable state of a quiescent [`Network`] (see
+/// [`Network::snapshot_state`]).
+#[derive(Debug, Clone, Default)]
+pub struct NetworkState {
+    /// Router-clock cycle.
+    pub cycle: u64,
+    /// Event tie-break sequence counter.
+    pub seq: u64,
+    /// Routing RNG internal state.
+    pub rng_state: u64,
+    /// Packet-slot arena size.
+    pub packet_slots: u64,
+    /// Free packet-slot ids, in stack order — determines future
+    /// [`PacketId`] assignment and thus hash-spread port choices.
+    pub free_pids: Vec<PacketId>,
+    /// Per builder link: up/down fault state.
+    pub link_up: Vec<bool>,
+    /// Per directed channel: fault and utilization state.
+    pub channels: Vec<ChannelState>,
+    /// Aggregate delivery statistics.
+    pub stats: NetStats,
+}
+
 /// A frozen, runnable network.
 #[derive(Debug)]
 pub struct Network {
@@ -714,6 +753,96 @@ impl Network {
     #[doc(hidden)]
     pub fn debug_corrupt_credit(&mut self, router: usize, port: usize, vc: usize, delta: i32) {
         self.routers[router].ports[port].credits[vc] += delta;
+    }
+
+    /// Captures the mutable state for checkpointing. Only valid while the
+    /// fabric is quiescent with every eject queue drained — at that point
+    /// all credits are provably back at capacity (see [`Network::audit`])
+    /// and no packet slot is live, so topology, buffers and credits need
+    /// no serialization. What *does* carry over: the cycle counter, the
+    /// event tie-break sequence, the routing RNG, the packet-slot free
+    /// list (its order determines future [`PacketId`] assignment and thus
+    /// minimal-port hash spreading), fault state (links down, BER
+    /// degrades), per-channel utilization counters, and the aggregate
+    /// stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric still owns packets, events or queued ejects.
+    pub fn snapshot_state(&self) -> NetworkState {
+        assert!(
+            self.is_quiescent(),
+            "network snapshot requires a quiescent fabric"
+        );
+        assert!(
+            self.endpoints
+                .iter()
+                .all(|e| e.eject_q.is_empty() && e.inject_q.is_empty()),
+            "network snapshot requires drained endpoint queues"
+        );
+        assert_eq!(
+            self.free_pids.len(),
+            self.packets.len(),
+            "network snapshot requires every packet slot to be free"
+        );
+        NetworkState {
+            cycle: self.cycle,
+            seq: self.seq,
+            rng_state: self.rng.state(),
+            packet_slots: self.packets.len() as u64,
+            free_pids: self.free_pids.clone(),
+            link_up: self.link_up.clone(),
+            channels: self
+                .channels
+                .iter()
+                .map(|c| ChannelState {
+                    up: c.up,
+                    degrade: c.degrade,
+                    busy_until: c.busy_until,
+                    bytes_moved: c.bytes_moved,
+                    busy_cycles: c.busy_cycles,
+                })
+                .collect(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Overwrites the mutable state from a [`Network::snapshot_state`]
+    /// taken on a network built from the identical topology. Route tables
+    /// are recomputed from the restored link states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or link count does not match.
+    pub fn restore_state(&mut self, s: &NetworkState) {
+        assert_eq!(
+            s.channels.len(),
+            self.channels.len(),
+            "network channel count mismatch on restore"
+        );
+        assert_eq!(
+            s.link_up.len(),
+            self.link_up.len(),
+            "network link count mismatch on restore"
+        );
+        self.cycle = s.cycle;
+        self.seq = s.seq;
+        self.rng = SplitMix64::new(s.rng_state);
+        self.packets = (0..s.packet_slots).map(|_| None).collect();
+        self.free_pids.clone_from(&s.free_pids);
+        self.link_up.clone_from(&s.link_up);
+        for (c, cs) in self.channels.iter_mut().zip(&s.channels) {
+            c.up = cs.up;
+            c.degrade = cs.degrade;
+            c.busy_until = cs.busy_until;
+            c.bytes_moved = cs.bytes_moved;
+            c.busy_cycles = cs.busy_cycles;
+        }
+        self.events.clear();
+        self.failed_q.clear();
+        self.in_network = 0;
+        self.stats = s.stats.clone();
+        self.recompute_routes();
     }
 
     /// Mean utilization of powered channels: busy cycles over elapsed

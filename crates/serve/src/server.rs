@@ -1,0 +1,569 @@
+//! The serve protocol and its stdio / TCP daemons.
+//!
+//! One request per line, one compact-JSON response per line. The
+//! [`Server`] is transport-agnostic — [`Server::handle_line`] maps a
+//! request line to a [`Reply`] — and the two thin daemons
+//! ([`serve_stdio`], [`TcpDaemon`]) feed it lines. Both daemons process
+//! requests sequentially, so responses arrive in request order and the
+//! cache behaves deterministically.
+//!
+//! Cached reports are spliced into responses **verbatim**: the `report`
+//! member of a cache hit is the exact byte string the first run
+//! produced. Everything around it is assembled with the `memnet-obs`
+//! JSON writer.
+//!
+//! This crate is on the lint's wall-clock exemption list
+//! (`CRATE_RULE_EXEMPTIONS`): the daemon times real work (`busy_ms` in
+//! `stats`) like the engine pool does. No wall-clock value feeds
+//! simulated state.
+
+use crate::cache::ResultCache;
+use crate::job::JobSpec;
+use memnet_engine::{run_jobs_observed, PoolConfig};
+use memnet_obs::{parse, JsonValue, JsonWriter, MetricSink, MetricsRegistry};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Instant;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Result-cache capacity in reports.
+    pub cache_capacity: usize,
+    /// Pool worker threads for batch misses; 0 = all cores.
+    pub workers: usize,
+    /// Extra pool attempts after a panicked run.
+    pub retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 128,
+            workers: 0,
+            retries: 0,
+        }
+    }
+}
+
+/// One response line plus whether the daemon should stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Compact JSON, no trailing newline.
+    pub text: String,
+    /// True after a `shutdown` request was acknowledged.
+    pub shutdown: bool,
+}
+
+/// Serializes any JSON value compactly (used to echo request ids).
+fn json_of(v: &JsonValue) -> String {
+    let mut w = JsonWriter::new();
+    w.value(v);
+    w.finish()
+}
+
+/// A JSON string literal (quoted, escaped) for `s`.
+fn json_str(s: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.string(s);
+    w.finish()
+}
+
+fn ok_line(id: &str, result_body: &str) -> String {
+    format!("{{\"id\":{id},\"result\":{result_body}}}")
+}
+
+fn err_line(id: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"error\":{{\"message\":{}}}}}",
+        json_str(message)
+    )
+}
+
+/// The `run` result body; `report` is spliced verbatim.
+fn run_body(cached: bool, fingerprint: u64, report: &str) -> String {
+    format!("{{\"cached\":{cached},\"fingerprint\":\"{fingerprint:016x}\",\"report\":{report}}}")
+}
+
+/// One entry of a `batch` result; `report` is spliced verbatim.
+fn batch_entry(cached: bool, deduped: bool, fingerprint: u64, report: &str) -> String {
+    format!(
+        "{{\"cached\":{cached},\"deduped\":{deduped},\
+         \"fingerprint\":\"{fingerprint:016x}\",\"report\":{report}}}"
+    )
+}
+
+/// How one batch job resolved during classification.
+enum Slot {
+    /// The job did not parse.
+    Bad(String),
+    /// Served from cache; the report bytes are captured eagerly so a
+    /// later eviction inside the same batch cannot invalidate them.
+    Hit { fingerprint: u64, report: String },
+    /// Scheduled as (or deduplicated onto) unique job `index`.
+    Run {
+        fingerprint: u64,
+        index: usize,
+        deduped: bool,
+    },
+}
+
+/// The sim-as-a-service request handler: content-addressed result cache
+/// in front of the pool-backed simulator.
+pub struct Server {
+    pool: PoolConfig,
+    cache: ResultCache,
+    metrics: MetricsRegistry,
+    /// Wall-clock spent inside simulation runs, milliseconds.
+    busy_ms: u64,
+}
+
+impl Server {
+    /// Creates a server with the given tuning knobs.
+    pub fn new(cfg: &ServeConfig) -> Server {
+        Server {
+            pool: PoolConfig {
+                workers: cfg.workers,
+                retries: cfg.retries,
+                ..PoolConfig::default()
+            },
+            cache: ResultCache::new(cfg.cache_capacity),
+            metrics: MetricsRegistry::new(),
+            busy_ms: 0,
+        }
+    }
+
+    /// The server's metric counters (`cache.hit` / `cache.miss` /
+    /// `cache.evict` / `cache.dedup`, `pool.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Handles one request line, producing one response line.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let request = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return Reply {
+                    text: err_line("null", &format!("bad request: {e}")),
+                    shutdown: false,
+                }
+            }
+        };
+        let id = json_of(request.get("id").unwrap_or(&JsonValue::Null));
+        let method = request.get("method").and_then(JsonValue::as_str);
+        let default_params = JsonValue::Object(Vec::new());
+        let params = request.get("params").unwrap_or(&default_params);
+        let mut shutdown = false;
+        let text = match method {
+            Some("ping") => ok_line(&id, "{\"pong\":true}"),
+            Some("run") => self.run_one(&id, params),
+            Some("batch") => self.run_batch(&id, params),
+            Some("stats") => ok_line(&id, &self.stats_body()),
+            Some("shutdown") => {
+                shutdown = true;
+                ok_line(&id, "{\"ok\":true}")
+            }
+            Some(other) => err_line(&id, &format!("unknown method '{other}'")),
+            None => err_line(&id, "request has no 'method' string"),
+        };
+        Reply { text, shutdown }
+    }
+
+    fn run_one(&mut self, id: &str, params: &JsonValue) -> String {
+        let spec = match JobSpec::from_json(params) {
+            Ok(s) => s,
+            Err(e) => return err_line(id, &e),
+        };
+        let fingerprint = spec.fingerprint();
+        if let Some(report) = self.cache.get(fingerprint) {
+            let body = run_body(true, fingerprint, report);
+            self.metrics.add("cache.hit", 1);
+            return ok_line(id, &body);
+        }
+        self.metrics.add("cache.miss", 1);
+        let mut outcomes = self.execute(vec![spec]);
+        match outcomes.pop() {
+            Some(Ok(report)) => {
+                if self.cache.insert(fingerprint, report.clone()) {
+                    self.metrics.add("cache.evict", 1);
+                }
+                ok_line(id, &run_body(false, fingerprint, &report))
+            }
+            Some(Err(e)) => err_line(id, &e),
+            None => err_line(id, "pool returned no outcome"),
+        }
+    }
+
+    fn run_batch(&mut self, id: &str, params: &JsonValue) -> String {
+        let Some(jobs) = params.get("jobs").and_then(JsonValue::as_array) else {
+            return err_line(id, "batch params need a 'jobs' array");
+        };
+        // Classify each job: parse error, cache hit, or unique run —
+        // duplicates of an earlier miss are deduplicated onto it.
+        let mut slots = Vec::with_capacity(jobs.len());
+        let mut unique: Vec<JobSpec> = Vec::new();
+        let mut unique_fps: Vec<u64> = Vec::new();
+        let mut deduped = 0u64;
+        for job in jobs {
+            let spec = match JobSpec::from_json(job) {
+                Ok(s) => s,
+                Err(e) => {
+                    slots.push(Slot::Bad(e));
+                    continue;
+                }
+            };
+            let fingerprint = spec.fingerprint();
+            if let Some(report) = self.cache.get(fingerprint) {
+                let report = report.to_string();
+                self.metrics.add("cache.hit", 1);
+                slots.push(Slot::Hit {
+                    fingerprint,
+                    report,
+                });
+            } else if let Some(index) = unique_fps.iter().position(|&f| f == fingerprint) {
+                deduped += 1;
+                self.metrics.add("cache.dedup", 1);
+                slots.push(Slot::Run {
+                    fingerprint,
+                    index,
+                    deduped: true,
+                });
+            } else {
+                self.metrics.add("cache.miss", 1);
+                slots.push(Slot::Run {
+                    fingerprint,
+                    index: unique.len(),
+                    deduped: false,
+                });
+                unique_fps.push(fingerprint);
+                unique.push(spec);
+            }
+        }
+        let outcomes = self.execute(unique);
+        for (&fingerprint, outcome) in unique_fps.iter().zip(&outcomes) {
+            if let Ok(report) = outcome {
+                if self.cache.insert(fingerprint, report.clone()) {
+                    self.metrics.add("cache.evict", 1);
+                }
+            }
+        }
+        let entries: Vec<String> = slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Bad(e) => format!("{{\"error\":{}}}", json_str(e)),
+                Slot::Hit {
+                    fingerprint,
+                    report,
+                } => batch_entry(true, false, *fingerprint, report),
+                Slot::Run {
+                    fingerprint,
+                    index,
+                    deduped,
+                } => match &outcomes[*index] {
+                    Ok(report) => batch_entry(false, *deduped, *fingerprint, report),
+                    Err(e) => format!("{{\"error\":{}}}", json_str(e)),
+                },
+            })
+            .collect();
+        ok_line(
+            id,
+            &format!("{{\"deduped\":{deduped},\"jobs\":[{}]}}", entries.join(",")),
+        )
+    }
+
+    /// Runs specs on the work pool (panic isolation, ordered results),
+    /// reducing each outcome to compact report JSON or an error message.
+    fn execute(&mut self, specs: Vec<JobSpec>) -> Vec<Result<String, String>> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let sims: Vec<_> = specs
+            .into_iter()
+            .map(|spec| move || spec.builder().try_run())
+            .collect();
+        let (outcomes, obs) = run_jobs_observed(&self.pool, sims);
+        self.busy_ms = self
+            .busy_ms
+            .wrapping_add(started.elapsed().as_millis() as u64);
+        self.metrics.add("pool.jobs", obs.stats.jobs as u64);
+        self.metrics.add("pool.retries", obs.stats.retries);
+        self.metrics.add("pool.panics", obs.stats.panics);
+        self.metrics.add("pool.timeouts", obs.stats.timeouts);
+        outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(Ok(report)) => Ok(report.to_json_compact()),
+                Ok(Err(e)) => Err(format!("simulation error: {e}")),
+                Err(e) => Err(format!("job failed: {e}")),
+            })
+            .collect()
+    }
+
+    fn stats_body(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("cache");
+        w.begin_object();
+        w.key("entries");
+        w.uint(self.cache.len() as u64);
+        w.key("capacity");
+        w.uint(self.cache.capacity() as u64);
+        w.key("hits");
+        w.uint(self.metrics.counter("cache.hit"));
+        w.key("misses");
+        w.uint(self.metrics.counter("cache.miss"));
+        w.key("evicts");
+        w.uint(self.metrics.counter("cache.evict"));
+        w.key("dedup");
+        w.uint(self.metrics.counter("cache.dedup"));
+        w.end_object();
+        w.key("pool");
+        w.begin_object();
+        w.key("jobs");
+        w.uint(self.metrics.counter("pool.jobs"));
+        w.key("retries");
+        w.uint(self.metrics.counter("pool.retries"));
+        w.key("panics");
+        w.uint(self.metrics.counter("pool.panics"));
+        w.key("timeouts");
+        w.uint(self.metrics.counter("pool.timeouts"));
+        w.end_object();
+        w.key("busy_ms");
+        w.uint(self.busy_ms);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Serves newline-delimited requests from stdin to stdout until EOF or a
+/// `shutdown` request.
+pub fn serve_stdio(server: &mut Server) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut out = io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = server.handle_line(&line);
+        writeln!(out, "{}", reply.text)?;
+        out.flush()?;
+        if reply.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A loopback TCP daemon: accepts connections sequentially and serves
+/// newline-delimited requests on each until the peer disconnects or a
+/// `shutdown` request arrives.
+pub struct TcpDaemon {
+    listener: TcpListener,
+}
+
+impl TcpDaemon {
+    /// Binds `127.0.0.1:port`; port 0 picks an ephemeral port (see
+    /// [`TcpDaemon::local_addr`]).
+    pub fn bind(port: u16) -> io::Result<TcpDaemon> {
+        Ok(TcpDaemon {
+            listener: TcpListener::bind(("127.0.0.1", port))?,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a `shutdown` request is served.
+    pub fn run(self, server: &mut Server) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            let conn = conn?;
+            let mut reader = BufReader::new(conn.try_clone()?);
+            let mut writer = conn;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    break; // peer closed; wait for the next connection
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = server.handle_line(&line);
+                writeln!(writer, "{}", reply.text)?;
+                writer.flush()?;
+                if reply.shutdown {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(&ServeConfig::default())
+    }
+
+    const VECADD: &str =
+        r#"{"id":1,"method":"run","params":{"workload":"vecadd","small":true,"gpus":2,"sms":2}}"#;
+
+    /// The balanced JSON object starting at byte `at` of `text`.
+    fn object_at(text: &str, at: usize) -> &str {
+        let bytes = text.as_bytes();
+        assert_eq!(bytes[at], b'{');
+        let mut depth = 0usize;
+        for (i, &b) in bytes.iter().enumerate().skip(at) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return &text[at..=i];
+                    }
+                }
+                _ => {}
+            }
+        }
+        panic!("unbalanced object in {text}");
+    }
+
+    fn report_of(response: &str) -> &str {
+        let at = response.find("\"report\":").expect("response has a report");
+        // The report object is the last member of the result object.
+        &response[at + "\"report\":".len()..response.len() - "}}".len()]
+    }
+
+    #[test]
+    fn ping_echoes_the_id() {
+        let mut s = server();
+        let r = s.handle_line(r#"{"id":"abc","method":"ping"}"#);
+        assert_eq!(r.text, r#"{"id":"abc","result":{"pong":true}}"#);
+        assert!(!r.shutdown);
+    }
+
+    #[test]
+    fn shutdown_acknowledges_and_stops() {
+        let mut s = server();
+        let r = s.handle_line(r#"{"id":9,"method":"shutdown"}"#);
+        assert_eq!(r.text, r#"{"id":9,"result":{"ok":true}}"#);
+        assert!(r.shutdown);
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let mut s = server();
+        assert!(s.handle_line("not json").text.contains("bad request"));
+        assert!(s.handle_line(r#"{"id":1}"#).text.contains("no 'method'"));
+        assert!(s
+            .handle_line(r#"{"id":1,"method":"warp"}"#)
+            .text
+            .contains("unknown method"));
+        assert!(s
+            .handle_line(r#"{"id":1,"method":"run","params":{"gpu":2}}"#)
+            .text
+            .contains("unknown parameter"));
+    }
+
+    #[test]
+    fn repeat_jobs_hit_the_cache_byte_identically() {
+        let mut s = server();
+        let first = s.handle_line(VECADD).text;
+        assert!(first.contains("\"cached\":false"), "{first}");
+        let second = s.handle_line(VECADD).text;
+        assert!(second.contains("\"cached\":true"), "{second}");
+        assert_eq!(
+            report_of(&first),
+            report_of(&second),
+            "cache hit must splice the first run's bytes verbatim"
+        );
+        // Identical repeats produce identical responses from here on.
+        assert_eq!(second, s.handle_line(VECADD).text);
+        assert_eq!(s.metrics().counter("cache.hit"), 2);
+        assert_eq!(s.metrics().counter("cache.miss"), 1);
+    }
+
+    #[test]
+    fn engine_mode_shares_the_cache_entry() {
+        // Bit-identity across engines (DESIGN §5) makes the fingerprint
+        // engine-agnostic: a run computed under one engine serves the
+        // other engine's request from cache.
+        let mut s = server();
+        let event = s.handle_line(
+            r#"{"id":1,"method":"run","params":{"workload":"vecadd","small":true,"gpus":2,"sms":2,"engine":"event"}}"#,
+        );
+        let cycle = s.handle_line(
+            r#"{"id":2,"method":"run","params":{"workload":"vecadd","small":true,"gpus":2,"sms":2,"engine":"cycle"}}"#,
+        );
+        assert!(event.text.contains("\"cached\":false"));
+        assert!(cycle.text.contains("\"cached\":true"));
+        assert_eq!(report_of(&event.text), report_of(&cycle.text));
+    }
+
+    #[test]
+    fn batch_deduplicates_before_the_pool() {
+        let mut s = server();
+        let job = r#"{"workload":"vecadd","small":true,"gpus":2,"sms":2}"#;
+        let other = r#"{"workload":"vecadd","small":true,"gpus":2,"sms":4}"#;
+        let r = s
+            .handle_line(&format!(
+                r#"{{"id":1,"method":"batch","params":{{"jobs":[{job},{job},{other},{job},{{"bogus":1}}]}}}}"#
+            ))
+            .text;
+        assert!(r.contains("\"deduped\":2"), "{r}");
+        assert!(r.contains("unknown parameter"), "bad job reports inline");
+        // Only two simulations ran for the five submitted jobs.
+        assert_eq!(s.metrics().counter("pool.jobs"), 2);
+        assert_eq!(s.metrics().counter("cache.dedup"), 2);
+        // Four entries carry reports (three copies of `job`, one `other`)
+        // and all copies of the duplicate splice identical bytes.
+        let starts: Vec<usize> = r.match_indices("\"report\":").map(|(i, _)| i + 9).collect();
+        assert_eq!(starts.len(), 4, "bad job contributes no report");
+        let reports: Vec<&str> = starts.iter().map(|&i| object_at(&r, i)).collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[3]);
+        assert_ne!(reports[0], reports[2], "sms=4 is a different job");
+        // A rerun of the same job is now a pure hit.
+        let again = s.handle_line(&format!(
+            r#"{{"id":2,"method":"batch","params":{{"jobs":[{job}]}}}}"#
+        ));
+        assert!(again.text.contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn eviction_is_counted_and_lru() {
+        let mut s = Server::new(&ServeConfig {
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let a = r#"{"id":1,"method":"run","params":{"workload":"vecadd","small":true,"gpus":2,"sms":2}}"#;
+        let b = r#"{"id":2,"method":"run","params":{"workload":"vecadd","small":true,"gpus":2,"sms":4}}"#;
+        s.handle_line(a);
+        s.handle_line(b); // evicts a
+        assert_eq!(s.metrics().counter("cache.evict"), 1);
+        let again = s.handle_line(a).text; // a is a miss again
+        assert!(again.contains("\"cached\":false"));
+        assert_eq!(s.metrics().counter("cache.evict"), 2);
+    }
+
+    #[test]
+    fn stats_reports_counters() {
+        let mut s = server();
+        s.handle_line(VECADD);
+        s.handle_line(VECADD);
+        let r = s.handle_line(r#"{"id":7,"method":"stats"}"#).text;
+        assert!(r.contains("\"hits\":1"), "{r}");
+        assert!(r.contains("\"misses\":1"), "{r}");
+        assert!(r.contains("\"entries\":1"), "{r}");
+        assert!(r.contains("\"jobs\":1"), "{r}");
+        assert!(r.contains("\"busy_ms\":"), "{r}");
+    }
+}

@@ -19,6 +19,8 @@
 //!   parallel job pool behind `memnet sweep --jobs`
 //! * [`obs`] — observability: metrics registry, event tracer (Chrome
 //!   trace JSON), and the hand-rolled JSON writer/parser
+//! * [`serve`] — sim-as-a-service daemon with a content-addressed
+//!   result cache, behind `memnet serve`
 //!
 //! # Quickstart
 //!
@@ -44,4 +46,5 @@ pub use memnet_gpu as gpu;
 pub use memnet_hmc as hmc;
 pub use memnet_noc as noc;
 pub use memnet_obs as obs;
+pub use memnet_serve as serve;
 pub use memnet_workloads as workloads;

@@ -13,12 +13,16 @@
 use memnet::common::time::ns_to_fs;
 use memnet::common::FaultPlan;
 use memnet::engine::{run_jobs_observed, PoolConfig, PoolObs};
-use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::noc::RoutingPolicy;
 use memnet::obs::{MetricSink, MetricsRegistry, TraceEventKind, Tracer};
+use memnet::serve::job::{
+    parse_cta, parse_engine, parse_org, parse_placement, parse_routing, parse_topology,
+    parse_workload,
+};
+use memnet::serve::{serve_stdio, ServeConfig, Server, TcpDaemon};
 use memnet::sim::{
     plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, ProfileReport,
-    SanitizeMode, SimBuilder, SimReport,
+    SanitizeMode, SimBuilder, SimReport, SystemSnapshot,
 };
 use memnet::workloads::Workload;
 use std::process::ExitCode;
@@ -45,9 +49,19 @@ USAGE:
                                    run every workload on every organization
                                    (in parallel across N worker threads;
                                    default: all cores) and print a
-                                   Fig. 14-style table; --trace writes the
-                                   pool schedule (retries, timeouts, panics)
-                                   as a Chrome trace
+                                   Fig. 14-style table; duplicate cells are
+                                   deduplicated by configuration fingerprint
+                                   before they reach the pool; --trace
+                                   writes the pool schedule (retries,
+                                   timeouts, panics) as a Chrome trace
+  memnet serve [--stdio | --port N] [--cache N] [--workers N] [--retries N]
+                                   run the sim-as-a-service daemon:
+                                   newline-delimited JSON-RPC (run / batch /
+                                   stats / ping / shutdown) with a
+                                   content-addressed result cache (default
+                                   128 entries); --stdio (default) serves
+                                   stdin→stdout, --port binds 127.0.0.1:N
+                                   (0 picks a free port, printed to stderr)
 
 OPTIONS:
   --org <ORG>          pcie | pcie-zc | cmn | cmn-zc | gmn | gmn-zc | umn | pcn   (default umn)
@@ -73,6 +87,14 @@ OPTIONS:
                        nonzero exit on any violation. MEMNET_SANITIZE=1
                        sets the fallback; MEMNET_SANITIZE=fatal panics
                        at the first dirty run instead
+  --checkpoint <FILE>  write a full-state snapshot (JSON), taken at the
+                       quiescent point after warmup (host work + H2D copy),
+                       alongside the normal run; restore it with --restore
+  --restore <FILE>     resume from a snapshot instead of re-simulating the
+                       warmup prefix; the configuration must match the one
+                       that took the snapshot (engine mode and observers
+                       may differ) and the report is byte-identical to an
+                       uncheckpointed run
   --trace <FILE>       write a Chrome trace (chrome://tracing / Perfetto)
   --trace-events <N>   tracer ring-buffer capacity in events (default 1M)
   --metrics-every <N>  snapshot metrics every N network cycles (with
@@ -90,57 +112,6 @@ PROFILE OPTIONS (memnet profile accepts every run option, plus):
   --json               print the ProfileReport as JSON instead of a table"
     );
     ExitCode::FAILURE
-}
-
-fn parse_org(s: &str) -> Option<Organization> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "pcie" => Organization::Pcie,
-        "pcie-zc" => Organization::PcieZc,
-        "cmn" => Organization::Cmn,
-        "cmn-zc" => Organization::CmnZc,
-        "gmn" => Organization::Gmn,
-        "gmn-zc" => Organization::GmnZc,
-        "umn" => Organization::Umn,
-        "pcn" => Organization::Pcn,
-        _ => return None,
-    })
-}
-
-fn parse_topology(s: &str) -> Option<TopologyKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "smesh" => TopologyKind::Sliced {
-            kind: SlicedKind::Mesh,
-            double: false,
-        },
-        "storus" => TopologyKind::Sliced {
-            kind: SlicedKind::Torus,
-            double: false,
-        },
-        "smesh2x" => TopologyKind::Sliced {
-            kind: SlicedKind::Mesh,
-            double: true,
-        },
-        "storus2x" => TopologyKind::Sliced {
-            kind: SlicedKind::Torus,
-            double: true,
-        },
-        "sfbfly" => TopologyKind::Sliced {
-            kind: SlicedKind::Fbfly,
-            double: false,
-        },
-        "dfbfly" => TopologyKind::DistributorFbfly,
-        "ddfly" => TopologyKind::DistributorDfly,
-        _ => return None,
-    })
-}
-
-fn parse_workload(s: &str) -> Option<Workload> {
-    if s.eq_ignore_ascii_case("vecadd") {
-        return Some(Workload::VecAdd);
-    }
-    Workload::table2()
-        .into_iter()
-        .find(|w| w.abbr().eq_ignore_ascii_case(s))
 }
 
 fn print_table(r: &SimReport) {
@@ -234,38 +205,87 @@ fn main() -> ExitCode {
         Some("run") => run_cmd(&args[1..]),
         Some("profile") => profile_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         _ => usage(),
     }
 }
 
-fn sweep_cmd(args: &[String]) -> ExitCode {
-    let small = args.iter().any(|a| a == "--small");
-    let mut jobs = 0usize; // 0 = pool default (available parallelism)
-    let mut trace_file: Option<String> = None;
+/// `memnet sweep` options, split from execution so flag handling (in
+/// particular unknown-flag rejection) is unit-testable.
+struct SweepOpts {
+    small: bool,
+    jobs: usize, // 0 = pool default (available parallelism)
+    trace_file: Option<String>,
+}
+
+fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, ExitCode> {
+    let mut opts = SweepOpts {
+        small: false,
+        jobs: 0,
+        trace_file: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--small" => {}
+            "--small" => opts.small = true,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => jobs = n,
+                Some(n) if n > 0 => opts.jobs = n,
                 _ => {
                     eprintln!("--jobs expects a positive integer");
-                    return usage();
+                    return Err(usage());
                 }
             },
             "--trace" => match it.next() {
-                Some(f) => trace_file = Some(f.clone()),
+                Some(f) => opts.trace_file = Some(f.clone()),
                 None => {
                     eprintln!("missing value for --trace");
-                    return usage();
+                    return Err(usage());
                 }
             },
             _ => {
                 eprintln!("unknown option {a}");
-                return usage();
+                return Err(usage());
             }
         }
     }
+    Ok(opts)
+}
+
+/// Collapses a fingerprint list to its distinct values, first occurrence
+/// first. Returns the distinct indices and, per input, the index into the
+/// distinct list it maps to — the sweep runs only the distinct jobs and
+/// fans the results back out.
+fn dedup_by_fingerprint(fps: &[u64]) -> (Vec<usize>, Vec<usize>) {
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot_of = Vec::with_capacity(fps.len());
+    for (i, &fp) in fps.iter().enumerate() {
+        match unique.iter().position(|&u| fps[u] == fp) {
+            Some(slot) => slot_of.push(slot),
+            None => {
+                slot_of.push(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+    (unique, slot_of)
+}
+
+/// One sweep cell's fully configured builder.
+fn sweep_builder(w: Workload, org: Organization, small: bool) -> SimBuilder {
+    let spec = if small { w.spec_small() } else { w.spec() };
+    SimBuilder::new(org).workload(spec).phase_budget_ns(30e6)
+}
+
+fn sweep_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_sweep_opts(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let SweepOpts {
+        small,
+        jobs,
+        trace_file,
+    } = opts;
 
     // Simulations run on the pool; the table prints afterwards in the
     // fixed workload × organization order, so output is deterministic
@@ -278,23 +298,24 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
                 .map(move |o| (w, o))
         })
         .collect();
-    let sims: Vec<_> = cells
+    // Content-address every cell and run each distinct configuration once.
+    let fps: Vec<u64> = cells
         .iter()
-        .map(|&(w, org)| {
-            move || {
-                let spec = if small { w.spec_small() } else { w.spec() };
-                SimBuilder::new(org)
-                    .workload(spec)
-                    .phase_budget_ns(30e6)
-                    .try_run()
-            }
+        .map(|&(w, org)| sweep_builder(w, org, small).fingerprint())
+        .collect();
+    let (unique, slot_of) = dedup_by_fingerprint(&fps);
+    let deduplicated = cells.len() - unique.len();
+    let sims: Vec<_> = unique
+        .iter()
+        .map(|&i| {
+            let (w, org) = cells[i];
+            move || sweep_builder(w, org, small).try_run()
         })
         .collect();
     let cfg = PoolConfig {
         workers: jobs,
         ..PoolConfig::default()
     };
-    let mut results = Vec::with_capacity(cells.len());
     let (outcomes, obs) = run_jobs_observed(&cfg, sims);
     if let Some(path) = &trace_file {
         if let Err(e) = std::fs::write(path, pool_trace_json(&obs)) {
@@ -306,9 +327,11 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
             obs.stats.jobs, obs.stats.retries, obs.stats.timeouts, obs.stats.panics
         );
     }
-    for (outcome, (w, org)) in outcomes.into_iter().zip(&cells) {
+    let mut unique_results = Vec::with_capacity(unique.len());
+    for (outcome, &i) in outcomes.into_iter().zip(&unique) {
+        let (w, org) = cells[i];
         match outcome {
-            Ok(Ok(r)) => results.push(r),
+            Ok(Ok(r)) => unique_results.push(r),
             Ok(Err(e)) => {
                 eprintln!("sweep {}/{} failed: {e}", w.abbr(), org.name());
                 return ExitCode::FAILURE;
@@ -319,6 +342,8 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Fan the distinct results back out to the full cell grid.
+    let results: Vec<&SimReport> = slot_of.iter().map(|&s| &unique_results[s]).collect();
 
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -336,7 +361,81 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
         }
         println!();
     }
-    println!("(total runtime in ns; '!' marks a timed-out phase)");
+    println!(
+        "(total runtime in ns; '!' marks a timed-out phase; {deduplicated} of {} \
+         job(s) deduplicated by configuration fingerprint)",
+        cells.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut port: Option<u16> = None;
+    let mut stdio = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--port" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(p) => port = Some(p),
+                None => {
+                    eprintln!("--port expects a port number (0 picks a free port)");
+                    return usage();
+                }
+            },
+            "--cache" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cfg.cache_capacity = n,
+                _ => {
+                    eprintln!("--cache expects a positive entry count");
+                    return usage();
+                }
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.workers = n,
+                None => {
+                    eprintln!("--workers expects a thread count (0 = all cores)");
+                    return usage();
+                }
+            },
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.retries = n,
+                None => {
+                    eprintln!("--retries expects a count");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown option {a}");
+                return usage();
+            }
+        }
+    }
+    if stdio && port.is_some() {
+        eprintln!("--stdio and --port are mutually exclusive");
+        return usage();
+    }
+    let mut server = Server::new(&cfg);
+    let outcome = match port {
+        None => serve_stdio(&mut server),
+        Some(p) => match TcpDaemon::bind(p) {
+            Ok(daemon) => {
+                match daemon.local_addr() {
+                    Ok(addr) => eprintln!("[memnet serve: listening on {addr}]"),
+                    Err(e) => eprintln!("[memnet serve: listening (addr unavailable: {e})]"),
+                }
+                daemon.run(&mut server)
+            }
+            Err(e) => {
+                eprintln!("memnet serve: cannot bind 127.0.0.1:{p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if let Err(e) = outcome {
+        eprintln!("memnet serve: {e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -378,6 +477,11 @@ struct RunOpts {
     builder: SimBuilder,
     json: bool,
     trace_file: Option<String>,
+    /// Write a warmup-boundary snapshot here (`--checkpoint`).
+    checkpoint: Option<String>,
+    /// Resume from a snapshot here instead of simulating the warmup
+    /// prefix (`--restore`).
+    restore: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
@@ -400,6 +504,8 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     let mut chaos_seed: Option<u64> = None;
     let mut engine: Option<EngineMode> = None;
     let mut sanitize = false;
+    let mut checkpoint: Option<String> = None;
+    let mut restore: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -431,22 +537,17 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
                 Some(t) => topology = Some(t),
                 None => return Err(usage()),
             },
-            "--routing" => match value("--routing").as_deref() {
-                Some("minimal") => routing = RoutingPolicy::Minimal,
-                Some("ugal") => routing = RoutingPolicy::Ugal,
-                _ => return Err(usage()),
+            "--routing" => match value("--routing").and_then(|v| parse_routing(&v)) {
+                Some(r) => routing = r,
+                None => return Err(usage()),
             },
-            "--cta" => match value("--cta").as_deref() {
-                Some("static") => cta = CtaPolicy::StaticChunk,
-                Some("rr") => cta = CtaPolicy::RoundRobin,
-                Some("stealing") => cta = CtaPolicy::Stealing,
-                _ => return Err(usage()),
+            "--cta" => match value("--cta").and_then(|v| parse_cta(&v)) {
+                Some(p) => cta = p,
+                None => return Err(usage()),
             },
-            "--placement" => match value("--placement").as_deref() {
-                Some("random") => placement = PlacementPolicy::Random,
-                Some("round-robin") => placement = PlacementPolicy::RoundRobin,
-                Some("contiguous") => placement = PlacementPolicy::Contiguous,
-                _ => return Err(usage()),
+            "--placement" => match value("--placement").and_then(|v| parse_placement(&v)) {
+                Some(p) => placement = p,
+                None => return Err(usage()),
             },
             "--overlay" => overlay = true,
             "--small" => small = true,
@@ -495,10 +596,17 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
                 Some(n) => chaos_seed = Some(n),
                 None => return Err(usage()),
             },
-            "--engine" => match value("--engine").as_deref() {
-                Some("cycle" | "cycle-stepped") => engine = Some(EngineMode::CycleStepped),
-                Some("event" | "event-driven") => engine = Some(EngineMode::EventDriven),
-                _ => return Err(usage()),
+            "--engine" => match value("--engine").and_then(|v| parse_engine(&v)) {
+                Some(mode) => engine = Some(mode),
+                None => return Err(usage()),
+            },
+            "--checkpoint" => match value("--checkpoint") {
+                Some(f) => checkpoint = Some(f),
+                None => return Err(usage()),
+            },
+            "--restore" => match value("--restore") {
+                Some(f) => restore = Some(f),
+                None => return Err(usage()),
             },
             _ => {
                 eprintln!("unknown option {a}");
@@ -548,10 +656,16 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     if sanitize {
         b = b.sanitize(SanitizeMode::Record);
     }
+    if checkpoint.is_some() && restore.is_some() {
+        eprintln!("--checkpoint and --restore are mutually exclusive");
+        return Err(usage());
+    }
     Ok(RunOpts {
         builder: b,
         json,
         trace_file,
+        checkpoint,
+        restore,
     })
 }
 
@@ -560,11 +674,58 @@ fn run_cmd(args: &[String]) -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let r = match opts.builder.try_run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("memnet: {e}");
+    let r = if let Some(path) = &opts.restore {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match SystemSnapshot::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bad snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match opts.builder.try_run_restored(&snap) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("memnet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(path) = &opts.checkpoint {
+        // The snapshot remembers the flags that produced it, so a later
+        // `--restore` failure can say what configuration to re-create.
+        let meta = args.join(" ");
+        let (r, snap) = match opts.builder.try_run_checkpointed(&meta) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("memnet: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut text = snap.to_json_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write snapshot {path}: {e}");
             return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[wrote snapshot: {path} (taken at {} fs, fingerprint {:016x})]",
+            snap.now_fs(),
+            snap.fingerprint()
+        );
+        r
+    } else {
+        match opts.builder.try_run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("memnet: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     if opts.json {
@@ -645,6 +806,10 @@ fn profile_cmd(args: &[String]) -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    if opts.checkpoint.is_some() || opts.restore.is_some() {
+        eprintln!("memnet profile does not support --checkpoint/--restore");
+        return usage();
+    }
     let json = opts.json;
     let (r, prof) = match opts.builder.profile(true).try_run_profiled() {
         Ok(x) => x,
@@ -768,8 +933,14 @@ fn print_profile(p: &ProfileReport) {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn org_parsing_covers_all_names() {
+        // The parsers are shared with memnet-serve (`serve::job`); this
+        // pins the CLI-visible vocabulary from the binary's side too.
         for o in Organization::all_extended() {
             let parsed = parse_org(&o.name().to_ascii_lowercase());
             assert_eq!(parsed, Some(o), "{}", o.name());
@@ -793,5 +964,57 @@ mod tests {
         assert!(parse_topology("smesh2x").is_some());
         assert!(parse_topology("ddfly").is_some());
         assert!(parse_topology("hypercube").is_none());
+    }
+
+    #[test]
+    fn run_rejects_unknown_flags_and_bad_values() {
+        assert!(parse_run_opts(&argv(&["--warp", "9"])).is_err());
+        assert!(parse_run_opts(&argv(&["--gpus"])).is_err(), "missing value");
+        assert!(parse_run_opts(&argv(&["--gpus", "many"])).is_err());
+        assert!(parse_run_opts(&argv(&["--org", "nvlink"])).is_err());
+        assert!(parse_run_opts(&argv(&["--engine", "quantum"])).is_err());
+        assert!(parse_run_opts(&argv(&["--checkpoint", "a.json", "--restore", "b.json"])).is_err());
+        assert!(parse_run_opts(&argv(&["--gpus", "2", "--small"])).is_ok());
+        assert!(parse_run_opts(&argv(&["--checkpoint", "a.json"])).is_ok());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_flags_and_bad_values() {
+        assert!(parse_sweep_opts(&argv(&["--gpus", "2"])).is_err());
+        assert!(parse_sweep_opts(&argv(&["--jobs", "0"])).is_err());
+        assert!(
+            parse_sweep_opts(&argv(&["--trace"])).is_err(),
+            "missing value"
+        );
+        let opts = parse_sweep_opts(&argv(&["--small", "--jobs", "3"])).expect("valid flags");
+        assert!(opts.small);
+        assert_eq!(opts.jobs, 3);
+        assert!(opts.trace_file.is_none());
+    }
+
+    #[test]
+    fn dedup_runs_each_fingerprint_once_and_fans_back_out() {
+        let (unique, slot_of) = dedup_by_fingerprint(&[7, 9, 7, 7, 3, 9]);
+        assert_eq!(unique, vec![0, 1, 4], "first occurrences, in order");
+        assert_eq!(slot_of, vec![0, 1, 0, 0, 2, 1]);
+        let (unique, slot_of) = dedup_by_fingerprint(&[]);
+        assert!(unique.is_empty() && slot_of.is_empty());
+    }
+
+    #[test]
+    fn sweep_cells_are_already_distinct() {
+        // The stock sweep grid has no duplicate configurations, so its
+        // summary should report zero deduplicated jobs; duplicates only
+        // appear when cells coincide (exercised synthetically above).
+        let fps: Vec<u64> = Workload::table2()
+            .into_iter()
+            .flat_map(|w| {
+                Organization::all_extended()
+                    .into_iter()
+                    .map(move |o| sweep_builder(w, o, true).fingerprint())
+            })
+            .collect();
+        let (unique, _) = dedup_by_fingerprint(&fps);
+        assert_eq!(unique.len(), fps.len());
     }
 }

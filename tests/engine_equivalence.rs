@@ -273,6 +273,139 @@ fn fault_plans_are_bit_identical_across_engines() {
 }
 
 #[test]
+fn checkpoint_restore_is_bit_identical_in_both_modes() {
+    // Acceptance criterion for the snapshot subsystem: a run that
+    // checkpoints at the pre-kernel boundary, and a second run restored
+    // from that checkpoint, must both be bit-identical to a straight run
+    // — under either engine. PCIe gives the prefix real work (host-pre
+    // compute plus H2D memcpy) so the snapshot carries warm caches, DMA
+    // counters and network state, not just zeroes.
+    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+        let b = || small(Organization::Pcie, Workload::Bp).engine(mode);
+        let straight = b().run();
+        let (checkpointed, snap) = b()
+            .try_run_checkpointed("equivalence-test")
+            .expect("checkpoint");
+        assert_identical(&straight, &checkpointed, "checkpointed-vs-straight");
+        assert!(snap.now_fs() > 0, "PCIe prefix must take simulated time");
+        let restored = b().try_run_restored(&snap).expect("restore");
+        assert_identical(&straight, &restored, "restored-vs-straight");
+
+        // And through the JSON round trip, which is how the CLI and the
+        // serve daemon move snapshots between processes.
+        let revived = memnet::sim::SystemSnapshot::from_json(&snap.to_json_string())
+            .expect("snapshot JSON round trip");
+        let restored2 = b().try_run_restored(&revived).expect("restore from JSON");
+        assert_identical(&straight, &restored2, "json-restored-vs-straight");
+    }
+}
+
+#[test]
+fn snapshots_restore_across_engine_modes() {
+    // The fingerprint deliberately excludes the engine mode: snapshots
+    // capture physics, not scheduling. A checkpoint taken under the
+    // cycle-stepped reference engine must replay bit-identically under
+    // the event-driven engine, and vice versa.
+    let b = |mode| small(Organization::Umn, Workload::VecAdd).engine(mode);
+    let straight = b(EngineMode::CycleStepped).run();
+    let (_, snap_cycle) = b(EngineMode::CycleStepped)
+        .try_run_checkpointed("cross-engine")
+        .expect("checkpoint");
+    let (_, snap_event) = b(EngineMode::EventDriven)
+        .try_run_checkpointed("cross-engine")
+        .expect("checkpoint");
+    let event_from_cycle = b(EngineMode::EventDriven)
+        .try_run_restored(&snap_cycle)
+        .expect("restore");
+    let cycle_from_event = b(EngineMode::CycleStepped)
+        .try_run_restored(&snap_event)
+        .expect("restore");
+    assert_identical(&straight, &event_from_cycle, "event-from-cycle-snap");
+    assert_identical(&straight, &cycle_from_event, "cycle-from-event-snap");
+}
+
+#[test]
+fn fault_plan_straddling_the_snapshot_point_is_bit_identical() {
+    // The hard case: a fault plan whose edges straddle the checkpoint.
+    // Faults resolved before the boundary are baked into the snapshot
+    // (downed link, injected counters) and must NOT re-fire on restore;
+    // faults after it must still fire exactly once, on the same clock
+    // edge. Any double-injection or lost edge shows up as a counter or
+    // traffic diff against the straight run.
+    use memnet::common::time::ns_to_fs;
+    use memnet::common::{FaultKind, FaultPlan, LinkClass};
+
+    // GMN/VecAdd-small puts the pre-kernel boundary around 40.5 µs (end
+    // of the H2D memcpy): the link failure lands mid-copy, the vault
+    // stall and GPU loss after the kernel starts, on opposite sides of
+    // the checkpoint — which the asserts below pin down.
+    let mut plan = FaultPlan::new();
+    plan.push(
+        ns_to_fs(5_000.0),
+        FaultKind::LinkDown {
+            class: LinkClass::HmcHmc,
+            ordinal: 0,
+        },
+    );
+    plan.push(
+        ns_to_fs(45_000.0),
+        FaultKind::VaultStall {
+            hmc: 0,
+            vault: 3,
+            stall_tcks: 2_000,
+        },
+    );
+    plan.push(ns_to_fs(48_000.0), FaultKind::GpuLoss { gpu: 1 });
+    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+        let b = || {
+            small(Organization::Gmn, Workload::VecAdd)
+                .engine(mode)
+                .faults(plan.clone())
+        };
+        let straight = b().run();
+        assert_eq!(straight.faults_injected, 3, "whole plan must fire");
+        let (_, snap) = b().try_run_checkpointed("straddle").expect("checkpoint");
+        assert!(
+            snap.now_fs() > ns_to_fs(5_000.0),
+            "first fault must land before the snapshot point for this \
+             test to exercise the straddle (boundary at {} fs)",
+            snap.now_fs()
+        );
+        assert!(
+            snap.now_fs() < ns_to_fs(45_000.0),
+            "later faults must land after the snapshot point \
+             (boundary at {} fs)",
+            snap.now_fs()
+        );
+        let restored = b().try_run_restored(&snap).expect("restore");
+        assert_identical(&straight, &restored, "straddled-faults-restored");
+    }
+}
+
+#[test]
+fn snapshot_refuses_mismatched_configuration() {
+    use memnet::sim::SimError;
+    let (_, snap) = small(Organization::Pcie, Workload::VecAdd)
+        .try_run_checkpointed("fp-test")
+        .expect("checkpoint");
+    assert_eq!(snap.meta(), "fp-test");
+    // Different organization → different fingerprint → typed refusal.
+    let err = small(Organization::Umn, Workload::VecAdd)
+        .try_run_restored(&snap)
+        .expect_err("mismatched configuration must not restore");
+    assert!(matches!(err, SimError::Snapshot(_)), "{err}");
+    assert!(err.to_string().contains("fingerprint"));
+    // Same organization, different seed — also a different fingerprint.
+    let mut cfg = memnet::common::SystemConfig::scaled();
+    cfg.seed ^= 0xDEAD_BEEF;
+    let err = small(Organization::Pcie, Workload::VecAdd)
+        .config(cfg)
+        .try_run_restored(&snap)
+        .expect_err("different seed must not restore");
+    assert!(matches!(err, SimError::Snapshot(_)), "{err}");
+}
+
+#[test]
 fn builder_errors_are_typed_not_panics() {
     use memnet::sim::SimError;
     let err = SimBuilder::new(Organization::Umn)

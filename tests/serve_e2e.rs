@@ -1,0 +1,158 @@
+//! End-to-end tests for the serve daemon and the checkpoint/restore CLI.
+//!
+//! Exercises all three transports of the sim-as-a-service subsystem — the
+//! in-process [`Server`], the loopback TCP daemon, and the `memnet serve
+//! --stdio` binary — and the `--checkpoint` / `--restore` flags of
+//! `memnet run`, asserting the two headline guarantees end to end:
+//!
+//! * a cache hit returns the first run's report **byte-identically**;
+//! * a run restored from a snapshot is **byte-identical** to an
+//!   uncheckpointed run, in both engine modes.
+
+use memnet::serve::{ServeConfig, Server, TcpDaemon};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+const RUN_PARAMS: &str = r#"{"org":"gmn","workload":"vecadd","small":true,"gpus":2,"sms":2}"#;
+
+/// Extracts the `report` object (the last member of the result) from a
+/// `run` response line.
+fn report_of(response: &str) -> &str {
+    let at = response.find("\"report\":").expect("response has a report");
+    &response[at + "\"report\":".len()..response.len() - "}}".len()]
+}
+
+fn run_request(id: u32) -> String {
+    format!("{{\"id\":{id},\"method\":\"run\",\"params\":{RUN_PARAMS}}}")
+}
+
+#[test]
+fn in_process_server_cold_then_cached_byte_identical() {
+    let mut server = Server::new(&ServeConfig::default());
+    let cold = server.handle_line(&run_request(1)).text;
+    let warm = server.handle_line(&run_request(2)).text;
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(report_of(&cold), report_of(&warm));
+}
+
+#[test]
+fn tcp_daemon_serves_and_shuts_down() {
+    let daemon = TcpDaemon::bind(0).expect("bind an ephemeral loopback port");
+    let addr = daemon.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || {
+        let mut server = Server::new(&ServeConfig::default());
+        daemon.run(&mut server).expect("daemon run loop");
+    });
+
+    let conn = TcpStream::connect(addr).expect("connect to the daemon");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone the stream"));
+    let mut send = |line: &str| {
+        let mut conn = &conn;
+        writeln!(conn, "{line}").expect("send request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(response.ends_with('\n'), "line-delimited response");
+        response.trim_end().to_string()
+    };
+
+    let pong = send(r#"{"id":0,"method":"ping"}"#);
+    assert_eq!(pong, r#"{"id":0,"result":{"pong":true}}"#);
+    let cold = send(&run_request(1));
+    let warm = send(&run_request(2));
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(report_of(&cold), report_of(&warm));
+    let stats = send(r#"{"id":3,"method":"stats"}"#);
+    assert!(
+        stats.contains("\"hits\":1") && stats.contains("\"misses\":1"),
+        "{stats}"
+    );
+    let bye = send(r#"{"id":4,"method":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    handle.join().expect("daemon thread exits after shutdown");
+}
+
+#[test]
+fn serve_stdio_binary_answers_and_caches() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .args(["serve", "--stdio"])
+        .env("MEMNET_SANITIZE", "fatal")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn memnet serve --stdio");
+    let mut stdin = child.stdin.take().expect("child stdin");
+    writeln!(stdin, "{}", run_request(1)).expect("first request");
+    writeln!(stdin, "{}", run_request(2)).expect("second request");
+    writeln!(stdin, r#"{{"id":3,"method":"shutdown"}}"#).expect("shutdown");
+    drop(stdin);
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success(), "serve exits cleanly after shutdown");
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .expect("utf-8 output")
+        .lines()
+        .collect();
+    assert_eq!(lines.len(), 3, "one response per request: {lines:?}");
+    assert!(lines[0].contains("\"cached\":false"), "{}", lines[0]);
+    assert!(lines[1].contains("\"cached\":true"), "{}", lines[1]);
+    assert_eq!(report_of(lines[0]), report_of(lines[1]));
+    assert!(lines[2].contains("\"ok\":true"), "{}", lines[2]);
+}
+
+/// `memnet run --json`, returning stdout. Extra args go before `--json`.
+fn run_json(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .arg("run")
+        .args(["--org", "gmn", "--workload", "vecadd", "--small"])
+        .args(["--gpus", "2", "--sms", "2"])
+        .args(extra)
+        .arg("--json")
+        .output()
+        .expect("run memnet");
+    assert!(
+        out.status.success(),
+        "memnet run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+#[test]
+fn cli_checkpoint_and_restore_are_byte_identical_to_a_straight_run() {
+    let dir = std::env::temp_dir();
+    for engine in ["event", "cycle"] {
+        let snap = dir.join(format!("memnet-e2e-{}-{engine}.json", std::process::id()));
+        let snap = snap.to_str().expect("temp path is utf-8");
+        let straight = run_json(&["--engine", engine]);
+        let checkpointed = run_json(&["--engine", engine, "--checkpoint", snap]);
+        let restored = run_json(&["--engine", engine, "--restore", snap]);
+        assert_eq!(
+            straight, checkpointed,
+            "--checkpoint must not perturb ({engine})"
+        );
+        assert_eq!(
+            straight, restored,
+            "--restore must be byte-identical ({engine})"
+        );
+        std::fs::remove_file(snap).expect("clean up snapshot");
+    }
+}
+
+#[test]
+fn cli_restore_refuses_a_mismatched_configuration() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("memnet-e2e-mismatch-{}.json", std::process::id()));
+    let snap = snap.to_str().expect("temp path is utf-8");
+    run_json(&["--checkpoint", snap]);
+    let out = Command::new(env!("CARGO_BIN_EXE_memnet"))
+        .args(["run", "--org", "umn", "--workload", "vecadd", "--small"])
+        .args(["--gpus", "2", "--sms", "2", "--restore", snap, "--json"])
+        .output()
+        .expect("run memnet");
+    assert!(!out.status.success(), "mismatched restore must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fingerprint"), "{stderr}");
+    std::fs::remove_file(snap).expect("clean up snapshot");
+}
