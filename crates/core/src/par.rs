@@ -1,0 +1,367 @@
+//! The parallel engine's worker crew: conservative-PDES sharding of one
+//! simulation across std threads, bit-identical to both sequential
+//! engines.
+//!
+//! # Actor partition
+//!
+//! The driver (the calling thread) keeps the entire sequential engine
+//! loop — calendar, network, HMC ports, CPU, DMA, faults, steals,
+//! metrics, sanitizer, profiler — and therefore keeps every ordering
+//! decision those subsystems make. What moves to worker threads is
+//! exactly the per-device work inside a clock edge: each worker owns a
+//! contiguous shard of GPUs (core + L2 edges) and a contiguous shard of
+//! HMCs (DRAM edges). Device ticks are independent within an edge — a
+//! GPU's core tick reads only its own state plus responses the driver
+//! delivered *before* the edge, and an HMC's vault tick touches only its
+//! own queues — so executing a shard on another thread computes exactly
+//! the bytes the sequential loop would.
+//!
+//! # Synchronization (lookahead = one clock edge)
+//!
+//! The protocol is the degenerate-lookahead corner of conservative PDES:
+//! the driver publishes a monotone job number through a [`SeqCell`] (its
+//! horizon — no message with an earlier timestamp can ever be sent), each
+//! worker executes the edge and publishes the job number back through its
+//! commit cell (its lower-bound timestamp), and the driver never touches
+//! shard state before every commit has caught up. Horizon and commit
+//! publishes are the protocol's null messages and are counted as such
+//! (`pdes.null_messages`); wait time on either side accumulates into
+//! `pdes.blocked_ns`. The NoC's SerDes + router-pipeline latency
+//! ([`Network::lookahead_cycles`]) guarantees a request injected at net
+//! edge *t* cannot eject before *t + lookahead*, which is what makes the
+//! one-edge window sufficient: everything a worker may observe at edge
+//! *t* was already committed by the driver strictly before *t*.
+//!
+//! # Deterministic merge
+//!
+//! Trace events are the one shard output that lands in a shared, ordered
+//! sink. Workers record them into private [`Tracer`]s configured with the
+//! same per-domain clock periods as the driver's, then the driver replays
+//! each edge's events in (edge, domain slot, shard index) order — the
+//! exact insertion order of the sequential loop — so the ring buffer's
+//! drop-oldest behavior, the `dropped` counter, and the exported JSON are
+//! byte-identical. Nothing is ever merged by arrival order.
+//!
+//! # Safety
+//!
+//! Workers access their shards through raw pointers into the `System`'s
+//! vectors. The temporal discipline that makes this sound: a worker
+//! dereferences shard pointers only between observing a job publish and
+//! issuing its commit publish, and the driver touches shard state only
+//! while no job is outstanding. The `SeqCell` publishes are
+//! release/acquire pairs, so the handoffs are also proper happens-before
+//! edges. The vectors are never resized while a crew exists.
+
+use super::*;
+use memnet_engine::pdes::{self, Gate, LaneCtx, PdesCounters, SeqCell};
+use memnet_obs::prof::LaneAttr;
+use memnet_obs::TraceEvent;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Job kinds the driver dispatches to the crew.
+pub(super) const EDGE_CORE: u8 = 0;
+pub(super) const EDGE_L2: u8 = 1;
+pub(super) const EDGE_DRAM: u8 = 2;
+const EDGE_EXIT: u8 = 3;
+
+/// Worker-local tracer capacity: effectively unbounded so a worker never
+/// drops an event — ring-buffer eviction (and the `dropped` counter) must
+/// happen only at the driver's replay, where sequential semantics apply.
+const WORKER_TRACE_CAP: usize = usize::MAX;
+
+/// Compile-time proof that everything a worker dereferences may cross a
+/// thread boundary.
+#[allow(dead_code)]
+fn assert_shard_types_are_send() {
+    fn ok<T: Send>() {}
+    ok::<Gpu>();
+    ok::<HmcDevice>();
+    ok::<HmcPort>();
+    ok::<TraceEvent>();
+}
+
+/// Splits `0..n` into `k` contiguous chunks (the same arithmetic as the
+/// SKE's static partition, so shard boundaries are stable and documented).
+fn chunks(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let per = n.div_ceil(k.max(1));
+    (0..k)
+        .map(|w| (w * per).min(n)..((w + 1) * per).min(n))
+        .collect()
+}
+
+/// Shared state between the driver and its workers for one kernel phase.
+pub(super) struct ParCrew {
+    // Raw shard pointers into the `System`'s device vectors; see the
+    // module-level safety contract.
+    gpus: *mut Gpu,
+    n_gpus: usize,
+    hmcs: *mut HmcDevice,
+    ports: *mut HmcPort,
+    n_hmcs: usize,
+
+    /// Driver → workers: the current job number (monotone).
+    job: SeqCell,
+    /// Kind of the current job; written before the job publish.
+    kind: AtomicU8,
+    /// DRAM tick count for [`EDGE_DRAM`] jobs; written before the publish.
+    dram_tck: AtomicU64,
+    /// Workers → driver: per-worker last finished job number.
+    commits: Vec<SeqCell>,
+
+    /// Contiguous GPU index ranges, one per worker.
+    gpu_shards: Vec<std::ops::Range<usize>>,
+    /// Contiguous HMC index ranges, one per worker.
+    hmc_shards: Vec<std::ops::Range<usize>>,
+    /// Per-worker trace events from the job just committed, drained by
+    /// the driver after the commit wait (so the lock is never contended).
+    traces: Vec<Mutex<Vec<TraceEvent>>>,
+    /// Clock periods for worker-local tracers; `None` when tracing is off.
+    trace_clocks: Option<[(ClockDomain, f64); 3]>,
+
+    pub(super) counters: PdesCounters,
+    poisoned: AtomicBool,
+    /// Blocked-time accumulator for the driver's commit waits (merged
+    /// into the driver lane's profile after the join).
+    pub(super) driver_blocked: AtomicU64,
+    job_gate: Arc<Gate>,
+    commit_gate: Arc<Gate>,
+}
+
+// SAFETY: the raw pointers are only dereferenced under the temporal
+// discipline documented on the module (worker: between job and commit;
+// driver: while no job is outstanding), and every pointed-to type is Send
+// (checked above), so shards may be mutated from whichever thread holds
+// the protocol's baton.
+unsafe impl Send for ParCrew {}
+unsafe impl Sync for ParCrew {}
+
+impl ParCrew {
+    fn new(sys: &mut System, n_workers: usize) -> ParCrew {
+        let job_gate = Arc::new(Gate::new());
+        let commit_gate = Arc::new(Gate::new());
+        let n_gpus = sys.gpus.len();
+        let n_hmcs = sys.hmcs.len();
+        ParCrew {
+            gpus: sys.gpus.as_mut_ptr(),
+            n_gpus,
+            hmcs: sys.hmcs.as_mut_ptr(),
+            ports: sys.hmc_ports.as_mut_ptr(),
+            n_hmcs,
+            job: SeqCell::new(job_gate.clone()),
+            kind: AtomicU8::new(EDGE_CORE),
+            dram_tck: AtomicU64::new(0),
+            commits: (0..n_workers)
+                .map(|_| SeqCell::new(commit_gate.clone()))
+                .collect(),
+            gpu_shards: chunks(n_gpus, n_workers),
+            hmc_shards: chunks(n_hmcs, n_workers),
+            traces: (0..n_workers).map(|_| Mutex::new(Vec::new())).collect(),
+            trace_clocks: sys.tracer.as_ref().map(|_| {
+                [
+                    (
+                        ClockDomain::Core,
+                        sys.cal.clock(domain::CORE).period_fs() as f64,
+                    ),
+                    (
+                        ClockDomain::L2,
+                        sys.cal.clock(domain::L2).period_fs() as f64,
+                    ),
+                    (
+                        ClockDomain::Dram,
+                        sys.cal.clock(domain::DRAM).period_fs() as f64,
+                    ),
+                ]
+            }),
+            counters: PdesCounters::new(),
+            poisoned: AtomicBool::new(false),
+            driver_blocked: AtomicU64::new(0),
+            job_gate,
+            commit_gate,
+        }
+    }
+
+    fn driver_ctx(&self) -> LaneCtx<'_> {
+        LaneCtx {
+            counters: &self.counters,
+            blocked: &self.driver_blocked,
+            poisoned: &self.poisoned,
+        }
+    }
+
+    /// Publishes the next job (kind and payload first, then the number).
+    fn dispatch(&self, kind: u8, dram_tck: u64) -> u64 {
+        let id = self.job.get() + 1;
+        self.kind.store(kind, Ordering::Relaxed);
+        self.dram_tck.store(dram_tck, Ordering::Relaxed);
+        self.job.publish(id, &self.counters);
+        id
+    }
+
+    /// Waits until every worker committed `job`. False means a lane
+    /// panicked and the crew is poisoned.
+    fn wait_commits(&self, job: u64) -> bool {
+        let ctx = self.driver_ctx();
+        self.commits.iter().all(|c| c.wait_ge(job, &ctx))
+    }
+
+    /// Marks the crew poisoned and wakes every parked lane.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.job_gate.notify();
+        self.commit_gate.notify();
+    }
+
+    /// Dispatches the exit job so workers drain out for the join.
+    fn shutdown(&self) {
+        self.dispatch(EDGE_EXIT, 0);
+    }
+
+    /// One worker lane: execute dispatched edges on the owned shards
+    /// until exit or poison. `blocked` is the lane's wait accumulator
+    /// from [`pdes::run_actors`].
+    fn worker_loop(&self, w: usize, blocked: &AtomicU64) {
+        let ctx = LaneCtx {
+            counters: &self.counters,
+            blocked,
+            poisoned: &self.poisoned,
+        };
+        let mut tracer = self.trace_clocks.as_ref().map(|clocks| {
+            let mut t = Tracer::new(WORKER_TRACE_CAP);
+            for &(d, fs) in clocks.iter() {
+                t.set_clock(d, fs);
+            }
+            t
+        });
+        let mut last = 0u64;
+        loop {
+            let next = last + 1;
+            if !self.job.wait_ge(next, &ctx) {
+                return; // poisoned: a sibling lane panicked
+            }
+            last = next;
+            let kind = self.kind.load(Ordering::Acquire);
+            if kind == EDGE_EXIT {
+                self.commits[w].publish(next, &self.counters);
+                return;
+            }
+            // SAFETY: the driver published job `next` and is blocked on
+            // our commit, so this worker has exclusive access to its
+            // shard ranges (disjoint from every other worker's) until
+            // the publish below.
+            unsafe {
+                match kind {
+                    EDGE_CORE => {
+                        for g in self.gpu_shards[w].clone() {
+                            debug_assert!(g < self.n_gpus);
+                            (*self.gpus.add(g)).tick_core_traced(tracer.as_mut());
+                        }
+                    }
+                    EDGE_L2 => {
+                        for g in self.gpu_shards[w].clone() {
+                            (*self.gpus.add(g)).tick_l2();
+                        }
+                    }
+                    EDGE_DRAM => {
+                        let tck = self.dram_tck.load(Ordering::Acquire);
+                        for i in self.hmc_shards[w].clone() {
+                            debug_assert!(i < self.n_hmcs);
+                            let h = &mut *self.hmcs.add(i);
+                            h.tick_traced(tck, i as u32, tracer.as_mut());
+                            let port = &mut *self.ports.add(i);
+                            while let Some(req) = h.pop_completed(tck) {
+                                if req.kind.returns_data() {
+                                    port.resp_q.push_back(req.response());
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("unknown parallel job kind {kind}"),
+                }
+            }
+            if let Some(t) = tracer.as_mut() {
+                if !t.is_empty() {
+                    // memnet-lint: allow(tick-unwrap, trace-slot mutex is uncontended by protocol and never poisoned)
+                    let mut slot = self.traces[w].lock().expect("trace slot lock");
+                    slot.extend(t.take_events());
+                }
+            }
+            self.commits[w].publish(next, &self.counters);
+        }
+    }
+}
+
+impl System {
+    /// Executes one clock edge on the crew: dispatch, wait for every
+    /// shard's commit, then replay worker trace events in shard order so
+    /// the trace ring sees the sequential loop's exact insertion order.
+    pub(super) fn par_edge(&mut self, kind: u8, dram_tck: u64) {
+        let crew = Arc::clone(self.par.as_ref().expect("parallel edge without a crew"));
+        let job = crew.dispatch(kind, dram_tck);
+        if !crew.wait_commits(job) {
+            panic!("parallel engine: a worker lane panicked (root cause precedes this on stderr)");
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            for slot in crew.traces.iter() {
+                // memnet-lint: allow(tick-unwrap, trace-slot mutex is uncontended by protocol and never poisoned)
+                let mut evs = slot.lock().expect("trace slot lock");
+                for ev in evs.drain(..) {
+                    t.replay(ev);
+                }
+            }
+        }
+    }
+
+    /// The parallel kernel phase: spawns the worker crew, re-enters the
+    /// sequential [`System::run_kernel_phase`] (which now routes core /
+    /// L2 / DRAM edges through [`System::par_edge`]), and folds the
+    /// crew's wall-clock attribution into the profiler.
+    pub(super) fn run_kernel_phase_parallel(&mut self) -> Fs {
+        let n_workers = (self.sim_threads as usize).min(self.gpus.len()).max(1);
+        let crew = Arc::new(ParCrew::new(self, n_workers));
+        let gates = [crew.job_gate.clone(), crew.commit_gate.clone()];
+        let workers: Vec<pdes::WorkerFn<'_, ()>> = (0..n_workers)
+            .map(|w| {
+                let crew = Arc::clone(&crew);
+                Box::new(move |ctx: LaneCtx<'_>| crew.worker_loop(w, ctx.blocked))
+                    as pdes::WorkerFn<'_, ()>
+            })
+            .collect();
+        let crew_d = Arc::clone(&crew);
+        let this = &mut *self;
+        let res = pdes::run_actors(&crew.counters, &gates, workers, move |_ctx| {
+            this.par = Some(Arc::clone(&crew_d));
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| this.run_kernel_phase()));
+            this.par = None;
+            match r {
+                Ok(t) => {
+                    crew_d.shutdown();
+                    t
+                }
+                Err(p) => {
+                    crew_d.poison();
+                    std::panic::resume_unwind(p)
+                }
+            }
+        });
+        if let Some(p) = self.prof.as_mut() {
+            let (nulls, blocked) = crew.counters.snapshot();
+            let driver_blocked = crew.driver_blocked.load(Ordering::Relaxed);
+            p.profiler.add_pdes(
+                nulls,
+                blocked,
+                res.lanes.iter().enumerate().map(|(i, l)| LaneAttr {
+                    name: l.name.clone(),
+                    wall_ns: l.wall_ns,
+                    blocked_ns: if i == 0 {
+                        l.blocked_ns.saturating_add(driver_blocked)
+                    } else {
+                        l.blocked_ns
+                    },
+                }),
+            );
+        }
+        res.driver
+    }
+}

@@ -38,6 +38,13 @@ use memnet_obs::{
 use memnet_workloads::{HostWork, WorkloadSpec};
 use std::collections::VecDeque;
 
+/// The parallel engine's worker crew ([`EngineMode::Parallel`]): shards
+/// GPU core/L2 and HMC DRAM edges across threads, bit-identical to the
+/// sequential engines. A child module so it can drive `System`'s private
+/// state without widening any visibility.
+#[path = "par.rs"]
+mod par;
+
 /// The multi-GPU system organizations of Table III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Organization {
@@ -121,25 +128,39 @@ pub enum EngineMode {
     /// [`SimReport`]s (and trace/metric streams) to `CycleStepped`.
     #[default]
     EventDriven,
+    /// Shard the kernel phase across worker threads: each worker owns a
+    /// contiguous range of GPUs and executes their core/L2 clock edges
+    /// ahead of a driver thread (network, HMCs, CPU, bookkeeping) under
+    /// a conservative PDES horizon derived from the NoC SerDes +
+    /// router-pipeline lookahead. Cross-thread deliveries are merged by
+    /// (timestamp, domain slot, shard index), never arrival order, so
+    /// reports, traces, metrics and sanitizer results stay bit-identical
+    /// to both sequential engines at any thread count
+    /// ([`SimBuilder::sim_threads`]).
+    Parallel,
 }
 
 impl EngineMode {
-    /// Display name (`"cycle-stepped"` / `"event-driven"`).
+    /// Display name (`"cycle-stepped"` / `"event-driven"` /
+    /// `"parallel"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineMode::CycleStepped => "cycle-stepped",
             EngineMode::EventDriven => "event-driven",
+            EngineMode::Parallel => "parallel",
         }
     }
 
     /// The default mode, overridable through the `MEMNET_ENGINE`
-    /// environment variable (`cycle-stepped`/`cycle` or
-    /// `event-driven`/`event`) so CI can run whole test suites under
-    /// either engine. An explicit [`SimBuilder::engine`] call wins.
+    /// environment variable (`cycle-stepped`/`cycle`,
+    /// `event-driven`/`event`, or `parallel`/`pdes`) so CI can run whole
+    /// test suites under any engine. An explicit [`SimBuilder::engine`]
+    /// call wins.
     pub fn from_env() -> EngineMode {
         match std::env::var("MEMNET_ENGINE").ok().as_deref() {
             Some("cycle-stepped" | "cycle") => EngineMode::CycleStepped,
             Some("event-driven" | "event") => EngineMode::EventDriven,
+            Some("parallel" | "pdes") => EngineMode::Parallel,
             _ => EngineMode::default(),
         }
     }
@@ -347,6 +368,7 @@ pub struct SimBuilder {
     trace_capacity: Option<usize>,
     metrics_every: Option<u64>,
     engine_mode: EngineMode,
+    sim_threads: Option<u32>,
     trace_engine: bool,
     faults: FaultPlan,
     sanitize: SanitizeMode,
@@ -375,6 +397,7 @@ impl SimBuilder {
             trace_capacity: None,
             metrics_every: None,
             engine_mode: EngineMode::from_env(),
+            sim_threads: None,
             trace_engine: false,
             faults: FaultPlan::new(),
             sanitize: SanitizeMode::from_env(),
@@ -417,6 +440,17 @@ impl SimBuilder {
     /// tests and wall-clock baselines.
     pub fn engine(mut self, mode: EngineMode) -> Self {
         self.engine_mode = mode;
+        self
+    }
+
+    /// Worker-thread count for [`EngineMode::Parallel`] (default:
+    /// `MEMNET_SIM_THREADS`, else the machine's available parallelism
+    /// capped at 4). Clamped to `[1, n_gpus]` at build time. Thread
+    /// count is a pure wall-clock knob — results are bit-identical at
+    /// any value — so it is excluded from the configuration fingerprint,
+    /// and the other engine modes ignore it.
+    pub fn sim_threads(mut self, n: u32) -> Self {
+        self.sim_threads = Some(n.max(1));
         self
     }
 
@@ -747,6 +781,16 @@ struct System {
     cal: Calendar,
     /// True when idle domains may be parked ([`EngineMode::EventDriven`]).
     park: bool,
+    /// How this system advances time (drives kernel-phase dispatch and
+    /// the profile report's engine label).
+    engine_mode: EngineMode,
+    /// Worker threads for [`EngineMode::Parallel`] kernel phases,
+    /// clamped to `[1, n_gpus]`. Ignored by the sequential engines.
+    sim_threads: u32,
+    /// Live worker crew while a parallel kernel phase is running; the
+    /// tick arms route shard edges through it. Always `None` outside
+    /// [`System::run_kernel_phase_parallel`].
+    par: Option<std::sync::Arc<par::ParCrew>>,
     /// Record engine wake events into the trace.
     trace_engine: bool,
     now: Fs,
@@ -1003,6 +1047,17 @@ impl System {
             // Domain order must match the `domain` constants.
             cal: Calendar::new(vec![clk_core, clk_l2, clk_cpu, clk_net, clk_dram]),
             park: b.engine_mode == EngineMode::EventDriven,
+            engine_mode: b.engine_mode,
+            sim_threads: b
+                .sim_threads
+                .or_else(|| {
+                    std::env::var("MEMNET_SIM_THREADS")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or_else(memnet_engine::pdes::default_threads)
+                .clamp(1, cfg.n_gpus),
+            par: None,
             trace_engine: b.trace_engine,
             now: 0,
             timed_out: false,
@@ -1161,11 +1216,7 @@ impl System {
         }
         let trace_dropped = self.tracer.as_ref().map_or(0, Tracer::dropped);
         let prof_report = self.prof.take().map(|pack| {
-            let engine = if self.park {
-                "event-driven"
-            } else {
-                "cycle-stepped"
-            };
+            let engine = self.engine_mode.name();
             let mut pr = ProfileReport::from_profiler(&pack.profiler, engine);
             pr.hists = vec![
                 ProfileHist {
@@ -1520,6 +1571,16 @@ impl System {
     }
 
     fn run_kernel_phase(&mut self) -> Fs {
+        // Parallel engine: wrap this same phase in a worker crew (the
+        // recursive call lands below because `par` is then occupied).
+        // One worker would only add sync overhead to identical results.
+        if self.engine_mode == EngineMode::Parallel
+            && self.par.is_none()
+            && self.sim_threads > 1
+            && self.gpus.len() > 1
+        {
+            return self.run_kernel_phase_parallel();
+        }
         // Launch across the GPUs still alive — a GPU lost in an earlier
         // phase is simply excluded from the partition (SKE degraded mode).
         let live: Vec<usize> = (0..self.active_gpus as usize)
@@ -1951,13 +2012,21 @@ impl System {
     fn tick_domain(&mut self, d: usize) {
         match d {
             domain::CORE => {
-                for g in &mut self.gpus {
-                    g.tick_core_traced(self.tracer.as_mut());
+                if self.par.is_some() {
+                    self.par_edge(par::EDGE_CORE, 0);
+                } else {
+                    for g in &mut self.gpus {
+                        g.tick_core_traced(self.tracer.as_mut());
+                    }
                 }
             }
             domain::L2 => {
-                for g in &mut self.gpus {
-                    g.tick_l2();
+                if self.par.is_some() {
+                    self.par_edge(par::EDGE_L2, 0);
+                } else {
+                    for g in &mut self.gpus {
+                        g.tick_l2();
+                    }
                 }
             }
             domain::CPU => {
@@ -2006,11 +2075,15 @@ impl System {
             }
             domain::DRAM => {
                 let tck = self.cal.clock(domain::DRAM).cycles();
-                for (i, h) in self.hmcs.iter_mut().enumerate() {
-                    h.tick_traced(tck, i as u32, self.tracer.as_mut());
-                    while let Some(req) = h.pop_completed(tck) {
-                        if req.kind.returns_data() {
-                            self.hmc_ports[i].resp_q.push_back(req.response());
+                if self.par.is_some() {
+                    self.par_edge(par::EDGE_DRAM, tck);
+                } else {
+                    for (i, h) in self.hmcs.iter_mut().enumerate() {
+                        h.tick_traced(tck, i as u32, self.tracer.as_mut());
+                        while let Some(req) = h.pop_completed(tck) {
+                            if req.kind.returns_data() {
+                                self.hmc_ports[i].resp_q.push_back(req.response());
+                            }
                         }
                     }
                 }

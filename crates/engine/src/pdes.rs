@@ -1,0 +1,588 @@
+//! Conservative parallel-discrete-event-simulation (PDES) primitives.
+//!
+//! The parallel engine in `memnet-core` shards one simulation across
+//! worker threads that execute GPU core/L2 clock edges ahead of a driver
+//! thread that owns the network, HMCs, CPU and all bookkeeping. The
+//! synchronization protocol is classic conservative PDES with a lookahead
+//! window derived from the NoC's SerDes + router-pipeline latency:
+//!
+//! * the driver publishes a **horizon** — a lower bound on the timestamp
+//!   of any message it could still send — and workers never execute an
+//!   edge beyond it;
+//! * each worker publishes a **commit time** — every edge at or before it
+//!   has been executed and all resulting messages shipped — and the
+//!   driver never processes a timestep beyond the minimum commit;
+//! * payload-free horizon/commit updates are the null messages of the
+//!   protocol and are counted as such.
+//!
+//! This module deliberately owns *all* thread, channel and wall-clock
+//! primitives (the `thread-boundary` and `wall-clock` lint rules confine
+//! them to `crates/engine` and `crates/serve`), exposing a deterministic
+//! message-passing API to `memnet-core`: channels are strictly FIFO per
+//! sender and every message carries an explicit femtosecond timestamp
+//! assigned by simulation logic, so no observable ordering ever depends
+//! on thread scheduling.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a blocked thread sleeps between poison-flag checks. Purely a
+/// liveness bound for panic propagation; correctness never depends on it.
+const POISON_POLL: Duration = Duration::from_millis(20);
+
+/// Shared counters for one parallel phase, reported through
+/// `obs::prof` as `pdes.null_messages` / `pdes.blocked_ns`.
+#[derive(Debug, Default)]
+pub struct PdesCounters {
+    /// Payload-free timestamp updates (horizon and commit publishes).
+    pub null_messages: AtomicU64,
+    /// Total wall-clock nanoseconds any lane spent blocked on a gate.
+    pub blocked_ns: AtomicU64,
+}
+
+impl PdesCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot `(null_messages, blocked_ns)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.null_messages.load(Ordering::Relaxed),
+            self.blocked_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Wall-clock attribution for one lane (the driver or one worker) of a
+/// parallel phase.
+#[derive(Debug, Clone, Default)]
+pub struct LaneProf {
+    /// Lane name (`"driver"`, `"worker0"`, ...).
+    pub name: String,
+    /// Wall nanoseconds the lane existed.
+    pub wall_ns: u64,
+    /// Wall nanoseconds spent blocked waiting on a gate.
+    pub blocked_ns: u64,
+}
+
+/// A monotone condition gate: a generation counter under a mutex plus a
+/// condvar. `notify` bumps the generation; `wait_until` sleeps until a
+/// predicate holds, crediting blocked wall time to `counters.blocked_ns`
+/// and bailing out if `poisoned` is set (a sibling lane panicked).
+#[derive(Debug, Default)]
+pub struct Gate {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// New gate at generation zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every waiter.
+    pub fn notify(&self) {
+        // memnet-lint: allow(tick-unwrap, gate mutex is never poisoned: panics propagate via the poison flag, not unwinding with the lock held)
+        let mut g = self.gen.lock().expect("gate lock");
+        *g = g.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `pred()` is true or `poisoned` is set. Returns false
+    /// on poison. Blocked wall time is added to `blocked` (when given)
+    /// and `counters.blocked_ns`.
+    pub fn wait_until(
+        &self,
+        counters: &PdesCounters,
+        blocked: Option<&AtomicU64>,
+        poisoned: &AtomicBool,
+        mut pred: impl FnMut() -> bool,
+    ) -> bool {
+        if pred() {
+            return true;
+        }
+        let start = Instant::now();
+        let ok = loop {
+            if poisoned.load(Ordering::Acquire) {
+                break false;
+            }
+            // memnet-lint: allow(tick-unwrap, gate mutex is never poisoned: panics propagate via the poison flag, not unwinding with the lock held)
+            let g = self.gen.lock().expect("gate lock");
+            if pred() {
+                break true;
+            }
+            let gen = *g;
+            let mut g = g;
+            while *g == gen {
+                // memnet-lint: allow(tick-unwrap, condvar wait on a healthy mutex)
+                let (ng, timeout) = self.cv.wait_timeout(g, POISON_POLL).expect("gate wait");
+                g = ng;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            drop(g);
+            if pred() {
+                break true;
+            }
+        };
+        let ns = start.elapsed().as_nanos() as u64;
+        if let Some(b) = blocked {
+            b.fetch_add(ns, Ordering::Relaxed);
+        }
+        counters.blocked_ns.fetch_add(ns, Ordering::Relaxed);
+        ok
+    }
+}
+
+/// A published femtosecond timestamp (horizon or commit), written with
+/// release ordering and read with acquire ordering so every store made
+/// before the publish is visible to a reader that observes it.
+#[derive(Debug)]
+pub struct TimeCell {
+    fs: AtomicU64,
+    gate: Arc<Gate>,
+}
+
+impl TimeCell {
+    /// New cell holding `fs`, notifying `gate` on every publish.
+    pub fn new(fs: u64, gate: Arc<Gate>) -> Self {
+        TimeCell {
+            fs: AtomicU64::new(fs),
+            gate,
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.fs.load(Ordering::Acquire)
+    }
+
+    /// Publishes `fs` (monotone; lower values are ignored), counting one
+    /// null message and waking the gate's waiters when it advances.
+    pub fn publish(&self, fs: u64, counters: &PdesCounters) {
+        let prev = self.fs.fetch_max(fs, Ordering::Release);
+        if fs > prev {
+            counters.null_messages.fetch_add(1, Ordering::Relaxed);
+            self.gate.notify();
+        }
+    }
+}
+
+/// Spin iterations a [`SeqCell::wait_ge`] burns before falling back to
+/// its gate's condvar. Edge-grained rendezvous (the parallel engine syncs
+/// every clock edge) almost always completes within the spin window, so
+/// the condvar — and its wakeup latency — stays off the hot path.
+const SPIN_ROUNDS: u32 = 4096;
+
+/// Effective spin budget: spinning only helps when the peer lane can make
+/// progress on another core. On a single-core host the spinner starves
+/// the very thread it waits on, so it must park immediately.
+fn spin_rounds() -> u32 {
+    static ROUNDS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *ROUNDS.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            SPIN_ROUNDS
+        } else {
+            0
+        }
+    })
+}
+
+/// A monotone sequence cell tuned for high-frequency rendezvous: readers
+/// spin briefly before blocking, and publishers skip the condvar entirely
+/// unless a reader declared itself asleep. The parallel engine's driver
+/// publishes job numbers through one cell and each worker publishes
+/// commit numbers through another — both sides meet here once per clock
+/// edge, so the fast path is a handful of atomic operations.
+#[derive(Debug)]
+pub struct SeqCell {
+    v: AtomicU64,
+    sleepers: AtomicU64,
+    gate: Arc<Gate>,
+}
+
+impl SeqCell {
+    /// New cell at zero, waking `gate` when a publish outruns a sleeper.
+    pub fn new(gate: Arc<Gate>) -> Self {
+        SeqCell {
+            v: AtomicU64::new(0),
+            sleepers: AtomicU64::new(0),
+            gate,
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Acquire)
+    }
+
+    /// Publishes `v` (monotone; lower values are ignored), counting one
+    /// null message when it advances. Every store sequenced before the
+    /// publish is visible to a reader that observes it.
+    pub fn publish(&self, v: u64, counters: &PdesCounters) {
+        let prev = self.v.fetch_max(v, Ordering::SeqCst);
+        if v > prev {
+            counters.null_messages.fetch_add(1, Ordering::Relaxed);
+            // SeqCst on both sides makes the classic flag handshake sound:
+            // if a waiter registered as a sleeper before our fetch_max, we
+            // observe it here; otherwise its post-registration re-check
+            // observes our value. Either way nobody sleeps through an
+            // update (and the gate's poison poll bounds the worst case).
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                self.gate.notify();
+            }
+        }
+    }
+
+    /// Blocks until the cell reaches `target`, spinning first and parking
+    /// on the gate only if the value stays behind. Returns false if the
+    /// poison flag was raised instead. Waiting wall time is credited to
+    /// `ctx.blocked` and `ctx.counters.blocked_ns`.
+    pub fn wait_ge(&self, target: u64, ctx: &LaneCtx<'_>) -> bool {
+        if self.get() >= target {
+            return true;
+        }
+        let start = Instant::now();
+        let mut spun_ok = false;
+        for _ in 0..spin_rounds() {
+            if self.get() >= target {
+                spun_ok = true;
+                break;
+            }
+            if ctx.poisoned.load(Ordering::Acquire) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let spin_ns = start.elapsed().as_nanos() as u64;
+        ctx.blocked.fetch_add(spin_ns, Ordering::Relaxed);
+        ctx.counters
+            .blocked_ns
+            .fetch_add(spin_ns, Ordering::Relaxed);
+        if spun_ok {
+            return true;
+        }
+        if ctx.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let ok = if self.v.load(Ordering::SeqCst) >= target {
+            true
+        } else {
+            self.gate
+                .wait_until(ctx.counters, Some(ctx.blocked), ctx.poisoned, || {
+                    self.get() >= target
+                })
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        ok
+    }
+}
+
+/// A FIFO message channel. Sends are cheap mutex pushes; the receiver
+/// drains whole batches. Delivery order is exactly send order, and every
+/// receive-side decision in `memnet-core` keys off the message's embedded
+/// simulation timestamp, never arrival wall time.
+#[derive(Debug)]
+pub struct Channel<T> {
+    q: Mutex<VecDeque<T>>,
+    gate: Arc<Gate>,
+}
+
+impl<T> Channel<T> {
+    /// New empty channel notifying `gate` on sends.
+    pub fn new(gate: Arc<Gate>) -> Self {
+        Channel {
+            q: Mutex::new(VecDeque::new()),
+            gate,
+        }
+    }
+
+    /// The gate sends notify (receivers wait on it).
+    pub fn gate(&self) -> &Arc<Gate> {
+        &self.gate
+    }
+
+    /// Appends one message.
+    pub fn send(&self, msg: T) {
+        // memnet-lint: allow(tick-unwrap, channel mutex is never poisoned: panics propagate via the poison flag)
+        self.q.lock().expect("channel lock").push_back(msg);
+        self.gate.notify();
+    }
+
+    /// Appends a batch in order (single lock, single wakeup).
+    pub fn send_batch(&self, msgs: impl IntoIterator<Item = T>) {
+        {
+            // memnet-lint: allow(tick-unwrap, channel mutex is never poisoned: panics propagate via the poison flag)
+            let mut q = self.q.lock().expect("channel lock");
+            q.extend(msgs);
+        }
+        self.gate.notify();
+    }
+
+    /// Moves every queued message into `into`, preserving order.
+    pub fn drain_into(&self, into: &mut VecDeque<T>) {
+        // memnet-lint: allow(tick-unwrap, channel mutex is never poisoned: panics propagate via the poison flag)
+        let mut q = self.q.lock().expect("channel lock");
+        into.extend(q.drain(..));
+    }
+}
+
+/// Outcome of [`run_actors`]: the driver's result plus per-lane
+/// wall-clock attribution (driver lane first, then workers in order).
+pub struct ActorsResult<D, W> {
+    /// Driver closure return value.
+    pub driver: D,
+    /// Worker closure return values, in spawn order.
+    pub workers: Vec<W>,
+    /// Wall-clock attribution, driver first then workers in order.
+    pub lanes: Vec<LaneProf>,
+}
+
+/// Context handed to each lane closure for blocked-time attribution.
+pub struct LaneCtx<'a> {
+    /// Shared phase counters.
+    pub counters: &'a PdesCounters,
+    /// This lane's blocked-ns accumulator (pass to [`Gate::wait_until`]).
+    pub blocked: &'a AtomicU64,
+    /// Set when any lane panicked; long waits must check it.
+    pub poisoned: &'a AtomicBool,
+}
+
+/// A boxed worker-lane closure for [`run_actors`].
+pub type WorkerFn<'env, W> = Box<dyn FnOnce(LaneCtx<'_>) -> W + Send + 'env>;
+
+/// Runs `workers` on dedicated scoped threads alongside `driver` on the
+/// calling thread, propagating the first panic after every lane has
+/// stopped (a panicking lane sets the shared poison flag so blocked
+/// siblings bail out instead of deadlocking).
+///
+/// Workers receive a [`LaneCtx`] and return their shard state, which is
+/// handed back in spawn order — the caller moves actor state in through
+/// the closures and gets it back deterministically at the join.
+pub fn run_actors<'env, D, W>(
+    counters: &'env PdesCounters,
+    gates: &[Arc<Gate>],
+    workers: Vec<WorkerFn<'env, W>>,
+    driver: impl FnOnce(LaneCtx<'_>) -> D,
+) -> ActorsResult<D, W>
+where
+    W: Send + 'env,
+{
+    let poisoned = AtomicBool::new(false);
+    let n = workers.len();
+    let blocked: Vec<AtomicU64> = (0..=n).map(|_| AtomicU64::new(0)).collect();
+    let start = Instant::now();
+    let (driver_out, worker_outs) = std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let poisoned = &poisoned;
+                let blocked = &blocked;
+                let gates: Vec<Arc<Gate>> = gates.to_vec();
+                s.spawn(move || {
+                    let ctx = LaneCtx {
+                        counters,
+                        blocked: &blocked[i + 1],
+                        poisoned,
+                    };
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w(ctx)));
+                    if r.is_err() {
+                        poisoned.store(true, Ordering::Release);
+                        for g in &gates {
+                            g.notify();
+                        }
+                    }
+                    r
+                })
+            })
+            .collect();
+        let ctx = LaneCtx {
+            counters,
+            blocked: &blocked[0],
+            poisoned: &poisoned,
+        };
+        let driver_out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| driver(ctx)));
+        if driver_out.is_err() {
+            poisoned.store(true, Ordering::Release);
+            for g in gates {
+                g.notify();
+            }
+        }
+        let worker_outs: Vec<_> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(p) => Err(p),
+            })
+            .collect();
+        (driver_out, worker_outs)
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    // Propagate the driver's panic first (it usually has the root cause),
+    // then any worker panic.
+    let driver = match driver_out {
+        Ok(d) => d,
+        Err(p) => std::panic::resume_unwind(p),
+    };
+    let mut outs = Vec::with_capacity(n);
+    for w in worker_outs {
+        match w {
+            Ok(v) => outs.push(v),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    let lanes = blocked
+        .iter()
+        .enumerate()
+        .map(|(i, b)| LaneProf {
+            name: if i == 0 {
+                "driver".to_string()
+            } else {
+                format!("worker{}", i - 1)
+            },
+            wall_ns,
+            blocked_ns: b.load(Ordering::Relaxed),
+        })
+        .collect();
+
+    ActorsResult {
+        driver,
+        workers: outs,
+        lanes,
+    }
+}
+
+/// Default worker-thread count for the parallel engine when neither
+/// `--sim-threads` nor `MEMNET_SIM_THREADS` picks one: the machine's
+/// available parallelism capped at 4 (the engine's sweet spot for the
+/// paper's 8-GPU configurations). Thread count never changes results —
+/// only wall-clock speed — so this is a pure performance default.
+pub fn default_threads() -> u32 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+        .min(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timecell_is_monotone_and_counts_null_messages() {
+        let c = PdesCounters::new();
+        let cell = TimeCell::new(5, Arc::new(Gate::new()));
+        cell.publish(10, &c);
+        cell.publish(7, &c); // ignored: lower than current
+        assert_eq!(cell.get(), 10);
+        assert_eq!(c.snapshot().0, 1);
+    }
+
+    #[test]
+    fn channel_preserves_send_order_across_batches() {
+        let ch: Channel<u32> = Channel::new(Arc::new(Gate::new()));
+        ch.send(1);
+        ch.send_batch([2, 3]);
+        ch.send(4);
+        let mut got = VecDeque::new();
+        ch.drain_into(&mut got);
+        assert_eq!(got, VecDeque::from(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn run_actors_moves_state_in_and_out_in_spawn_order() {
+        let counters = PdesCounters::new();
+        let gate = Arc::new(Gate::new());
+        let cells: Vec<TimeCell> = (0..3).map(|_| TimeCell::new(0, gate.clone())).collect();
+        let cells = &cells;
+        let workers: Vec<WorkerFn<'_, usize>> = (0..3)
+            .map(|i| {
+                let c = &counters;
+                Box::new(move |_ctx: LaneCtx<'_>| {
+                    cells[i].publish((i as u64 + 1) * 100, c);
+                    i * 10
+                }) as WorkerFn<'_, usize>
+            })
+            .collect();
+        let r = run_actors(&counters, std::slice::from_ref(&gate), workers, |ctx| {
+            for (i, cell) in cells.iter().enumerate() {
+                assert!(
+                    gate.wait_until(ctx.counters, Some(ctx.blocked), ctx.poisoned, || {
+                        cell.get() >= (i as u64 + 1) * 100
+                    })
+                );
+            }
+            42u64
+        });
+        assert_eq!(r.driver, 42);
+        assert_eq!(r.workers, vec![0, 10, 20]);
+        assert_eq!(r.lanes.len(), 4);
+        assert_eq!(r.lanes[0].name, "driver");
+    }
+
+    #[test]
+    fn worker_panic_poisons_blocked_driver() {
+        let counters = PdesCounters::new();
+        let gate = Arc::new(Gate::new());
+        let cell = TimeCell::new(0, gate.clone());
+        let workers: Vec<WorkerFn<'_, ()>> = vec![Box::new(|_ctx| panic!("worker died"))];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_actors(&counters, std::slice::from_ref(&gate), workers, |ctx| {
+                // Never satisfied: must return false via the poison flag
+                // instead of hanging.
+                let ok = gate.wait_until(ctx.counters, Some(ctx.blocked), ctx.poisoned, || {
+                    cell.get() >= 1
+                });
+                assert!(!ok, "poison must interrupt the wait");
+            })
+        }));
+        assert!(res.is_err(), "worker panic must propagate");
+    }
+
+    #[test]
+    fn seqcell_rendezvous_across_lanes() {
+        let counters = PdesCounters::new();
+        let gate = Arc::new(Gate::new());
+        let job = SeqCell::new(gate.clone());
+        let commit = SeqCell::new(gate.clone());
+        let c = &counters;
+        let (job_r, commit_r) = (&job, &commit);
+        let workers: Vec<WorkerFn<'_, u64>> = vec![Box::new(move |ctx: LaneCtx<'_>| {
+            let mut sum = 0;
+            for j in 1..=100u64 {
+                assert!(job_r.wait_ge(j, &ctx));
+                sum += j;
+                commit_r.publish(j, c);
+            }
+            sum
+        })];
+        let r = run_actors(&counters, std::slice::from_ref(&gate), workers, |ctx| {
+            for j in 1..=100u64 {
+                job.publish(j, c);
+                assert!(commit.wait_ge(j, &ctx));
+            }
+        });
+        assert_eq!(r.workers, vec![5050]);
+        assert_eq!(commit.get(), 100);
+        // Lower publishes are ignored.
+        commit.publish(3, c);
+        assert_eq!(commit.get(), 100);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!((1..=4).contains(&t));
+    }
+}

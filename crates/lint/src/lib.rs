@@ -22,6 +22,7 @@
 //! | `fs-narrowing` | a bare `as` cast of a `*_fs`/cycle value to a narrower integer type; use the checked helpers in `memnet_common::time` |
 //! | `tick-unwrap` | `.unwrap()` anywhere in non-test code, and `.expect(` inside tick-path functions (names starting with `tick`/`pump`/`advance`/`route`/`alloc`/`poll`/`apply_due`) |
 //! | `metric-name-literal` | a `format!` feeding a metric-sink call (`.add(`/`.set(`/`.observe(`/`.record_hist(`) — those take `&'static str` names so series identity is stable and hot paths stay allocation-free; dynamic names must go through the explicit `add_dyn`/`set_dyn` escape hatch or `set_entity` for indexed series |
+//! | `thread-boundary` | `std::thread`/`thread::spawn`/`thread::scope`/`mpsc`/`crossbeam`/`rayon` outside `crates/engine/` and `crates/serve/` — threads and channels deliver in arrival order, so only the engine crate (pool, conservative-PDES crew) and the serve daemon may create them; simulation crates stay single-threaded |
 //! | `bad-allow` | a `memnet-lint: allow(...)` directive naming an unknown rule or missing its reason |
 //!
 //! # Suppressions
@@ -62,13 +63,18 @@ pub const RULES: &[&str] = &[
     "fs-narrowing",
     "tick-unwrap",
     "metric-name-literal",
+    "thread-boundary",
     "bad-allow",
 ];
 
 /// Files (workspace-relative) where wall-clock reads are legitimate: the
 /// run pool times real threads, and the self-profiler attributes
 /// driver-loop wall time — neither feeds simulated state.
-pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs", "crates/obs/src/prof.rs"];
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &[
+    "crates/engine/src/pool.rs",
+    "crates/engine/src/pdes.rs",
+    "crates/obs/src/prof.rs",
+];
 
 /// Per-crate rule exemptions: `(path prefix, rule)` pairs. Every file
 /// whose workspace-relative path starts with the prefix is exempt from
@@ -78,7 +84,31 @@ pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/engine/src/pool.rs", "crates
 /// anywhere, but it must still avoid hash collections, unwraps, and the
 /// rest. Prefer the file-level [`WALL_CLOCK_ALLOWLIST`] or a line-level
 /// `allow` for anything narrower.
-pub const CRATE_RULE_EXEMPTIONS: &[(&str, &str)] = &[("crates/serve/", "wall-clock")];
+pub const CRATE_RULE_EXEMPTIONS: &[(&str, &str)] = &[
+    ("crates/serve/", "wall-clock"),
+    // Threading is a charter, not a convenience: the engine crate owns
+    // every synchronization primitive (pool, conservative-PDES crew) and
+    // the serve daemon owns its per-connection handlers. Everything else
+    // — core, gpu, hmc, noc, cpu, obs — must stay single-threaded so a
+    // stray `thread::spawn` can never introduce arrival-order
+    // nondeterminism into simulation state.
+    ("crates/engine/", "thread-boundary"),
+    ("crates/serve/", "thread-boundary"),
+];
+
+/// Thread-creation / cross-thread-channel tokens banned outside the
+/// crates whose charter is concurrency (see [`CRATE_RULE_EXEMPTIONS`]).
+/// `Arc`/`Mutex`/atomics are deliberately not listed: shared *state* is
+/// fine (the core crate's parallel shards use them under the engine
+/// crate's scheduling); creating *schedulable lanes* is not.
+const THREAD_TOKENS: &[&str] = &[
+    "std::thread",
+    "thread::spawn",
+    "thread::scope",
+    "mpsc::",
+    "crossbeam",
+    "rayon",
+];
 
 /// Metric-sink calls whose name argument must be a `'static` literal.
 /// `add_dyn`/`set_dyn` deliberately do not match: they are the audited
@@ -535,6 +565,17 @@ fn check_line(
         );
     }
 
+    if let Some(tok) = THREAD_TOKENS.iter().find(|t| code.contains(*t)) {
+        push(
+            "thread-boundary",
+            format!(
+                "`{tok}` outside crates/engine and crates/serve: threads and channels \
+                 deliver in arrival order, which breaks bit-identical replay; route \
+                 concurrency through the engine crate (pool / PDES crew) instead"
+            ),
+        );
+    }
+
     if code.contains(".unwrap()") {
         push(
             "tick-unwrap",
@@ -823,6 +864,48 @@ mod tests {
             rules_at(&lint_source("crates/serve/src/job.rs", unwrappy)),
             vec![("tick-unwrap", 2)]
         );
+    }
+
+    #[test]
+    fn thread_use_flagged_outside_engine_and_serve() {
+        let spawny = "fn f() {\n\
+                          let h = std::thread::spawn(|| 1);\n\
+                          let (tx, rx) = mpsc::channel();\n\
+                      }\n";
+        // Simulation crates and the root binary may not create threads…
+        assert_eq!(
+            rules_at(&lint_source("crates/core/src/system.rs", spawny)),
+            vec![("thread-boundary", 2), ("thread-boundary", 3)]
+        );
+        assert_eq!(
+            rules_at(&lint_source("src/main.rs", spawny)),
+            vec![("thread-boundary", 2), ("thread-boundary", 3)]
+        );
+        // …and the message names the sanctioned route.
+        let vs = lint_source("crates/gpu/src/sm.rs", spawny);
+        assert!(vs[0].message.contains("engine"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn engine_and_serve_crates_may_create_threads() {
+        let spawny = "fn f() {\n\
+                          std::thread::scope(|s| { s.spawn(|| 1); });\n\
+                      }\n";
+        assert!(lint_source("crates/engine/src/pdes.rs", spawny).is_empty());
+        assert!(lint_source("crates/engine/src/pool.rs", spawny).is_empty());
+        assert!(lint_source("crates/serve/src/server.rs", spawny).is_empty());
+        // Shared state without lane creation is fine anywhere: the core
+        // crate's parallel shards use Arc/Mutex/atomics under the engine
+        // crate's scheduling.
+        let shared = "use std::sync::{Arc, Mutex};\n\
+                      use std::sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(lint_source("crates/core/src/par.rs", shared).is_empty());
+    }
+
+    #[test]
+    fn pdes_module_may_read_the_wall_clock() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        assert!(lint_source("crates/engine/src/pdes.rs", src).is_empty());
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! One request per line, one compact-JSON response per line. The
 //! [`Server`] is transport-agnostic — [`Server::handle_line`] maps a
 //! request line to a [`Reply`] — and the two thin daemons
-//! ([`serve_stdio`], [`TcpDaemon`]) feed it lines. Both daemons process
-//! requests sequentially, so responses arrive in request order and the
+//! ([`serve_stdio`], [`TcpDaemon`]) feed it lines. The stdio daemon
+//! processes requests sequentially; the TCP daemon accepts connections
+//! concurrently (one handler thread per peer) but serializes every
+//! request through one mutex around the [`Server`], so each connection
+//! still sees its responses in request order and the shared result
 //! cache behaves deterministically.
 //!
 //! Cached reports are spliced into responses **verbatim**: the `report`
@@ -22,8 +25,10 @@ use crate::job::JobSpec;
 use memnet_engine::{run_jobs_observed, PoolConfig};
 use memnet_obs::{parse, JsonValue, JsonWriter, MetricSink, MetricsRegistry};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -357,11 +362,63 @@ pub fn serve_stdio(server: &mut Server) -> io::Result<()> {
     Ok(())
 }
 
-/// A loopback TCP daemon: accepts connections sequentially and serves
-/// newline-delimited requests on each until the peer disconnects or a
-/// `shutdown` request arrives.
+/// A loopback TCP daemon: accepts connections concurrently — one
+/// handler thread per peer, every request serialized through a mutex
+/// around the shared [`Server`] — until a `shutdown` request arrives on
+/// any connection.
 pub struct TcpDaemon {
     listener: TcpListener,
+}
+
+/// Serves one TCP peer until it disconnects (or requests shutdown).
+/// I/O errors end the connection, not the daemon.
+fn handle_conn(
+    conn: TcpStream,
+    server: &Mutex<&mut Server>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    // Poll rather than block forever so an idle peer cannot hold the
+    // daemon open after another connection requested shutdown.
+    conn.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = conn;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // peer closed
+                Ok(_) => break,
+                // Timeout mid-wait: partial bytes stay in `line` and the
+                // retry appends after them.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = server.lock().expect("server lock").handle_line(&line);
+        writeln!(writer, "{}", reply.text)?;
+        writer.flush()?;
+        if reply.shutdown {
+            // Flag the accept loop, then poke it with a throwaway
+            // connection so a blocked `accept` wakes up and sees it.
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
+    }
 }
 
 impl TcpDaemon {
@@ -378,30 +435,28 @@ impl TcpDaemon {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until a `shutdown` request is served.
+    /// Runs the accept loop until a `shutdown` request is served on any
+    /// connection. Handler threads are joined before this returns, so
+    /// in-flight requests finish their responses first.
     pub fn run(self, server: &mut Server) -> io::Result<()> {
-        for conn in self.listener.incoming() {
-            let conn = conn?;
-            let mut reader = BufReader::new(conn.try_clone()?);
-            let mut writer = conn;
-            let mut line = String::new();
-            loop {
-                line.clear();
-                if reader.read_line(&mut line)? == 0 {
-                    break; // peer closed; wait for the next connection
+        let addr = self.listener.local_addr()?;
+        let server = Mutex::new(server);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for conn in self.listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
                 }
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let reply = server.handle_line(&line);
-                writeln!(writer, "{}", reply.text)?;
-                writer.flush()?;
-                if reply.shutdown {
-                    return Ok(());
-                }
+                let conn = conn?;
+                let (server, stop) = (&server, &stop);
+                scope.spawn(move || {
+                    if let Err(e) = handle_conn(conn, server, stop, addr) {
+                        eprintln!("memnet serve: connection error: {e}");
+                    }
+                });
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 }
 
@@ -552,6 +607,40 @@ mod tests {
         let again = s.handle_line(a).text; // a is a miss again
         assert!(again.contains("\"cached\":false"));
         assert_eq!(s.metrics().counter("cache.evict"), 2);
+    }
+
+    #[test]
+    fn tcp_daemon_interleaves_connections_and_stops_on_shutdown() {
+        let daemon = TcpDaemon::bind(0).expect("bind");
+        let addr = daemon.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let mut s = Server::new(&ServeConfig::default());
+            daemon.run(&mut s)
+        });
+        let mut a = TcpStream::connect(addr).expect("connect a");
+        let mut ra = BufReader::new(a.try_clone().expect("clone a"));
+        let mut b = TcpStream::connect(addr).expect("connect b");
+        let mut rb = BufReader::new(b.try_clone().expect("clone b"));
+        let mut line = String::new();
+        // The old sequential daemon would never answer `b` while `a`
+        // was still connected; the concurrent one must.
+        writeln!(b, r#"{{"id":1,"method":"ping"}}"#).expect("write b");
+        rb.read_line(&mut line).expect("read b");
+        assert!(line.contains("pong"), "{line}");
+        line.clear();
+        writeln!(a, r#"{{"id":2,"method":"ping"}}"#).expect("write a");
+        ra.read_line(&mut line).expect("read a");
+        assert!(line.contains("pong"), "{line}");
+        line.clear();
+        // Shutdown on `a` must stop the daemon even though `b` is still
+        // connected and idle.
+        writeln!(a, r#"{{"id":3,"method":"shutdown"}}"#).expect("write shutdown");
+        ra.read_line(&mut line).expect("read shutdown reply");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        handle
+            .join()
+            .expect("daemon thread panicked")
+            .expect("daemon io error");
     }
 
     #[test]

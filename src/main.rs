@@ -80,8 +80,14 @@ OPTIONS:
                        vault stalls, GPU loss — see DESIGN.md, Fault model)
   --chaos-seed <N>     inject a seeded random fault plan; the same seed
                        always produces the same failures
-  --engine <E>         cycle | event — simulation engine (default event;
-                       the MEMNET_ENGINE env var sets the fallback)
+  --engine <E>         cycle | event | parallel — simulation engine
+                       (default event; the MEMNET_ENGINE env var sets the
+                       fallback). `parallel` shards the kernel phase across
+                       worker threads, bit-identical to both sequential
+                       engines
+  --sim-threads <N>    worker threads for --engine parallel (default:
+                       MEMNET_SIM_THREADS, else the machine core count
+                       capped at 4; always clamped to the GPU count)
   --sanitize           audit runtime invariants (credit/packet/CTA/byte
                        conservation, clock alignment) and report findings;
                        nonzero exit on any violation. MEMNET_SANITIZE=1
@@ -503,6 +509,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     let mut faults = FaultPlan::new();
     let mut chaos_seed: Option<u64> = None;
     let mut engine: Option<EngineMode> = None;
+    let mut sim_threads: Option<u32> = None;
     let mut sanitize = false;
     let mut checkpoint: Option<String> = None;
     let mut restore: Option<String> = None;
@@ -600,6 +607,10 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
                 Some(mode) => engine = Some(mode),
                 None => return Err(usage()),
             },
+            "--sim-threads" => match value("--sim-threads").and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => sim_threads = Some(n),
+                _ => return Err(usage()),
+            },
             "--checkpoint" => match value("--checkpoint") {
                 Some(f) => checkpoint = Some(f),
                 None => return Err(usage()),
@@ -652,6 +663,9 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     }
     if let Some(mode) = engine {
         b = b.engine(mode);
+    }
+    if let Some(n) = sim_threads {
+        b = b.sim_threads(n);
     }
     if sanitize {
         b = b.sanitize(SanitizeMode::Record);
@@ -927,6 +941,31 @@ fn print_profile(p: &ProfileReport) {
     if p.trace_dropped > 0 {
         println!("trace drops      : {}", p.trace_dropped);
     }
+    if !p.lanes.is_empty() {
+        println!(
+            "pdes sync        : {} null messages, {:.3} ms blocked (all lanes)",
+            p.pdes_null_messages,
+            p.pdes_blocked_ns as f64 / 1e6
+        );
+        println!(
+            "  {:<17} {:>12} {:>12} {:>7}",
+            "lane", "wall ms", "blocked ms", "idle"
+        );
+        for l in &p.lanes {
+            let idle = if l.wall_ns > 0 {
+                100.0 * l.blocked_ns as f64 / l.wall_ns as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<17} {:>12.3} {:>12.3} {:>6.1}%",
+                l.name,
+                l.wall_ns as f64 / 1e6,
+                l.blocked_ns as f64 / 1e6,
+                idle
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -973,6 +1012,9 @@ mod tests {
         assert!(parse_run_opts(&argv(&["--gpus", "many"])).is_err());
         assert!(parse_run_opts(&argv(&["--org", "nvlink"])).is_err());
         assert!(parse_run_opts(&argv(&["--engine", "quantum"])).is_err());
+        assert!(parse_run_opts(&argv(&["--sim-threads", "0"])).is_err());
+        assert!(parse_run_opts(&argv(&["--sim-threads", "many"])).is_err());
+        assert!(parse_run_opts(&argv(&["--engine", "parallel", "--sim-threads", "4"])).is_ok());
         assert!(parse_run_opts(&argv(&["--checkpoint", "a.json", "--restore", "b.json"])).is_err());
         assert!(parse_run_opts(&argv(&["--gpus", "2", "--small"])).is_ok());
         assert!(parse_run_opts(&argv(&["--checkpoint", "a.json"])).is_ok());

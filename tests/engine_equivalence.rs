@@ -1,21 +1,38 @@
-//! Bit-identity between the two engine modes.
+//! Bit-identity across the three engine modes.
 //!
-//! The event-driven engine (idle fast-forward) must be observationally
+//! The event-driven engine (idle fast-forward) and the parallel engine
+//! (conservative-PDES worker crew) must both be observationally
 //! indistinguishable from the cycle-stepped reference loop: same-seed
 //! runs produce bit-identical [`SimReport`]s — every float compared with
-//! `==`, no tolerances — and, when tracing/metrics are on, byte-identical
-//! trace and metrics JSON. Anything less means a parked domain woke on
-//! the wrong edge or a skipped counter drifted.
+//! `==`, no tolerances — and, when tracing/metrics/sanitizing are on,
+//! byte-identical trace, metrics and sanitizer payloads. Anything less
+//! means a parked domain woke on the wrong edge, a skipped counter
+//! drifted, or a cross-thread message was merged by arrival order.
 
 use memnet::noc::topo::{SlicedKind, TopologyKind};
 use memnet::sim::{CtaPolicy, EngineMode, Organization, SimBuilder, SimReport};
 use memnet::workloads::Workload;
 
-/// Runs the same builder under both engine modes.
-fn both(b: SimBuilder) -> (SimReport, SimReport) {
+/// Every engine mode, reference first.
+const ALL_MODES: [EngineMode; 3] = [
+    EngineMode::CycleStepped,
+    EngineMode::EventDriven,
+    EngineMode::Parallel,
+];
+
+/// Runs the same builder under all three engine modes (the parallel
+/// engine with 4 requested workers, clamped to the GPU count).
+fn run_all(b: SimBuilder) -> [SimReport; 3] {
     let cycle = b.clone().engine(EngineMode::CycleStepped).run();
-    let event = b.engine(EngineMode::EventDriven).run();
-    (cycle, event)
+    let event = b.clone().engine(EngineMode::EventDriven).run();
+    let parallel = b.engine(EngineMode::Parallel).sim_threads(4).run();
+    [cycle, event, parallel]
+}
+
+/// Both non-reference engines against the cycle-stepped reference.
+fn assert_three(r: &[SimReport; 3], label: &str) {
+    assert_identical(&r[0], &r[1], &format!("{label}[event]"));
+    assert_identical(&r[0], &r[2], &format!("{label}[parallel]"));
 }
 
 /// Field-by-field equality, floats compared exactly.
@@ -63,6 +80,7 @@ fn assert_identical(cycle: &SimReport, event: &SimReport, label: &str) {
         "{label}: rebalanced_ctas"
     );
     assert_eq!(cycle.lost_gpus, event.lost_gpus, "{label}: lost_gpus");
+    assert_eq!(cycle.sanitizer, event.sanitizer, "{label}: sanitizer");
     assert_eq!(
         cycle.channel_utilization, event.channel_utilization,
         "{label}: channel_utilization"
@@ -89,9 +107,13 @@ fn every_organization_is_bit_identical() {
     // with a memcpy phase where applicable — the idle-heavy stretch where
     // fast-forward does the most work and has the most room to go wrong.
     for org in Organization::all_extended() {
-        let (c, e) = both(small(org, Workload::VecAdd));
-        assert!(!c.timed_out, "{} cycle-stepped run timed out", org.name());
-        assert_identical(&c, &e, org.name());
+        let r = run_all(small(org, Workload::VecAdd));
+        assert!(
+            !r[0].timed_out,
+            "{} cycle-stepped run timed out",
+            org.name()
+        );
+        assert_three(&r, org.name());
     }
 }
 
@@ -101,8 +123,8 @@ fn table2_workloads_on_pcie_and_umn_are_bit_identical() {
     // domains park); UMN exercises the all-shared path.
     for w in Workload::table2() {
         for org in [Organization::Pcie, Organization::Umn] {
-            let (c, e) = both(small(org, w));
-            assert_identical(&c, &e, &format!("{}/{}", w.abbr(), org.name()));
+            let r = run_all(small(org, w));
+            assert_three(&r, &format!("{}/{}", w.abbr(), org.name()));
         }
     }
 }
@@ -125,9 +147,9 @@ fn host_phase_workload_is_bit_identical() {
             .gpus(2)
             .sms_per_gpu(2)
             .workload(shrink(Workload::CgS.spec_small()));
-        let (c, e) = both(b);
-        assert!(c.host_ns > 0.0, "CG.S must compute on the host");
-        assert_identical(&c, &e, &format!("CG.S/{}", org.name()));
+        let r = run_all(b);
+        assert!(r[0].host_ns > 0.0, "CG.S must compute on the host");
+        assert_three(&r, &format!("CG.S/{}", org.name()));
     }
 }
 
@@ -152,8 +174,8 @@ fn alternate_topologies_are_bit_identical() {
     ] {
         for org in [Organization::Gmn, Organization::Umn] {
             let b = small(org, Workload::VecAdd).topology(topo);
-            let (c, e) = both(b);
-            assert_identical(&c, &e, &format!("{}/{}", org.name(), name));
+            let r = run_all(b);
+            assert_three(&r, &format!("{}/{}", org.name(), name));
         }
     }
 }
@@ -161,12 +183,12 @@ fn alternate_topologies_are_bit_identical() {
 #[test]
 fn stealing_policy_and_co_kernels_are_bit_identical() {
     let steal = small(Organization::Umn, Workload::Bp).cta_policy(CtaPolicy::Stealing);
-    let (c, e) = both(steal);
-    assert_identical(&c, &e, "stealing");
+    let r = run_all(steal);
+    assert_three(&r, "stealing");
 
     let co = small(Organization::Umn, Workload::Cp).co_workload(Workload::Scan.spec_small());
-    let (c, e) = both(co);
-    assert_identical(&c, &e, "co-kernels");
+    let r = run_all(co);
+    assert_three(&r, "co-kernels");
 }
 
 #[test]
@@ -178,20 +200,22 @@ fn trace_and_metrics_streams_are_byte_identical() {
         let b = small(org, Workload::VecAdd)
             .trace(1 << 16)
             .metrics_every(500);
-        let (c, e) = both(b);
-        assert_identical(&c, &e, &format!("traced/{}", org.name()));
-        assert_eq!(
-            c.trace_json,
-            e.trace_json,
-            "{}: trace streams differ",
-            org.name()
-        );
-        assert_eq!(
-            c.metrics_json,
-            e.metrics_json,
-            "{}: metrics streams differ",
-            org.name()
-        );
+        let r = run_all(b);
+        assert_three(&r, &format!("traced/{}", org.name()));
+        for (m, other) in [("event", &r[1]), ("parallel", &r[2])] {
+            assert_eq!(
+                r[0].trace_json,
+                other.trace_json,
+                "{}[{m}]: trace streams differ",
+                org.name()
+            );
+            assert_eq!(
+                r[0].metrics_json,
+                other.metrics_json,
+                "{}[{m}]: metrics streams differ",
+                org.name()
+            );
+        }
     }
 }
 
@@ -250,10 +274,10 @@ fn fault_plans_are_bit_identical_across_engines() {
     );
     plan.push(ns_to_fs(60.0), FaultKind::GpuLoss { gpu: 1 });
     for org in [Organization::Umn, Organization::Gmn, Organization::Pcie] {
-        let (c, e) = both(small(org, Workload::VecAdd).faults(plan.clone()));
-        assert!(!c.timed_out, "{}: faulted run timed out", org.name());
-        assert!(c.faults_injected > 0, "{}: plan never fired", org.name());
-        assert_identical(&c, &e, &format!("faulted/{}", org.name()));
+        let r = run_all(small(org, Workload::VecAdd).faults(plan.clone()));
+        assert!(!r[0].timed_out, "{}: faulted run timed out", org.name());
+        assert!(r[0].faults_injected > 0, "{}: plan never fired", org.name());
+        assert_three(&r, &format!("faulted/{}", org.name()));
     }
 
     // Seeded chaos plans must agree too, including the trace/metrics
@@ -263,25 +287,34 @@ fn fault_plans_are_bit_identical_across_engines() {
         .faults(chaos)
         .trace(1 << 16)
         .metrics_every(500);
-    let (c, e) = both(b);
-    assert_identical(&c, &e, "chaos/umn");
-    assert_eq!(c.trace_json, e.trace_json, "chaos trace streams differ");
-    assert_eq!(
-        c.metrics_json, e.metrics_json,
-        "chaos metrics streams differ"
-    );
+    let r = run_all(b);
+    assert_three(&r, "chaos/umn");
+    for (m, other) in [("event", &r[1]), ("parallel", &r[2])] {
+        assert_eq!(
+            r[0].trace_json, other.trace_json,
+            "chaos[{m}] trace streams differ"
+        );
+        assert_eq!(
+            r[0].metrics_json, other.metrics_json,
+            "chaos[{m}] metrics streams differ"
+        );
+    }
 }
 
 #[test]
-fn checkpoint_restore_is_bit_identical_in_both_modes() {
+fn checkpoint_restore_is_bit_identical_in_all_modes() {
     // Acceptance criterion for the snapshot subsystem: a run that
     // checkpoints at the pre-kernel boundary, and a second run restored
     // from that checkpoint, must both be bit-identical to a straight run
-    // — under either engine. PCIe gives the prefix real work (host-pre
+    // — under any engine. PCIe gives the prefix real work (host-pre
     // compute plus H2D memcpy) so the snapshot carries warm caches, DMA
     // counters and network state, not just zeroes.
-    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
-        let b = || small(Organization::Pcie, Workload::Bp).engine(mode);
+    for mode in ALL_MODES {
+        let b = || {
+            small(Organization::Pcie, Workload::Bp)
+                .engine(mode)
+                .sim_threads(4)
+        };
         let straight = b().run();
         let (checkpointed, snap) = b()
             .try_run_checkpointed("equivalence-test")
@@ -302,26 +335,32 @@ fn checkpoint_restore_is_bit_identical_in_both_modes() {
 
 #[test]
 fn snapshots_restore_across_engine_modes() {
-    // The fingerprint deliberately excludes the engine mode: snapshots
-    // capture physics, not scheduling. A checkpoint taken under the
-    // cycle-stepped reference engine must replay bit-identically under
-    // the event-driven engine, and vice versa.
-    let b = |mode| small(Organization::Umn, Workload::VecAdd).engine(mode);
+    // The fingerprint deliberately excludes the engine mode and thread
+    // count: snapshots capture physics, not scheduling. A checkpoint
+    // taken under any engine must replay bit-identically under every
+    // other one.
+    let b = |mode| {
+        small(Organization::Umn, Workload::VecAdd)
+            .engine(mode)
+            .sim_threads(4)
+    };
     let straight = b(EngineMode::CycleStepped).run();
-    let (_, snap_cycle) = b(EngineMode::CycleStepped)
-        .try_run_checkpointed("cross-engine")
-        .expect("checkpoint");
-    let (_, snap_event) = b(EngineMode::EventDriven)
-        .try_run_checkpointed("cross-engine")
-        .expect("checkpoint");
-    let event_from_cycle = b(EngineMode::EventDriven)
-        .try_run_restored(&snap_cycle)
-        .expect("restore");
-    let cycle_from_event = b(EngineMode::CycleStepped)
-        .try_run_restored(&snap_event)
-        .expect("restore");
-    assert_identical(&straight, &event_from_cycle, "event-from-cycle-snap");
-    assert_identical(&straight, &cycle_from_event, "cycle-from-event-snap");
+    for snap_mode in ALL_MODES {
+        let (_, snap) = b(snap_mode)
+            .try_run_checkpointed("cross-engine")
+            .expect("checkpoint");
+        for restore_mode in ALL_MODES {
+            if restore_mode == snap_mode {
+                continue;
+            }
+            let restored = b(restore_mode).try_run_restored(&snap).expect("restore");
+            assert_identical(
+                &straight,
+                &restored,
+                &format!("{}-from-{}-snap", restore_mode.name(), snap_mode.name()),
+            );
+        }
+    }
 }
 
 #[test]
@@ -356,10 +395,11 @@ fn fault_plan_straddling_the_snapshot_point_is_bit_identical() {
         },
     );
     plan.push(ns_to_fs(48_000.0), FaultKind::GpuLoss { gpu: 1 });
-    for mode in [EngineMode::CycleStepped, EngineMode::EventDriven] {
+    for mode in ALL_MODES {
         let b = || {
             small(Organization::Gmn, Workload::VecAdd)
                 .engine(mode)
+                .sim_threads(4)
                 .faults(plan.clone())
         };
         let straight = b().run();
@@ -379,6 +419,33 @@ fn fault_plan_straddling_the_snapshot_point_is_bit_identical() {
         );
         let restored = b().try_run_restored(&snap).expect("restore");
         assert_identical(&straight, &restored, "straddled-faults-restored");
+    }
+}
+
+#[test]
+fn sanitizer_reports_are_clean_and_bit_identical() {
+    // With the runtime invariant sanitizer recording, all three engines
+    // must produce a present, clean, and byte-identical report — the
+    // parallel engine must neither trip a conservation check nor shift
+    // the cycle at which any check runs.
+    use memnet::sim::SanitizeMode;
+    for org in [Organization::Umn, Organization::Pcie] {
+        let r = run_all(small(org, Workload::VecAdd).sanitize(SanitizeMode::Record));
+        for (rep, mode) in r.iter().zip(ALL_MODES) {
+            let san = rep
+                .sanitizer
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}/{}: no sanitizer report", org.name(), mode.name()));
+            assert!(
+                san.is_clean(),
+                "{}/{}: sanitizer violations: {:?}",
+                org.name(),
+                mode.name(),
+                san.violations
+            );
+            assert!(san.checks > 0, "{}: sanitizer never ran", org.name());
+        }
+        assert_three(&r, &format!("sanitized/{}", org.name()));
     }
 }
 
