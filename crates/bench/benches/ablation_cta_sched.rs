@@ -78,7 +78,7 @@ fn main() {
         }
         for (name, r) in [("static", st), ("round-robin", rr), ("stealing", steal)] {
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 policy: name,
                 kernel_ns: r.kernel_ns,
                 l1_hit_rate: r.l1_hit_rate,

@@ -60,7 +60,7 @@ fn main() {
                 base / r.total_ns()
             );
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 org: r.org.name(),
                 kernel_ns: r.kernel_ns,
                 memcpy_ns: r.memcpy_ns,

@@ -58,7 +58,7 @@ fn main() {
                 name, r.kernel_ns, share
             );
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 policy: name,
                 kernel_ns: r.kernel_ns,
                 hot_share_pct: share,

@@ -94,7 +94,7 @@ fn main() {
             ),
         }
         out.push(Matrix {
-            workload: r.workload,
+            workload: w.abbr(),
             fractions: gpu_rows,
             hot_cold_ratio: ratio,
             intra_cluster_ratio: intra_ratio,

@@ -70,7 +70,7 @@ fn main() {
                 if r.timed_out { "  [TIMED OUT]" } else { "" }
             );
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 org: r.org.name(),
                 kernel_ns: r.kernel_ns,
                 memcpy_ns: r.memcpy_ns,

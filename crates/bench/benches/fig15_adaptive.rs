@@ -73,7 +73,7 @@ fn main() {
                 ugal.nonminimal
             );
             rows.push(Row {
-                workload: min.workload,
+                workload: w.abbr(),
                 topology: topo.name(),
                 min_kernel_ns: min.kernel_ns,
                 ugal_kernel_ns: ugal.kernel_ns,

@@ -91,7 +91,7 @@ fn main() {
         println!();
         for (t, r) in topos.iter().zip(per) {
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 topology: t.name(),
                 kernel_ns: r.kernel_ns,
                 avg_hops: r.avg_hops,

@@ -82,7 +82,7 @@ fn main() {
                 name, r.host_ns, r.total_ns(), r.avg_pkt_latency_ns, r.passthrough
             );
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 design: name,
                 host_ns: r.host_ns,
                 total_ns: r.total_ns(),

@@ -66,7 +66,7 @@ fn main() {
             let s = base / r.kernel_ns;
             print!(" {:>8.2}", s);
             rows.push(Row {
-                workload: r.workload,
+                workload: w.abbr(),
                 gpus: *g,
                 kernel_ns: r.kernel_ns,
                 speedup: s,

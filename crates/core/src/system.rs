@@ -209,7 +209,7 @@ pub struct SimReport {
     /// Organization simulated.
     pub org: Organization,
     /// Workload abbreviation.
-    pub workload: &'static str,
+    pub workload: String,
     /// Host→device plus device→host copy time, ns (0 for ZC/UMN).
     pub memcpy_ns: f64,
     /// SKE kernel execution time, ns.
@@ -304,7 +304,7 @@ impl SimReport {
 
     fn render_json(&self, mut w: JsonWriter) -> String {
         w.begin_object();
-        w.field("workload", self.workload);
+        w.field("workload", self.workload.as_str());
         w.field("org", self.org.name());
         w.field("kernel_ns", &self.kernel_ns);
         w.field("memcpy_ns", &self.memcpy_ns);
@@ -1245,7 +1245,7 @@ impl System {
         let ns = self.cal.clock(domain::NET).period_fs() as f64 / 1e6;
         let report = SimReport {
             org: self.org,
-            workload: self.workload.abbr,
+            workload: self.workload.abbr.clone(),
             memcpy_ns: fs_to_ns(memcpy_fs),
             kernel_ns: fs_to_ns(kernel_fs),
             host_ns: fs_to_ns(host_fs),

@@ -18,7 +18,7 @@ use memnet_core::{CtaPolicy, EngineMode, Organization, PlacementPolicy, Sanitize
 use memnet_noc::topo::{SlicedKind, TopologyKind};
 use memnet_noc::RoutingPolicy;
 use memnet_obs::JsonValue;
-use memnet_workloads::Workload;
+use memnet_workloads::{Workload, WorkloadSpec};
 
 /// Parses an organization name (`pcie`, `cmn-zc`, `umn`, …).
 pub fn parse_org(s: &str) -> Option<Organization> {
@@ -119,10 +119,13 @@ pub fn parse_engine(s: &str) -> Option<EngineMode> {
 pub struct JobSpec {
     /// System organization (Table III + PCN).
     pub org: Organization,
-    /// Table II workload (or vectorAdd).
+    /// Table II workload (or vectorAdd). Ignored when `model` is set.
     pub workload: Workload,
-    /// Use the tiny workload variant.
+    /// Use the tiny workload variant. Ignored when `model` is set.
     pub small: bool,
+    /// Runtime-loaded workload model (`"model"` inline object or
+    /// `"workload_file"` path), replacing the built-in suite.
+    pub model: Option<WorkloadSpec>,
     /// Number of GPUs.
     pub gpus: u32,
     /// SMs per GPU.
@@ -157,6 +160,7 @@ impl Default for JobSpec {
             org: Organization::Umn,
             workload: Workload::Kmn,
             small: false,
+            model: None,
             gpus: 4,
             sms: 16,
             topology: None,
@@ -202,6 +206,8 @@ impl JobSpec {
             .as_object()
             .ok_or_else(|| "params must be an object".to_string())?;
         let mut spec = JobSpec::default();
+        let mut saw_workload = false;
+        let mut saw_small = false;
         for (key, v) in members {
             match key.as_str() {
                 "org" => {
@@ -211,8 +217,34 @@ impl JobSpec {
                 "workload" => {
                     spec.workload = parse_workload(want_str(key, v)?)
                         .ok_or_else(|| format!("unknown workload {v:?}"))?;
+                    saw_workload = true;
                 }
-                "small" => spec.small = want_bool(key, v)?,
+                "small" => {
+                    spec.small = want_bool(key, v)?;
+                    saw_small = true;
+                }
+                "model" => {
+                    if spec.model.is_some() {
+                        return Err("parameters 'model' and 'workload_file' are mutually \
+                                    exclusive"
+                            .into());
+                    }
+                    spec.model = Some(memnet_wdl::spec_from_value(v)?);
+                }
+                "workload_file" => {
+                    if spec.model.is_some() {
+                        return Err("parameters 'model' and 'workload_file' are mutually \
+                                    exclusive"
+                            .into());
+                    }
+                    let path = want_str(key, v)?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read workload model {path}: {e}"))?;
+                    spec.model = Some(
+                        memnet_wdl::spec_from_json(&text)
+                            .map_err(|e| format!("bad workload model {path}: {e}"))?,
+                    );
+                }
                 "gpus" => match want_uint(key, v, u32::MAX as f64)? {
                     0 => return Err("parameter 'gpus' must be positive".into()),
                     n => spec.gpus = n as u32,
@@ -262,13 +294,22 @@ impl JobSpec {
                 _ => return Err(format!("unknown parameter '{key}'")),
             }
         }
+        if spec.model.is_some() && (saw_workload || saw_small) {
+            return Err(
+                "a runtime model ('model'/'workload_file') cannot be combined \
+                        with 'workload' or 'small'"
+                    .into(),
+            );
+        }
         Ok(spec)
     }
 
     /// Expands the spec into a runnable builder, exactly as `memnet run`
     /// would assemble it from the equivalent flags.
     pub fn builder(&self) -> SimBuilder {
-        let spec = if self.small {
+        let spec = if let Some(model) = &self.model {
+            model.clone()
+        } else if self.small {
             self.workload.spec_small()
         } else {
             self.workload.spec()
@@ -405,6 +446,61 @@ mod tests {
             parallel.fingerprint(),
             "thread count is scheduling, not physics"
         );
+    }
+
+    #[test]
+    fn inline_models_parse_and_content_address_like_their_twin() {
+        let model = memnet_wdl::spec_to_json(&Workload::Bp.spec_small());
+        let inline = model.replace('\n', " ");
+        let s = spec_of(&format!(r#"{{"gpus":2,"model":{inline}}}"#)).expect("inline model");
+        assert_eq!(s.model.as_ref().map(|m| m.abbr.as_str()), Some("BP"));
+        // Same physics as the built-in spec → same cache address.
+        let twin = spec_of(r#"{"gpus":2,"workload":"bp","small":true}"#).expect("twin");
+        assert_eq!(s.fingerprint(), twin.fingerprint());
+        // Any edit to the model is a different configuration.
+        let edited = inline.replace("\"abbr\": \"BP\"", "\"abbr\": \"BP2\"");
+        assert_ne!(edited, inline, "test must actually edit the model");
+        let e = spec_of(&format!(r#"{{"gpus":2,"model":{edited}}}"#)).expect("edited model");
+        assert_ne!(
+            s.fingerprint(),
+            e.fingerprint(),
+            "edited model must miss the cache"
+        );
+    }
+
+    #[test]
+    fn model_conflicts_and_bad_models_are_rejected() {
+        let model = memnet_wdl::spec_to_json(&Workload::Bp.spec_small()).replace('\n', " ");
+        assert!(spec_of(&format!(r#"{{"workload":"kmn","model":{model}}}"#))
+            .unwrap_err()
+            .contains("cannot be combined"));
+        assert!(spec_of(&format!(r#"{{"small":true,"model":{model}}}"#))
+            .unwrap_err()
+            .contains("cannot be combined"));
+        assert!(
+            spec_of(&format!(r#"{{"model":{model},"workload_file":"x.json"}}"#))
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+        assert!(spec_of(r#"{"model":{"format":"nope"}}"#)
+            .unwrap_err()
+            .contains("format"));
+        assert!(spec_of(r#"{"workload_file":"/nonexistent/model.json"}"#)
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn workload_file_loads_a_model_from_disk() {
+        let path = std::env::temp_dir().join("memnet-serve-job-model.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        std::fs::write(path, memnet_wdl::spec_to_json(&Workload::Scan.spec_small()))
+            .expect("tmp write");
+        let s = spec_of(&format!(r#"{{"workload_file":"{path}"}}"#)).expect("file model");
+        assert_eq!(s.model.as_ref().map(|m| m.abbr.as_str()), Some("SCAN"));
+        let twin = spec_of(r#"{"workload":"scan","small":true}"#).expect("twin");
+        assert_eq!(s.fingerprint(), twin.fingerprint());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

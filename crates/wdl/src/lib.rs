@@ -1,0 +1,472 @@
+//! The memnet workload description language (WDL).
+//!
+//! Every built-in workload is a [`WorkloadSpec`]: a [`SyntheticKernel`]
+//! plus host staging sizes and optional CPU phases. This crate gives that
+//! surface a runtime form — a small, versioned JSON model format — so new
+//! scenarios can be opened without recompiling:
+//!
+//! ```json
+//! {
+//!   "format": "memnet-wdl-v1",
+//!   "abbr": "MYKERN",
+//!   "name": "My kernel",
+//!   "kernel": {
+//!     "ctas": 64, "iters": 8, "compute_gap": 40,
+//!     "seq_reads": 2, "rand_reads": 0, "dep_reads": 0, "writes": 1,
+//!     "halo_reads": 0, "atomic_every": 0, "reuse": 1,
+//!     "shared_bytes": 0, "read_bytes": 1048576, "write_bytes": 524288,
+//!     "stride": 128, "seed": 7
+//!   },
+//!   "h2d_bytes": 1048576,
+//!   "d2h_bytes": 524288,
+//!   "host_post": { "reads": 8192, "region_base": 1048576,
+//!                  "region_bytes": 524288, "stride": 64,
+//!                  "compute_per_read": 4, "tail_compute": 0 }
+//! }
+//! ```
+//!
+//! `h2d_bytes`/`d2h_bytes` are optional and default to the staging sizes
+//! the built-in constructors use (`shared + read` and `write`). Parsing is
+//! strict in the style of `serve::job`: unknown fields, missing kernel
+//! parameters, wrong types and semantically invalid kernels are all
+//! reported with actionable messages. [`spec_to_json`] is the inverse, and
+//! round-trips every built-in model exactly; [`fuzz::WorkloadFuzzer`]
+//! generates random-but-valid models for the differential conformance
+//! harness.
+
+pub mod fuzz;
+
+use memnet_obs::json::{parse, JsonValue};
+use memnet_obs::JsonWriter;
+use memnet_workloads::{HostWork, SyntheticKernel, Workload, WorkloadSpec};
+use std::sync::Arc;
+
+/// Format tag required in every model file. Bump on breaking changes.
+pub const FORMAT: &str = "memnet-wdl-v1";
+
+/// Largest integer JSON can carry exactly (the parser goes through f64).
+const MAX_SAFE_INT: u64 = 1 << 53;
+
+/// Cap on any byte-size field: 1 TB of virtual footprint is far beyond
+/// anything the simulator models and catches nonsense like `1e30`.
+const MAX_BYTES: u64 = 1 << 40;
+
+/// Every built-in workload the exporter ships (VECADD + Table II).
+pub fn all_builtins() -> Vec<Workload> {
+    let mut v = vec![Workload::VecAdd];
+    v.extend(Workload::table2());
+    v
+}
+
+/// Canonical model file name for a workload abbreviation
+/// (e.g. `KMN` → `kmn.json`, `CG.S` → `cg.s.json`).
+pub fn model_file_name(abbr: &str) -> String {
+    format!("{}.json", abbr.to_lowercase())
+}
+
+fn write_host_work(w: &mut JsonWriter, key: &str, h: &HostWork) {
+    w.key(key);
+    w.begin_object();
+    w.field("reads", &h.reads);
+    w.field("region_base", &h.region_base);
+    w.field("region_bytes", &h.region_bytes);
+    w.field("stride", &h.stride);
+    w.field("compute_per_read", &h.compute_per_read);
+    w.field("tail_compute", &h.tail_compute);
+    w.end_object();
+}
+
+/// Serializes a spec as a pretty-printed `memnet-wdl-v1` model.
+///
+/// The output is canonical — field order and formatting are fixed — so
+/// export → parse → export is textually stable, which is what the golden
+/// drift check in CI relies on.
+pub fn spec_to_json(s: &WorkloadSpec) -> String {
+    let k = &s.kernel;
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field("format", FORMAT);
+    w.field("abbr", s.abbr.as_str());
+    w.field("name", s.name.as_str());
+    w.key("kernel");
+    w.begin_object();
+    w.field("ctas", &k.ctas);
+    w.field("iters", &k.iters);
+    w.field("compute_gap", &k.compute_gap);
+    w.field("seq_reads", &k.seq_reads);
+    w.field("rand_reads", &k.rand_reads);
+    w.field("dep_reads", &k.dep_reads);
+    w.field("writes", &k.writes);
+    w.field("halo_reads", &k.halo_reads);
+    w.field("atomic_every", &k.atomic_every);
+    w.field("reuse", &k.reuse);
+    w.field("shared_bytes", &k.shared_bytes);
+    w.field("read_bytes", &k.read_bytes);
+    w.field("write_bytes", &k.write_bytes);
+    w.field("stride", &k.stride);
+    w.field("seed", &k.seed);
+    w.end_object();
+    w.field("h2d_bytes", &s.h2d_bytes);
+    w.field("d2h_bytes", &s.d2h_bytes);
+    if let Some(h) = &s.host_pre {
+        write_host_work(&mut w, "host_pre", h);
+    }
+    if let Some(h) = &s.host_post {
+        write_host_work(&mut w, "host_post", h);
+    }
+    w.end_object();
+    w.finish()
+}
+
+fn want_str<'a>(key: &str, v: &'a JsonValue) -> Result<&'a str, String> {
+    v.as_str()
+        .ok_or_else(|| format!("workload model: '{key}' must be a string"))
+}
+
+fn want_uint(key: &str, v: &JsonValue, limit: u64) -> Result<u64, String> {
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("workload model: '{key}' must be a non-negative integer"))?;
+    if !(f.is_finite() && f >= 0.0 && f.fract() == 0.0 && f <= MAX_SAFE_INT as f64) {
+        return Err(format!(
+            "workload model: '{key}' must be an exact non-negative integer (≤ 2^53), got {f}"
+        ));
+    }
+    let n = f as u64;
+    if n > limit {
+        return Err(format!(
+            "workload model: '{key}' = {n} exceeds the limit of {limit}"
+        ));
+    }
+    Ok(n)
+}
+
+fn want_u32(key: &str, v: &JsonValue) -> Result<u32, String> {
+    Ok(want_uint(key, v, u64::from(u32::MAX))? as u32)
+}
+
+fn parse_host_work(key: &str, v: &JsonValue) -> Result<HostWork, String> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| format!("workload model: '{key}' must be an object"))?;
+    let mut reads = None;
+    let mut region_base = None;
+    let mut region_bytes = None;
+    let mut stride = None;
+    let mut compute_per_read = None;
+    let mut tail_compute = None;
+    for (k, val) in members {
+        let qual = format!("{key}.{k}");
+        match k.as_str() {
+            "reads" => reads = Some(want_uint(&qual, val, MAX_SAFE_INT)?),
+            "region_base" => region_base = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "region_bytes" => region_bytes = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "stride" => stride = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "compute_per_read" => compute_per_read = Some(want_uint(&qual, val, MAX_SAFE_INT)?),
+            "tail_compute" => tail_compute = Some(want_uint(&qual, val, MAX_SAFE_INT)?),
+            other => {
+                return Err(format!("workload model: unknown field '{key}.{other}'"));
+            }
+        }
+    }
+    let need = |field: &str, o: Option<u64>| {
+        o.ok_or_else(|| format!("workload model: '{key}' is missing '{key}.{field}'"))
+    };
+    Ok(HostWork {
+        reads: need("reads", reads)?,
+        region_base: need("region_base", region_base)?,
+        region_bytes: need("region_bytes", region_bytes)?,
+        stride: need("stride", stride)?,
+        compute_per_read: need("compute_per_read", compute_per_read)?,
+        tail_compute: need("tail_compute", tail_compute)?,
+    })
+}
+
+fn parse_kernel(v: &JsonValue) -> Result<SyntheticKernel, String> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| "workload model: 'kernel' must be an object".to_string())?;
+    let mut ctas = None;
+    let mut iters = None;
+    let mut compute_gap = None;
+    let mut seq_reads = None;
+    let mut rand_reads = None;
+    let mut dep_reads = None;
+    let mut writes = None;
+    let mut halo_reads = None;
+    let mut atomic_every = None;
+    let mut reuse = None;
+    let mut shared_bytes = None;
+    let mut read_bytes = None;
+    let mut write_bytes = None;
+    let mut stride = None;
+    let mut seed = None;
+    for (k, val) in members {
+        let qual = format!("kernel.{k}");
+        match k.as_str() {
+            "ctas" => ctas = Some(want_u32(&qual, val)?),
+            "iters" => iters = Some(want_u32(&qual, val)?),
+            "compute_gap" => compute_gap = Some(want_u32(&qual, val)?),
+            "seq_reads" => seq_reads = Some(want_u32(&qual, val)?),
+            "rand_reads" => rand_reads = Some(want_u32(&qual, val)?),
+            "dep_reads" => dep_reads = Some(want_u32(&qual, val)?),
+            "writes" => writes = Some(want_u32(&qual, val)?),
+            "halo_reads" => halo_reads = Some(want_u32(&qual, val)?),
+            "atomic_every" => atomic_every = Some(want_u32(&qual, val)?),
+            "reuse" => reuse = Some(want_u32(&qual, val)?),
+            "shared_bytes" => shared_bytes = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "read_bytes" => read_bytes = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "write_bytes" => write_bytes = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "stride" => stride = Some(want_uint(&qual, val, MAX_BYTES)?),
+            "seed" => seed = Some(want_uint(&qual, val, MAX_SAFE_INT)?),
+            other => {
+                return Err(format!("workload model: unknown field 'kernel.{other}'"));
+            }
+        }
+    }
+    fn need<T>(field: &str, o: Option<T>) -> Result<T, String> {
+        o.ok_or_else(|| format!("workload model: 'kernel' is missing 'kernel.{field}'"))
+    }
+    Ok(SyntheticKernel {
+        ctas: need("ctas", ctas)?,
+        iters: need("iters", iters)?,
+        compute_gap: need("compute_gap", compute_gap)?,
+        seq_reads: need("seq_reads", seq_reads)?,
+        rand_reads: need("rand_reads", rand_reads)?,
+        dep_reads: need("dep_reads", dep_reads)?,
+        writes: need("writes", writes)?,
+        halo_reads: need("halo_reads", halo_reads)?,
+        atomic_every: need("atomic_every", atomic_every)?,
+        reuse: need("reuse", reuse)?,
+        shared_bytes: need("shared_bytes", shared_bytes)?,
+        read_bytes: need("read_bytes", read_bytes)?,
+        write_bytes: need("write_bytes", write_bytes)?,
+        stride: need("stride", stride)?,
+        seed: need("seed", seed)?,
+    })
+}
+
+/// Builds a spec from an already-parsed model object.
+///
+/// This is what `serve` uses for inline `"model"` JobSpec fields; the CLI
+/// path goes through [`spec_from_json`].
+///
+/// # Errors
+///
+/// Returns an actionable message naming the offending field on unknown
+/// keys, missing required fields, type mismatches, a wrong or missing
+/// `format` tag, and semantically invalid models ([`validate_spec`]).
+pub fn spec_from_value(v: &JsonValue) -> Result<WorkloadSpec, String> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| "workload model must be a JSON object".to_string())?;
+    let mut format = None;
+    let mut abbr = None;
+    let mut name = None;
+    let mut kernel = None;
+    let mut h2d_bytes = None;
+    let mut d2h_bytes = None;
+    let mut host_pre = None;
+    let mut host_post = None;
+    for (k, val) in members {
+        match k.as_str() {
+            "format" => format = Some(want_str("format", val)?.to_string()),
+            "abbr" => abbr = Some(want_str("abbr", val)?.to_string()),
+            "name" => name = Some(want_str("name", val)?.to_string()),
+            "kernel" => kernel = Some(parse_kernel(val)?),
+            "h2d_bytes" => h2d_bytes = Some(want_uint("h2d_bytes", val, MAX_BYTES)?),
+            "d2h_bytes" => d2h_bytes = Some(want_uint("d2h_bytes", val, MAX_BYTES)?),
+            "host_pre" => host_pre = Some(parse_host_work("host_pre", val)?),
+            "host_post" => host_post = Some(parse_host_work("host_post", val)?),
+            other => {
+                return Err(format!(
+                    "workload model: unknown field '{other}' (expected format, abbr, name, \
+                     kernel, h2d_bytes, d2h_bytes, host_pre, host_post)"
+                ));
+            }
+        }
+    }
+    let format = format
+        .ok_or_else(|| format!("workload model: missing 'format' (expected \"{FORMAT}\")"))?;
+    if format != FORMAT {
+        return Err(format!(
+            "workload model: unsupported format '{format}' (this build reads \"{FORMAT}\")"
+        ));
+    }
+    let abbr = abbr.ok_or_else(|| "workload model: missing 'abbr'".to_string())?;
+    if abbr.is_empty() {
+        return Err("workload model: 'abbr' must not be empty".to_string());
+    }
+    let name = name.ok_or_else(|| "workload model: missing 'name'".to_string())?;
+    let kernel = kernel.ok_or_else(|| "workload model: missing 'kernel'".to_string())?;
+    let spec = WorkloadSpec {
+        abbr,
+        name,
+        h2d_bytes: h2d_bytes.unwrap_or(kernel.shared_bytes + kernel.read_bytes),
+        d2h_bytes: d2h_bytes.unwrap_or(kernel.write_bytes),
+        kernel: Arc::new(kernel),
+        host_pre,
+        host_post,
+    };
+    validate_spec(&spec)?;
+    Ok(spec)
+}
+
+/// Parses a model document (see the crate docs for the schema).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON or an invalid model
+/// (see [`spec_from_value`]).
+pub fn spec_from_json(s: &str) -> Result<WorkloadSpec, String> {
+    let v = parse(s).map_err(|e| format!("workload model: {e}"))?;
+    spec_from_value(&v)
+}
+
+/// Semantic validation beyond types: the kernel must be self-consistent
+/// ([`SyntheticKernel::validate`]) and host phases must walk memory that
+/// exists. The property tests in `crates/workloads` assert the same
+/// invariants on the built-in suite.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_spec(spec: &WorkloadSpec) -> Result<(), String> {
+    spec.kernel
+        .validate()
+        .map_err(|e| format!("workload model: invalid kernel: {e}"))?;
+    let fp = spec.footprint_bytes();
+    for (key, h) in [("host_pre", &spec.host_pre), ("host_post", &spec.host_post)] {
+        let Some(h) = h else { continue };
+        if h.reads > 0 {
+            if h.stride == 0 {
+                return Err(format!(
+                    "workload model: '{key}' has reads but a zero stride"
+                ));
+            }
+            if h.region_bytes == 0 {
+                return Err(format!(
+                    "workload model: '{key}' has reads but an empty region"
+                ));
+            }
+            let end = h.region_base.saturating_add(h.region_bytes);
+            if end > fp {
+                return Err(format!(
+                    "workload model: '{key}' region [{}, {end}) exceeds the kernel \
+                     footprint of {fp} bytes",
+                    h.region_base
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_models_round_trip_exactly() {
+        for w in all_builtins() {
+            for spec in [w.spec_small(), w.spec(), w.spec_large()] {
+                let json = spec_to_json(&spec);
+                let back =
+                    spec_from_json(&json).unwrap_or_else(|e| panic!("{} re-parse: {e}", spec.abbr));
+                assert_eq!(spec, back, "{} round-trip", spec.abbr);
+                assert_eq!(json, spec_to_json(&back), "{} textual stability", spec.abbr);
+            }
+        }
+    }
+
+    #[test]
+    fn format_tag_is_enforced() {
+        let mut json = spec_to_json(&Workload::Kmn.spec_small());
+        assert!(spec_from_json(&json).is_ok());
+        json = json.replace(FORMAT, "memnet-wdl-v0");
+        let err = spec_from_json(&json).unwrap_err();
+        assert!(err.contains("memnet-wdl-v0"), "{err}");
+        let err = spec_from_json(r#"{"abbr":"X","name":"x"}"#).unwrap_err();
+        assert!(err.contains("format"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let json = spec_to_json(&Workload::Bp.spec_small());
+        let doped = json.replacen("\"abbr\"", "\"warp_size\": 32,\n  \"abbr\"", 1);
+        let err = spec_from_json(&doped).unwrap_err();
+        assert!(err.contains("warp_size"), "{err}");
+        let doped = json.replacen("\"ctas\"", "\"blocks\": 1,\n    \"ctas\"", 1);
+        let err = spec_from_json(&doped).unwrap_err();
+        assert!(err.contains("kernel.blocks"), "{err}");
+    }
+
+    #[test]
+    fn missing_kernel_fields_are_named() {
+        let json = spec_to_json(&Workload::Scan.spec_small());
+        let start = json.find("    \"iters\"").expect("iters field");
+        let end = json[start..].find('\n').expect("line end") + start + 1;
+        let gutted = format!("{}{}", &json[..start], &json[end..]);
+        let err = spec_from_json(&gutted).unwrap_err();
+        assert!(err.contains("kernel.iters"), "{err}");
+    }
+
+    #[test]
+    fn type_and_range_errors_are_actionable() {
+        let json = spec_to_json(&Workload::Sto.spec_small());
+        let bad = json.replacen("\"name\"", "\"h2d_bytes\": \"lots\",\n  \"name\"", 1);
+        let err = spec_from_json(&bad).unwrap_err();
+        assert!(err.contains("h2d_bytes"), "{err}");
+        let bad = json.replacen("\"seed\": ", "\"seed\": 0.5, \"unused_seed\": ", 1);
+        let err = spec_from_json(&bad).unwrap_err();
+        assert!(
+            err.contains("kernel.seed") || err.contains("unused_seed"),
+            "{err}"
+        );
+        assert!(spec_from_json("not json").is_err());
+        assert!(spec_from_json("[1,2]").unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn invalid_kernels_fail_validation() {
+        let mut spec = Workload::Kmn.spec_small();
+        let mut k = (*spec.kernel).clone();
+        k.stride = 64;
+        spec.kernel = Arc::new(k);
+        let err = spec_from_json(&spec_to_json(&spec)).unwrap_err();
+        assert!(err.contains("stride"), "{err}");
+    }
+
+    #[test]
+    fn host_regions_must_fit_the_footprint() {
+        let mut spec = Workload::CgS.spec_small();
+        let fp = spec.footprint_bytes();
+        spec.host_post = Some(HostWork::reduce(fp, 4096, 2));
+        let err = validate_spec(&spec).unwrap_err();
+        assert!(err.contains("footprint"), "{err}");
+        let err = spec_from_json(&spec_to_json(&spec)).unwrap_err();
+        assert!(err.contains("host_post"), "{err}");
+    }
+
+    #[test]
+    fn staging_defaults_match_the_builtin_constructors() {
+        let spec = Workload::Fwt.spec_small();
+        let json = spec_to_json(&spec);
+        let start = json.find("  \"h2d_bytes\"").expect("h2d line");
+        let end = json.find("  \"d2h_bytes\"").expect("d2h line");
+        let line_end = json[end..].find('\n').expect("line end") + end + 1;
+        // Drop both staging lines, then fix the now-dangling comma after
+        // the kernel object.
+        let stripped = format!("{}{}", &json[..start], &json[line_end..]).replace("},\n}", "}\n}");
+        let back = spec_from_json(&stripped).expect("defaults fill in");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn file_names_are_lowercased_abbrs() {
+        assert_eq!(model_file_name("KMN"), "kmn.json");
+        assert_eq!(model_file_name("CG.S"), "cg.s.json");
+        assert_eq!(model_file_name("3DFD"), "3dfd.json");
+        assert_eq!(all_builtins().len(), 15);
+    }
+}

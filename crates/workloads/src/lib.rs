@@ -44,12 +44,16 @@ pub use synth::SyntheticKernel;
 use std::sync::Arc;
 
 /// A complete workload: kernel + host staging + host compute phases.
-#[derive(Debug, Clone)]
+///
+/// Specs are owned data (names included) so they can come from anywhere:
+/// the built-in [`Workload`] constructors, a runtime-loaded
+/// `memnet-wdl` JSON model, or a fuzzer.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
-    /// Paper abbreviation (Table II).
-    pub abbr: &'static str,
+    /// Paper abbreviation (Table II) or a model-supplied label.
+    pub abbr: String,
     /// Full name.
-    pub name: &'static str,
+    pub name: String,
     /// The GPU kernel.
     pub kernel: Arc<SyntheticKernel>,
     /// Bytes staged host→device before the kernel (memcpy organizations).
@@ -127,7 +131,24 @@ impl Workload {
 
     /// Paper abbreviation.
     pub fn abbr(self) -> &'static str {
-        self.spec_scaled(1).abbr
+        use Workload::*;
+        match self {
+            VecAdd => "VECADD",
+            Bp => "BP",
+            Bfs => "BFS",
+            Srad => "SRAD",
+            Kmn => "KMN",
+            Bh => "BH",
+            Sp => "SP",
+            Scan => "SCAN",
+            Fd3d => "3DFD",
+            Fwt => "FWT",
+            CgS => "CG.S",
+            FtS => "FT.S",
+            Ray => "RAY",
+            Sto => "STO",
+            Cp => "CP",
+        }
     }
 
     /// The default (scaled) specification used by the bench harness,
@@ -524,8 +545,8 @@ impl Workload {
 }
 
 fn spec(
-    abbr: &'static str,
-    name: &'static str,
+    abbr: &str,
+    name: &str,
     kernel: Arc<SyntheticKernel>,
     host_pre: Option<HostWork>,
     host_post: Option<HostWork>,
@@ -533,8 +554,8 @@ fn spec(
     let h2d = kernel.shared_bytes + kernel.read_bytes;
     let d2h = kernel.write_bytes;
     WorkloadSpec {
-        abbr,
-        name,
+        abbr: abbr.to_string(),
+        name: name.to_string(),
         kernel,
         h2d_bytes: h2d,
         d2h_bytes: d2h,
@@ -571,7 +592,7 @@ mod tests {
 
     #[test]
     fn abbreviations_match_table2() {
-        let abbrs: Vec<&str> = Workload::table2().iter().map(|w| w.spec().abbr).collect();
+        let abbrs: Vec<String> = Workload::table2().iter().map(|w| w.spec().abbr).collect();
         assert_eq!(
             abbrs,
             [
@@ -587,6 +608,85 @@ mod tests {
             let s = w.spec();
             let expect = matches!(w, Workload::CgS | Workload::FtS);
             assert_eq!(s.cpu_active(), expect, "{}", s.abbr);
+        }
+    }
+
+    // The three WorkloadSpec invariants the memnet-wdl validator also
+    // enforces on runtime-loaded models, pinned here on the built-in
+    // suite so the two surfaces can never drift apart.
+
+    #[test]
+    fn footprint_is_the_sum_of_the_three_regions_at_every_scale() {
+        for w in Workload::table2().into_iter().chain([Workload::VecAdd]) {
+            for scale in [1u32, 2, 4, 8] {
+                let s = w.spec_scaled(scale);
+                let k = &s.kernel;
+                assert_eq!(
+                    s.footprint_bytes(),
+                    k.shared_bytes + k.read_bytes + k.write_bytes,
+                    "{} scale {scale}",
+                    s.abbr
+                );
+            }
+            let small = w.spec_small();
+            assert_eq!(
+                small.footprint_bytes(),
+                small.kernel.shared_bytes + small.kernel.read_bytes + small.kernel.write_bytes,
+                "{} small",
+                small.abbr
+            );
+        }
+    }
+
+    #[test]
+    fn spec_scaled_is_monotonic_in_work_and_footprint() {
+        for w in Workload::table2().into_iter().chain([Workload::VecAdd]) {
+            let mut prev = w.spec_scaled(1);
+            for scale in [2u32, 4, 8] {
+                let s = w.spec_scaled(scale);
+                assert!(
+                    s.kernel.ctas >= prev.kernel.ctas,
+                    "{} scale {scale}: CTAs must not shrink",
+                    s.abbr
+                );
+                assert!(
+                    s.footprint_bytes() >= prev.footprint_bytes(),
+                    "{} scale {scale}: footprint must not shrink",
+                    s.abbr
+                );
+                assert!(
+                    s.h2d_bytes >= prev.h2d_bytes && s.d2h_bytes >= prev.d2h_bytes,
+                    "{} scale {scale}: staging must not shrink",
+                    s.abbr
+                );
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_active_iff_host_phases_present_and_they_stay_in_bounds() {
+        for w in Workload::table2().into_iter().chain([Workload::VecAdd]) {
+            for s in [w.spec_small(), w.spec(), w.spec_large()] {
+                assert_eq!(
+                    s.cpu_active(),
+                    s.host_pre.is_some() || s.host_post.is_some(),
+                    "{}",
+                    s.abbr
+                );
+                // Host phases that read memory must walk a region the
+                // kernel footprint actually contains.
+                for h in [&s.host_pre, &s.host_post].into_iter().flatten() {
+                    if h.reads > 0 {
+                        assert!(h.stride > 0, "{}: zero host stride", s.abbr);
+                        assert!(
+                            h.region_base + h.region_bytes <= s.footprint_bytes(),
+                            "{}: host region outside the footprint",
+                            s.abbr
+                        );
+                    }
+                }
+            }
         }
     }
 

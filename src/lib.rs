@@ -21,6 +21,8 @@
 //!   trace JSON), and the hand-rolled JSON writer/parser
 //! * [`serve`] — sim-as-a-service daemon with a content-addressed
 //!   result cache, behind `memnet serve`
+//! * [`wdl`] — the runtime workload model format (JSON) behind
+//!   `memnet run --workload-file`, its exporter, and the workload fuzzer
 //!
 //! # Quickstart
 //!
@@ -47,4 +49,5 @@ pub use memnet_hmc as hmc;
 pub use memnet_noc as noc;
 pub use memnet_obs as obs;
 pub use memnet_serve as serve;
+pub use memnet_wdl as wdl;
 pub use memnet_workloads as workloads;

@@ -24,7 +24,8 @@ use memnet::sim::{
     plan_from_json, CtaPolicy, EngineMode, Organization, PlacementPolicy, ProfileReport,
     SanitizeMode, SimBuilder, SimReport, SystemSnapshot,
 };
-use memnet::workloads::Workload;
+use memnet::wdl;
+use memnet::workloads::{Workload, WorkloadSpec};
 use std::process::ExitCode;
 
 /// Counting allocator for `memnet profile` (allocations/run, peak bytes).
@@ -45,7 +46,7 @@ USAGE:
                                    and report where wall-clock time and
                                    allocations went (simulation results are
                                    byte-identical to `memnet run`)
-  memnet sweep [--small] [--jobs N] [--trace FILE]
+  memnet sweep [--small] [--jobs N] [--trace FILE] [--workload-file F]...
                                    run every workload on every organization
                                    (in parallel across N worker threads;
                                    default: all cores) and print a
@@ -53,7 +54,13 @@ USAGE:
                                    deduplicated by configuration fingerprint
                                    before they reach the pool; --trace
                                    writes the pool schedule (retries,
-                                   timeouts, panics) as a Chrome trace
+                                   timeouts, panics) as a Chrome trace;
+                                   each --workload-file adds a model row
+                                   after the Table II rows
+  memnet export [--dir DIR]        write every built-in workload as a
+                                   memnet-wdl-v1 JSON model (default DIR .);
+                                   `--dir tests/data` regenerates the
+                                   golden files checked by CI
   memnet serve [--stdio | --port N] [--cache N] [--workers N] [--retries N]
                                    run the sim-as-a-service daemon:
                                    newline-delimited JSON-RPC (run / batch /
@@ -66,6 +73,10 @@ USAGE:
 OPTIONS:
   --org <ORG>          pcie | pcie-zc | cmn | cmn-zc | gmn | gmn-zc | umn | pcn   (default umn)
   --workload <W>       a Table II abbreviation, e.g. KMN, BP, CG.S               (default KMN)
+  --workload-file <F>  load the workload from a memnet-wdl-v1 JSON model
+                       instead of the built-in suite (see DESIGN.md, Workload
+                       models; `memnet export` writes the built-ins in this
+                       format); mutually exclusive with --workload/--small
   --gpus <N>           number of GPUs                                             (default 4)
   --sms <N>            SMs per GPU                                                (default 16)
   --topology <T>       smesh | storus | smesh2x | storus2x | sfbfly | dfbfly | ddfly
@@ -212,8 +223,49 @@ fn main() -> ExitCode {
         Some("profile") => profile_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("export") => export_cmd(&args[1..]),
         _ => usage(),
     }
+}
+
+/// `memnet export [--dir DIR]`: writes every built-in workload as a
+/// `memnet-wdl-v1` model file. This is also the regeneration path for the
+/// golden files under `tests/data/` (see EXPERIMENTS.md).
+fn export_cmd(args: &[String]) -> ExitCode {
+    let mut dir = String::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = d.clone(),
+                None => {
+                    eprintln!("missing value for --dir");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown option {a}");
+                return usage();
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let builtins = wdl::all_builtins();
+    for w in &builtins {
+        let spec = w.spec();
+        let mut text = wdl::spec_to_json(&spec);
+        text.push('\n');
+        let path = format!("{dir}/{}", wdl::model_file_name(&spec.abbr));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[wrote {} models to {dir}]", builtins.len());
+    ExitCode::SUCCESS
 }
 
 /// `memnet sweep` options, split from execution so flag handling (in
@@ -222,6 +274,8 @@ struct SweepOpts {
     small: bool,
     jobs: usize, // 0 = pool default (available parallelism)
     trace_file: Option<String>,
+    /// Extra `memnet-wdl-v1` model files appended as sweep rows.
+    workload_files: Vec<String>,
 }
 
 fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, ExitCode> {
@@ -229,11 +283,19 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, ExitCode> {
         small: false,
         jobs: 0,
         trace_file: None,
+        workload_files: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => opts.small = true,
+            "--workload-file" => match it.next() {
+                Some(f) => opts.workload_files.push(f.clone()),
+                None => {
+                    eprintln!("missing value for --workload-file");
+                    return Err(usage());
+                }
+            },
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => opts.jobs = n,
                 _ => {
@@ -277,8 +339,7 @@ fn dedup_by_fingerprint(fps: &[u64]) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// One sweep cell's fully configured builder.
-fn sweep_builder(w: Workload, org: Organization, small: bool) -> SimBuilder {
-    let spec = if small { w.spec_small() } else { w.spec() };
+fn sweep_builder(spec: WorkloadSpec, org: Organization) -> SimBuilder {
     SimBuilder::new(org).workload(spec).phase_budget_ns(30e6)
 }
 
@@ -291,31 +352,55 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
         small,
         jobs,
         trace_file,
+        workload_files,
     } = opts;
+
+    // Table II rows first, then any runtime-loaded model rows.
+    let mut rows: Vec<WorkloadSpec> = Workload::table2()
+        .into_iter()
+        .map(|w| if small { w.spec_small() } else { w.spec() })
+        .collect();
+    for path in &workload_files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read workload model {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match wdl::spec_from_json(&text) {
+            Ok(spec) => rows.push(spec),
+            Err(e) => {
+                eprintln!("bad workload model {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Simulations run on the pool; the table prints afterwards in the
     // fixed workload × organization order, so output is deterministic
     // regardless of --jobs.
-    let cells: Vec<(Workload, Organization)> = Workload::table2()
-        .into_iter()
-        .flat_map(|w| {
+    let cells: Vec<(&WorkloadSpec, Organization)> = rows
+        .iter()
+        .flat_map(|s| {
             Organization::all_extended()
                 .into_iter()
-                .map(move |o| (w, o))
+                .map(move |o| (s, o))
         })
         .collect();
     // Content-address every cell and run each distinct configuration once.
     let fps: Vec<u64> = cells
         .iter()
-        .map(|&(w, org)| sweep_builder(w, org, small).fingerprint())
+        .map(|&(s, org)| sweep_builder(s.clone(), org).fingerprint())
         .collect();
     let (unique, slot_of) = dedup_by_fingerprint(&fps);
     let deduplicated = cells.len() - unique.len();
     let sims: Vec<_> = unique
         .iter()
         .map(|&i| {
-            let (w, org) = cells[i];
-            move || sweep_builder(w, org, small).try_run()
+            let (s, org) = cells[i];
+            let s = s.clone();
+            move || sweep_builder(s.clone(), org).try_run()
         })
         .collect();
     let cfg = PoolConfig {
@@ -335,15 +420,15 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
     }
     let mut unique_results = Vec::with_capacity(unique.len());
     for (outcome, &i) in outcomes.into_iter().zip(&unique) {
-        let (w, org) = cells[i];
+        let (s, org) = cells[i];
         match outcome {
             Ok(Ok(r)) => unique_results.push(r),
             Ok(Err(e)) => {
-                eprintln!("sweep {}/{} failed: {e}", w.abbr(), org.name());
+                eprintln!("sweep {}/{} failed: {e}", s.abbr, org.name());
                 return ExitCode::FAILURE;
             }
             Err(e) => {
-                eprintln!("sweep {}/{} worker failed: {e}", w.abbr(), org.name());
+                eprintln!("sweep {}/{} worker failed: {e}", s.abbr, org.name());
                 return ExitCode::FAILURE;
             }
         }
@@ -356,8 +441,8 @@ fn sweep_cmd(args: &[String]) -> ExitCode {
         "", "PCIe", "PCIe-ZC", "CMN", "CMN-ZC", "GMN", "GMN-ZC", "UMN", "PCN"
     );
     let orgs = Organization::all_extended().len();
-    for (row, w) in Workload::table2().into_iter().enumerate() {
-        print!("{:<8}", w.abbr());
+    for (row, s) in rows.iter().enumerate() {
+        print!("{:<8}", s.abbr);
         for r in &results[row * orgs..(row + 1) * orgs] {
             print!(
                 " {:>11.0}{}",
@@ -513,6 +598,8 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
     let mut sanitize = false;
     let mut checkpoint: Option<String> = None;
     let mut restore: Option<String> = None;
+    let mut workload_set = false;
+    let mut model: Option<WorkloadSpec> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -529,7 +616,29 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
                 None => return Err(usage()),
             },
             "--workload" => match value("--workload").and_then(|v| parse_workload(&v)) {
-                Some(w) => workload = w,
+                Some(w) => {
+                    workload = w;
+                    workload_set = true;
+                }
+                None => return Err(usage()),
+            },
+            "--workload-file" => match value("--workload-file") {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read workload model {path}: {e}");
+                            return Err(ExitCode::FAILURE);
+                        }
+                    };
+                    match wdl::spec_from_json(&text) {
+                        Ok(spec) => model = Some(spec),
+                        Err(e) => {
+                            eprintln!("bad workload model {path}: {e}");
+                            return Err(ExitCode::FAILURE);
+                        }
+                    }
+                }
                 None => return Err(usage()),
             },
             "--gpus" => match value("--gpus").and_then(|v| v.parse().ok()) {
@@ -626,7 +735,13 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, ExitCode> {
         }
     }
 
-    let spec = if small {
+    let spec = if let Some(spec) = model {
+        if workload_set || small {
+            eprintln!("--workload-file replaces the built-in suite; it cannot be combined with --workload or --small");
+            return Err(usage());
+        }
+        spec
+    } else if small {
         workload.spec_small()
     } else {
         workload.spec()
@@ -1028,10 +1143,62 @@ mod tests {
             parse_sweep_opts(&argv(&["--trace"])).is_err(),
             "missing value"
         );
+        assert!(
+            parse_sweep_opts(&argv(&["--workload-file"])).is_err(),
+            "missing value"
+        );
         let opts = parse_sweep_opts(&argv(&["--small", "--jobs", "3"])).expect("valid flags");
         assert!(opts.small);
         assert_eq!(opts.jobs, 3);
         assert!(opts.trace_file.is_none());
+        let opts = parse_sweep_opts(&argv(&[
+            "--workload-file",
+            "a.json",
+            "--workload-file",
+            "b.json",
+        ]))
+        .expect("repeatable flag");
+        assert_eq!(opts.workload_files, vec!["a.json", "b.json"]);
+    }
+
+    #[test]
+    fn workload_file_conflicts_with_the_builtin_selectors() {
+        // Write a valid model, then check flag interactions around it.
+        let dir = std::env::temp_dir();
+        let path = dir.join("memnet-cli-test-model.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        std::fs::write(path, wdl::spec_to_json(&Workload::Bp.spec_small())).expect("tmp write");
+        assert!(parse_run_opts(&argv(&["--workload-file", path])).is_ok());
+        assert!(parse_run_opts(&argv(&["--workload-file", path, "--workload", "kmn"])).is_err());
+        assert!(parse_run_opts(&argv(&["--workload-file", path, "--small"])).is_err());
+        assert!(
+            parse_run_opts(&argv(&["--workload-file"])).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse_run_opts(&argv(&["--workload-file", "/nonexistent/model.json"])).is_err(),
+            "unreadable file"
+        );
+        std::fs::write(path, "{}").expect("tmp write");
+        assert!(
+            parse_run_opts(&argv(&["--workload-file", path])).is_err(),
+            "invalid model"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn a_loaded_model_drives_the_builder_like_its_builtin_twin() {
+        let spec = Workload::Kmn.spec_small();
+        let json = wdl::spec_to_json(&spec);
+        let loaded = wdl::spec_from_json(&json).expect("valid model");
+        let a = SimBuilder::new(Organization::Umn)
+            .workload(spec)
+            .fingerprint();
+        let b = SimBuilder::new(Organization::Umn)
+            .workload(loaded)
+            .fingerprint();
+        assert_eq!(a, b, "same model must content-address identically");
     }
 
     #[test]
@@ -1053,7 +1220,7 @@ mod tests {
             .flat_map(|w| {
                 Organization::all_extended()
                     .into_iter()
-                    .map(move |o| sweep_builder(w, o, true).fingerprint())
+                    .map(move |o| sweep_builder(w.spec_small(), o).fingerprint())
             })
             .collect();
         let (unique, _) = dedup_by_fingerprint(&fps);

@@ -160,3 +160,44 @@ fn forced_gpu_loss_rebalances_under_chaos_load() {
         "orphaned CTAs must move to the survivor"
     );
 }
+
+#[test]
+fn fuzzed_models_hold_the_chaos_invariants_across_engines() {
+    // The runtime workload surface meets the fault injector: a fuzzed
+    // model (loaded through the DSL, exactly as --workload-file would)
+    // under a seeded fault plan must satisfy every chaos invariant and
+    // stay bit-identical across engine modes.
+    use memnet::wdl::{self, fuzz::WorkloadFuzzer};
+    for seed in [3u64, 8, 21] {
+        let spec = wdl::spec_from_json(&wdl::spec_to_json(&WorkloadFuzzer::spec(seed)))
+            .expect("fuzzed model reloads");
+        let label = format!("fuzz {}/faults {seed}", spec.abbr);
+        let build = |org| {
+            SimBuilder::new(org)
+                .gpus(GPUS as u32)
+                .sms_per_gpu(2)
+                .workload(spec.clone())
+                .faults(FaultPlan::random(seed, EVENTS, GPUS, ns_to_fs(HORIZON_NS)))
+                .sanitize(SanitizeMode::Record)
+        };
+        for org in [Organization::Pcie, Organization::Umn] {
+            let cycle = build(org).engine(EngineMode::CycleStepped).run();
+            assert_invariants(&cycle, seed, &format!("{label}/{}", org.name()));
+            let event = build(org).engine(EngineMode::EventDriven).run();
+            let parallel = build(org).engine(EngineMode::Parallel).sim_threads(4).run();
+            let reference = format!("{cycle:?}");
+            assert_eq!(
+                reference,
+                format!("{event:?}"),
+                "{label}/{}: event engine diverged",
+                org.name()
+            );
+            assert_eq!(
+                reference,
+                format!("{parallel:?}"),
+                "{label}/{}: parallel engine diverged",
+                org.name()
+            );
+        }
+    }
+}

@@ -38,6 +38,44 @@ fn in_process_server_cold_then_cached_byte_identical() {
 }
 
 #[test]
+fn inline_models_share_the_cache_with_their_builtin_twin() {
+    // A runtime-loaded model is content-addressed by the physics it
+    // encodes: the same model hits, an edited model misses, and a model
+    // identical to a built-in spec shares that spec's cache entry.
+    use memnet::wdl;
+    use memnet::workloads::Workload;
+    let model = wdl::spec_to_json(&Workload::VecAdd.spec_small()).replace('\n', " ");
+    let req = |id: u32, model: &str| {
+        format!(
+            r#"{{"id":{id},"method":"run","params":{{"org":"gmn","gpus":2,"sms":2,"model":{model}}}}}"#
+        )
+    };
+    let mut server = Server::new(&ServeConfig::default());
+    let cold = server.handle_line(&req(1, &model)).text;
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    let warm = server.handle_line(&req(2, &model)).text;
+    assert!(
+        warm.contains("\"cached\":true"),
+        "same model must hit: {warm}"
+    );
+    assert_eq!(report_of(&cold), report_of(&warm));
+    // The equivalent built-in request resolves to the same address.
+    let twin = server.handle_line(&run_request(3)).text;
+    assert!(
+        twin.contains("\"cached\":true"),
+        "built-in twin must share the model's cache entry: {twin}"
+    );
+    // Any edit to the model is a different configuration → miss.
+    let edited = model.replace("\"compute_gap\": ", "\"compute_gap\": 1");
+    assert_ne!(edited, model, "test must actually edit the model");
+    let miss = server.handle_line(&req(4, &edited)).text;
+    assert!(
+        miss.contains("\"cached\":false"),
+        "edited model must miss: {miss}"
+    );
+}
+
+#[test]
 fn tcp_daemon_serves_and_shuts_down() {
     let daemon = TcpDaemon::bind(0).expect("bind an ephemeral loopback port");
     let addr = daemon.local_addr().expect("bound address");
