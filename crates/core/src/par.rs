@@ -90,6 +90,170 @@ fn chunks(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
+/// Happens-before audit vectors for one crew (`MEMNET_SANITIZE`).
+///
+/// Each worker records the job numbers it observes, the edges it
+/// executes, and the commits it publishes — in its own slots only. The
+/// driver reads a worker's slots solely after observing that worker's
+/// commit (which the `SeqCell` publish orders after the slot writes) or
+/// after the join, so plain per-slot atomics suffice. This is *audit*
+/// state, never simulation state: armed or not, report and trace bytes
+/// are unchanged, and findings fold into the [`SanitizerReport`] at the
+/// phase boundary via [`Sanitizer::record`] without ever advancing the
+/// engine-invariant `checks` counter.
+///
+/// Invariants audited (the protocol's happens-before skeleton):
+/// * observed job numbers advance by exactly one (no skipped or repeated
+///   dispatch is visible to any worker);
+/// * each `EDGE_*` job is executed exactly once per worker;
+/// * a worker's commit never runs ahead of the job it observed, and
+///   commits advance by exactly one;
+/// * the driver touches shard state only after every worker's commit has
+///   reached the dispatched job (no premature read);
+/// * at phase end, every worker's commit equals the final job number
+///   (all shards committed before the driver resumed sequentially).
+pub(super) struct HbAudit {
+    /// Last job number each worker observed from the job cell.
+    last_job: Vec<AtomicU64>,
+    /// `EDGE_*` jobs each worker executed.
+    executed: Vec<AtomicU64>,
+    /// Last commit each worker published.
+    last_commit: Vec<AtomicU64>,
+    /// Worker saw a job number that was not `previous + 1`.
+    non_monotone_jobs: AtomicU64,
+    /// Worker executed an edge whose count did not match its job number
+    /// (a skipped or doubled execution).
+    misexecuted_edges: AtomicU64,
+    /// Worker published a commit ahead of its observed job, or one that
+    /// was not `previous commit + 1`.
+    bad_commits: AtomicU64,
+    /// Driver reached shard state while some commit lagged the job.
+    premature_reads: AtomicU64,
+    /// `EDGE_*` jobs dispatched by the driver (exit excluded).
+    dispatched: AtomicU64,
+}
+
+// All audit slots are single-writer (a worker writes only its own index;
+// the driver writes only `dispatched` and the violation tallies it
+// detects itself) and every cross-lane read is ordered by a SeqCell
+// publish/observe pair or the thread join, so Relaxed is sound for every
+// access below.
+impl HbAudit {
+    fn new(n_workers: usize) -> HbAudit {
+        HbAudit {
+            last_job: (0..n_workers).map(|_| AtomicU64::new(0)).collect(),
+            executed: (0..n_workers).map(|_| AtomicU64::new(0)).collect(),
+            last_commit: (0..n_workers).map(|_| AtomicU64::new(0)).collect(),
+            non_monotone_jobs: AtomicU64::new(0),
+            misexecuted_edges: AtomicU64::new(0),
+            bad_commits: AtomicU64::new(0),
+            premature_reads: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Driver side: one `EDGE_*` job dispatched.
+    fn record_dispatch(&self) {
+        // memnet-lint: allow(atomic-ordering, driver-only slot; read after the join)
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker side: lane `w` observed job `job` from the job cell.
+    fn observe_job(&self, w: usize, job: u64) {
+        // memnet-lint: allow(atomic-ordering, single-writer slot; cross-lane reads ordered by the commit publish)
+        let prev = self.last_job[w].swap(job, Ordering::Relaxed);
+        if job != prev + 1 {
+            // memnet-lint: allow(atomic-ordering, violation tally; read after the join)
+            self.non_monotone_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker side: lane `w` executed the edge for job `job`.
+    fn record_execute(&self, w: usize, job: u64) {
+        // memnet-lint: allow(atomic-ordering, single-writer slot; cross-lane reads ordered by the commit publish)
+        let done = self.executed[w].fetch_add(1, Ordering::Relaxed) + 1;
+        if done != job {
+            // memnet-lint: allow(atomic-ordering, violation tally; read after the join)
+            self.misexecuted_edges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker side: lane `w` is about to publish commit `commit`.
+    fn record_commit(&self, w: usize, commit: u64) {
+        // memnet-lint: allow(atomic-ordering, single-writer slot; cross-lane reads ordered by the commit publish)
+        let job = self.last_job[w].load(Ordering::Relaxed);
+        // memnet-lint: allow(atomic-ordering, single-writer slot; cross-lane reads ordered by the commit publish)
+        let prev = self.last_commit[w].swap(commit, Ordering::Relaxed);
+        if commit > job || commit != prev + 1 {
+            // memnet-lint: allow(atomic-ordering, violation tally; read after the join)
+            self.bad_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Driver side, after the commit wait of `job`: every worker's commit
+    /// must have reached `job` before the driver touches shard state.
+    fn audit_driver_read(&self, job: u64) {
+        for c in &self.last_commit {
+            // memnet-lint: allow(atomic-ordering, read ordered by this worker's commit publish which the driver just observed)
+            if c.load(Ordering::Relaxed) < job {
+                // memnet-lint: allow(atomic-ordering, violation tally; read after the join)
+                self.premature_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Phase-boundary fold, driver side after the join: renders every
+    /// audited violation as sanitizer messages. `final_job` is the last
+    /// job number dispatched (the exit job).
+    fn fold(&self, final_job: u64) -> Vec<String> {
+        // memnet-lint: allow(atomic-ordering, all lanes joined; the join synchronizes every slot)
+        let read = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut msgs = Vec::new();
+        let mut tally = |n: u64, what: &str| {
+            if n > 0 {
+                msgs.push(format!("hb-audit: {n} {what}"));
+            }
+        };
+        tally(
+            read(&self.non_monotone_jobs),
+            "non-monotone job observation(s): a worker saw a job number that was not previous+1",
+        );
+        tally(
+            read(&self.misexecuted_edges),
+            "misexecuted edge(s): a worker's execute count diverged from its job number (skipped or doubled edge)",
+        );
+        tally(
+            read(&self.bad_commits),
+            "bad commit(s): a commit ran ahead of its observed job or skipped a sequence number",
+        );
+        tally(
+            read(&self.premature_reads),
+            "premature driver read(s): the driver reached shard state before every commit caught up",
+        );
+        let dispatched = read(&self.dispatched);
+        for (w, (done, commit)) in self
+            .executed
+            .iter()
+            .zip(self.last_commit.iter())
+            .enumerate()
+        {
+            let done = read(done);
+            if done != dispatched {
+                msgs.push(format!(
+                    "hb-audit: worker {w} executed {done} edge(s) of {dispatched} dispatched — exactly-once per edge violated"
+                ));
+            }
+            let commit = read(commit);
+            if commit != final_job {
+                msgs.push(format!(
+                    "hb-audit: worker {w} final commit {commit} != final job {final_job} — shard not fully committed at phase end"
+                ));
+            }
+        }
+        msgs
+    }
+}
+
 /// Shared state between the driver and its workers for one kernel phase.
 pub(super) struct ParCrew {
     // Raw shard pointers into the `System`'s device vectors; see the
@@ -118,6 +282,10 @@ pub(super) struct ParCrew {
     traces: Vec<Mutex<Vec<TraceEvent>>>,
     /// Clock periods for worker-local tracers; `None` when tracing is off.
     trace_clocks: Option<[(ClockDomain, f64); 3]>,
+
+    /// Happens-before audit vectors; `Some` only when the sanitizer is
+    /// armed, so the unsanitized hot path pays nothing.
+    hb: Option<HbAudit>,
 
     pub(super) counters: PdesCounters,
     poisoned: AtomicBool,
@@ -173,6 +341,7 @@ impl ParCrew {
                     ),
                 ]
             }),
+            hb: sys.san.as_ref().map(|_| HbAudit::new(n_workers)),
             counters: PdesCounters::new(),
             poisoned: AtomicBool::new(false),
             driver_blocked: AtomicU64::new(0),
@@ -192,8 +361,15 @@ impl ParCrew {
     /// Publishes the next job (kind and payload first, then the number).
     fn dispatch(&self, kind: u8, dram_tck: u64) -> u64 {
         let id = self.job.get() + 1;
+        // memnet-lint: allow(atomic-ordering, payload store ordered by the job publish below: the SeqCst fetch_max releases it and a worker's job observation acquires it)
         self.kind.store(kind, Ordering::Relaxed);
+        // memnet-lint: allow(atomic-ordering, payload store ordered by the job publish below, as for kind)
         self.dram_tck.store(dram_tck, Ordering::Relaxed);
+        if kind != EDGE_EXIT {
+            if let Some(hb) = &self.hb {
+                hb.record_dispatch();
+            }
+        }
         self.job.publish(id, &self.counters);
         id
     }
@@ -240,8 +416,14 @@ impl ParCrew {
                 return; // poisoned: a sibling lane panicked
             }
             last = next;
+            if let Some(hb) = &self.hb {
+                hb.observe_job(w, next);
+            }
             let kind = self.kind.load(Ordering::Acquire);
             if kind == EDGE_EXIT {
+                if let Some(hb) = &self.hb {
+                    hb.record_commit(w, next);
+                }
                 self.commits[w].publish(next, &self.counters);
                 return;
             }
@@ -286,6 +468,10 @@ impl ParCrew {
                     slot.extend(t.take_events());
                 }
             }
+            if let Some(hb) = &self.hb {
+                hb.record_execute(w, next);
+                hb.record_commit(w, next);
+            }
             self.commits[w].publish(next, &self.counters);
         }
     }
@@ -300,6 +486,12 @@ impl System {
         let job = crew.dispatch(kind, dram_tck);
         if !crew.wait_commits(job) {
             panic!("parallel engine: a worker lane panicked (root cause precedes this on stderr)");
+        }
+        // The trace replay below is the driver's first touch of
+        // shard-produced state for this edge; audit that every commit
+        // really caught up before it.
+        if let Some(hb) = &crew.hb {
+            hb.audit_driver_read(job);
         }
         if let Some(t) = self.tracer.as_mut() {
             for slot in crew.traces.iter() {
@@ -345,8 +537,18 @@ impl System {
                 }
             }
         });
+        // Phase boundary: fold the happens-before audit into the
+        // sanitizer. Violations only — never a checkpoint, so the `checks`
+        // counter (and with it a clean report's bytes) stays identical
+        // across engines.
+        if let (Some(hb), Some(san)) = (crew.hb.as_ref(), self.san.as_mut()) {
+            for msg in hb.fold(crew.job.get()) {
+                san.record(msg);
+            }
+        }
         if let Some(p) = self.prof.as_mut() {
             let (nulls, blocked) = crew.counters.snapshot();
+            // memnet-lint: allow(atomic-ordering, read after every lane joined; the join synchronizes)
             let driver_blocked = crew.driver_blocked.load(Ordering::Relaxed);
             p.profiler.add_pdes(
                 nulls,

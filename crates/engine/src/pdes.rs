@@ -50,10 +50,11 @@ impl PdesCounters {
 
     /// Snapshot `(null_messages, blocked_ns)`.
     pub fn snapshot(&self) -> (u64, u64) {
-        (
-            self.null_messages.load(Ordering::Relaxed),
-            self.blocked_ns.load(Ordering::Relaxed),
-        )
+        // memnet-lint: allow(atomic-ordering, profiling tally read after the phase joins; the join synchronizes)
+        let nulls = self.null_messages.load(Ordering::Relaxed);
+        // memnet-lint: allow(atomic-ordering, profiling tally read after the phase joins; the join synchronizes)
+        let blocked = self.blocked_ns.load(Ordering::Relaxed);
+        (nulls, blocked)
     }
 }
 
@@ -133,10 +134,27 @@ impl Gate {
         };
         let ns = start.elapsed().as_nanos() as u64;
         if let Some(b) = blocked {
+            // memnet-lint: allow(atomic-ordering, wall-clock attribution tally; read only at the join)
             b.fetch_add(ns, Ordering::Relaxed);
         }
+        // memnet-lint: allow(atomic-ordering, wall-clock attribution tally; read only at the join)
         counters.blocked_ns.fetch_add(ns, Ordering::Relaxed);
         ok
+    }
+
+    /// Current generation, for the `memnet-mc` virtual-park model: a
+    /// parked lane is runnable again only once the generation it observed
+    /// before parking has been left behind by a [`Gate::notify`].
+    pub fn generation(&self) -> u64 {
+        // memnet-lint: allow(tick-unwrap, gate mutex is never poisoned: panics propagate via the poison flag, not unwinding with the lock held)
+        *self.gen.lock().expect("gate lock")
+    }
+
+    /// Restores a generation captured by [`Gate::generation`]. Model
+    /// checker backtracking only — never call this with live waiters.
+    pub fn restore_generation(&self, g: u64) {
+        // memnet-lint: allow(tick-unwrap, gate mutex is never poisoned: panics propagate via the poison flag, not unwinding with the lock held)
+        *self.gen.lock().expect("gate lock") = g;
     }
 }
 
@@ -168,6 +186,7 @@ impl TimeCell {
     pub fn publish(&self, fs: u64, counters: &PdesCounters) {
         let prev = self.fs.fetch_max(fs, Ordering::Release);
         if fs > prev {
+            // memnet-lint: allow(atomic-ordering, monotone profiling tally; read only after the phase joins)
             counters.null_messages.fetch_add(1, Ordering::Relaxed);
             self.gate.notify();
         }
@@ -223,19 +242,86 @@ impl SeqCell {
         self.v.load(Ordering::Acquire)
     }
 
+    // -- Micro-step API ----------------------------------------------------
+    //
+    // `publish` and `wait_ge` below are compositions of these named
+    // atomic steps, and the `memnet-mc` model checker drives *these same
+    // steps* from virtual lanes — so the interleavings it explores are
+    // interleavings of the shipped state machine, not of a parallel
+    // re-implementation that could drift. Production callers should use
+    // the composed methods; the steps are public for the checker.
+
+    /// Publish step 1: the monotone value update. Returns the previous
+    /// value; the publish "advanced" when `v > prev`.
+    pub fn step_fetch_max(&self, v: u64) -> u64 {
+        // memnet-lint: allow(atomic-ordering, the publish/sleep handshake needs a single total order: either this fetch_max observes the registered sleeper or the sleeper re-check observes this value — exhaustively model-checked by memnet-mc)
+        self.v.fetch_max(v, Ordering::SeqCst)
+    }
+
+    /// Publish step 2: does any waiter claim to be (about to be) asleep?
+    /// Ordered after [`SeqCell::step_fetch_max`] in the SeqCst total
+    /// order: a waiter that registered before our fetch_max is visible
+    /// here; one that registers after will re-check and see our value.
+    pub fn step_sleepers_nonzero(&self) -> bool {
+        // memnet-lint: allow(atomic-ordering, see step_fetch_max: the SeqCst pair closes the lost-wake window)
+        self.sleepers.load(Ordering::SeqCst) > 0
+    }
+
+    /// Wait step 1: declare this lane a (prospective) sleeper. Must
+    /// happen before the re-check so a concurrent publisher either sees
+    /// the registration or loses the re-check race — never both misses.
+    pub fn step_register_sleeper(&self) {
+        // memnet-lint: allow(atomic-ordering, see step_fetch_max: the SeqCst pair closes the lost-wake window)
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Wait step 2: the post-registration re-check of the value. SeqCst
+    /// so it cannot be ordered before the registration.
+    pub fn step_value(&self) -> u64 {
+        // memnet-lint: allow(atomic-ordering, see step_fetch_max: the SeqCst pair closes the lost-wake window)
+        self.v.load(Ordering::SeqCst)
+    }
+
+    /// Wait step 4: retract the sleeper registration.
+    pub fn step_deregister_sleeper(&self) {
+        // memnet-lint: allow(atomic-ordering, see step_fetch_max; monotonicity of the handshake does not depend on the retract)
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Captures `(value, sleepers)` for model-checker backtracking.
+    pub fn mc_snapshot(&self) -> (u64, u64) {
+        // memnet-lint: allow(atomic-ordering, model-checker hook; the checker is single-threaded by construction)
+        let v = self.v.load(Ordering::Relaxed);
+        // memnet-lint: allow(atomic-ordering, model-checker hook; the checker is single-threaded by construction)
+        let s = self.sleepers.load(Ordering::Relaxed);
+        (v, s)
+    }
+
+    /// Restores a snapshot taken by [`SeqCell::mc_snapshot`]. Model
+    /// checker backtracking only — never call this with live lanes.
+    pub fn mc_restore(&self, v: u64, sleepers: u64) {
+        // memnet-lint: allow(atomic-ordering, model-checker hook; the checker is single-threaded by construction)
+        self.v.store(v, Ordering::Relaxed);
+        // memnet-lint: allow(atomic-ordering, model-checker hook; the checker is single-threaded by construction)
+        self.sleepers.store(sleepers, Ordering::Relaxed);
+    }
+
+    // ----------------------------------------------------------------------
+
     /// Publishes `v` (monotone; lower values are ignored), counting one
     /// null message when it advances. Every store sequenced before the
     /// publish is visible to a reader that observes it.
     pub fn publish(&self, v: u64, counters: &PdesCounters) {
-        let prev = self.v.fetch_max(v, Ordering::SeqCst);
+        let prev = self.step_fetch_max(v);
         if v > prev {
+            // memnet-lint: allow(atomic-ordering, monotone profiling tally; read only after the phase joins)
             counters.null_messages.fetch_add(1, Ordering::Relaxed);
             // SeqCst on both sides makes the classic flag handshake sound:
             // if a waiter registered as a sleeper before our fetch_max, we
             // observe it here; otherwise its post-registration re-check
             // observes our value. Either way nobody sleeps through an
             // update (and the gate's poison poll bounds the worst case).
-            if self.sleepers.load(Ordering::SeqCst) > 0 {
+            if self.step_sleepers_nonzero() {
                 self.gate.notify();
             }
         }
@@ -245,6 +331,13 @@ impl SeqCell {
     /// on the gate only if the value stays behind. Returns false if the
     /// poison flag was raised instead. Waiting wall time is credited to
     /// `ctx.blocked` and `ctx.counters.blocked_ns`.
+    ///
+    /// The spin phase is a pure optimization: on 1-core hosts
+    /// [`spin_rounds`] is zero and the waiter goes *straight* to the
+    /// register → re-check → park handshake, so the no-lost-wake argument
+    /// must not (and does not) lean on spinning. That zero-spin path is
+    /// exactly the `spin=0` schedule family `memnet-mc` enumerates; see
+    /// its `one_core_straight_to_park_path_has_no_missed_wake` scenario.
     pub fn wait_ge(&self, target: u64, ctx: &LaneCtx<'_>) -> bool {
         if self.get() >= target {
             return true;
@@ -262,26 +355,30 @@ impl SeqCell {
             std::hint::spin_loop();
         }
         let spin_ns = start.elapsed().as_nanos() as u64;
+        // memnet-lint: allow(atomic-ordering, wall-clock attribution tally; read only at the join)
         ctx.blocked.fetch_add(spin_ns, Ordering::Relaxed);
-        ctx.counters
-            .blocked_ns
-            .fetch_add(spin_ns, Ordering::Relaxed);
+        let blocked_tally = &ctx.counters.blocked_ns;
+        // memnet-lint: allow(atomic-ordering, wall-clock attribution tally; read only at the join)
+        blocked_tally.fetch_add(spin_ns, Ordering::Relaxed);
         if spun_ok {
             return true;
         }
         if ctx.poisoned.load(Ordering::Acquire) {
             return false;
         }
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let ok = if self.v.load(Ordering::SeqCst) >= target {
+        self.step_register_sleeper();
+        let ok = if self.step_value() >= target {
             true
         } else {
+            // Wait step 3: park on the gate. The condvar holds the gate
+            // mutex from predicate check to sleep, so a notify cannot
+            // slip between them (no gate-level lost wake either).
             self.gate
                 .wait_until(ctx.counters, Some(ctx.blocked), ctx.poisoned, || {
                     self.get() >= target
                 })
         };
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.step_deregister_sleeper();
         ok
     }
 }
@@ -452,6 +549,7 @@ where
                 format!("worker{}", i - 1)
             },
             wall_ns,
+            // memnet-lint: allow(atomic-ordering, read after every lane joined; the join synchronizes)
             blocked_ns: b.load(Ordering::Relaxed),
         })
         .collect();

@@ -1,17 +1,21 @@
-//! memnet-lint: a determinism and hygiene lint for the memnet workspace.
+//! memnet-lint: a determinism and concurrency-soundness lint for the
+//! memnet workspace.
 //!
 //! The repo's core guarantee — bit-identical reports and traces for the
-//! same seed under both engine modes (DESIGN §5) — dies quietly the first
-//! time someone iterates a `HashMap` in a tick path or reads the wall
-//! clock inside the simulation. This crate is the static half of the
-//! defense (the runtime half is `MEMNET_SANITIZE` in `memnet-core`): a
-//! zero-registry-dependency, line-oriented scanner over the workspace
-//! source, in the same hermetic-build spirit as `memnet-obs`'s hand-rolled
-//! JSON. It is *not* a Rust parser; it strips comments and string
-//! literals, tracks brace depth to skip `#[cfg(test)]` modules, tracks the
-//! enclosing `fn` name, and pattern-matches the rest. That is enough to
-//! enforce the rules below with zero false positives on this codebase,
-//! and the suppression syntax covers the rest.
+//! same seed under all three engine modes (DESIGN §5, §12) — dies quietly
+//! the first time someone iterates a `HashMap` in a tick path, reads the
+//! wall clock inside the simulation, or weakens an atomic in the PDES
+//! rendezvous protocol. This crate is the static third of the defense
+//! (the runtime third is `MEMNET_SANITIZE` in `memnet-core`, the
+//! exhaustive third is the `memnet-mc` model checker): a
+//! zero-registry-dependency analyzer over the workspace source.
+//!
+//! It is *not* a Rust parser, but it is no longer a line stripper either:
+//! [`lexer`] tokenizes each file (comments, plain/raw/byte strings across
+//! lines, char literals, lifetimes, numbers), and the rules below match
+//! structural token patterns — so a `HashMap` inside a multi-line raw
+//! string, a directive inside a string, or a generic argument split
+//! across lines can no longer confuse the scanner.
 //!
 //! # Rules
 //!
@@ -21,8 +25,12 @@
 //! | `wall-clock` | `Instant::now`/`SystemTime` outside the engine pool allowlist (benches live under `benches/`, which is not scanned) |
 //! | `fs-narrowing` | a bare `as` cast of a `*_fs`/cycle value to a narrower integer type; use the checked helpers in `memnet_common::time` |
 //! | `tick-unwrap` | `.unwrap()` anywhere in non-test code, and `.expect(` inside tick-path functions (names starting with `tick`/`pump`/`advance`/`route`/`alloc`/`poll`/`apply_due`) |
-//! | `metric-name-literal` | a `format!` feeding a metric-sink call (`.add(`/`.set(`/`.observe(`/`.record_hist(`) — those take `&'static str` names so series identity is stable and hot paths stay allocation-free; dynamic names must go through the explicit `add_dyn`/`set_dyn` escape hatch or `set_entity` for indexed series |
+//! | `metric-name-literal` | a `format!` inside the argument list of a metric-sink call (`.add(`/`.set(`/`.observe(`/`.record_hist(`) — those take `&'static str` names so series identity is stable and hot paths stay allocation-free; dynamic names must go through the explicit `add_dyn`/`set_dyn` escape hatch or `set_entity` for indexed series |
 //! | `thread-boundary` | `std::thread`/`thread::spawn`/`thread::scope`/`mpsc`/`crossbeam`/`rayon` outside `crates/engine/` and `crates/serve/` — threads and channels deliver in arrival order, so only the engine crate (pool, conservative-PDES crew) and the serve daemon may create them; simulation crates stay single-threaded |
+//! | `unsafe-code` | the `unsafe` keyword outside [`UNSAFE_ALLOWLIST`] — raw-pointer shard hand-off lives in `core::par` behind a documented temporal discipline, and the counting allocator implements `GlobalAlloc`; nowhere else may opt out of the borrow checker |
+//! | `atomic-ordering` | `Ordering::Relaxed` or `Ordering::SeqCst` without a line-level justification — `Relaxed` is how happens-before edges quietly go missing and `SeqCst` is how reasoning gaps hide behind a global fence; each use must say why it is sound (`Acquire`/`Release`/`AcqRel` are the expected vocabulary and pass unremarked) |
+//! | `static-state` | `static mut` and `static` items in simulation crates — process-wide mutable state survives across runs in one process and breaks replay; engine-crate statics (spin calibration) are charter, everything else threads state through the `System` |
+//! | `shard-ownership` | worker-side functions (name starting with `worker`) in the PDES crew files touching `self` state outside the shard/protocol manifest ([`PAR_WORKER_FIELDS`]) — the byte-identity proof rests on workers owning *only* their shard slices and the rendezvous cells |
 //! | `bad-allow` | a `memnet-lint: allow(...)` directive naming an unknown rule or missing its reason |
 //!
 //! # Suppressions
@@ -31,11 +39,13 @@
 //! // memnet-lint: allow(tick-unwrap, pid in a VC queue always names a live packet)
 //! ```
 //!
-//! An `allow` applies to its own line and the next line, so it works both
-//! as a trailing comment and as a standalone comment above the flagged
-//! line. The reason is mandatory; an `allow` without one (or naming a rule
-//! that does not exist) is itself a violation, so suppressions stay
-//! auditable.
+//! An `allow` applies to its own line and to the next line that contains
+//! code — comment-only and blank lines in between are skipped, so
+//! suppressions for different rules can stack above one flagged line.
+//! The reason is mandatory; an `allow` without one (or naming a rule that
+//! does not exist) is itself a violation, so suppressions stay auditable.
+//! Directives live in comments only: the same text inside a string
+//! literal is inert (it neither suppresses nor trips `bad-allow`).
 //!
 //! Whole crates whose charter conflicts with one rule are exempted from
 //! exactly that rule via [`CRATE_RULE_EXEMPTIONS`] — e.g. `crates/serve/`
@@ -49,12 +59,17 @@
 //! fixtures mention the forbidden names), plus the root `src/`. Test
 //! modules (`#[cfg(test)]`, `#[test]`), `tests/`, `benches/` and
 //! `examples/` directories are exempt: tests may hash, time and unwrap at
-//! will.
+//! will. (`bad-allow` still fires inside test modules — a malformed
+//! suppression is a lie wherever it sits.)
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub mod lexer;
+
+use lexer::{Tok, TokKind};
 
 /// Every rule the scanner knows, in report order.
 pub const RULES: &[&str] = &[
@@ -64,6 +79,10 @@ pub const RULES: &[&str] = &[
     "tick-unwrap",
     "metric-name-literal",
     "thread-boundary",
+    "unsafe-code",
+    "atomic-ordering",
+    "static-state",
+    "shard-ownership",
     "bad-allow",
 ];
 
@@ -76,6 +95,51 @@ pub const WALL_CLOCK_ALLOWLIST: &[&str] = &[
     "crates/obs/src/prof.rs",
 ];
 
+/// Files (workspace-relative) where `unsafe` is permitted. This is an
+/// explicit, reviewed surface, not a convenience: `core::par` hands raw
+/// shard pointers across threads under the temporal discipline documented
+/// there (and model-checked by `memnet-mc`), and `obs::prof` implements
+/// `GlobalAlloc`, whose trait methods are `unsafe` by contract. Any other
+/// `unsafe` must either move its need into one of these files or extend
+/// this list in a reviewed diff.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/core/src/par.rs", "crates/obs/src/prof.rs"];
+
+/// Files carrying the conservative-PDES crew, where the `shard-ownership`
+/// rule applies: worker-side functions (named `worker*`) may touch only
+/// the fields in [`PAR_WORKER_FIELDS`].
+pub const SHARD_OWNERSHIP_FILES: &[&str] = &["crates/core/src/par.rs", "crates/engine/src/pdes.rs"];
+
+/// The shard-ownership manifest: every `self.<field>` a worker-side
+/// function in the PDES crew may name. It is exactly the union of the
+/// worker's shard slices (raw device pointers plus their bounds), the
+/// rendezvous protocol cells the worker reads or publishes, and the
+/// sanitizer's worker-side audit state. Driver-only state — the driver's
+/// blocked-time accumulator, the gates it owns for poison wakeups, the
+/// replay tracer — is deliberately absent: a worker naming it is a
+/// protocol violation even if it happens to be data-race-free today.
+pub const PAR_WORKER_FIELDS: &[&str] = &[
+    // Shard slices and bounds.
+    "gpus",
+    "n_gpus",
+    "hmcs",
+    "ports",
+    "n_hmcs",
+    "gpu_shards",
+    "hmc_shards",
+    // Rendezvous protocol cells and payloads.
+    "job",
+    "kind",
+    "dram_tck",
+    "commits",
+    // Lane bookkeeping shared by protocol design.
+    "counters",
+    "poisoned",
+    "traces",
+    "trace_clocks",
+    // Worker-side happens-before audit vectors (MEMNET_SANITIZE).
+    "hb",
+];
+
 /// Per-crate rule exemptions: `(path prefix, rule)` pairs. Every file
 /// whose workspace-relative path starts with the prefix is exempt from
 /// that one rule; all other rules still apply there. This is for crates
@@ -86,6 +150,9 @@ pub const WALL_CLOCK_ALLOWLIST: &[&str] = &[
 /// `allow` for anything narrower.
 pub const CRATE_RULE_EXEMPTIONS: &[(&str, &str)] = &[
     ("crates/serve/", "wall-clock"),
+    // The model checker is a host-side verification tool: its CLI times its
+    // own --budget-ms ceiling. Nothing in crates/mc feeds simulated state.
+    ("crates/mc/", "wall-clock"),
     // Threading is a charter, not a convenience: the engine crate owns
     // every synchronization primitive (pool, conservative-PDES crew) and
     // the serve daemon owns its per-connection handlers. Everything else
@@ -94,26 +161,16 @@ pub const CRATE_RULE_EXEMPTIONS: &[(&str, &str)] = &[
     // nondeterminism into simulation state.
     ("crates/engine/", "thread-boundary"),
     ("crates/serve/", "thread-boundary"),
+    // The engine crate's one static is the spin-budget calibration
+    // (available_parallelism probed once); it feeds wall-clock behavior
+    // only, never simulated state. Simulation crates get no such pass.
+    ("crates/engine/", "static-state"),
 ];
 
-/// Thread-creation / cross-thread-channel tokens banned outside the
-/// crates whose charter is concurrency (see [`CRATE_RULE_EXEMPTIONS`]).
-/// `Arc`/`Mutex`/atomics are deliberately not listed: shared *state* is
-/// fine (the core crate's parallel shards use them under the engine
-/// crate's scheduling); creating *schedulable lanes* is not.
-const THREAD_TOKENS: &[&str] = &[
-    "std::thread",
-    "thread::spawn",
-    "thread::scope",
-    "mpsc::",
-    "crossbeam",
-    "rayon",
-];
-
-/// Metric-sink calls whose name argument must be a `'static` literal.
-/// `add_dyn`/`set_dyn` deliberately do not match: they are the audited
-/// escape hatch for genuinely dynamic series names.
-const METRIC_SINK_CALLS: &[&str] = &[".add(", ".set(", ".observe(", ".record_hist("];
+/// Metric-sink method names whose name argument must be a `'static`
+/// literal. `add_dyn`/`set_dyn` deliberately do not match: they are the
+/// audited escape hatch for genuinely dynamic series names.
+const METRIC_SINK_CALLS: &[&str] = &["add", "set", "observe", "record_hist"];
 
 /// Function-name prefixes that mark a tick path (per-cycle simulation
 /// code, where a panic takes down the whole run with no context).
@@ -162,145 +219,55 @@ pub struct ScanResult {
     pub violations: Vec<Violation>,
 }
 
+impl ScanResult {
+    /// Renders the scan as a small JSON document (hand-rolled, like every
+    /// other JSON in this workspace) for `memnet lint --json`.
+    pub fn to_json_string(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files\": {},\n", self.files));
+        s.push_str(&format!("  \"rules\": {},\n", RULES.len()));
+        s.push_str(&format!("  \"clean\": {},\n", self.violations.is_empty()));
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                esc(&v.file),
+                v.line,
+                v.rule,
+                esc(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}");
+        s
+    }
+}
+
 /// A validated suppression directive.
 struct Allow {
     rule: String,
     line: usize,
-}
-
-/// Comment/string stripper state carried across lines of one file.
-///
-/// Handles `//` comments, nested `/* */` blocks (Rust block comments
-/// nest), plain and raw string literals spanning lines, char literals,
-/// and lifetimes. Stripped string literals are replaced by `""` so that
-/// code on either side still abuts sanely.
-#[derive(Default)]
-struct Stripper {
-    block_depth: usize,
-    in_string: Option<StrKind>,
-}
-
-enum StrKind {
-    Normal,
-    Raw(usize),
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-impl Stripper {
-    /// Splits one source line into (code, comment-text).
-    fn strip(&mut self, line: &str) -> (String, String) {
-        let chars: Vec<char> = line.chars().collect();
-        let n = chars.len();
-        let mut code = String::new();
-        let mut comment = String::new();
-        let mut i = 0;
-        while i < n {
-            // Inside a multi-line string literal: look for its end.
-            match self.in_string {
-                Some(StrKind::Normal) => {
-                    if chars[i] == '\\' {
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        self.in_string = None;
-                        code.push_str("\"\"");
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                    continue;
-                }
-                Some(StrKind::Raw(hashes)) => {
-                    if chars[i] == '"' {
-                        let mut k = i + 1;
-                        let mut h = 0;
-                        while k < n && h < hashes && chars[k] == '#' {
-                            h += 1;
-                            k += 1;
-                        }
-                        if h == hashes {
-                            self.in_string = None;
-                            code.push_str("\"\"");
-                            i = k;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                    continue;
-                }
-                None => {}
-            }
-            // Inside a (possibly nested) block comment.
-            if self.block_depth > 0 {
-                if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                    self.block_depth -= 1;
-                    i += 2;
-                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                    self.block_depth += 1;
-                    i += 2;
-                } else {
-                    comment.push(chars[i]);
-                    i += 1;
-                }
-                continue;
-            }
-            let c = chars[i];
-            if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-                comment.extend(&chars[i + 2..]);
-                break;
-            }
-            if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-                self.block_depth += 1;
-                i += 2;
-                continue;
-            }
-            if c == '"' {
-                self.in_string = Some(StrKind::Normal);
-                i += 1;
-                continue;
-            }
-            // Raw string r"..." / r#"..."# (only when `r` is not the tail
-            // of an identifier).
-            if c == 'r' && (i == 0 || !is_ident(chars[i - 1])) && i + 1 < n {
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < n && chars[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < n && chars[j] == '"' {
-                    self.in_string = Some(StrKind::Raw(hashes));
-                    i = j + 1;
-                    continue;
-                }
-            }
-            if c == '\'' {
-                // Char literal or lifetime.
-                if i + 1 < n && chars[i + 1] == '\\' {
-                    i += 2;
-                    while i < n && chars[i] != '\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                    code.push(' ');
-                    continue;
-                }
-                if i + 2 < n && chars[i + 2] == '\'' {
-                    code.push(' ');
-                    i += 3;
-                    continue;
-                }
-                // Lifetime: drop the quote, keep the identifier.
-                i += 1;
-                continue;
-            }
-            code.push(c);
-            i += 1;
-        }
-        (code, comment)
-    }
 }
 
 /// Parses a `memnet-lint:` directive out of comment text.
@@ -339,111 +306,402 @@ fn parse_directive(comment: &str) -> Option<Result<String, String>> {
     Some(Ok(rule.to_string()))
 }
 
-/// Finds a `fn <name>` declaration in stripped code, if any.
-fn find_fn_name(code: &str) -> Option<String> {
-    let mut from = 0;
-    while let Some(p) = code[from..].find("fn ") {
-        let at = from + p;
-        let prev_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
-        if prev_ok {
-            let name: String = code[at + 3..]
-                .trim_start()
-                .chars()
-                .take_while(|&c| is_ident(c))
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
-            }
-        }
-        from = at + 3;
-    }
-    None
+fn is_tick_path(fn_name: &str) -> bool {
+    TICK_PATH_PREFIXES.iter().any(|p| fn_name.starts_with(p))
 }
 
-/// Yields `(lhs-token, rhs-type)` for every `<expr> as <ty>` in stripped
-/// code. The lhs token is the identifier chain immediately left of `as`
-/// (alphanumerics, `_`, `.`, `(`, `)`).
-fn casts(code: &str) -> Vec<(String, String)> {
-    let chars: Vec<char> = code.chars().collect();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = code[from..].find(" as ") {
-        let at = from + p;
-        let rhs: String = code[at + 4..]
-            .trim_start()
-            .chars()
-            .take_while(|&c| is_ident(c))
-            .collect();
-        let upto = code[..at].chars().count();
-        let mut j = upto;
-        while j > 0 && chars[j - 1] == ' ' {
-            j -= 1;
+fn file_matches(file: &str, entry: &str) -> bool {
+    file == entry || file.ends_with(&format!("/{entry}"))
+}
+
+/// The token-walking scanner for one file.
+struct Scanner<'a> {
+    file: &'a str,
+    /// Non-comment tokens, in order.
+    code: Vec<&'a Tok>,
+    wall_clock_allowed: bool,
+    unsafe_allowed: bool,
+    shard_rule_active: bool,
+    found: Vec<Violation>,
+}
+
+impl<'a> Scanner<'a> {
+    fn ident(&self, p: usize) -> Option<&str> {
+        self.code.get(p).and_then(|t| match t.kind {
+            TokKind::Ident => Some(t.text.as_str()),
+            _ => None,
+        })
+    }
+
+    fn ident_is(&self, p: usize, s: &str) -> bool {
+        self.ident(p) == Some(s)
+    }
+
+    fn punct(&self, p: usize, c: char) -> bool {
+        self.code
+            .get(p)
+            .is_some_and(|t| t.kind == TokKind::Punct(c))
+    }
+
+    fn path_sep(&self, p: usize) -> bool {
+        self.punct(p, ':') && self.punct(p + 1, ':')
+    }
+
+    fn line(&self, p: usize) -> usize {
+        self.code.get(p).map_or(0, |t| t.line)
+    }
+
+    fn push(&mut self, line: usize, rule: &'static str, message: String) {
+        self.found.push(Violation {
+            file: self.file.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// Runs every non-structural rule against the token at `p`.
+    /// `current_fn` is the enclosing function name, if any.
+    fn check_at(&mut self, p: usize, current_fn: Option<&str>) {
+        let Some(t) = self.code.get(p) else { return };
+        let line = t.line;
+        match &t.kind {
+            TokKind::Ident => {
+                let name = t.text.clone();
+                match name.as_str() {
+                    "HashMap" | "HashSet" => self.push(
+                        line,
+                        "hash-collection",
+                        "HashMap/HashSet iteration order is nondeterministic (random SipHash \
+                         seed); use BTreeMap/BTreeSet, or prove lookup-only use and suppress \
+                         with a reason"
+                            .to_string(),
+                    ),
+                    "SystemTime" if !self.wall_clock_allowed => self.push(
+                        line,
+                        "wall-clock",
+                        "wall-clock reads leak host time into the simulation; only the engine \
+                         run pool and benches may time real threads"
+                            .to_string(),
+                    ),
+                    "Instant"
+                        if !self.wall_clock_allowed
+                            && self.path_sep(p + 1)
+                            && self.ident_is(p + 3, "now") =>
+                    {
+                        self.push(
+                            line,
+                            "wall-clock",
+                            "wall-clock reads leak host time into the simulation; only the \
+                             engine run pool and benches may time real threads"
+                                .to_string(),
+                        )
+                    }
+                    "std" if self.path_sep(p + 1) && self.ident_is(p + 3, "thread") => {
+                        self.thread_boundary(line, "std::thread")
+                    }
+                    // Only when not itself the tail of std::thread (that
+                    // case already fired at `std`).
+                    "thread"
+                        if self.path_sep(p + 1)
+                            && (self.ident_is(p + 3, "spawn") || self.ident_is(p + 3, "scope"))
+                            && !(p >= 3 && self.ident_is(p - 3, "std") && self.path_sep(p - 2)) =>
+                    {
+                        let what = format!("thread::{}", self.ident(p + 3).unwrap_or_default());
+                        self.thread_boundary(line, &what);
+                    }
+                    "mpsc" if self.path_sep(p + 1) => self.thread_boundary(line, "mpsc::"),
+                    "crossbeam" | "rayon" => self.thread_boundary(line, &name),
+                    "unsafe" if !self.unsafe_allowed => self.push(
+                        line,
+                        "unsafe-code",
+                        "unsafe code is confined to the audited shard hand-off in core::par and \
+                         the GlobalAlloc impl in obs::prof (UNSAFE_ALLOWLIST); nothing else may \
+                         opt out of the borrow checker — restructure, or extend the allowlist \
+                         in a reviewed diff"
+                            .to_string(),
+                    ),
+                    "Ordering" if self.path_sep(p + 1) => {
+                        if let Some(ord @ ("Relaxed" | "SeqCst")) = self.ident(p + 3) {
+                            let why = if ord == "Relaxed" {
+                                "Relaxed creates no happens-before edge — a reader may see this \
+                                 update without the writes that preceded it"
+                            } else {
+                                "SeqCst is a global fence that usually papers over an unproven \
+                                 protocol — name the invariant instead"
+                            };
+                            self.push(
+                                self.line(p + 3),
+                                "atomic-ordering",
+                                format!(
+                                    "Ordering::{ord} requires a justification: {why}; state why \
+                                     this ordering is sound with \
+                                     // memnet-lint: allow(atomic-ordering, <reason>)"
+                                ),
+                            );
+                        }
+                    }
+                    "static" => {
+                        let msg = if self.ident_is(p + 1, "mut") {
+                            "static mut is an unsynchronized global — there is no sound use in \
+                             this workspace; thread state through the System"
+                                .to_string()
+                        } else {
+                            "static items carry process-wide state across runs in one process \
+                             (sweep pool, serve daemon) and break replay; use a const, or \
+                             thread the state through the System"
+                                .to_string()
+                        };
+                        self.push(line, "static-state", msg);
+                    }
+                    "as" => {
+                        if let Some(ty) = self.ident(p + 1) {
+                            if NARROW_INT_TYPES.contains(&ty) {
+                                let lhs = self.cast_lhs(p);
+                                if lhs.contains("_fs") || lhs.contains("cycle") {
+                                    self.push(
+                                        line,
+                                        "fs-narrowing",
+                                        format!(
+                                            "bare `{lhs} as {ty}` silently truncates a \
+                                             femtosecond/cycle value; use the checked \
+                                             narrowing helpers in memnet_common::time"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    "self" if self.shard_rule_active && self.punct(p + 1, '.') => {
+                        if let Some(field) = self.ident(p + 2) {
+                            if current_fn.is_some_and(|f| f.starts_with("worker"))
+                                && !PAR_WORKER_FIELDS.contains(&field)
+                            {
+                                let field = field.to_string();
+                                self.push(
+                                    self.line(p + 2),
+                                    "shard-ownership",
+                                    format!(
+                                        "worker-side code may touch only its shard slices and \
+                                         the rendezvous protocol cells (PAR_WORKER_FIELDS); \
+                                         `self.{field}` is driver-owned state — route it \
+                                         through the driver lane or extend the manifest in a \
+                                         reviewed diff"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct('.') => {
+                // `.unwrap()` / `.expect(` / metric sinks.
+                if let Some(m) = self.ident(p + 1) {
+                    let m = m.to_string();
+                    if m == "unwrap" && self.punct(p + 2, '(') && self.punct(p + 3, ')') {
+                        self.push(
+                            self.line(p + 1),
+                            "tick-unwrap",
+                            "unwrap() panics without context; return an error, use a checked \
+                             accessor, or suppress with the invariant that makes this \
+                             infallible"
+                                .to_string(),
+                        );
+                    } else if m == "expect"
+                        && self.punct(p + 2, '(')
+                        && current_fn.is_some_and(is_tick_path)
+                    {
+                        self.push(
+                            self.line(p + 1),
+                            "tick-unwrap",
+                            format!(
+                                "expect() in tick path `{}` takes down the whole run on a \
+                                 model bug; suppress with the invariant that makes this \
+                                 infallible",
+                                current_fn.unwrap_or("?")
+                            ),
+                        );
+                    } else if METRIC_SINK_CALLS.contains(&m.as_str())
+                        && self.punct(p + 2, '(')
+                        && self.args_contain_format(p + 2)
+                    {
+                        self.push(
+                            self.line(p + 1),
+                            "metric-name-literal",
+                            "metric names must be 'static literals (stable series identity, no \
+                             per-sample allocation); route dynamic names through \
+                             add_dyn/set_dyn, or use set_entity for indexed per-component \
+                             series"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            _ => {}
         }
-        let mut start = j;
+    }
+
+    fn thread_boundary(&mut self, line: usize, what: &str) {
+        self.push(
+            line,
+            "thread-boundary",
+            format!(
+                "`{what}` outside crates/engine and crates/serve: threads and channels \
+                 deliver in arrival order, which breaks bit-identical replay; route \
+                 concurrency through the engine crate (pool / PDES crew) instead"
+            ),
+        );
+    }
+
+    /// Reconstructs the identifier chain immediately left of the `as` at
+    /// `p` (idents, numbers, `.`, `(`, `)`, `::`), for the narrowing rule.
+    fn cast_lhs(&self, p: usize) -> String {
+        let mut start = p;
         while start > 0 {
-            let c = chars[start - 1];
-            if is_ident(c) || c == '.' || c == '(' || c == ')' {
+            let t = self.code[start - 1];
+            let keep = matches!(t.kind, TokKind::Ident | TokKind::Num)
+                || matches!(
+                    t.kind,
+                    TokKind::Punct('.') | TokKind::Punct('(') | TokKind::Punct(')')
+                )
+                || t.kind == TokKind::Punct(':');
+            if keep {
                 start -= 1;
             } else {
                 break;
             }
         }
-        let lhs: String = chars[start..j].iter().collect();
-        out.push((lhs, rhs));
-        from = at + 4;
+        self.code[start..p]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join("")
     }
-    out
-}
 
-fn is_tick_path(fn_name: &str) -> bool {
-    TICK_PATH_PREFIXES.iter().any(|p| fn_name.starts_with(p))
+    /// True when the argument list opening at `open` (a `(` token)
+    /// contains a `format!` invocation at any nesting depth.
+    fn args_contain_format(&self, open: usize) -> bool {
+        let mut depth = 0i64;
+        let mut q = open;
+        while q < self.code.len() {
+            match self.code[q].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                TokKind::Ident if self.code[q].text == "format" && self.punct(q + 1, '!') => {
+                    return true;
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        false
+    }
 }
 
 /// Lints one file's source text. `file` is the label used in reports and
-/// matched against the wall-clock allowlist (pass workspace-relative
-/// paths).
+/// matched against the file allowlists (pass workspace-relative paths).
 pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
     let exempt: Vec<&str> = CRATE_RULE_EXEMPTIONS
         .iter()
         .filter(|(prefix, _)| file.starts_with(prefix))
         .map(|&(_, rule)| rule)
         .collect();
-    let wall_clock_allowed = exempt.contains(&"wall-clock")
-        || WALL_CLOCK_ALLOWLIST
-            .iter()
-            .any(|p| file == *p || file.ends_with(&format!("/{p}")));
-    let mut stripper = Stripper::default();
-    let mut found: Vec<Violation> = Vec::new();
+    let toks = lexer::lex(text);
+
+    // Directives (and their failures) come from comment tokens only —
+    // an allow(...) inside a string literal is inert by construction.
     let mut allows: Vec<Allow> = Vec::new();
+    let mut found: Vec<Violation> = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        match parse_directive(&t.text) {
+            Some(Ok(rule)) => allows.push(Allow { rule, line: t.line }),
+            Some(Err(message)) => found.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: "bad-allow",
+                message,
+            }),
+            None => {}
+        }
+    }
+
+    let mut sc = Scanner {
+        file,
+        code: toks.iter().filter(|t| t.kind != TokKind::Comment).collect(),
+        wall_clock_allowed: exempt.contains(&"wall-clock")
+            || WALL_CLOCK_ALLOWLIST.iter().any(|e| file_matches(file, e)),
+        unsafe_allowed: UNSAFE_ALLOWLIST.iter().any(|e| file_matches(file, e)),
+        shard_rule_active: SHARD_OWNERSHIP_FILES.iter().any(|e| file_matches(file, e)),
+        found,
+    };
+
+    // Lines that contain at least one code token, sorted: an allow on
+    // line L covers L plus the first code line after L.
+    let mut code_lines: Vec<usize> = sc.code.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+
     let mut depth: i64 = 0;
     // Brace depths at which `#[cfg(test)]`/`#[test]` scopes opened; any
-    // nonempty stack means the current line is test code.
+    // nonempty stack means the current token is test code.
     let mut test_scopes: Vec<i64> = Vec::new();
     let mut pending_test_attr = false;
     // Enclosing-function tracking: (entry depth, name).
     let mut fn_stack: Vec<(i64, String)> = Vec::new();
     let mut pending_fn: Option<String> = None;
 
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line = idx + 1;
-        let (code, comment) = stripper.strip(raw_line);
-
-        match parse_directive(&comment) {
-            Some(Ok(rule)) => allows.push(Allow { rule, line }),
-            Some(Err(message)) => found.push(Violation {
-                file: file.to_string(),
-                line,
-                rule: "bad-allow",
-                message,
-            }),
-            None => {}
+    let mut p = 0usize;
+    while p < sc.code.len() {
+        // Attributes: classify (test-scoping or not) and skip their body —
+        // no rule ever needs to fire inside `#[...]`.
+        if sc.punct(p, '#') {
+            let open = if sc.punct(p + 1, '[') {
+                Some(p + 1)
+            } else if sc.punct(p + 1, '!') && sc.punct(p + 2, '[') {
+                Some(p + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                let mut d = 0i64;
+                let mut q = open;
+                while q < sc.code.len() {
+                    match sc.code[q].kind {
+                        TokKind::Punct('[') => d += 1,
+                        TokKind::Punct(']') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+                // `#[test]` (first attr token is `test`) or a
+                // `cfg(test …)` anywhere inside the attribute body.
+                let is_test_attr = sc.ident_is(open + 1, "test")
+                    || (open + 1..q).any(|r| {
+                        sc.ident_is(r, "cfg") && sc.punct(r + 1, '(') && sc.ident_is(r + 2, "test")
+                    });
+                if is_test_attr {
+                    pending_test_attr = true;
+                }
+                p = q + 1;
+                continue;
+            }
         }
 
-        if code.contains("cfg(test") || code.contains("#[test]") {
-            pending_test_attr = true;
-        }
-        if let Some(name) = find_fn_name(&code) {
-            pending_fn = Some(name);
+        // Function-name tracking for tick-path and worker-side rules.
+        if sc.ident_is(p, "fn") {
+            if let Some(name) = sc.ident(p + 1) {
+                pending_fn = Some(name.to_string());
+            }
         }
 
         let in_test = pending_test_attr || !test_scopes.is_empty();
@@ -451,148 +709,63 @@ pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
             let current_fn = pending_fn
                 .as_deref()
                 .or_else(|| fn_stack.last().map(|(_, n)| n.as_str()));
-            check_line(
-                file,
-                line,
-                &code,
-                current_fn,
-                wall_clock_allowed,
-                &mut found,
-            );
+            let current_fn = current_fn.map(str::to_string);
+            sc.check_at(p, current_fn.as_deref());
         }
 
-        for c in code.chars() {
-            match c {
-                '{' => {
-                    if pending_test_attr {
-                        test_scopes.push(depth);
-                        pending_test_attr = false;
-                    }
-                    if let Some(name) = pending_fn.take() {
-                        fn_stack.push((depth, name));
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    while test_scopes.last().is_some_and(|&d| depth <= d) {
-                        test_scopes.pop();
-                    }
-                    while fn_stack.last().is_some_and(|&(d, _)| depth <= d) {
-                        fn_stack.pop();
-                    }
-                }
-                ';' => {
-                    // A pending attribute/fn is consumed by the first `{`;
-                    // hitting `;` first means the item was braceless
-                    // (e.g. `#[cfg(test)] use …;` or a trait method
-                    // declaration) and must not leak onto the next item.
+        match sc.code[p].kind {
+            TokKind::Punct('{') => {
+                if pending_test_attr {
+                    test_scopes.push(depth);
                     pending_test_attr = false;
-                    pending_fn = None;
                 }
-                _ => {}
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((depth, name));
+                }
+                depth += 1;
             }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                while test_scopes.last().is_some_and(|&d| depth <= d) {
+                    test_scopes.pop();
+                }
+                while fn_stack.last().is_some_and(|&(d, _)| depth <= d) {
+                    fn_stack.pop();
+                }
+            }
+            TokKind::Punct(';') => {
+                // A pending attribute/fn is consumed by the first `{`;
+                // hitting `;` first means the item was braceless
+                // (e.g. `#[cfg(test)] use …;` or a trait method
+                // declaration) and must not leak onto the next item.
+                pending_test_attr = false;
+                pending_fn = None;
+            }
+            _ => {}
         }
+        p += 1;
     }
 
+    let mut found = sc.found;
+    // An allow on line L suppresses the same rule on L and on the first
+    // code line after L (intervening comment-only/blank lines skipped, so
+    // suppressions for different rules can stack above one line).
+    let covers = |a: &Allow, line: usize| -> bool {
+        if a.line == line {
+            return true;
+        }
+        match code_lines.iter().find(|&&c| c > a.line) {
+            Some(&next) => next == line,
+            None => false,
+        }
+    };
     found.retain(|v| {
         v.rule == "bad-allow"
             || (!exempt.contains(&v.rule)
-                && !allows
-                    .iter()
-                    .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line)))
+                && !allows.iter().any(|a| a.rule == v.rule && covers(a, v.line)))
     });
     found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     found
-}
-
-fn check_line(
-    file: &str,
-    line: usize,
-    code: &str,
-    current_fn: Option<&str>,
-    wall_clock_allowed: bool,
-    out: &mut Vec<Violation>,
-) {
-    let mut push = |rule: &'static str, message: String| {
-        out.push(Violation {
-            file: file.to_string(),
-            line,
-            rule,
-            message,
-        })
-    };
-
-    if code.contains("HashMap") || code.contains("HashSet") {
-        push(
-            "hash-collection",
-            "HashMap/HashSet iteration order is nondeterministic (random SipHash seed); \
-             use BTreeMap/BTreeSet, or prove lookup-only use and suppress with a reason"
-                .to_string(),
-        );
-    }
-
-    if !wall_clock_allowed && (code.contains("Instant::now") || code.contains("SystemTime")) {
-        push(
-            "wall-clock",
-            "wall-clock reads leak host time into the simulation; only the engine run pool \
-             and benches may time real threads"
-                .to_string(),
-        );
-    }
-
-    for (lhs, rhs) in casts(code) {
-        if NARROW_INT_TYPES.contains(&rhs.as_str())
-            && (lhs.contains("_fs") || lhs.contains("cycle"))
-        {
-            push(
-                "fs-narrowing",
-                format!(
-                    "bare `{lhs} as {rhs}` silently truncates a femtosecond/cycle value; \
-                     use the checked narrowing helpers in memnet_common::time"
-                ),
-            );
-        }
-    }
-
-    if code.contains("format!") && METRIC_SINK_CALLS.iter().any(|m| code.contains(m)) {
-        push(
-            "metric-name-literal",
-            "metric names must be 'static literals (stable series identity, no per-sample \
-             allocation); route dynamic names through add_dyn/set_dyn, or use set_entity \
-             for indexed per-component series"
-                .to_string(),
-        );
-    }
-
-    if let Some(tok) = THREAD_TOKENS.iter().find(|t| code.contains(*t)) {
-        push(
-            "thread-boundary",
-            format!(
-                "`{tok}` outside crates/engine and crates/serve: threads and channels \
-                 deliver in arrival order, which breaks bit-identical replay; route \
-                 concurrency through the engine crate (pool / PDES crew) instead"
-            ),
-        );
-    }
-
-    if code.contains(".unwrap()") {
-        push(
-            "tick-unwrap",
-            "unwrap() panics without context; return an error, use a checked accessor, \
-             or suppress with the invariant that makes this infallible"
-                .to_string(),
-        );
-    } else if code.contains(".expect(") && current_fn.is_some_and(is_tick_path) {
-        push(
-            "tick-unwrap",
-            format!(
-                "expect() in tick path `{}` takes down the whole run on a model bug; \
-                 suppress with the invariant that makes this infallible",
-                current_fn.unwrap_or("?")
-            ),
-        );
-    }
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for deterministic
@@ -711,6 +884,54 @@ mod tests {
     }
 
     #[test]
+    fn multiline_raw_strings_hide_nothing_and_reveal_nothing() {
+        // Satellite regression for the old line-oriented Stripper: a raw
+        // string spanning lines used to be able to desynchronize the
+        // stripper. Under the lexer, (1) forbidden names *inside* the
+        // string are inert, (2) an allow-shaped directive inside the
+        // string neither suppresses nor trips bad-allow, and (3) code
+        // *after* the literal is still linted at its true line.
+        let src = "fn f() -> &'static str {\n\
+                       r#\"\n\
+                       use std::collections::HashMap;\n\
+                       // memnet-lint: allow(tick-unwrap, fake reason in a string)\n\
+                       Instant::now();\n\
+                       \"#\n\
+                   }\n\
+                   fn g(x: Option<u32>) -> u32 {\n\
+                       x.unwrap()\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("tick-unwrap", 9)],
+            "only the real unwrap, at its true line: {vs:#?}"
+        );
+    }
+
+    #[test]
+    fn allows_inside_cfg_test_blocks_both_directions() {
+        // A well-formed allow inside a test module parses quietly…
+        let ok = "#[cfg(test)]\n\
+                  mod tests {\n\
+                      // memnet-lint: allow(hash-collection, exercising the suppression path)\n\
+                      use std::collections::HashMap;\n\
+                  }\n";
+        assert!(lint_source("crates/x/src/lib.rs", ok).is_empty());
+        // …but a malformed one is still flagged: suppression hygiene is
+        // global, test module or not.
+        let bad = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       // memnet-lint: allow(hash-collection)\n\
+                       use std::collections::HashMap;\n\
+                   }\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", bad)),
+            vec![("bad-allow", 3)]
+        );
+    }
+
+    #[test]
     fn allow_with_reason_suppresses_same_and_next_line() {
         let trailing = "fn f(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<&u32> {\n\
                         m.get(&k) // lookup only\n\
@@ -725,6 +946,26 @@ mod tests {
             "// memnet-lint: allow(hash-collection, lookup-only map, never iterated)\n{trailing}"
         );
         assert!(lint_source("crates/x/src/lib.rs", &above).is_empty());
+    }
+
+    #[test]
+    fn allows_stack_across_comment_only_lines() {
+        // Two directives above one line that trips two rules: the first
+        // allow's "next line" skips the second comment and lands on the
+        // code, so both suppressions apply.
+        let src = "// memnet-lint: allow(hash-collection, lookup-only)\n\
+                   // memnet-lint: allow(tick-unwrap, key proven present above)\n\
+                   fn f(m: &std::collections::HashMap<u32, u32>) -> u32 { *m.get(&0).unwrap() }\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+        // And the window is exactly one code line: code after that is
+        // not covered.
+        let src2 = "// memnet-lint: allow(tick-unwrap, first line only)\n\
+                    fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", src2)),
+            vec![("tick-unwrap", 3)]
+        );
     }
 
     #[test]
@@ -778,6 +1019,17 @@ mod tests {
     }
 
     #[test]
+    fn narrowing_cast_found_across_a_line_break() {
+        // The old line-oriented scanner could only see ` as ` with both
+        // sides on one line; the lexer does not care where the break is.
+        let src = "fn f(t_fs: u64) {\n    let a = t_fs\n        as u32;\n}\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", src)),
+            vec![("fs-narrowing", 3)]
+        );
+    }
+
+    #[test]
     fn unwrap_flagged_everywhere_expect_only_in_tick_paths() {
         let src = "fn build() {\n\
                        let a: Option<u32> = None;\n\
@@ -823,6 +1075,27 @@ mod tests {
     }
 
     #[test]
+    fn metric_sink_format_found_across_lines() {
+        // Structural upgrade over the old same-line heuristic: the
+        // format! is inside the argument list even when it sits on the
+        // next line — and a format! *outside* the arguments is innocent.
+        let flagged = "fn snapshot(m: &mut M, i: usize) {\n\
+                           m.add(\n\
+                               &format!(\"gpu{i}.reqs\"),\n\
+                               1,\n\
+                           );\n\
+                       }\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/x/src/lib.rs", flagged)),
+            vec![("metric-name-literal", 2)]
+        );
+        let clean = "fn snapshot(m: &mut M, i: usize) {\n\
+                         m.add(\"net.flits\", 1); let s = format!(\"unrelated {i}\");\n\
+                     }\n";
+        assert!(lint_source("crates/x/src/lib.rs", clean).is_empty());
+    }
+
+    #[test]
     fn literal_names_and_dyn_escape_hatch_are_clean() {
         let src = "fn snapshot(m: &mut M, i: usize) {\n\
                        m.add(\"net.flits\", 1);\n\
@@ -863,6 +1136,31 @@ mod tests {
         assert_eq!(
             rules_at(&lint_source("crates/serve/src/job.rs", unwrappy)),
             vec![("tick-unwrap", 2)]
+        );
+    }
+
+    #[test]
+    fn serve_wall_clock_charter_grants_no_concurrency_exemptions() {
+        // The serve crate may read the wall clock, but its exemption list
+        // stops there: unsafe and unjustified atomics are still flagged.
+        let unsafe_src = "fn f() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/server.rs", unsafe_src)),
+            vec![("unsafe-code", 2)]
+        );
+        let atomics = "fn f(x: &std::sync::atomic::AtomicU64) {\n\
+                           x.load(Ordering::Relaxed);\n\
+                       }\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/server.rs", atomics)),
+            vec![("atomic-ordering", 2)]
+        );
+        // And statics stay banned there too (only the engine crate's
+        // charter covers them).
+        let staticy = "static CACHE_HITS: AtomicU64 = AtomicU64::new(0);\n";
+        assert_eq!(
+            rules_at(&lint_source("crates/serve/src/cache.rs", staticy)),
+            vec![("static-state", 1)]
         );
     }
 
@@ -915,6 +1213,114 @@ mod tests {
             rules_at(&lint_source("crates/serve/src/server.rs", src)),
             vec![("bad-allow", 1)]
         );
+    }
+
+    #[test]
+    fn unsafe_banned_outside_the_allowlist() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1 };\n}\n\
+                   unsafe impl Send for S {}\n";
+        // Simulation crates: both the block and the impl are flagged.
+        let vs = lint_source("crates/gpu/src/gpu.rs", src);
+        assert_eq!(rules_at(&vs), vec![("unsafe-code", 2), ("unsafe-code", 4)]);
+        assert!(vs[0].message.contains("UNSAFE_ALLOWLIST"));
+        // The audited shard hand-off and the GlobalAlloc impl may.
+        assert!(lint_source("crates/core/src/par.rs", src).is_empty());
+        assert!(lint_source("crates/obs/src/prof.rs", src).is_empty());
+        // `unsafe` in a string or comment is not code.
+        let quoted = "fn f() { let s = \"unsafe\"; } // unsafe in prose\n";
+        assert!(lint_source("crates/gpu/src/gpu.rs", quoted).is_empty());
+    }
+
+    #[test]
+    fn relaxed_and_seqcst_need_a_reason_acquire_release_do_not() {
+        let src = "fn f(x: &AtomicU64) {\n\
+                       x.load(Ordering::Acquire);\n\
+                       x.store(1, Ordering::Release);\n\
+                       x.fetch_add(1, Ordering::AcqRel);\n\
+                       x.load(Ordering::Relaxed);\n\
+                       x.fetch_max(2, Ordering::SeqCst);\n\
+                   }\n";
+        let vs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("atomic-ordering", 5), ("atomic-ordering", 6)]
+        );
+        assert!(vs[0].message.contains("happens-before"));
+        assert!(vs[1].message.contains("SeqCst"));
+        // A justified use is clean — and the justification covers only
+        // its own line plus the next code line.
+        let justified = "fn f(x: &AtomicU64) {\n\
+                             // memnet-lint: allow(atomic-ordering, monotone counter, read only at join)\n\
+                             x.fetch_add(1, Ordering::Relaxed);\n\
+                         }\n";
+        assert!(lint_source("crates/x/src/lib.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn static_items_banned_in_sim_crates() {
+        let src = "static COUNTER: AtomicU64 = AtomicU64::new(0);\n\
+                   static mut SCRATCH: u64 = 0;\n\
+                   fn f(s: &'static str) -> &'static str { s }\n";
+        let vs = lint_source("crates/noc/src/network.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("static-state", 1), ("static-state", 2)],
+            "the 'static lifetimes on line 3 are not static items: {vs:#?}"
+        );
+        assert!(vs[1].message.contains("static mut"));
+        // The engine crate's charter covers its spin-budget calibration.
+        assert!(lint_source("crates/engine/src/pdes.rs", src).is_empty());
+        // Statics in test modules are test scaffolding.
+        let test_static = "#[cfg(test)]\nmod tests {\n    static T: u64 = 0;\n}\n";
+        assert!(lint_source("crates/noc/src/network.rs", test_static).is_empty());
+    }
+
+    #[test]
+    fn worker_side_functions_stay_inside_the_shard_manifest() {
+        // Inside the crew files, a worker-side fn touching driver-owned
+        // state is flagged…
+        let src = "impl ParCrew {\n\
+                       fn worker_loop(&self, w: usize) {\n\
+                           self.commits[w].publish(1, &self.counters);\n\
+                           self.driver_blocked.fetch_add(1, Ordering::Release);\n\
+                           self.job_gate.notify();\n\
+                       }\n\
+                       fn wait_commits(&self, job: u64) {\n\
+                           self.driver_blocked.fetch_add(1, Ordering::Release);\n\
+                       }\n\
+                   }\n";
+        let vs = lint_source("crates/core/src/par.rs", src);
+        assert_eq!(
+            rules_at(&vs),
+            vec![("shard-ownership", 4), ("shard-ownership", 5)],
+            "commits/counters are in the manifest; driver_blocked/job_gate are not, \
+             and driver-side fns may touch what they like: {vs:#?}"
+        );
+        assert!(vs[0].message.contains("PAR_WORKER_FIELDS"));
+        // …and the same code outside the crew files is not shard-checked.
+        assert!(lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .all(|v| v.rule != "shard-ownership"));
+    }
+
+    #[test]
+    fn scan_result_json_escapes_and_reports() {
+        let res = ScanResult {
+            files: 3,
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                rule: "wall-clock",
+                message: "say \"why\"\n".to_string(),
+            }],
+        };
+        let json = res.to_json_string();
+        assert!(json.contains("\"files\": 3"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("say \\\"why\\\"\\n"));
+        let clean = ScanResult::default().to_json_string();
+        assert!(clean.contains("\"clean\": true"));
+        assert!(clean.contains("\"violations\": []"));
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! CLI for memnet-lint: scans the workspace and reports violations.
+//! Standalone CLI for memnet-lint: scans the workspace and reports
+//! violations. The main simulator binary exposes the same scan as
+//! `memnet lint [--root PATH] [--json]`; this binary stays as a thin alias
+//! so the lint can run without building the full simulator.
 //!
 //! ```text
-//! cargo run -p memnet-lint            # scan the workspace this binary lives in
-//! cargo run -p memnet-lint -- <root>  # scan an explicit workspace root
+//! cargo run -p memnet-lint                    # scan this workspace
+//! cargo run -p memnet-lint -- <root>          # scan an explicit root
+//! cargo run -p memnet-lint -- --json [<root>] # machine-readable report
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 I/O error.
@@ -11,19 +15,38 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root: PathBuf = match std::env::args_os().nth(1) {
-        Some(p) => PathBuf::from(p),
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for a in std::env::args_os().skip(1) {
+        if a == "--json" {
+            json = true;
+        } else if root.is_none() {
+            root = Some(PathBuf::from(a));
+        } else {
+            eprintln!("memnet-lint: usage: memnet-lint [--json] [root]");
+            return ExitCode::from(2);
+        }
+    }
+    let root = root.unwrap_or_else(|| {
         // crates/lint -> crates -> workspace root.
-        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+        Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .expect("crate lives two levels below the workspace root")
-            .to_path_buf(),
-    };
+            .to_path_buf()
+    });
     match memnet_lint::scan_workspace(&root) {
         Err(e) => {
             eprintln!("memnet-lint: i/o error scanning {}: {e}", root.display());
             ExitCode::from(2)
+        }
+        Ok(res) if json => {
+            println!("{}", res.to_json_string());
+            if res.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Ok(res) if res.violations.is_empty() => {
             println!(

@@ -1,0 +1,887 @@
+//! memnet-mc: a bounded model checker for the conservative-PDES
+//! rendezvous protocol.
+//!
+//! The parallel engine's byte-identity guarantee rests on a hand-rolled
+//! protocol: the driver publishes monotone job numbers through a
+//! [`SeqCell`], workers publish commits back through their own cells, and
+//! a spin-then-park handshake (sleeper registration, post-registration
+//! re-check, condvar park under a [`Gate`]) keeps the fast path
+//! condvar-free without losing wake-ups. Differential tests prove the
+//! *outcome* is right on the schedules that happened to run; this crate
+//! proves the *protocol* is right on every schedule a bounded
+//! configuration can produce.
+//!
+//! # How it works
+//!
+//! Virtual lanes — one driver, `workers` workers — are explicit state
+//! machines whose steps are the **same micro-steps the production code is
+//! composed of** (`SeqCell::step_fetch_max`, `step_register_sleeper`,
+//! `step_value`, `step_sleepers_nonzero`, `step_deregister_sleeper`; see
+//! `pdes.rs`, where `publish`/`wait_ge` are built from exactly these).
+//! The checker drives *real* `SeqCell` and `Gate` instances — not a
+//! re-implementation that could drift — and explores every interleaving
+//! of those steps by depth-first search with snapshot/restore
+//! backtracking and visited-state deduplication.
+//!
+//! Parking is modeled the way the mutex makes it atomic in production:
+//! a park attempt checks the predicate and captures the gate generation
+//! in one step (the real `Gate::wait_until` holds the lock from
+//! predicate check to condvar wait), and a parked lane is runnable again
+//! only once a `notify` has moved the generation past what it captured.
+//! The production code's `POISON_POLL` timeout is deliberately **not**
+//! modeled: in the model a lost wake-up is a hard deadlock the checker
+//! reports, whereas production would degrade to a 20ms stall per miss —
+//! still a bug, just a quieter one.
+//!
+//! The spin phase of `wait_ge` is not modeled either, and that is a
+//! feature: spinning is state-idempotent (re-reading an atomic changes
+//! nothing the protocol observes), so every interleaving of a spinning
+//! lane collapses onto one of the spin-free schedules the checker
+//! already enumerates. In particular the **1-core path** — where
+//! `spin_rounds()` is zero and a waiter goes straight to
+//! register → re-check → park — is *exactly* the schedule family
+//! explored here, which is what proves the missed-wake audit for
+//! single-core hosts (see the `one_core` regression test).
+//!
+//! # Invariants checked
+//!
+//! * job and commit sequence numbers advance by exactly one, each value
+//!   published exactly once (monotonicity, exactly-once commit);
+//! * the payload a worker reads matches the job it observed (payload
+//!   stores are ordered by the publish);
+//! * every edge is executed exactly once per worker;
+//! * no deadlock: some lane can always run until all are done;
+//! * at termination every commit equals the final job number.
+//!
+//! # Mutations
+//!
+//! To prove the checker has teeth, [`Mutation`] seeds protocol bugs —
+//! dropped wake, stale sleeper check, off-by-one commit, premature
+//! publish, park-without-register — each of which it must catch (see
+//! `tests/protocol.rs`). A checker that cannot catch planted bugs is
+//! just an expensive way to print "ok".
+
+use memnet_engine::pdes::{Gate, SeqCell};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A protocol bug seeded into the virtual lanes (never into `pdes.rs`
+/// itself): the composition deviates from the shipped step order while
+/// still driving the real cells, modeling the classic ways this protocol
+/// can be miswritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The shipped composition — must verify clean.
+    None,
+    /// Publisher skips the sleeper check and never notifies (a dropped
+    /// wake/fence). A parked waiter sleeps forever.
+    DroppedWake,
+    /// Publisher samples the sleeper count *before* its `fetch_max`
+    /// instead of after — the reordering the SeqCst pair exists to
+    /// forbid. A waiter registering in between is never woken.
+    StaleSleeperCheck,
+    /// Workers publish `edge + 1` instead of `edge`: commits skip a
+    /// sequence number (exactly-once-per-edge broken).
+    OffByOneCommit,
+    /// The driver publishes the job number before writing the payload,
+    /// so a fast worker can read a stale edge kind.
+    PrematurePublish,
+    /// Waiters park without registering as sleepers (and so never
+    /// re-check), recreating the textbook lost-wake window.
+    ParkWithoutRegister,
+}
+
+/// Every seeded bug, for mutation-matrix tests and `--mutation all`.
+pub const ALL_MUTATIONS: &[Mutation] = &[
+    Mutation::DroppedWake,
+    Mutation::StaleSleeperCheck,
+    Mutation::OffByOneCommit,
+    Mutation::PrematurePublish,
+    Mutation::ParkWithoutRegister,
+];
+
+impl Mutation {
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::DroppedWake => "dropped-wake",
+            Mutation::StaleSleeperCheck => "stale-sleeper-check",
+            Mutation::OffByOneCommit => "off-by-one-commit",
+            Mutation::PrematurePublish => "premature-publish",
+            Mutation::ParkWithoutRegister => "park-without-register",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "dropped-wake" => Some(Mutation::DroppedWake),
+            "stale-sleeper-check" => Some(Mutation::StaleSleeperCheck),
+            "off-by-one-commit" => Some(Mutation::OffByOneCommit),
+            "premature-publish" => Some(Mutation::PrematurePublish),
+            "park-without-register" => Some(Mutation::ParkWithoutRegister),
+            _ => None,
+        }
+    }
+}
+
+/// One checker configuration: `1 + workers` lanes running `edges` clock
+/// edges under `mutation`, exploring at most `max_states` search nodes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker lanes (the driver lane is implicit); 1 gives the 2-lane
+    /// space, 3 the 4-lane space.
+    pub workers: usize,
+    /// Clock edges (job numbers) to run.
+    pub edges: u64,
+    /// Seeded bug, or [`Mutation::None`] to verify the real composition.
+    pub mutation: Mutation,
+    /// Search-node budget; exploration stops (with `exhausted: false`)
+    /// when exceeded.
+    pub max_states: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 1,
+            edges: 3,
+            mutation: Mutation::None,
+            max_states: 10_000_000,
+        }
+    }
+}
+
+/// A protocol violation with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct ProtocolViolation {
+    /// Short machine-readable class (`deadlock`, `stale-payload`, ...).
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+    /// The counterexample: every lane step from the initial state, in
+    /// execution order.
+    pub schedule: Vec<String>,
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.detail)?;
+        writeln!(
+            f,
+            "counterexample schedule ({} steps):",
+            self.schedule.len()
+        )?;
+        for (i, s) in self.schedule.iter().enumerate() {
+            writeln!(f, "  {i:3}. {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one [`check`] run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Search nodes visited (including revisits cut by dedup).
+    pub states: u64,
+    /// Distinct protocol states seen.
+    pub unique_states: u64,
+    /// Complete schedules reaching all-lanes-done.
+    pub schedules: u64,
+    /// Times any lane actually parked (proves the park path was
+    /// exercised, not just the fast path).
+    pub parks: u64,
+    /// True when the whole bounded space was explored (never cut by
+    /// `max_states`).
+    pub exhausted: bool,
+    /// First violation found, with its counterexample schedule.
+    pub violation: Option<ProtocolViolation>,
+}
+
+impl Outcome {
+    /// Clean and fully explored.
+    pub fn verified(&self) -> bool {
+        self.exhausted && self.violation.is_none()
+    }
+}
+
+/// The wait-side state machine, shared by the driver's commit waits and
+/// the workers' job waits — the same shape as `SeqCell::wait_ge` with
+/// the (state-idempotent) spin loop elided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Wait {
+    /// About to take the fast-path read.
+    Fast,
+    /// Registered as a sleeper; about to re-check the value.
+    Registered,
+    /// About to atomically {check predicate, else capture generation and
+    /// park} — the atomicity the gate mutex provides in production.
+    ParkAttempt,
+    /// Parked having captured this gate generation; runnable only once a
+    /// notify moves the generation past it.
+    Parked(u64),
+    /// Predicate satisfied; must retract the sleeper registration.
+    Dereg,
+}
+
+/// One lane's program counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pc {
+    // Driver.
+    /// Store the payload for this edge (before the publish).
+    DPayload(u64),
+    /// Mutated pre-publish sleeper sample ([`Mutation::StaleSleeperCheck`]).
+    DPreCheck(u64),
+    /// `job.step_fetch_max(edge)`; carries the stale sample if any.
+    DFetchMax(u64, Option<bool>),
+    /// Payload store displaced to after the publish
+    /// ([`Mutation::PrematurePublish`]).
+    DPayloadLate(u64),
+    /// Post-publish sleeper check (or use of the stale sample).
+    DSleepCheck(u64, Option<bool>),
+    /// `job_gate.notify()`.
+    DNotify(u64),
+    /// Waiting for worker `w`'s commit of this edge.
+    DWait(u64, usize, Wait),
+    DDone,
+    // Worker (lane index - 1 is the worker index).
+    /// Waiting for the job cell to reach this edge.
+    WWait(u64, Wait),
+    /// Read and validate the payload for this edge.
+    WPayload(u64),
+    /// Execute the edge (exactly once).
+    WExec(u64),
+    /// `commit.step_fetch_max(...)` for this edge.
+    WFetchMax(u64, Option<bool>),
+    /// Mutated pre-publish sleeper sample on the commit cell.
+    WPreCheck(u64),
+    /// Post-publish sleeper check on the commit cell.
+    WSleepCheck(u64, Option<bool>),
+    /// `commit_gate.notify()`.
+    WNotify(u64),
+    WDone,
+}
+
+/// Snapshot for DFS backtracking: all plain lane/model state plus the raw
+/// contents of the real cells and gates.
+struct Snap {
+    lanes: Vec<Pc>,
+    payload: u64,
+    executed: Vec<Vec<u32>>,
+    job: (u64, u64),
+    commits: Vec<(u64, u64)>,
+    job_gen: u64,
+    commit_gen: u64,
+    sched_len: usize,
+}
+
+struct Checker {
+    cfg: Config,
+    job: SeqCell,
+    commits: Vec<SeqCell>,
+    job_gate: Arc<Gate>,
+    commit_gate: Arc<Gate>,
+    /// The dispatch payload (`kind`/`dram_tck` in production, collapsed
+    /// to one word: its value must equal the job number it rides with).
+    payload: u64,
+    /// Per-worker per-edge execution counts (exactly-once audit).
+    executed: Vec<Vec<u32>>,
+    lanes: Vec<Pc>,
+    schedule: Vec<String>,
+    seen: BTreeSet<Vec<u64>>,
+    states: u64,
+    schedules: u64,
+    parks: u64,
+    truncated: bool,
+}
+
+impl Checker {
+    fn new(cfg: Config) -> Checker {
+        let job_gate = Arc::new(Gate::new());
+        let commit_gate = Arc::new(Gate::new());
+        let job = SeqCell::new(job_gate.clone());
+        let commits: Vec<SeqCell> = (0..cfg.workers)
+            .map(|_| SeqCell::new(commit_gate.clone()))
+            .collect();
+        let mut lanes = Vec::with_capacity(cfg.workers + 1);
+        lanes.push(Self::driver_edge_start(1, cfg.mutation));
+        for _ in 0..cfg.workers {
+            lanes.push(Pc::WWait(1, Wait::Fast));
+        }
+        Checker {
+            executed: (0..cfg.workers)
+                .map(|_| vec![0u32; cfg.edges as usize])
+                .collect(),
+            cfg,
+            job,
+            commits,
+            job_gate,
+            commit_gate,
+            payload: 0,
+            lanes,
+            schedule: Vec::new(),
+            seen: BTreeSet::new(),
+            states: 0,
+            schedules: 0,
+            parks: 0,
+            truncated: false,
+        }
+    }
+
+    fn driver_edge_start(edge: u64, m: Mutation) -> Pc {
+        match m {
+            // The bug: publish first, write the payload after.
+            Mutation::PrematurePublish => Pc::DFetchMax(edge, None),
+            _ => Pc::DPayload(edge),
+        }
+    }
+
+    fn lane_name(&self, l: usize) -> String {
+        if l == 0 {
+            "driver".to_string()
+        } else {
+            format!("worker{}", l - 1)
+        }
+    }
+
+    // -- state snapshot / restore -----------------------------------------
+
+    fn snap(&self) -> Snap {
+        Snap {
+            lanes: self.lanes.clone(),
+            payload: self.payload,
+            executed: self.executed.clone(),
+            job: self.job.mc_snapshot(),
+            commits: self.commits.iter().map(SeqCell::mc_snapshot).collect(),
+            job_gen: self.job_gate.generation(),
+            commit_gen: self.commit_gate.generation(),
+            sched_len: self.schedule.len(),
+        }
+    }
+
+    fn restore(&mut self, s: &Snap) {
+        self.lanes.clone_from(&s.lanes);
+        self.payload = s.payload;
+        self.executed.clone_from(&s.executed);
+        self.job.mc_restore(s.job.0, s.job.1);
+        for (c, &(v, sl)) in self.commits.iter().zip(s.commits.iter()) {
+            c.mc_restore(v, sl);
+        }
+        self.job_gate.restore_generation(s.job_gen);
+        self.commit_gate.restore_generation(s.commit_gen);
+        self.schedule.truncate(s.sched_len);
+    }
+
+    /// Deterministic fingerprint of the full protocol state, for
+    /// visited-state dedup (a `BTreeSet` keeps the crate zero-dep and
+    /// the exploration order stable).
+    fn encode(&self) -> Vec<u64> {
+        fn wait_code(w: &Wait, out: &mut Vec<u64>) {
+            match w {
+                Wait::Fast => out.push(0),
+                Wait::Registered => out.push(1),
+                Wait::ParkAttempt => out.push(2),
+                Wait::Parked(g) => {
+                    out.push(3);
+                    out.push(*g);
+                }
+                Wait::Dereg => out.push(4),
+            }
+        }
+        let mut out = Vec::with_capacity(16 + 4 * self.lanes.len());
+        out.push(self.payload);
+        let (jv, js) = self.job.mc_snapshot();
+        out.push(jv);
+        out.push(js);
+        out.push(self.job_gate.generation());
+        out.push(self.commit_gate.generation());
+        for c in &self.commits {
+            let (v, s) = c.mc_snapshot();
+            out.push(v);
+            out.push(s);
+        }
+        for per in &self.executed {
+            for &e in per {
+                out.push(e as u64);
+            }
+        }
+        for pc in &self.lanes {
+            match pc {
+                Pc::DPayload(e) => out.extend([10, *e]),
+                Pc::DPreCheck(e) => out.extend([11, *e]),
+                Pc::DFetchMax(e, pre) => {
+                    out.extend([12, *e, pre.map_or(2, u64::from)]);
+                }
+                Pc::DPayloadLate(e) => out.extend([13, *e]),
+                Pc::DSleepCheck(e, pre) => {
+                    out.extend([14, *e, pre.map_or(2, u64::from)]);
+                }
+                Pc::DNotify(e) => out.extend([15, *e]),
+                Pc::DWait(e, w, wait) => {
+                    out.extend([16, *e, *w as u64]);
+                    wait_code(wait, &mut out);
+                }
+                Pc::DDone => out.push(17),
+                Pc::WWait(e, wait) => {
+                    out.extend([20, *e]);
+                    wait_code(wait, &mut out);
+                }
+                Pc::WPayload(e) => out.extend([21, *e]),
+                Pc::WExec(e) => out.extend([22, *e]),
+                Pc::WFetchMax(e, pre) => {
+                    out.extend([23, *e, pre.map_or(2, u64::from)]);
+                }
+                Pc::WPreCheck(e) => out.extend([24, *e]),
+                Pc::WSleepCheck(e, pre) => {
+                    out.extend([25, *e, pre.map_or(2, u64::from)]);
+                }
+                Pc::WNotify(e) => out.extend([26, *e]),
+                Pc::WDone => out.push(27),
+            }
+        }
+        out
+    }
+
+    // -- stepping ----------------------------------------------------------
+
+    fn lane_enabled(&self, l: usize) -> bool {
+        match &self.lanes[l] {
+            Pc::DDone | Pc::WDone => false,
+            Pc::DWait(_, _, Wait::Parked(g)) => self.commit_gate.generation() != *g,
+            Pc::WWait(_, Wait::Parked(g)) => self.job_gate.generation() != *g,
+            _ => true,
+        }
+    }
+
+    /// One atomic step of the wait machine against `cell`/`gate` for
+    /// `target`. Returns the next wait state (`None` = satisfied) and a
+    /// step description.
+    fn wait_step(
+        cell: &SeqCell,
+        gate: &Gate,
+        target: u64,
+        wait: &Wait,
+        skip_register: bool,
+        parks: &mut u64,
+    ) -> (Option<Wait>, String) {
+        match wait {
+            Wait::Fast => {
+                if cell.get() >= target {
+                    (None, format!("fast-path read >= {target}"))
+                } else if skip_register {
+                    (
+                        Some(Wait::ParkAttempt),
+                        "MUTATED: skip sleeper registration, go straight to park".to_string(),
+                    )
+                } else {
+                    cell.step_register_sleeper();
+                    (Some(Wait::Registered), "register sleeper".to_string())
+                }
+            }
+            Wait::Registered => {
+                if cell.step_value() >= target {
+                    (
+                        Some(Wait::Dereg),
+                        format!("post-register re-check >= {target}"),
+                    )
+                } else {
+                    (
+                        Some(Wait::ParkAttempt),
+                        format!("post-register re-check < {target}"),
+                    )
+                }
+            }
+            Wait::ParkAttempt | Wait::Parked(_) => {
+                // Atomic under the gate mutex in production: predicate
+                // check, else capture generation and sleep.
+                if cell.get() >= target {
+                    if skip_register {
+                        (None, format!("woke, predicate >= {target}"))
+                    } else {
+                        (Some(Wait::Dereg), format!("woke, predicate >= {target}"))
+                    }
+                } else {
+                    *parks += 1;
+                    let g = gate.generation();
+                    (
+                        Some(Wait::Parked(g)),
+                        format!("park on gate at generation {g} (predicate < {target})"),
+                    )
+                }
+            }
+            Wait::Dereg => {
+                cell.step_deregister_sleeper();
+                (None, "deregister sleeper".to_string())
+            }
+        }
+    }
+
+    /// Executes one atomic step of lane `l`. `Err` is a protocol
+    /// violation detected at the step itself.
+    fn step(&mut self, l: usize) -> Result<(), ProtocolViolation> {
+        let m = self.cfg.mutation;
+        let n_workers = self.cfg.workers;
+        let edges = self.cfg.edges;
+        let pc = self.lanes[l].clone();
+        let (next, desc): (Pc, String) = match pc {
+            // ---------------- driver ----------------
+            Pc::DPayload(e) => {
+                self.payload = e;
+                let nxt = if m == Mutation::StaleSleeperCheck {
+                    Pc::DPreCheck(e)
+                } else {
+                    Pc::DFetchMax(e, None)
+                };
+                (nxt, format!("store payload {e}"))
+            }
+            Pc::DPreCheck(e) => {
+                let pre = self.job.step_sleepers_nonzero();
+                (
+                    Pc::DFetchMax(e, Some(pre)),
+                    format!("MUTATED: sample sleepers before publish -> {pre}"),
+                )
+            }
+            Pc::DFetchMax(e, pre) => {
+                let prev = self.job.step_fetch_max(e);
+                if prev != e - 1 {
+                    return Err(self.violation(
+                        "non-monotone-job",
+                        format!("job publish {e} over previous {prev} (expected {})", e - 1),
+                    ));
+                }
+                let nxt = match m {
+                    Mutation::PrematurePublish => Pc::DPayloadLate(e),
+                    Mutation::DroppedWake => Pc::DWait(e, 0, Wait::Fast),
+                    _ => Pc::DSleepCheck(e, pre),
+                };
+                let extra = if m == Mutation::DroppedWake {
+                    " (MUTATED: wake dropped)"
+                } else {
+                    ""
+                };
+                (nxt, format!("job fetch_max {e}{extra}"))
+            }
+            Pc::DPayloadLate(e) => {
+                self.payload = e;
+                (
+                    Pc::DSleepCheck(e, None),
+                    format!("MUTATED: store payload {e} after the publish"),
+                )
+            }
+            Pc::DSleepCheck(e, pre) => {
+                let s = match pre {
+                    Some(stale) => stale,
+                    None => self.job.step_sleepers_nonzero(),
+                };
+                let nxt = if s {
+                    Pc::DNotify(e)
+                } else {
+                    Pc::DWait(e, 0, Wait::Fast)
+                };
+                (nxt, format!("job sleeper check -> {s}"))
+            }
+            Pc::DNotify(e) => {
+                self.job_gate.notify();
+                (Pc::DWait(e, 0, Wait::Fast), "notify job gate".to_string())
+            }
+            Pc::DWait(e, w, wait) => {
+                let (nw, d) = Self::wait_step(
+                    &self.commits[w],
+                    &self.commit_gate,
+                    e,
+                    &wait,
+                    m == Mutation::ParkWithoutRegister,
+                    &mut self.parks,
+                );
+                let nxt = match nw {
+                    Some(nw) => Pc::DWait(e, w, nw),
+                    None if w + 1 < n_workers => Pc::DWait(e, w + 1, Wait::Fast),
+                    None if e < edges => Self::driver_edge_start(e + 1, m),
+                    None => Pc::DDone,
+                };
+                (nxt, format!("wait commit[{w}] >= {e}: {d}"))
+            }
+            Pc::DDone => unreachable!("done lanes are never enabled"),
+            // ---------------- workers ----------------
+            Pc::WWait(e, wait) => {
+                let (nw, d) = Self::wait_step(
+                    &self.job,
+                    &self.job_gate,
+                    e,
+                    &wait,
+                    m == Mutation::ParkWithoutRegister,
+                    &mut self.parks,
+                );
+                let nxt = match nw {
+                    Some(nw) => Pc::WWait(e, nw),
+                    None => Pc::WPayload(e),
+                };
+                (nxt, format!("wait job >= {e}: {d}"))
+            }
+            Pc::WPayload(e) => {
+                if self.payload != e {
+                    return Err(self.violation(
+                        "stale-payload",
+                        format!(
+                            "worker{} observed job {e} but read payload {} — the payload store \
+                             was not ordered before the publish",
+                            l - 1,
+                            self.payload
+                        ),
+                    ));
+                }
+                (Pc::WExec(e), format!("read payload {e} (valid)"))
+            }
+            Pc::WExec(e) => {
+                self.executed[l - 1][(e - 1) as usize] += 1;
+                let times = self.executed[l - 1][(e - 1) as usize];
+                if times > 1 {
+                    return Err(self.violation(
+                        "double-execute",
+                        format!("worker{} executed edge {e} {times} times", l - 1),
+                    ));
+                }
+                let nxt = if m == Mutation::StaleSleeperCheck {
+                    Pc::WPreCheck(e)
+                } else {
+                    Pc::WFetchMax(e, None)
+                };
+                (nxt, format!("execute edge {e}"))
+            }
+            Pc::WPreCheck(e) => {
+                let pre = self.commits[l - 1].step_sleepers_nonzero();
+                (
+                    Pc::WFetchMax(e, Some(pre)),
+                    format!("MUTATED: sample commit sleepers before publish -> {pre}"),
+                )
+            }
+            Pc::WFetchMax(e, pre) => {
+                let v = if m == Mutation::OffByOneCommit {
+                    e + 1
+                } else {
+                    e
+                };
+                let prev = self.commits[l - 1].step_fetch_max(v);
+                if prev != v - 1 {
+                    return Err(self.violation(
+                        "non-monotone-commit",
+                        format!(
+                            "worker{} commit publish {v} over previous {prev} (expected {}) — \
+                             a sequence number was skipped or repeated",
+                            l - 1,
+                            v - 1
+                        ),
+                    ));
+                }
+                let nxt = match m {
+                    Mutation::DroppedWake => self.worker_next_edge(e),
+                    _ => Pc::WSleepCheck(e, pre),
+                };
+                let extra = if m == Mutation::DroppedWake {
+                    " (MUTATED: wake dropped)"
+                } else {
+                    ""
+                };
+                (nxt, format!("commit fetch_max {v}{extra}"))
+            }
+            Pc::WSleepCheck(e, pre) => {
+                let s = match pre {
+                    Some(stale) => stale,
+                    None => self.commits[l - 1].step_sleepers_nonzero(),
+                };
+                let nxt = if s {
+                    Pc::WNotify(e)
+                } else {
+                    self.worker_next_edge(e)
+                };
+                (nxt, format!("commit sleeper check -> {s}"))
+            }
+            Pc::WNotify(e) => {
+                self.commit_gate.notify();
+                (self.worker_next_edge(e), "notify commit gate".to_string())
+            }
+            Pc::WDone => unreachable!("done lanes are never enabled"),
+        };
+        self.schedule.push(format!("{}: {desc}", self.lane_name(l)));
+        self.lanes[l] = next;
+        Ok(())
+    }
+
+    fn worker_next_edge(&self, e: u64) -> Pc {
+        if e < self.cfg.edges {
+            Pc::WWait(e + 1, Wait::Fast)
+        } else {
+            Pc::WDone
+        }
+    }
+
+    fn violation(&self, kind: &'static str, detail: String) -> ProtocolViolation {
+        ProtocolViolation {
+            kind,
+            detail,
+            schedule: self.schedule.clone(),
+        }
+    }
+
+    /// All-lanes-done invariants.
+    fn final_check(&self) -> Option<ProtocolViolation> {
+        let edges = self.cfg.edges;
+        if self.job.get() != edges {
+            return Some(self.violation(
+                "final-job",
+                format!("final job {} != {edges}", self.job.get()),
+            ));
+        }
+        for (w, c) in self.commits.iter().enumerate() {
+            if c.get() != edges {
+                return Some(self.violation(
+                    "final-commit",
+                    format!(
+                        "worker{w} final commit {} != final job {edges} — shard not fully committed",
+                        c.get()
+                    ),
+                ));
+            }
+        }
+        for (w, per) in self.executed.iter().enumerate() {
+            for (e, &n) in per.iter().enumerate() {
+                if n != 1 {
+                    return Some(self.violation(
+                        "exactly-once",
+                        format!("worker{w} executed edge {} {n} times", e + 1),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    fn explore(&mut self) -> Option<ProtocolViolation> {
+        if self.states >= self.cfg.max_states {
+            self.truncated = true;
+            return None;
+        }
+        self.states += 1;
+        if self
+            .lanes
+            .iter()
+            .all(|p| matches!(p, Pc::DDone | Pc::WDone))
+        {
+            self.schedules += 1;
+            return self.final_check();
+        }
+        let enabled: Vec<usize> = (0..self.lanes.len())
+            .filter(|&l| self.lane_enabled(l))
+            .collect();
+        if enabled.is_empty() {
+            let parked: Vec<String> = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !matches!(p, Pc::DDone | Pc::WDone))
+                .map(|(l, _)| self.lane_name(l))
+                .collect();
+            return Some(self.violation(
+                "deadlock",
+                format!(
+                    "no lane can make progress; parked forever: {} (a lost wake-up — production \
+                     would limp along on the POISON_POLL timeout, 20ms per miss)",
+                    parked.join(", ")
+                ),
+            ));
+        }
+        if !self.seen.insert(self.encode()) {
+            return None; // already explored everything reachable from here
+        }
+        for l in enabled {
+            let snap = self.snap();
+            let stepped = self.step(l);
+            match stepped {
+                Err(v) => return Some(v),
+                Ok(()) => {
+                    if let Some(v) = self.explore() {
+                        return Some(v);
+                    }
+                }
+            }
+            self.restore(&snap);
+        }
+        None
+    }
+}
+
+/// Runs the checker over every interleaving of `cfg`'s bounded space.
+pub fn check(cfg: &Config) -> Outcome {
+    assert!(cfg.workers >= 1, "at least one worker lane");
+    assert!(cfg.edges >= 1, "at least one edge");
+    let mut c = Checker::new(cfg.clone());
+    let violation = c.explore();
+    Outcome {
+        states: c.states,
+        unique_states: c.seen.len() as u64,
+        schedules: c.schedules,
+        parks: c.parks,
+        exhausted: !c.truncated,
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_restore_round_trips_real_cells() {
+        let mut c = Checker::new(Config::default());
+        let snap = c.snap();
+        let before = c.encode();
+        // Disturb everything the snapshot covers.
+        c.payload = 99;
+        c.job.step_fetch_max(7);
+        c.job.step_register_sleeper();
+        c.commits[0].step_fetch_max(3);
+        c.job_gate.notify();
+        c.commit_gate.notify();
+        c.lanes[0] = Pc::DDone;
+        assert_ne!(c.encode(), before);
+        c.restore(&snap);
+        assert_eq!(c.encode(), before);
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for &m in ALL_MUTATIONS {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("none"), Some(Mutation::None));
+        assert_eq!(Mutation::parse("no-such"), None);
+    }
+
+    #[test]
+    fn tiny_space_is_exhaustive_and_clean() {
+        let out = check(&Config {
+            workers: 1,
+            edges: 1,
+            mutation: Mutation::None,
+            max_states: 1_000_000,
+        });
+        assert!(out.verified(), "violation: {:?}", out.violation);
+        assert!(out.schedules > 0);
+        assert!(out.unique_states > 0);
+    }
+
+    #[test]
+    fn state_budget_truncates_without_false_positives() {
+        let out = check(&Config {
+            workers: 2,
+            edges: 2,
+            mutation: Mutation::None,
+            max_states: 50,
+        });
+        assert!(!out.exhausted);
+        assert!(out.violation.is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! CLI for the PDES-protocol model checker (CI gate).
+//!
+//! ```text
+//! memnet-mc [--workers N] [--edges N] [--mutation NAME|all]
+//!           [--max-states N] [--budget-ms MS] [--expect-catch]
+//! ```
+//!
+//! * Default run verifies the real composition: exit 0 iff the bounded
+//!   space was exhaustively explored with no violation.
+//! * `--mutation NAME --expect-catch` flips the contract: exit 0 iff the
+//!   seeded bug WAS caught (proves the checker has teeth).
+//! * `--mutation all --expect-catch` runs the whole mutation matrix.
+//! * `--budget-ms` asserts a wall-clock ceiling on the whole invocation,
+//!   so CI notices when the state space outgrows its bounds.
+
+use memnet_mc::{check, Config, Mutation, Outcome, ALL_MUTATIONS};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "memnet-mc — bounded model checker for the conservative-PDES rendezvous protocol
+
+USAGE:
+    memnet-mc [--workers N] [--edges N] [--mutation NAME|all]
+              [--max-states N] [--budget-ms MS] [--expect-catch]
+
+OPTIONS:
+    --workers N       worker lanes (driver is implicit); 1 = 2-lane space [default 1]
+    --edges N         clock edges per run [default 3]
+    --mutation NAME   seed a protocol bug: none, dropped-wake, stale-sleeper-check,
+                      off-by-one-commit, premature-publish, park-without-register,
+                      or `all` for the whole matrix [default none]
+    --max-states N    search-node budget [default 10000000]
+    --budget-ms MS    fail if the whole invocation exceeds this wall-clock budget
+    --expect-catch    exit 0 iff the seeded bug was caught (requires a mutation)
+
+EXIT STATUS:
+    0  verified (or, with --expect-catch, every seeded bug was caught)
+    1  violation found (or a seeded bug escaped with --expect-catch)
+    2  bad usage / budget exceeded / space not exhausted"
+    );
+    ExitCode::from(2)
+}
+
+fn report(label: &str, out: &Outcome) {
+    println!(
+        "memnet-mc [{label}]: {} unique states, {} schedules, {} parks, exhausted={}, {}",
+        out.unique_states,
+        out.schedules,
+        out.parks,
+        out.exhausted,
+        match &out.violation {
+            Some(v) => format!("VIOLATION ({})", v.kind),
+            None => "clean".to_string(),
+        }
+    );
+}
+
+fn main() -> ExitCode {
+    let mut workers = 1usize;
+    let mut edges = 3u64;
+    let mut mutations: Vec<Mutation> = vec![Mutation::None];
+    let mut max_states = 10_000_000u64;
+    let mut budget_ms: Option<u64> = None;
+    let mut expect_catch = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--workers" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    workers = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--edges" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    edges = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--max-states" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    max_states = v;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--budget-ms" => match need(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    budget_ms = Some(v);
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--mutation" => match need(i) {
+                Some(v) if v == "all" => {
+                    mutations = ALL_MUTATIONS.to_vec();
+                    i += 2;
+                }
+                Some(v) => match Mutation::parse(v) {
+                    Some(m) => {
+                        mutations = vec![m];
+                        i += 2;
+                    }
+                    None => {
+                        eprintln!("memnet-mc: unknown mutation {v:?}");
+                        return usage();
+                    }
+                },
+                None => return usage(),
+            },
+            "--expect-catch" => {
+                expect_catch = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("memnet-mc: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    if workers == 0 || edges == 0 {
+        eprintln!("memnet-mc: --workers and --edges must be >= 1");
+        return usage();
+    }
+    if expect_catch && mutations == [Mutation::None] {
+        eprintln!("memnet-mc: --expect-catch needs --mutation (a bug to catch)");
+        return usage();
+    }
+
+    let start = Instant::now();
+    let mut code = ExitCode::SUCCESS;
+    for m in mutations {
+        let out = check(&Config {
+            workers,
+            edges,
+            mutation: m,
+            max_states,
+        });
+        report(m.name(), &out);
+        if expect_catch && m != Mutation::None {
+            match &out.violation {
+                Some(v) => println!("  caught as expected: {}: {}", v.kind, v.detail),
+                None => {
+                    eprintln!(
+                        "memnet-mc: seeded bug {:?} ESCAPED the checker (exhausted={})",
+                        m.name(),
+                        out.exhausted
+                    );
+                    code = ExitCode::from(1);
+                }
+            }
+        } else {
+            if let Some(v) = &out.violation {
+                eprintln!("{v}");
+                code = ExitCode::from(1);
+            }
+            if !out.exhausted {
+                eprintln!(
+                    "memnet-mc: state space NOT exhausted within --max-states {max_states}; \
+                     no soundness claim"
+                );
+                if code == ExitCode::SUCCESS {
+                    code = ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let elapsed = start.elapsed().as_millis() as u64;
+    if let Some(budget) = budget_ms {
+        if elapsed > budget {
+            eprintln!("memnet-mc: wall-clock budget exceeded: {elapsed}ms > {budget}ms");
+            return ExitCode::from(2);
+        }
+        println!("memnet-mc: {elapsed}ms within --budget-ms {budget}");
+    }
+    code
+}

@@ -262,9 +262,16 @@ impl Default for Profiler {
 // Counting global allocator.
 // ---------------------------------------------------------------------------
 
+// The four tallies must be process-global: `#[global_allocator]` is a
+// process-wide hook with no instance state. They count host allocations,
+// never simulated state, so replay identity is unaffected.
+// memnet-lint: allow(static-state, GlobalAlloc is process-global by contract; host-side tally only)
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+// memnet-lint: allow(static-state, see ALLOC_CALLS)
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+// memnet-lint: allow(static-state, see ALLOC_CALLS)
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+// memnet-lint: allow(static-state, see ALLOC_CALLS)
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// A `#[global_allocator]` wrapper over [`std::alloc::System`] that counts
@@ -282,16 +289,28 @@ impl CountingAlloc {
     }
 }
 
+/// Adds `delta` to a tally, returning the previous value. Relaxed is the
+/// right ordering here: the tallies are pure process-wide counts outside
+/// simulation state, never used to synchronize anything, and read only by
+/// the reporting layer, which tolerates staleness.
+#[inline]
+fn bump(tally: &AtomicU64, delta: u64) -> u64 {
+    // memnet-lint: allow(atomic-ordering, pure tally outside sim state; never synchronizes, reporting tolerates staleness)
+    tally.fetch_add(delta, Ordering::Relaxed)
+}
+
 #[inline]
 fn count_alloc(size: usize) {
-    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
-    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    bump(&ALLOC_CALLS, 1);
+    bump(&ALLOC_BYTES, size as u64);
+    let live = bump(&LIVE_BYTES, size as u64) + size as u64;
+    // memnet-lint: allow(atomic-ordering, racy max loses at most a transient peak; the high-water mark is a reporting approximation)
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
 }
 
 #[inline]
 fn count_free(size: usize) {
+    // memnet-lint: allow(atomic-ordering, pure tally; see bump)
     LIVE_BYTES.fetch_sub(size as u64, Ordering::Relaxed);
 }
 
@@ -348,13 +367,20 @@ pub struct AllocStats {
 /// Reads the counting allocator's totals. All zeros (and
 /// `installed: false`) when no [`CountingAlloc`] is installed.
 pub fn alloc_stats() -> AllocStats {
-    let allocs = ALLOC_CALLS.load(Ordering::Relaxed);
+    // Point-in-time reporting reads; a stale or torn-across-fields view
+    // is acceptable by design.
+    #[inline]
+    fn read(tally: &AtomicU64) -> u64 {
+        // memnet-lint: allow(atomic-ordering, point-in-time reporting read; staleness acceptable)
+        tally.load(Ordering::Relaxed)
+    }
+    let allocs = read(&ALLOC_CALLS);
     AllocStats {
         installed: allocs > 0,
         allocs,
-        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
-        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
-        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+        bytes: read(&ALLOC_BYTES),
+        live_bytes: read(&LIVE_BYTES),
+        peak_bytes: read(&PEAK_BYTES),
     }
 }
 

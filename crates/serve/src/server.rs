@@ -398,6 +398,7 @@ fn handle_conn(
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
+                    // memnet-lint: allow(atomic-ordering, one-shot stop flag guarding no data; SeqCst on a cold timeout path costs nothing)
                     if stop.load(Ordering::SeqCst) {
                         return Ok(());
                     }
@@ -414,6 +415,7 @@ fn handle_conn(
         if reply.shutdown {
             // Flag the accept loop, then poke it with a throwaway
             // connection so a blocked `accept` wakes up and sees it.
+            // memnet-lint: allow(atomic-ordering, one-shot stop flag guarding no data; set once at shutdown)
             stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(addr);
             return Ok(());
@@ -444,6 +446,7 @@ impl TcpDaemon {
         let stop = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for conn in self.listener.incoming() {
+                // memnet-lint: allow(atomic-ordering, one-shot stop flag guarding no data; checked once per accepted connection)
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }

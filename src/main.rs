@@ -33,6 +33,7 @@ use std::process::ExitCode;
 /// simulation state, so reports stay byte-identical with it installed.
 #[cfg(feature = "count-alloc")]
 #[global_allocator]
+// memnet-lint: allow(static-state, the global_allocator hook is a static by language rule; stateless pass-through)
 static ALLOC: memnet::obs::CountingAlloc = memnet::obs::CountingAlloc::new();
 
 fn usage() -> ExitCode {
@@ -61,6 +62,17 @@ USAGE:
                                    memnet-wdl-v1 JSON model (default DIR .);
                                    `--dir tests/data` regenerates the
                                    golden files checked by CI
+  memnet lint [--root PATH] [--json]
+                                   run the determinism/concurrency-soundness
+                                   lint over the workspace sources (same
+                                   rules as the memnet-lint binary): unsafe
+                                   outside the allowlist, unjustified
+                                   Relaxed/SeqCst orderings, statics in sim
+                                   crates, shard-ownership violations,
+                                   wall-clock/HashMap/thread use, and
+                                   malformed suppressions; --json prints a
+                                   machine-readable report; exit 0 clean,
+                                   1 violations, 2 i/o error
   memnet serve [--stdio | --port N] [--cache N] [--workers N] [--retries N]
                                    run the sim-as-a-service daemon:
                                    newline-delimited JSON-RPC (run / batch /
@@ -220,11 +232,89 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_cmd(&args[1..]),
+        Some("lint") => lint_cmd(&args[1..]),
         Some("profile") => profile_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("export") => export_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `memnet lint` options, split from execution for unit testing.
+struct LintOpts {
+    root: std::path::PathBuf,
+    json: bool,
+}
+
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, ExitCode> {
+    // The binary is built from the workspace root package, so its manifest
+    // dir IS the workspace root — the natural default scan target.
+    let mut opts = LintOpts {
+        root: std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")),
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--root" => match it.next() {
+                Some(p) => opts.root = std::path::PathBuf::from(p),
+                None => {
+                    eprintln!("missing value for --root");
+                    return Err(usage());
+                }
+            },
+            _ => {
+                eprintln!("unknown option {a}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// `memnet lint [--root PATH] [--json]`: the concurrency-soundness and
+/// determinism lint, in-process (the standalone `memnet-lint` binary stays
+/// as a thin alias for use without the full simulator build).
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_opts(args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    match memnet_lint::scan_workspace(&opts.root) {
+        Err(e) => {
+            eprintln!(
+                "memnet lint: i/o error scanning {}: {e}",
+                opts.root.display()
+            );
+            ExitCode::from(2)
+        }
+        Ok(res) => {
+            if opts.json {
+                println!("{}", res.to_json_string());
+            } else if res.violations.is_empty() {
+                println!(
+                    "memnet lint: {} files clean ({} rules)",
+                    res.files,
+                    memnet_lint::RULES.len()
+                );
+            } else {
+                for v in &res.violations {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "memnet lint: {} violation(s) in {} files scanned",
+                    res.violations.len(),
+                    res.files
+                );
+            }
+            if res.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
 }
 
@@ -1159,6 +1249,44 @@ mod tests {
         ]))
         .expect("repeatable flag");
         assert_eq!(opts.workload_files, vec!["a.json", "b.json"]);
+    }
+
+    #[test]
+    fn lint_flag_parsing() {
+        let opts = parse_lint_opts(&argv(&[])).expect("defaults are valid");
+        assert!(!opts.json);
+        assert!(
+            opts.root.join("Cargo.toml").is_file(),
+            "default root must be the workspace root"
+        );
+        let opts =
+            parse_lint_opts(&argv(&["--root", "/tmp/elsewhere", "--json"])).expect("valid flags");
+        assert!(opts.json);
+        assert_eq!(opts.root, std::path::Path::new("/tmp/elsewhere"));
+        assert!(
+            parse_lint_opts(&argv(&["--root"])).is_err(),
+            "missing value"
+        );
+        assert!(parse_lint_opts(&argv(&["--fix"])).is_err(), "unknown flag");
+    }
+
+    #[test]
+    fn lint_subcommand_agrees_with_the_standalone_binary_on_this_workspace() {
+        // The subcommand and the alias binary share scan_workspace, so the
+        // tree this test builds from must come back clean through the
+        // in-process path too.
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let res = memnet_lint::scan_workspace(&root).expect("scan own workspace");
+        assert!(
+            res.violations.is_empty(),
+            "workspace must be lint-clean: {:?}",
+            res.violations
+        );
+        assert!(res.files > 50, "scan should cover the whole workspace");
+        // The JSON rendering is well-formed enough for CI to parse the
+        // headline counts back out.
+        let json = res.to_json_string();
+        assert!(json.contains("\"violations\": []"), "clean report: {json}");
     }
 
     #[test]
